@@ -1,0 +1,77 @@
+// Ablation: the DTS constant c in psi_r = c * eps_r.
+//
+// The paper sets c = 1 so that E[psi] = 1 under E[baseRTT/RTT] = 1/2
+// (Condition 1 at the design point). This sweep shows what c buys and
+// costs: TCP-friendliness on a shared bottleneck (share vs one TCP) and
+// energy/goodput in the bursty two-path scenario.
+#include <iostream>
+
+#include "bench_util.h"
+#include "cc/dts.h"
+#include "traffic/bulk_flow.h"
+
+namespace mpcc {
+namespace {
+
+double share_vs_tcp(double c, SimTime duration) {
+  Network net(3);
+  Link fwd = net.make_link("f", mbps(100), 10 * kMillisecond, 500'000);
+  Link rev = net.make_link("r", mbps(100), 10 * kMillisecond, 500'000);
+  TcpFlowHandles tcp =
+      make_tcp_flow(net, "tcp", {fwd.queue, fwd.pipe}, {rev.queue, rev.pipe});
+  MptcpConfig cfg;
+  auto* conn = net.emplace<MptcpConnection>(
+      net, "mp", cfg, std::make_unique<DtsCc>(DtsConfig{c, EpsilonMode::kFixedPoint}));
+  PathSpec path;
+  path.forward = {fwd.queue, fwd.pipe};
+  path.reverse = {rev.queue, rev.pipe};
+  conn->add_subflow(path);
+  conn->add_subflow(path);
+  tcp.src->start(0);
+  conn->start(50 * kMillisecond);
+  net.events().run_until(duration);
+  double mp = 0;
+  for (const Subflow* sf : conn->subflows()) {
+    mp += static_cast<double>(sf->bytes_acked_total());
+  }
+  return mp / static_cast<double>(tcp.src->bytes_acked_total());
+}
+
+}  // namespace
+}  // namespace mpcc
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
+
+  bench::banner("Ablation — DTS constant c sweep",
+                "c = 1 is the paper's Condition-1 design point; larger c "
+                "buys throughput at the cost of TCP-friendliness");
+
+  Table table({"c", "share_vs_tcp", "bursty_J_per_GB", "bursty_Mbps"});
+  for (double c : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+    const double share = share_vs_tcp(c, seconds(secs));
+
+    // Bursty two-path energy (Fig 5(b) scenario) at this c.
+    Network net(4);
+    TwoPathConfig tcfg;
+    TwoPath topo(net, tcfg);
+    MptcpConfig mcfg;
+    auto* conn = net.emplace<MptcpConnection>(
+        net, "mp", mcfg, std::make_unique<DtsCc>(DtsConfig{c, EpsilonMode::kFixedPoint}));
+    for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
+    WiredCpuPower model;
+    FlowGroupProbe probe;
+    probe.add_connection(conn);
+    EnergyMeter meter(net, "m", model, probe);
+    meter.start();
+    topo.start_cross_traffic(0);
+    conn->start(100 * kMillisecond);
+    net.events().run_until(seconds(secs));
+    const double gb = static_cast<double>(conn->bytes_delivered()) / 1e9;
+    table.add_row({c, share, gb > 0 ? meter.energy_joules() / gb : 0.0,
+                   to_mbps(throughput(conn->bytes_delivered(), seconds(secs)))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: the two energy-price signal providers for extended DTS —
+// the endpoint-implementable delay estimator vs the queue oracle.
+//
+// If the delay-inferred dU_ep/dx_r is a faithful stand-in for real queue
+// state, both signals should yield similar energy and throughput.
+#include <iostream>
+
+#include "bench_util.h"
+#include "cc/dts_ep.h"
+#include "mptcp/path_manager.h"
+#include "topo/two_path.h"
+
+namespace mpcc {
+namespace {
+
+struct Outcome {
+  double jpgb;
+  double goodput_mbps;
+};
+
+Outcome run(bool oracle, double kappa, SimTime duration) {
+  Network net(6);
+  TwoPathConfig cfg;  // bursty cross traffic on both paths
+  TwoPath topo(net, cfg);
+  core::EnergyPriceConfig price;
+  price.kappa = kappa;
+  std::unique_ptr<core::EnergyPriceSignal> signal;
+  if (oracle) {
+    signal = std::make_unique<core::OraclePriceSignal>(price);
+  }  // nullptr -> DtsEpCc defaults to the delay signal
+  MptcpConfig mcfg;
+  auto* conn = net.emplace<MptcpConnection>(
+      net, "c", mcfg,
+      std::make_unique<DtsEpCc>(DtsConfig{}, price, std::move(signal)));
+  PathManager::fullmesh(*conn, topo.paths());
+  WiredCpuPower model;
+  FlowGroupProbe probe;
+  probe.add_connection(conn);
+  EnergyMeter meter(net, "m", model, probe);
+  meter.start();
+  topo.start_cross_traffic(0);
+  conn->start(100 * kMillisecond);
+  net.events().run_until(duration);
+  const double gb = static_cast<double>(conn->bytes_delivered()) / 1e9;
+  return {gb > 0 ? meter.energy_joules() / gb : 0.0,
+          to_mbps(throughput(conn->bytes_delivered(), duration))};
+}
+
+}  // namespace
+}  // namespace mpcc
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
+
+  bench::banner("Ablation — delay-inferred vs oracle energy-price signal",
+                "the kernel-implementable delay estimate should track the "
+                "queue oracle");
+
+  Table table({"signal", "kappa", "J_per_GB", "goodput_Mbps"});
+  for (double kappa : {0.01, 0.05}) {
+    const auto delay = run(false, kappa, seconds(secs));
+    const auto oracle = run(true, kappa, seconds(secs));
+    table.add_row({std::string("delay"), kappa, delay.jpgb, delay.goodput_mbps});
+    table.add_row({std::string("oracle"), kappa, oracle.jpgb, oracle.goodput_mbps});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: the TCP-friendliness <-> responsiveness tradeoff
+// (Section V.A's motivating claim for Pareto-optimal designs).
+//
+// For every algorithm: psi at the symmetric equilibrium (Condition 1's
+// friendliness index; <= 1 is TCP-friendly) against the fluid-model
+// settling time after link 0's capacity quadruples (reclaim speed).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/responsiveness.h"
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  core::ResponsivenessConfig cfg;
+  cfg.horizon_s = harness::arg_double(argc, argv, "--horizon", 300.0);
+
+  bench::banner("Ablation — TCP-friendliness vs responsiveness",
+                "aggressive algorithms (psi > 1) reclaim freed capacity "
+                "faster; the paper's Section V.A tradeoff");
+
+  Table table({"algorithm", "psi_index", "settle_s", "overshoot", "rate_before",
+               "rate_after"});
+  for (core::Algorithm alg :
+       {core::Algorithm::kOlia, core::Algorithm::kLia, core::Algorithm::kBalia,
+        core::Algorithm::kEwtcp, core::Algorithm::kCoupled, core::Algorithm::kEcMtcp,
+        core::Algorithm::kDts}) {
+    const auto r = core::measure_responsiveness(alg, cfg);
+    table.add_row({core::algorithm_name(alg), r.psi_index, r.settle_time_s,
+                   r.overshoot, r.rate_before, r.rate_after});
+  }
+  table.print(std::cout);
+  bench::note("psi_index <= 1 satisfies Condition 1 at this operating point; "
+              "settle_s is the time to enter a 5% band around the new equilibrium");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared bits for the figure benches: banner printing and option parsing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/scenarios.h"
+#include "util/csv.h"
+
+namespace mpcc::bench {
+
+/// Prints the standard bench banner: which figure, what the paper reports,
+/// and what this harness regenerates.
+inline void banner(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("(absolute values are model-calibrated; shapes are the target)\n");
+  std::printf("==============================================================\n\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace mpcc::bench

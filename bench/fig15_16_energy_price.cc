@@ -1,0 +1,57 @@
+// Figs 15-16: the extended DTS (compensative parameter phi_r, Eq. 9) in
+// FatTree and VL2 with 8 subflows per connection.
+//
+// Paper findings: the energy price saves up to ~20% of energy cost vs LIA
+// (Fig 15) while achieving similar aggregate throughput/utilisation
+// (Fig 16).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  const bool full = harness::has_flag(argc, argv, "--full");
+  const double secs = harness::arg_double(argc, argv, "--seconds", full ? 2.0 : 1.0);
+
+  bench::banner("Figs 15-16 — extended DTS (energy price) in FatTree / VL2",
+                "phi_r saves up to ~20% energy vs LIA at similar aggregate "
+                "throughput (8 subflows)");
+
+  for (const auto& [label, topo] :
+       std::vector<std::pair<std::string, harness::DcTopo>>{
+           {"FatTree", harness::DcTopo::kFatTree}, {"VL2", harness::DcTopo::kVl2}}) {
+    std::printf("\n--- %s, 8 subflows ---\n", label.c_str());
+    Table table({"algorithm", "J_per_GB", "saving_vs_lia_%", "aggregate_Gbps"});
+    double lia_jpgb = 0;
+    for (const std::string cc : {"lia", "dts", "dts-ep"}) {
+      harness::DatacenterOptions opts;
+      opts.topo = topo;
+      opts.cc = cc;
+      opts.subflows = 8;
+      opts.duration = seconds(secs);
+      opts.seed = 31;
+      opts.price.kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
+      opts.price.queue_delay_target = 10 * kMillisecond;
+      if (!full) {
+        // FatTree keeps k=8 (8 subflows need 8 distinct core paths for the
+        // price to have anywhere to shift traffic); VL2 is scaled down.
+        opts.vl2.num_tor = 8;
+        opts.vl2.hosts_per_tor = 2;
+        opts.vl2.num_agg = 8;
+        opts.vl2.num_int = 4;
+      } else {
+        opts.vl2.host_rate = mbps(250);
+        opts.vl2.switch_rate = gbps(2.5);
+      }
+      const auto r = run_datacenter(opts);
+      if (cc == "lia") lia_jpgb = r.joules_per_gigabyte;
+      table.add_row({cc, r.joules_per_gigabyte,
+                     (1.0 - r.joules_per_gigabyte / lia_jpgb) * 100.0,
+                     r.aggregate_goodput / 1e9});
+    }
+    table.print(std::cout);
+  }
+  bench::note("expected shape: dts-ep saves J/GB vs lia (paper: up to 20%), "
+              "aggregate throughput similar (Fig 16)");
+  return 0;
+}

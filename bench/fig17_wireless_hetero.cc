@@ -1,0 +1,63 @@
+// Fig 17: DTS in the heterogeneous wireless scenario — WiFi (10 Mbps,
+// 40 ms) + 4G (20 Mbps, 100 ms), DropTail q=50, cross traffic, 200 s,
+// 64 KB receive buffer (the paper's ns-2.35 setup).
+//
+// Paper findings: DTS (with the compensative parameter) saves up to ~30%
+// energy compared to LIA, with a throughput tradeoff.
+//
+// Two energy readings per row:
+//  - marginal J/GB: bytes x per-Mbps radio slopes — the per-byte energy
+//    model class the paper's ns-2 evaluation uses; traffic shifting shows
+//    up here directly.
+//  - total J/GB: the Huang et al. state-machine model (base/active/tail
+//    power). Partial offload keeps both radios awake, so not all per-byte
+//    savings survive — a reproduction finding documented in EXPERIMENTS.md.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  const double secs = harness::arg_double(argc, argv, "--seconds", 200.0);
+  const int seeds = static_cast<int>(harness::arg_int(argc, argv, "--seeds", 3));
+
+  bench::banner("Fig 17 — heterogeneous wireless (WiFi 10M/40ms + 4G 20M/100ms)",
+                "DTS saves up to ~30% radio energy vs LIA, trading some "
+                "throughput");
+
+  Table table({"algorithm", "marginal_J_per_GB", "saving_vs_lia_%", "total_J_per_GB",
+               "goodput_Mbps", "wifi_byte_share_%"});
+  double lia_marginal = 0;
+  for (const std::string cc :
+       {"tcp-wifi", "tcp-cell", "lia", "dts", "dts-ep", "emptcp"}) {
+    double marginal = 0, total = 0, goodput = 0, wifi_share = 0;
+    for (int s = 0; s < seeds; ++s) {
+      harness::WirelessOptions opts;
+      opts.cc = cc;
+      opts.duration = seconds(secs);
+      opts.seed = 50 + s;
+      opts.price.kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
+      opts.price.rho = 0.3;  // per-byte price; LTE costs 3x (path_energy_cost)
+      opts.price.queue_delay_target = 80 * kMillisecond;
+      const auto r = run_wireless(opts);
+      marginal += r.marginal_joules_per_gigabyte;
+      total += r.joules_per_gigabyte;
+      goodput += to_mbps(r.goodput);
+      const double bytes = static_cast<double>(r.wifi_bytes + r.cell_bytes);
+      wifi_share += bytes > 0 ? 100.0 * static_cast<double>(r.wifi_bytes) / bytes : 0.0;
+    }
+    marginal /= seeds;
+    total /= seeds;
+    goodput /= seeds;
+    wifi_share /= seeds;
+    if (cc == "lia") lia_marginal = marginal;
+    const bool baseline = cc == "tcp-wifi" || cc == "tcp-cell";
+    table.add_row({cc, marginal,
+                   baseline ? 0.0 : (1.0 - marginal / lia_marginal) * 100.0, total,
+                   goodput, wifi_share});
+  }
+  table.print(std::cout);
+  bench::note("expected shape: dts/dts-ep cut marginal J/GB vs lia (paper: "
+              "up to 30%) while goodput dips — the energy/throughput tradeoff");
+  return 0;
+}

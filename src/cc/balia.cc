@@ -1,0 +1,30 @@
+#include "cc/balia.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void BaliaCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double x_r = rate_mss_per_sec(sf);
+  if (x_r <= 0) return;
+  const double total = total_rate(conn);
+  const double a = max_rate(conn) / x_r;
+  const double rtt = rtt_seconds(sf);
+  const double delta =
+      (x_r / rtt) / (total * total) * ((1.0 + a) / 2.0) * ((4.0 + a) / 5.0);
+  apply_increase(sf, delta, newly_acked);
+}
+
+void BaliaCc::on_loss(MptcpConnection& conn, Subflow& sf) {
+  const double x_r = rate_mss_per_sec(sf);
+  const double a = x_r > 0 ? max_rate(conn) / x_r : 1.0;
+  const double cut = 0.5 * std::min(a, 1.5);
+  const Bytes target =
+      std::max<Bytes>(static_cast<Bytes>(sf.cwnd() * (1.0 - cut)), 2 * sf.mss());
+  sf.set_ssthresh(target);
+  sf.set_cwnd(static_cast<double>(target + 3 * sf.mss()));
+}
+
+}  // namespace mpcc

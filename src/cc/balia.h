@@ -1,0 +1,23 @@
+// Balia — Balanced Linked Adaptation (Peng, Walid, Low; SIGMETRICS 2013).
+//
+// Designed to balance TCP-friendliness against responsiveness. With
+// x_r = w_r/RTT_r and a_r = max_k x_k / x_r:
+//
+//   per ACK:  dw_r = (x_r / RTT_r) / (sum_k x_k)^2 * ((1+a_r)/2) * ((4+a_r)/5)
+//   per loss: w_r -= (w_r / 2) * min(a_r, 3/2)
+//
+// Expanding the increase gives the paper's psi_r = 2/5 + a_r/2 + a_r^2/10.
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class BaliaCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "balia"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+  void on_loss(MptcpConnection& conn, Subflow& sf) override;
+};
+
+}  // namespace mpcc

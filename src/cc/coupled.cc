@@ -1,0 +1,24 @@
+#include "cc/coupled.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void CoupledCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double w_total = total_window(conn);
+  if (w_total <= 0) return;
+  apply_increase(sf, window_mss(sf) / (w_total * w_total), newly_acked);
+}
+
+void CoupledCc::on_loss(MptcpConnection& conn, Subflow& sf) {
+  // Remove half the total window from the lossy path.
+  const double w_total_bytes = total_window(conn) * static_cast<double>(sf.mss());
+  const Bytes target = std::max<Bytes>(
+      static_cast<Bytes>(sf.cwnd() - w_total_bytes / 2.0), 2 * sf.mss());
+  sf.set_ssthresh(target);
+  sf.set_cwnd(static_cast<double>(target + 3 * sf.mss()));
+}
+
+}  // namespace mpcc

@@ -1,0 +1,22 @@
+// Fully-coupled congestion control (Kelly & Voice 2005; Han et al. 2006).
+//
+// The bundle behaves as a single TCP across all subflows: per-ACK increase
+// dw_r = w_r / (sum_k w_k)^2 (the paper's psi decomposition) and a loss on
+// any path removes half of the *total* window from that path. Fully coupled
+// control flakes on RTT mismatch (all traffic flops to the lowest-drop
+// path), which is exactly why LIA/OLIA exist — kept as the theoretical
+// reference point.
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class CoupledCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "coupled"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+  void on_loss(MptcpConnection& conn, Subflow& sf) override;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,44 @@
+#include "cc/dts.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+double DtsCc::epsilon(const Subflow& sf) const {
+  const RttEstimator& est = sf.rtt();
+  if (!est.has_sample()) return 1.0;  // neutral until the first sample
+  switch (config_.mode) {
+    case EpsilonMode::kExact:
+      return core::dts_epsilon(static_cast<double>(est.base_rtt()),
+                               static_cast<double>(est.srtt()));
+    case EpsilonMode::kFixedPoint: {
+      // Kernel path: integer microseconds in, Q16.16 out.
+      const Fixed base = Fixed::from_int(est.base_rtt() / kMicrosecond);
+      const Fixed rtt = Fixed::from_int(est.srtt() / kMicrosecond);
+      return core::dts_epsilon_fixed(base, rtt).to_double();
+    }
+    case EpsilonMode::kTaylor3: {
+      const Fixed base = Fixed::from_int(est.base_rtt() / kMicrosecond);
+      const Fixed rtt = Fixed::from_int(est.srtt() / kMicrosecond);
+      return core::dts_epsilon_taylor3(base, rtt).to_double();
+    }
+  }
+  return 1.0;
+}
+
+double DtsCc::increase_delta(MptcpConnection& conn, Subflow& sf) const {
+  const double total = total_rate(conn);
+  if (total <= 0) return 0.0;
+  // LIA's coupled increase, scaled by the delay factor (Modified LIA).
+  const double coupled = max_w_over_rtt_sq(conn) / (total * total);
+  const double reno = 1.0 / window_mss(sf);
+  return config_.c * epsilon(sf) * std::min(coupled, reno);
+}
+
+void DtsCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  apply_increase(sf, increase_delta(conn, sf), newly_acked);
+}
+
+}  // namespace mpcc

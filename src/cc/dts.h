@@ -1,0 +1,62 @@
+// DTS — Delay-based Traffic Shifting: the paper's proposed algorithm
+// (Section V.B, Eq. 5, Algorithm 1; evaluated in Fig 8 as "Modified LIA").
+//
+// The delay factor eps_r = 2/(1+exp(-10(baseRTT_r/RTT_r - 1/2))) scales the
+// congestion-avoidance increase: a congesting path (RTT above baseRTT) sees
+// eps -> 0 and stops attracting traffic; a clean path (ratio -> 1) sees
+// eps -> ~2 and recovers it. With c = 1 and E[baseRTT/RTT] = 1/2,
+// E[psi] = 1 and Condition 1 (TCP-friendliness) holds.
+//
+// Faithful to the kernel artifact, the native DtsCc applies eps to *LIA's*
+// coupled increase ("Modified LIA"):
+//
+//   per ACK:  dw_r = c * eps_r * min( max_k(w_k/RTT_k^2) / (sum_k x_k)^2 ,
+//                                     1 / w_r )
+//   per loss: w_r /= 2                                   (beta = 1/2)
+//
+// LIA's coupled term is (to first order) window-independent, so a path
+// whose quality recovers re-inflates quickly — the pure fluid form
+// dw_r = eps_r w_r / (RTT_r^2 (sum x)^2) grows only quadratically in its
+// own (collapsed) window and can strand traffic; that form remains
+// available as `model:dts` (ModelCc) and is contrasted in
+// bench/ablation_model_vs_native.
+//
+// EpsilonMode selects the evaluation path for eps: exact double math, the
+// production Q16.16 fixed-point exp (kernel-faithful), or Algorithm 1's
+// literal 3-term Taylor expansion.
+#pragma once
+
+#include "cc/multipath_cc.h"
+#include "core/dts_factor.h"
+
+namespace mpcc {
+
+enum class EpsilonMode { kExact, kFixedPoint, kTaylor3 };
+
+struct DtsConfig {
+  /// The Pareto/TCP-friendliness constant c in psi_r = c * eps_r.
+  double c = 1.0;
+  EpsilonMode mode = EpsilonMode::kFixedPoint;
+};
+
+class DtsCc : public MultipathCc {
+ public:
+  explicit DtsCc(DtsConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "dts"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+
+  /// eps_r for a subflow under the configured evaluation mode.
+  double epsilon(const Subflow& sf) const;
+
+  /// The Modified-LIA per-ACK increase (MSS per MSS-sized ACK) before any
+  /// compensative term; shared with DtsEpCc.
+  double increase_delta(MptcpConnection& conn, Subflow& sf) const;
+
+  const DtsConfig& config() const { return config_; }
+
+ private:
+  DtsConfig config_;
+};
+
+}  // namespace mpcc

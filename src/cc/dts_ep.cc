@@ -1,0 +1,24 @@
+#include "cc/dts_ep.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+DtsEpCc::DtsEpCc(DtsConfig dts, core::EnergyPriceConfig price_config,
+                 std::unique_ptr<core::EnergyPriceSignal> signal)
+    : DtsCc(dts),
+      price_config_(price_config),
+      signal_(signal != nullptr
+                  ? std::move(signal)
+                  : std::make_unique<core::DelayPriceSignal>(price_config)) {}
+
+void DtsEpCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double increase = increase_delta(conn, sf);
+  const double price = signal_->price(sf);
+  const double divisor = 1.0 + price_config_.kappa * std::max(price, 0.0);
+  apply_increase(sf, increase / divisor, newly_acked);
+}
+
+}  // namespace mpcc

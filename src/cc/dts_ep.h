@@ -1,0 +1,45 @@
+// Extended DTS with the energy-proportional price (Section V.C, Eq. 9):
+//
+//   dx_r/dt = c eps_r x_r^2 / (RTT_r^2 (sum x)^2) - p_r x_r^2 / 2
+//             - kappa_s x_r^2 dU_ep/dx_r
+//
+// Eq. 9's literal reading is a per-ACK *decrement* of kappa * price * w_r;
+// that form is kept in the fluid model (core/fluid_model.h, where it is
+// exact). Running it per-ACK in a real window machine is unstable: the
+// drag scales with w and clamps every path to the floor instead of
+// differentiating them. The kernel-style implementation here therefore
+// applies the price as a divisor on the increase,
+//
+//   dw_r = increase_r / (1 + kappa * price_r),
+//
+// which steers the equilibrium the same way (a path's stationary window
+// solves increase = loss-decrease, so scaling the increase down by
+// (1+kappa p) lowers it monotonically in the price) while staying positive
+// and bounded. The price signal is pluggable (delay-inferred or
+// queue-oracle, see core/energy_price.h).
+#pragma once
+
+#include <memory>
+
+#include "cc/dts.h"
+#include "core/energy_price.h"
+
+namespace mpcc {
+
+class DtsEpCc final : public DtsCc {
+ public:
+  DtsEpCc(DtsConfig dts, core::EnergyPriceConfig price_config,
+          std::unique_ptr<core::EnergyPriceSignal> signal = nullptr);
+
+  const char* name() const override { return "dts-ep"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+
+  const core::EnergyPriceSignal& signal() const { return *signal_; }
+  double kappa() const { return price_config_.kappa; }
+
+ private:
+  core::EnergyPriceConfig price_config_;
+  std::unique_ptr<core::EnergyPriceSignal> signal_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,72 @@
+#include "cc/dwc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void DwcCc::on_subflow_added(MptcpConnection&, Subflow& sf) {
+  assert(sf.index() == state_.size());
+  PathState s;
+  s.group = static_cast<int>(sf.index());  // solo
+  state_.push_back(s);
+}
+
+void DwcCc::expire_stale_groups(SimTime now) {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    PathState& s = state_[i];
+    if (s.group != static_cast<int>(i) && s.grouped_at >= 0 &&
+        now - s.grouped_at > config_.group_expiry) {
+      s.group = static_cast<int>(i);  // lapse back to solo
+    }
+  }
+}
+
+void DwcCc::on_loss(MptcpConnection& conn, Subflow& sf) {
+  const SimTime now = conn.net().now();
+  PathState& mine = state_[sf.index()];
+  mine.last_loss = now;
+
+  // Correlated loss => shared bottleneck: adopt/merge groups.
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    if (k == sf.index()) continue;
+    PathState& other = state_[k];
+    if (other.last_loss >= 0 && now - other.last_loss <= config_.correlation_window) {
+      const int merged = std::min(mine.group, other.group);
+      mine.group = merged;
+      other.group = merged;
+      mine.grouped_at = now;
+      other.grouped_at = now;
+    }
+  }
+  MultipathCc::on_loss(conn, sf);  // beta = 1/2
+}
+
+void DwcCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  expire_stale_groups(conn.net().now());
+  const int group = state_[sf.index()].group;
+
+  // LIA's coupled increase restricted to the subflow's bottleneck group.
+  double total = 0.0;
+  double best = 0.0;
+  std::size_t members = 0;
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    if (state_[k].group != group) continue;
+    const Subflow& other = conn.subflow(k);
+    const double rtt = rtt_seconds(other);
+    total += rate_mss_per_sec(other);
+    best = std::max(best, window_mss(other) / (rtt * rtt));
+    ++members;
+  }
+  const double reno = 1.0 / window_mss(sf);
+  if (members <= 1 || total <= 0) {
+    apply_increase(sf, reno, newly_acked);  // solo: plain Reno
+    return;
+  }
+  const double coupled = best / (total * total);
+  apply_increase(sf, std::min(coupled, reno), newly_acked);
+}
+
+}  // namespace mpcc

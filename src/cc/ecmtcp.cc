@@ -1,0 +1,21 @@
+#include "cc/ecmtcp.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void EcMtcpCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double n = static_cast<double>(conn.num_subflows());
+  const double w_total = total_window(conn);
+  if (w_total <= 0) return;
+  double min_rtt = 1e30;
+  for (const Subflow* other : conn.subflows()) {
+    min_rtt = std::min(min_rtt, rtt_seconds(*other));
+  }
+  const double delta = (rtt_seconds(sf) / min_rtt) / (n * w_total);
+  apply_increase(sf, delta, newly_acked);
+}
+
+}  // namespace mpcc

@@ -1,0 +1,21 @@
+// ecMTCP — energy-aware coupled MPTCP (Le et al., IEEE Comm. Letters 2012).
+//
+// Shifts traffic toward lower-energy paths (ecMTCP uses the inverse loss
+// interval as its energy proxy). Implemented from the paper's Section IV
+// decomposition, psi_r = RTT_r^3 (sum x)^2 / (|s| min_k RTT_k w_r sum_k w_k),
+// which pushed through the fluid model yields the per-ACK increase
+//
+//   dw_r = (RTT_r / min_k RTT_k) / (|s| * sum_k w_k) .
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class EcMtcpCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "ecmtcp"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+};
+
+}  // namespace mpcc

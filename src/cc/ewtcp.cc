@@ -1,0 +1,14 @@
+#include "cc/ewtcp.h"
+
+#include <cmath>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void EwtcpCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double n = static_cast<double>(conn.num_subflows());
+  apply_increase(sf, 1.0 / (std::sqrt(n) * window_mss(sf)), newly_acked);
+}
+
+}  // namespace mpcc

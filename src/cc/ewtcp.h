@@ -1,0 +1,19 @@
+// EWTCP (Honda et al., PFLDNeT 2009): equally-weighted TCP.
+//
+// Each subflow runs Reno scaled by a = 1/sqrt(n) so that n subflows over a
+// shared bottleneck together take one TCP's share. Per-ACK increase
+// dw_r = 1 / (sqrt(n) * w_r) — the paper's psi_r = (sum x)^2/(x_r^2 sqrt n)
+// pushed through the fluid model.
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class EwtcpCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "ewtcp"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,18 @@
+#include "cc/lia.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void LiaCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const double total = total_rate(conn);
+  if (total <= 0) return;
+  // alpha / w_total simplifies to max_k(w_k/RTT_k^2) / (sum_k w_k/RTT_k)^2.
+  const double coupled = max_w_over_rtt_sq(conn) / (total * total);
+  const double reno = 1.0 / window_mss(sf);
+  apply_increase(sf, std::min(coupled, reno), newly_acked);
+}
+
+}  // namespace mpcc

@@ -1,0 +1,23 @@
+// LIA — Linked Increases Algorithm (RFC 6356; Wischik et al., NSDI 2011).
+//
+// The MPTCP kernel default. Per ACK on subflow r:
+//
+//   dw_r = min( alpha / w_total , 1 / w_r )
+//   alpha = w_total * max_k(w_k/RTT_k^2) / (sum_k w_k/RTT_k)^2
+//
+// The alpha term couples subflows so the bundle takes at most the best
+// path's TCP share; the min() caps aggressiveness at plain Reno. In the
+// paper's decomposition, psi_r = (max_k w_k/RTT_k^2) RTT_r^2 / w_r.
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class LiaCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "lia"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+};
+
+}  // namespace mpcc

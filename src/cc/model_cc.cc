@@ -1,0 +1,14 @@
+#include "cc/model_cc.h"
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void ModelCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const std::vector<core::PathState> states = path_states(conn);
+  const double psi_r = core::psi(alg_, states, sf.index(), dts_c_);
+  const double delta = core::per_ack_increase(psi_r, states, sf.index());
+  apply_increase(sf, delta, newly_acked);
+}
+
+}  // namespace mpcc

@@ -1,0 +1,37 @@
+// ModelCc: any algorithm, run generically from its psi decomposition.
+//
+// This is the paper's Section IV claim made executable: instead of each
+// algorithm's hand-written per-ACK rule, ModelCc snapshots the subflows,
+// evaluates the closed-form psi_r from core/psi.h, and applies the single
+// fluid-model step
+//
+//   dw_r = psi_r * w_r / (RTT_r^2 * (sum_k w_k/RTT_k)^2) .
+//
+// Tests assert that ModelCc(alg) and the native implementation of `alg`
+// reach the same equilibrium rates for the loss-based algorithms. (wVegas
+// is per-RTT/delay-driven; its psi form describes the same equilibrium but
+// not the same trajectory, so equivalence is only asserted at equilibrium.)
+#pragma once
+
+#include "cc/multipath_cc.h"
+#include "core/psi.h"
+
+namespace mpcc {
+
+class ModelCc final : public MultipathCc {
+ public:
+  explicit ModelCc(core::Algorithm alg, double dts_c = 1.0)
+      : alg_(alg), dts_c_(dts_c), name_("model:" + core::algorithm_name(alg)) {}
+
+  const char* name() const override { return name_.c_str(); }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+
+  core::Algorithm algorithm() const { return alg_; }
+
+ private:
+  core::Algorithm alg_;
+  double dts_c_;
+  std::string name_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,91 @@
+#include "cc/multipath_cc.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void MultipathCc::on_loss(MptcpConnection&, Subflow& sf) {
+  // Default decrease: beta = 1/2 on the subflow (Condition 1 compliant).
+  apply_half_decrease(sf);
+}
+
+void MultipathCc::on_timeout(MptcpConnection&, Subflow& sf) {
+  sf.set_ssthresh(std::max<Bytes>(sf.inflight() / 2, 2 * sf.mss()));
+}
+
+double window_mss(const Subflow& sf) {
+  return sf.cwnd() / static_cast<double>(sf.mss());
+}
+
+double rtt_seconds(const Subflow& sf) {
+  const RttEstimator& est = sf.rtt();
+  if (est.srtt() > 0) return to_seconds(est.srtt());
+  if (est.base_rtt() > 0) return to_seconds(est.base_rtt());
+  return 0.1;  // conservative pre-sample default
+}
+
+double base_rtt_seconds(const Subflow& sf) {
+  const RttEstimator& est = sf.rtt();
+  if (est.base_rtt() > 0) return to_seconds(est.base_rtt());
+  return rtt_seconds(sf);
+}
+
+double rate_mss_per_sec(const Subflow& sf) { return window_mss(sf) / rtt_seconds(sf); }
+
+double total_rate(const MptcpConnection& conn) {
+  double sum = 0.0;
+  for (const Subflow* sf : conn.subflows()) sum += rate_mss_per_sec(*sf);
+  return sum;
+}
+
+double total_window(const MptcpConnection& conn) {
+  double sum = 0.0;
+  for (const Subflow* sf : conn.subflows()) sum += window_mss(*sf);
+  return sum;
+}
+
+double max_rate(const MptcpConnection& conn) {
+  double best = 0.0;
+  for (const Subflow* sf : conn.subflows()) best = std::max(best, rate_mss_per_sec(*sf));
+  return best;
+}
+
+double max_w_over_rtt_sq(const MptcpConnection& conn) {
+  double best = 0.0;
+  for (const Subflow* sf : conn.subflows()) {
+    const double rtt = rtt_seconds(*sf);
+    best = std::max(best, window_mss(*sf) / (rtt * rtt));
+  }
+  return best;
+}
+
+void apply_increase(Subflow& sf, double delta_mss_per_ack, Bytes newly_acked) {
+  if (delta_mss_per_ack <= 0.0) return;
+  // Cap a single step at one mss per ACK: no CA algorithm is allowed to be
+  // more aggressive than slow start (the kernels clamp identically).
+  const double capped = std::min(delta_mss_per_ack, 1.0);
+  sf.set_cwnd(sf.cwnd() + capped * static_cast<double>(newly_acked));
+}
+
+void apply_half_decrease(Subflow& sf) {
+  const Bytes target = std::max<Bytes>(static_cast<Bytes>(sf.cwnd()) / 2, 2 * sf.mss());
+  sf.set_ssthresh(target);
+  sf.set_cwnd(static_cast<double>(target + 3 * sf.mss()));
+}
+
+std::vector<core::PathState> path_states(const MptcpConnection& conn) {
+  std::vector<core::PathState> states;
+  states.reserve(conn.num_subflows());
+  for (const Subflow* sf : conn.subflows()) {
+    core::PathState s;
+    s.w = window_mss(*sf);
+    s.rtt = rtt_seconds(*sf);
+    s.base_rtt = base_rtt_seconds(*sf);
+    states.push_back(s);
+  }
+  return states;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,103 @@
+// MultipathCc: the coupled congestion-control strategy of an MPTCP
+// connection.
+//
+// One MultipathCc instance is owned by one MptcpConnection and sees all of
+// its subflows, so it can couple their window evolutions — exactly the role
+// of the congestion-avoidance module in the MPTCP Linux kernel. The
+// interface maps onto the parameters of the paper's unified model (Eq. 3):
+//   - on_ca_increase  <->  the psi_r (traffic-shifting) increase term
+//   - on_loss         <->  the beta_r * lambda_r decrease term
+//   - on_ack          <->  bookkeeping + the phi_r compensative term
+//
+// All window math inside algorithms is done in MSS units with RTTs in
+// seconds (the natural units of the fluid model); helpers below convert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/psi.h"
+#include "util/units.h"
+
+namespace mpcc {
+
+class MptcpConnection;
+class Subflow;
+
+class MultipathCc {
+ public:
+  virtual ~MultipathCc() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once when the connection is assembled, before start.
+  virtual void attach(MptcpConnection& conn) { (void)conn; }
+
+  /// Called when a subflow is added (index = subflow.index()).
+  virtual void on_subflow_added(MptcpConnection& conn, Subflow& sf) {
+    (void)conn;
+    (void)sf;
+  }
+
+  /// Every cumulative-ACK advance on `sf` (any phase). For per-RTT
+  /// algorithms (wVegas) and the phi_r compensative term (extended DTS).
+  virtual void on_ack(MptcpConnection& conn, Subflow& sf, Bytes newly_acked,
+                      bool ecn_echo, SimTime rtt_sample) {
+    (void)conn;
+    (void)sf;
+    (void)newly_acked;
+    (void)ecn_echo;
+    (void)rtt_sample;
+  }
+
+  /// Congestion-avoidance increase after `newly_acked` new bytes on `sf`.
+  virtual void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) = 0;
+
+  /// Loss detected by fast retransmit on `sf`: set ssthresh and the
+  /// in-recovery cwnd. Default: TCP halving (beta = 1/2, Condition 1).
+  virtual void on_loss(MptcpConnection& conn, Subflow& sf);
+
+  /// RTO on `sf`: set ssthresh (cwnd goes to 1 mss in the machinery).
+  virtual void on_timeout(MptcpConnection& conn, Subflow& sf);
+};
+
+// ---- shared helpers for the algorithm implementations -------------------
+
+/// Subflow congestion window in MSS units.
+double window_mss(const Subflow& sf);
+
+/// Subflow smoothed RTT in seconds (falls back to the base RTT, then to a
+/// conservative 100 ms before any sample exists).
+double rtt_seconds(const Subflow& sf);
+
+/// Subflow minimum RTT (baseRTT_r) in seconds.
+double base_rtt_seconds(const Subflow& sf);
+
+/// Send rate x_r = w_r / RTT_r in MSS/second.
+double rate_mss_per_sec(const Subflow& sf);
+
+/// Sum over all *active* subflows of w_k / RTT_k (MSS/second).
+double total_rate(const MptcpConnection& conn);
+
+/// Sum over all active subflows of w_k (MSS).
+double total_window(const MptcpConnection& conn);
+
+/// max over k of x_k (MSS/second).
+double max_rate(const MptcpConnection& conn);
+
+/// max over k of w_k / RTT_k^2 (the LIA numerator).
+double max_w_over_rtt_sq(const MptcpConnection& conn);
+
+/// Applies an increase of `delta_mss_per_ack * newly_acked` bytes-equivalent
+/// to sf's cwnd (the per-ACK fluid-model step scaled to the bytes actually
+/// acknowledged by this ACK).
+void apply_increase(Subflow& sf, double delta_mss_per_ack, Bytes newly_acked);
+
+/// Standard halving decrease used by LIA/OLIA/DTS (beta = 1/2).
+void apply_half_decrease(Subflow& sf);
+
+/// Snapshot of all subflows as fluid-model PathStates (windows in MSS,
+/// RTTs in seconds), indexed by subflow index. Feeds core::psi.
+std::vector<core::PathState> path_states(const MptcpConnection& conn);
+
+}  // namespace mpcc

@@ -1,0 +1,87 @@
+#include "cc/olia.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void OliaCc::on_subflow_added(MptcpConnection&, Subflow& sf) {
+  assert(sf.index() == loss_state_.size());
+  loss_state_.emplace_back();
+}
+
+void OliaCc::on_ack(MptcpConnection&, Subflow& sf, Bytes newly_acked, bool, SimTime) {
+  loss_state_[sf.index()].since_last_loss += newly_acked;
+}
+
+Bytes OliaCc::loss_interval(std::size_t i) const {
+  const PathLossState& s = loss_state_[i];
+  return std::max(s.since_last_loss, s.between_last_two);
+}
+
+void OliaCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
+  const std::size_t n = conn.num_subflows();
+  const double total = total_rate(conn);
+  if (total <= 0) return;
+
+  // Determine M (max-window paths) and B (best paths by l_r^2 / RTT_r^2).
+  double max_w = 0.0;
+  double best_quality = -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Subflow& other = conn.subflow(k);
+    max_w = std::max(max_w, window_mss(other));
+    const double l = static_cast<double>(loss_interval(k)) /
+                     static_cast<double>(other.mss());
+    const double rtt = rtt_seconds(other);
+    best_quality = std::max(best_quality, l * l / (rtt * rtt));
+  }
+  auto in_M = [&](std::size_t k) {
+    return window_mss(conn.subflow(k)) >= max_w * (1.0 - 1e-9);
+  };
+  auto in_B = [&](std::size_t k) {
+    const Subflow& other = conn.subflow(k);
+    const double l = static_cast<double>(loss_interval(k)) /
+                     static_cast<double>(other.mss());
+    const double rtt = rtt_seconds(other);
+    return l * l / (rtt * rtt) >= best_quality * (1.0 - 1e-9);
+  };
+
+  std::size_t collected = 0;  // |B \ M|
+  std::size_t m_count = 0;    // |M|
+  for (std::size_t k = 0; k < n; ++k) {
+    if (in_M(k)) ++m_count;
+    if (in_B(k) && !in_M(k)) ++collected;
+  }
+
+  double alpha = 0.0;
+  const std::size_t r = sf.index();
+  if (collected > 0) {
+    if (in_B(r) && !in_M(r)) {
+      alpha = 1.0 / (static_cast<double>(n) * static_cast<double>(collected));
+    } else if (in_M(r)) {
+      alpha = -1.0 / (static_cast<double>(n) * static_cast<double>(m_count));
+    }
+  }
+
+  const double w = window_mss(sf);
+  const double rtt = rtt_seconds(sf);
+  const double delta = w / (rtt * rtt * total * total) + alpha / w;
+  if (delta >= 0) {
+    apply_increase(sf, delta, newly_acked);
+  } else {
+    // Negative alpha can shrink the max-window path's window (bounded).
+    const double shrink = std::min(-delta, 0.5 / w);
+    sf.set_cwnd(sf.cwnd() - shrink * static_cast<double>(newly_acked));
+  }
+}
+
+void OliaCc::on_loss(MptcpConnection& conn, Subflow& sf) {
+  PathLossState& s = loss_state_[sf.index()];
+  s.between_last_two = s.since_last_loss;
+  s.since_last_loss = 0;
+  MultipathCc::on_loss(conn, sf);  // beta = 1/2
+}
+
+}  // namespace mpcc

@@ -1,0 +1,42 @@
+// OLIA — Opportunistic Linked Increases Algorithm
+// (Khalili et al., CoNEXT 2012).
+//
+// Per ACK on subflow r:
+//
+//   dw_r = (w_r/RTT_r^2) / (sum_k w_k/RTT_k)^2  +  alpha_r / w_r
+//
+// where alpha_r moves window capacity from max-window paths toward the
+// "collected" paths (currently-best paths with small windows), estimated
+// through l_r — the smoothed number of bytes sent between the last two
+// losses. OLIA is Pareto-optimal (psi_r = 1 in the paper's decomposition)
+// and is the energy winner of the paper's Fig 6 experiment.
+#pragma once
+
+#include <vector>
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class OliaCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "olia"; }
+
+  void on_subflow_added(MptcpConnection& conn, Subflow& sf) override;
+  void on_ack(MptcpConnection& conn, Subflow& sf, Bytes newly_acked, bool ecn_echo,
+              SimTime rtt_sample) override;
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+  void on_loss(MptcpConnection& conn, Subflow& sf) override;
+
+  /// l_r in bytes: max(bytes since last loss, bytes between last two losses).
+  Bytes loss_interval(std::size_t subflow_index) const;
+
+ private:
+  struct PathLossState {
+    Bytes since_last_loss = 0;
+    Bytes between_last_two = 0;
+  };
+  std::vector<PathLossState> loss_state_;
+};
+
+}  // namespace mpcc

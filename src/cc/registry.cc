@@ -1,0 +1,58 @@
+#include "cc/registry.h"
+
+#include <stdexcept>
+
+#include "cc/balia.h"
+#include "cc/coupled.h"
+#include "cc/dts.h"
+#include "cc/dts_ep.h"
+#include "cc/dwc.h"
+#include "cc/ecmtcp.h"
+#include "cc/ewtcp.h"
+#include "cc/lia.h"
+#include "cc/model_cc.h"
+#include "cc/olia.h"
+#include "cc/uncoupled.h"
+#include "cc/wvegas.h"
+
+namespace mpcc {
+
+std::unique_ptr<MultipathCc> make_multipath_cc(const std::string& name,
+                                               const core::EnergyPriceConfig& price) {
+  if (name == "uncoupled") return std::make_unique<UncoupledCc>();
+  if (name == "ewtcp") return std::make_unique<EwtcpCc>();
+  if (name == "coupled") return std::make_unique<CoupledCc>();
+  if (name == "lia") return std::make_unique<LiaCc>();
+  if (name == "olia") return std::make_unique<OliaCc>();
+  if (name == "balia") return std::make_unique<BaliaCc>();
+  if (name == "ecmtcp") return std::make_unique<EcMtcpCc>();
+  if (name == "wvegas") return std::make_unique<WvegasCc>();
+  if (name == "dwc") return std::make_unique<DwcCc>();
+  if (name == "dts")
+    return std::make_unique<DtsCc>(DtsConfig{1.0, EpsilonMode::kFixedPoint});
+  if (name == "dts-exact")
+    return std::make_unique<DtsCc>(DtsConfig{1.0, EpsilonMode::kExact});
+  if (name == "dts-taylor")
+    return std::make_unique<DtsCc>(DtsConfig{1.0, EpsilonMode::kTaylor3});
+  if (name == "dts-ep")
+    return std::make_unique<DtsEpCc>(DtsConfig{1.0, EpsilonMode::kFixedPoint}, price);
+
+  if (name.rfind("model:", 0) == 0) {
+    const std::string inner = name.substr(6);
+    for (core::Algorithm alg :
+         {core::Algorithm::kEwtcp, core::Algorithm::kCoupled, core::Algorithm::kLia,
+          core::Algorithm::kOlia, core::Algorithm::kBalia, core::Algorithm::kEcMtcp,
+          core::Algorithm::kWvegas, core::Algorithm::kDts}) {
+      if (core::algorithm_name(alg) == inner) return std::make_unique<ModelCc>(alg);
+    }
+  }
+  throw std::invalid_argument("unknown multipath CC algorithm: " + name);
+}
+
+std::vector<std::string> multipath_cc_names() {
+  return {"uncoupled", "ewtcp",  "coupled",   "lia",        "olia",
+          "balia",     "ecmtcp", "wvegas",    "dwc",        "dts",
+          "dts-exact",  "dts-taylor", "dts-ep"};
+}
+
+}  // namespace mpcc

@@ -1,0 +1,26 @@
+// Algorithm registry: build any MultipathCc by name.
+//
+// Names accepted (the set the benches sweep over):
+//   uncoupled, ewtcp, coupled, lia, olia, balia, ecmtcp, wvegas,
+//   dts (fixed-point eps), dts-exact, dts-taylor, dts-ep,
+//   model:<alg>  — the generic psi-derived engine for any of the above.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/multipath_cc.h"
+#include "core/energy_price.h"
+
+namespace mpcc {
+
+/// Creates the algorithm registered under `name`; throws std::invalid_argument
+/// for unknown names. `price` configures dts-ep (ignored by others).
+std::unique_ptr<MultipathCc> make_multipath_cc(
+    const std::string& name, const core::EnergyPriceConfig& price = {});
+
+/// All registered native algorithm names.
+std::vector<std::string> multipath_cc_names();
+
+}  // namespace mpcc

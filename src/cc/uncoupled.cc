@@ -1,0 +1,11 @@
+#include "cc/uncoupled.h"
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void UncoupledCc::on_ca_increase(MptcpConnection&, Subflow& sf, Bytes newly_acked) {
+  apply_increase(sf, 1.0 / window_mss(sf), newly_acked);
+}
+
+}  // namespace mpcc

@@ -1,0 +1,18 @@
+// Uncoupled Reno: each subflow runs an independent TCP Reno.
+//
+// The "what if we just open n TCPs" baseline. Not TCP-friendly as a bundle
+// (n subflows over one bottleneck grab n TCPs' worth of bandwidth); included
+// because every coupled algorithm is evaluated against it.
+#pragma once
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+class UncoupledCc final : public MultipathCc {
+ public:
+  const char* name() const override { return "uncoupled"; }
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,58 @@
+#include "cc/wvegas.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+void WvegasCc::on_subflow_added(MptcpConnection& conn, Subflow& sf) {
+  assert(sf.index() == epochs_.size());
+  epochs_.emplace_back();
+  // Re-normalise equal initial weights.
+  const double w0 = 1.0 / static_cast<double>(conn.num_subflows());
+  for (auto& e : epochs_) e.weight = w0;
+}
+
+void WvegasCc::on_ack(MptcpConnection& conn, Subflow& sf, Bytes, bool, SimTime) {
+  EpochState& epoch = epochs_[sf.index()];
+  if (sf.last_acked() < epoch.epoch_end) return;
+  epoch.epoch_end = sf.highest_sent();
+  per_rtt_update(conn, sf);
+}
+
+void WvegasCc::per_rtt_update(MptcpConnection& conn, Subflow& sf) {
+  if (!sf.rtt().has_sample()) return;
+  EpochState& epoch = epochs_[sf.index()];
+
+  const double w = window_mss(sf);
+  const double rtt = rtt_seconds(sf);
+  const double base = base_rtt_seconds(sf);
+  const double diff = w * (1.0 - base / rtt);  // queued packets on this path
+
+  // Chase the achieved rate share (equalises per-packet queueing price).
+  const double total = total_rate(conn);
+  if (total > 0) {
+    const double share = rate_mss_per_sec(sf) / total;
+    epoch.weight = (1.0 - config_.weight_gain) * epoch.weight +
+                   config_.weight_gain * share;
+  }
+  const double alpha = std::max(config_.min_alpha, epoch.weight * config_.total_alpha);
+
+  const double mss = static_cast<double>(sf.mss());
+  if (diff < alpha) {
+    sf.set_cwnd(sf.cwnd() + mss);
+  } else if (diff > alpha) {
+    sf.set_cwnd(sf.cwnd() - mss);
+    // Exit slow start once we hold a backlog: Vegas-style early exit.
+    if (sf.in_slow_start()) sf.set_ssthresh(static_cast<Bytes>(sf.cwnd()));
+  }
+}
+
+void WvegasCc::on_ca_increase(MptcpConnection&, Subflow&, Bytes) {
+  // All window adjustment is per-RTT in on_ack; ACK-clocked additive
+  // increase is intentionally disabled (delta = 1 step size).
+}
+
+}  // namespace mpcc

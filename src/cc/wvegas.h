@@ -1,0 +1,54 @@
+// wVegas — weighted Vegas, delay-based MPTCP CC (Cao, Xu, Fu; ICNP 2012).
+//
+// The only algorithm in the set with step size delta = 1: windows adjust
+// once per RTT, driven by the Vegas backlog estimate
+//
+//   diff_r = w_r * (1 - baseRTT_r / RTT_r)     [packets queued in network]
+//
+// compared against a per-path target alpha_r = weight_r * total_alpha. The
+// weights chase each path's achieved rate share, which equalises queueing
+// delay (q_r = RTT_r - baseRTT_r) across paths — the paper's
+// psi_r = RTT_r^2 min_k(q_k) (sum x)^2 / (q_r x_r).
+#pragma once
+
+#include <vector>
+
+#include "cc/multipath_cc.h"
+
+namespace mpcc {
+
+struct WvegasConfig {
+  /// Total backlog target across subflows, in packets (Vegas' alpha).
+  double total_alpha = 10.0;
+  /// Minimum per-path target (packets).
+  double min_alpha = 2.0;
+  /// EWMA gain for the rate-share weights.
+  double weight_gain = 0.125;
+};
+
+class WvegasCc final : public MultipathCc {
+ public:
+  explicit WvegasCc(WvegasConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "wvegas"; }
+
+  void on_subflow_added(MptcpConnection& conn, Subflow& sf) override;
+  void on_ack(MptcpConnection& conn, Subflow& sf, Bytes newly_acked, bool ecn_echo,
+              SimTime rtt_sample) override;
+  void on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) override;
+
+  double weight(std::size_t subflow_index) const { return epochs_[subflow_index].weight; }
+
+ private:
+  struct EpochState {
+    std::int64_t epoch_end = 0;  // per-RTT update when last_acked passes this
+    double weight = 1.0;
+  };
+
+  void per_rtt_update(MptcpConnection& conn, Subflow& sf);
+
+  WvegasConfig config_;
+  std::vector<EpochState> epochs_;
+};
+
+}  // namespace mpcc

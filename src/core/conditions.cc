@@ -1,0 +1,73 @@
+#include "core/conditions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcc::core {
+
+Condition1Result check_condition1(Algorithm alg, const std::vector<PathState>& states,
+                                  const std::vector<double>& lambda, double dts_c,
+                                  double tolerance) {
+  Condition1Result result;
+  double best_rate = -1.0;
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    const double x = path_rate(states[r]);
+    if (x > best_rate) {
+      best_rate = x;
+      result.best_path = r;
+    }
+  }
+  const std::size_t h = result.best_path;
+  result.psi_best = psi(alg, states, h, dts_c);
+  result.satisfied = result.psi_best <= 1.0 + tolerance;
+  if (h < lambda.size() && lambda[h] > 0 && states[h].rtt > 0) {
+    result.mptcp_throughput =
+        std::sqrt(2.0 * result.psi_best / lambda[h]) / states[h].rtt;
+    result.tcp_bound = std::sqrt(2.0 / lambda[h]) / states[h].rtt;
+  }
+  return result;
+}
+
+ParetoProbeResult pareto_probe(const FluidModel& model, double slack_tolerance) {
+  const FluidState x = model.equilibrium();
+  const std::vector<double> loads = model.link_loads(x);
+  const FluidNetwork& net = model.network();
+
+  // The congestion level the algorithm itself tolerates at equilibrium.
+  double max_util = 0.0;
+  for (std::size_t l = 0; l < net.links.size(); ++l) {
+    max_util = std::max(max_util, loads[l] / net.links[l].capacity);
+  }
+
+  ParetoProbeResult result;
+  const std::vector<double> user_rates = model.user_rates(x);
+
+  double worst_relative_gain = 0.0;
+  for (std::size_t u = 0; u < net.users.size(); ++u) {
+    // Spare headroom on every link at the tolerated congestion level.
+    std::vector<double> slack(net.links.size());
+    for (std::size_t l = 0; l < net.links.size(); ++l) {
+      slack[l] = std::max(0.0, max_util * net.links[l].capacity - loads[l]);
+    }
+    // Greedy: how much extra rate could user u push through its own paths
+    // using only that headroom (other users untouched)?
+    double gain = 0.0;
+    for (const FluidPath& path : net.users[u].paths) {
+      double d = 1e30;
+      for (std::size_t l : path.links) d = std::min(d, slack[l]);
+      if (d >= 1e30 || d <= 0) continue;
+      gain += d;
+      for (std::size_t l : path.links) slack[l] -= d;
+    }
+    const double relative = gain / std::max(user_rates[u], 1e-9);
+    if (relative > worst_relative_gain) {
+      worst_relative_gain = relative;
+      result.best_unilateral_gain = gain;
+      result.gaining_user = u;
+    }
+  }
+  result.pareto_optimal = worst_relative_gain < slack_tolerance;
+  return result;
+}
+
+}  // namespace mpcc::core

@@ -1,0 +1,48 @@
+// Machine-checkable forms of the paper's two design conditions
+// (Section V.A).
+//
+// Condition 1 (TCP-friendliness): at equilibrium, on the best path h
+// (h = argmax_k x_k*), psi_h(x*) <= 1 with beta_h = 1/2 and phi_h = 0.
+// Then the aggregate MPTCP throughput sqrt(2 psi_h / lambda_h)/RTT_h is at
+// most what a regular TCP would get on the best path, sqrt(2/lambda_h)/RTT_h.
+//
+// Condition 2 (Pareto-optimality): the increase term derives from a concave
+// utility. We verify it operationally with a *Pareto probe*: at the fluid
+// equilibrium, search for a reallocation of one user's own rates that
+// increases that user's total rate without raising any link's load — if one
+// exists, capacity is being wasted and the allocation is not Pareto-optimal
+// (this is exactly the LIA pathology Khalili et al. identified).
+#pragma once
+
+#include "core/fluid_model.h"
+#include "core/psi.h"
+
+namespace mpcc::core {
+
+struct Condition1Result {
+  std::size_t best_path = 0;   ///< h = argmax_k x_k
+  double psi_best = 0;         ///< psi_h(x*)
+  bool satisfied = false;      ///< psi_h <= 1 (+ tolerance)
+  double mptcp_throughput = 0; ///< sqrt(2 psi_h/lambda_h)/RTT_h
+  double tcp_bound = 0;        ///< sqrt(2/lambda_h)/RTT_h
+};
+
+/// Evaluates Condition 1 for `alg` at the given equilibrium path states,
+/// with per-path loss rates `lambda`.
+Condition1Result check_condition1(Algorithm alg, const std::vector<PathState>& states,
+                                  const std::vector<double>& lambda,
+                                  double dts_c = 1.0, double tolerance = 1e-6);
+
+struct ParetoProbeResult {
+  /// Largest rate gain (MSS/s) any single user could obtain by reshuffling
+  /// its own traffic without raising any link load. ~0 => Pareto-optimal.
+  double best_unilateral_gain = 0;
+  std::size_t gaining_user = 0;
+  bool pareto_optimal = false;
+};
+
+/// Runs the fluid model to equilibrium and probes Pareto-optimality.
+/// `slack_tolerance` is the relative gain below which we call it optimal.
+ParetoProbeResult pareto_probe(const FluidModel& model, double slack_tolerance = 0.05);
+
+}  // namespace mpcc::core

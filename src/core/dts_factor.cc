@@ -1,0 +1,45 @@
+#include "core/dts_factor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcc::core {
+
+double dts_epsilon_from_ratio(double ratio) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  return 2.0 / (1.0 + std::exp(-10.0 * (ratio - 0.5)));
+}
+
+double dts_epsilon(double base_rtt, double rtt) {
+  if (rtt <= 0.0) return 1.0;  // no sample yet: neutral factor
+  return dts_epsilon_from_ratio(base_rtt / rtt);
+}
+
+namespace {
+
+/// ratio = base/rtt clamped to [0, 1] in Q16.16; u = 10*ratio - 5.
+Fixed logistic_argument(Fixed base_rtt, Fixed rtt) {
+  if (rtt.raw() <= 0) return Fixed::from_int(5);  // neutral: u for ratio=1 is +5
+  Fixed ratio = base_rtt / rtt;
+  ratio = std::clamp(ratio, Fixed::from_int(0), kFixedOne);
+  return Fixed::from_int(10) * ratio - Fixed::from_int(5);
+}
+
+/// eps = 2*e^u / (1 + e^u), given e^u.
+Fixed epsilon_from_exp(Fixed exp_u) {
+  return (kFixedTwo * exp_u) / (kFixedOne + exp_u);
+}
+
+}  // namespace
+
+Fixed dts_epsilon_fixed(Fixed base_rtt, Fixed rtt) {
+  const Fixed u = logistic_argument(base_rtt, rtt);
+  return epsilon_from_exp(fixed_exp(u));
+}
+
+Fixed dts_epsilon_taylor3(Fixed base_rtt, Fixed rtt) {
+  const Fixed u = logistic_argument(base_rtt, rtt);
+  return epsilon_from_exp(fixed_exp_taylor3(u));
+}
+
+}  // namespace mpcc::core

@@ -1,0 +1,38 @@
+// The DTS (Delay-based Traffic Shifting) factor — Eq. 5 of the paper:
+//
+//   eps_r = 2 / (1 + exp(-10 * (baseRTT_r / RTT_r - 1/2)))
+//
+// eps_r is a logistic function of the path-quality ratio baseRTT_r/RTT_r in
+// (0, 1]: a freshly-congested path (ratio small) gets eps -> ~0 and stops
+// attracting traffic; an uncongested path (ratio -> 1) gets eps -> ~2.
+// Because E[baseRTT/RTT] ~= 1/2 under the paper's assumption, E[eps] ~= 1
+// and Condition 1 (TCP-friendliness) holds with c = 1.
+//
+// Three evaluation paths:
+//   - dts_epsilon:            double precision (reference)
+//   - dts_epsilon_fixed:      Q16.16 with an accurate shift-based exp
+//                             (the production in-kernel path)
+//   - dts_epsilon_taylor3:    Algorithm 1's literal 3-term Taylor exp
+//                             (kept for the fidelity ablation)
+#pragma once
+
+#include "util/fixed_point.h"
+
+namespace mpcc::core {
+
+/// Exact Eq. 5. `base_rtt` and `rtt` in any common unit; rtt must be > 0.
+double dts_epsilon(double base_rtt, double rtt);
+
+/// Eq. 5 on the logistic argument directly: eps(ratio) with
+/// ratio = baseRTT/RTT clamped into [0, 1].
+double dts_epsilon_from_ratio(double ratio);
+
+/// Kernel fixed-point evaluation via fixed_exp (Q16.16 in/out).
+Fixed dts_epsilon_fixed(Fixed base_rtt, Fixed rtt);
+
+/// Algorithm 1's 3-term Taylor evaluation (Q16.16 in/out). Diverges from
+/// the exact sigmoid for ratios far from 1/2 — quantified in
+/// bench/ablation_fixed_point.
+Fixed dts_epsilon_taylor3(Fixed base_rtt, Fixed rtt);
+
+}  // namespace mpcc::core

@@ -1,0 +1,56 @@
+#include "core/energy_price.h"
+
+#include <algorithm>
+
+#include "mptcp/connection.h"
+#include "mptcp/subflow.h"
+
+namespace mpcc::core {
+
+namespace {
+SimTime queueing_delay(const Subflow& sf) {
+  const RttEstimator& est = sf.rtt();
+  return est.has_sample() ? est.srtt() - est.base_rtt() : 0;
+}
+}  // namespace
+
+double DelayPriceSignal::price(const Subflow& sf) const {
+  const int hops = sf.inter_switch_hops();
+  if (hops <= 0) return 0.0;
+  double excess = 0.0;
+  if (sf.rtt().has_sample()) {
+    // Queueing delay relative to the connection's least-queued subflow:
+    // the shared host-NIC component cancels, leaving the fabric signal.
+    SimTime min_q = kSimTimeMax;
+    for (const Subflow* other : sf.connection().subflows()) {
+      if (other->rtt().has_sample()) min_q = std::min(min_q, queueing_delay(*other));
+    }
+    if (min_q == kSimTimeMax) min_q = 0;
+    if (queueing_delay(sf) - min_q > config_.queue_delay_target) excess = config_.eta;
+  }
+  return static_cast<double>(hops) * excess + config_.rho * sf.path_energy_cost();
+}
+
+double OraclePriceSignal::price(const Subflow& sf) const {
+  double total = config_.rho * sf.path_energy_cost();
+  for (const Queue* q : sf.path_queues()) {
+    if (q->queued_bytes() > config_.queue_byte_target) total += config_.eta;
+  }
+  return total;
+}
+
+double u_ep(const std::vector<const Queue*>& inter_switch_queues,
+            const EnergyPriceConfig& config, SimTime interval) {
+  double queue_term = 0.0;
+  double traffic_term = 0.0;
+  for (const Queue* q : inter_switch_queues) {
+    const Bytes over = q->queued_bytes() - config.queue_byte_target;
+    if (over > 0) queue_term += static_cast<double>(over);
+    if (interval > 0) {
+      traffic_term += static_cast<double>(q->bytes_forwarded()) / to_seconds(interval);
+    }
+  }
+  return queue_term + config.rho * traffic_term;
+}
+
+}  // namespace mpcc::core

@@ -1,0 +1,86 @@
+// The energy-proportional price of Section V.C (Eq. 6-9).
+//
+// The utility U_ep = sum_{l' in L'} (Q_{l'} - Q)^+ + rho * sum_{l'} y_{l'}
+// charges each *inter-switch* link (the L' set: aggregation/core links of a
+// hierarchical fabric) for queue build-up beyond a target Q plus an energy
+// cost rho per unit traffic. The compensative parameter becomes
+//
+//   phi_r(x_s) = kappa_s * x_r^2 * dU_ep/dx_r                     (Eq. 9)
+//
+// which translates to a per-ACK window decrement of kappa * price * w_r
+// (substituting x_r = w_r/RTT_r into the per-ACK step of Eq. 3).
+//
+// dU_ep/dx_r is the per-path price. Two signal providers:
+//  - DelayPriceSignal: endpoint-implementable; infers inter-switch queue
+//    build-up from the subflow's queueing delay (srtt - baseRTT) *relative
+//    to the least-queued subflow of the same connection*. The relative form
+//    cancels the queueing every subflow shares at the sender's own NIC —
+//    an absolute threshold would misread host-queue delay as fabric
+//    congestion and throttle all paths uniformly. This is what a kernel
+//    module can compute from its own socket state.
+//  - OraclePriceSignal: reads the simulated inter-switch queues directly
+//    (what a centralised controller could know). Used to validate the
+//    delay-based estimate.
+#pragma once
+
+#include <vector>
+
+#include "net/queue.h"
+#include "util/units.h"
+
+namespace mpcc {
+class Subflow;
+}
+
+namespace mpcc::core {
+
+struct EnergyPriceConfig {
+  /// kappa_s: weight of the price in the window evolution.
+  double kappa = 0.5;
+  /// rho: bottleneck energy cost per unit traffic (dimensionless here).
+  double rho = 0.005;
+  /// eta: weight of the queue-excess indicator term.
+  double eta = 1.0;
+  /// Q expressed as a per-path queueing-delay target (delay signal).
+  SimTime queue_delay_target = 20 * kMillisecond;
+  /// Q expressed in queued bytes per link (oracle signal).
+  Bytes queue_byte_target = 30'000;
+};
+
+class EnergyPriceSignal {
+ public:
+  virtual ~EnergyPriceSignal() = default;
+  /// Estimate of dU_ep/dx_r for the subflow's path.
+  virtual double price(const Subflow& sf) const = 0;
+  virtual const char* name() const = 0;
+};
+
+class DelayPriceSignal final : public EnergyPriceSignal {
+ public:
+  explicit DelayPriceSignal(EnergyPriceConfig config) : config_(config) {}
+  double price(const Subflow& sf) const override;
+  const char* name() const override { return "delay"; }
+
+ private:
+  EnergyPriceConfig config_;
+};
+
+class OraclePriceSignal final : public EnergyPriceSignal {
+ public:
+  explicit OraclePriceSignal(EnergyPriceConfig config) : config_(config) {}
+  /// Uses Subflow::path_queues(), which topology builders populate with the
+  /// inter-switch queues (L') along the path.
+  double price(const Subflow& sf) const override;
+  const char* name() const override { return "oracle"; }
+
+ private:
+  EnergyPriceConfig config_;
+};
+
+/// Evaluates U_ep itself over a set of inter-switch queues, for reporting:
+/// occupancy excess (bytes over target) plus rho * bytes forwarded per
+/// second (`interval` scales the traffic term).
+double u_ep(const std::vector<const Queue*>& inter_switch_queues,
+            const EnergyPriceConfig& config, SimTime interval);
+
+}  // namespace mpcc::core

@@ -1,0 +1,147 @@
+#include "core/psi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/dts_factor.h"
+
+namespace mpcc::core {
+
+namespace {
+constexpr double kTiny = 1e-12;
+}
+
+std::string algorithm_name(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::kEwtcp:
+      return "ewtcp";
+    case Algorithm::kCoupled:
+      return "coupled";
+    case Algorithm::kLia:
+      return "lia";
+    case Algorithm::kOlia:
+      return "olia";
+    case Algorithm::kBalia:
+      return "balia";
+    case Algorithm::kEcMtcp:
+      return "ecmtcp";
+    case Algorithm::kWvegas:
+      return "wvegas";
+    case Algorithm::kDts:
+      return "dts";
+  }
+  return "unknown";
+}
+
+double path_rate(const PathState& p) { return p.rtt > kTiny ? p.w / p.rtt : 0.0; }
+
+double sum_rates(const std::vector<PathState>& paths) {
+  double sum = 0.0;
+  for (const PathState& p : paths) sum += path_rate(p);
+  return sum;
+}
+
+double psi_ewtcp(const std::vector<PathState>& paths, std::size_t r) {
+  const double x_r = path_rate(paths[r]);
+  if (x_r < kTiny) return 0.0;
+  const double total = sum_rates(paths);
+  return total * total / (x_r * x_r * std::sqrt(static_cast<double>(paths.size())));
+}
+
+double psi_coupled(const std::vector<PathState>& paths, std::size_t r) {
+  double w_total = 0.0;
+  for (const PathState& p : paths) w_total += p.w;
+  if (w_total < kTiny) return 0.0;
+  const double total = sum_rates(paths);
+  const double rtt = paths[r].rtt;
+  return rtt * rtt * total * total / (w_total * w_total);
+}
+
+double psi_lia(const std::vector<PathState>& paths, std::size_t r) {
+  double best = 0.0;
+  for (const PathState& p : paths) {
+    if (p.rtt > kTiny) best = std::max(best, p.w / (p.rtt * p.rtt));
+  }
+  const PathState& pr = paths[r];
+  if (pr.w < kTiny) return 0.0;
+  return best * pr.rtt * pr.rtt / pr.w;
+}
+
+double psi_olia(const std::vector<PathState>&, std::size_t) { return 1.0; }
+
+double psi_balia(const std::vector<PathState>& paths, std::size_t r) {
+  const double x_r = path_rate(paths[r]);
+  if (x_r < kTiny) return 0.0;
+  double x_max = 0.0;
+  for (const PathState& p : paths) x_max = std::max(x_max, path_rate(p));
+  const double a = x_max / x_r;
+  return 0.4 + 0.5 * a + 0.1 * a * a;
+}
+
+double psi_ecmtcp(const std::vector<PathState>& paths, std::size_t r) {
+  double w_total = 0.0;
+  double min_rtt = 1e30;
+  for (const PathState& p : paths) {
+    w_total += p.w;
+    if (p.rtt > kTiny) min_rtt = std::min(min_rtt, p.rtt);
+  }
+  const PathState& pr = paths[r];
+  if (pr.w < kTiny || w_total < kTiny || min_rtt >= 1e30) return 0.0;
+  const double total = sum_rates(paths);
+  const double n = static_cast<double>(paths.size());
+  return pr.rtt * pr.rtt * pr.rtt * total * total / (n * min_rtt * pr.w * w_total);
+}
+
+double psi_wvegas(const std::vector<PathState>& paths, std::size_t r) {
+  // q_r = RTT_r - baseRTT_r, the queueing-delay path price. A path with no
+  // queueing yet has q -> 0; clamp so the ratio stays finite (the discrete
+  // wVegas algorithm never divides by a zero diff either).
+  auto q = [](const PathState& p) { return std::max(p.rtt - p.base_rtt, 1e-6); };
+  double min_q = 1e30;
+  for (const PathState& p : paths) min_q = std::min(min_q, q(p));
+  const PathState& pr = paths[r];
+  const double x_r = path_rate(pr);
+  if (x_r < kTiny) return 0.0;
+  const double total = sum_rates(paths);
+  return pr.rtt * pr.rtt * min_q * total * total / (q(pr) * x_r);
+}
+
+double psi_dts(const std::vector<PathState>& paths, std::size_t r, double c) {
+  const PathState& pr = paths[r];
+  return c * dts_epsilon(pr.base_rtt, pr.rtt);
+}
+
+double psi(Algorithm alg, const std::vector<PathState>& paths, std::size_t r, double c) {
+  assert(r < paths.size());
+  switch (alg) {
+    case Algorithm::kEwtcp:
+      return psi_ewtcp(paths, r);
+    case Algorithm::kCoupled:
+      return psi_coupled(paths, r);
+    case Algorithm::kLia:
+      return psi_lia(paths, r);
+    case Algorithm::kOlia:
+      return psi_olia(paths, r);
+    case Algorithm::kBalia:
+      return psi_balia(paths, r);
+    case Algorithm::kEcMtcp:
+      return psi_ecmtcp(paths, r);
+    case Algorithm::kWvegas:
+      return psi_wvegas(paths, r);
+    case Algorithm::kDts:
+      return psi_dts(paths, r, c);
+  }
+  return 0.0;
+}
+
+double per_ack_increase(double psi_r, const std::vector<PathState>& paths,
+                        std::size_t r) {
+  const double total = sum_rates(paths);
+  if (total < kTiny) return 0.0;
+  const PathState& pr = paths[r];
+  if (pr.rtt < kTiny) return 0.0;
+  return psi_r * pr.w / (pr.rtt * pr.rtt * total * total);
+}
+
+}  // namespace mpcc::core

@@ -1,0 +1,84 @@
+// The paper's Section IV decomposition: every multipath congestion control
+// algorithm is characterised by its traffic-shifting parameter psi_r(x_s)
+// in the unified fluid model (Eq. 3)
+//
+//   dx_r/dt = psi_r x_r^2 / (RTT_r^2 (sum_k x_k)^2)
+//             - beta_r lambda_r x_r^2 - phi_r .
+//
+// This header provides the closed forms the paper lists for EWTCP, Coupled,
+// LIA, OLIA, Balia, ecMTCP, wVegas and the proposed DTS, both for analysis
+// (condition checking, fluid simulation) and for the generic ModelCc that
+// runs any algorithm directly from its psi.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcc::core {
+
+/// Snapshot of one path's congestion state, in fluid-model units:
+/// windows in MSS, times in seconds.
+struct PathState {
+  double w = 0;         ///< congestion window w_r (MSS)
+  double rtt = 0;       ///< round-trip time RTT_r (seconds)
+  double base_rtt = 0;  ///< minimum observed RTT, baseRTT_r (seconds)
+};
+
+enum class Algorithm {
+  kEwtcp,
+  kCoupled,
+  kLia,
+  kOlia,
+  kBalia,
+  kEcMtcp,
+  kWvegas,
+  kDts,
+};
+
+/// Human-readable algorithm name ("lia", "olia", ...).
+std::string algorithm_name(Algorithm alg);
+
+/// Send rate x_r = w_r / RTT_r of path r (MSS/s).
+double path_rate(const PathState& p);
+
+/// sum_k x_k over all paths (MSS/s).
+double sum_rates(const std::vector<PathState>& paths);
+
+// --- closed-form psi_r for each algorithm (Section IV) --------------------
+
+/// EWTCP: psi_r = (sum_k x_k)^2 / (x_r^2 sqrt(|s|)).
+double psi_ewtcp(const std::vector<PathState>& paths, std::size_t r);
+
+/// Coupled: psi_r = RTT_r^2 (sum_k x_k)^2 / (sum_k w_k)^2.
+double psi_coupled(const std::vector<PathState>& paths, std::size_t r);
+
+/// LIA: psi_r = (max_k w_k/RTT_k^2) * RTT_r^2 / w_r.
+double psi_lia(const std::vector<PathState>& paths, std::size_t r);
+
+/// OLIA: psi_r = 1.
+double psi_olia(const std::vector<PathState>& paths, std::size_t r);
+
+/// Balia: psi_r = 2/5 + (1/2) a_r + (1/10) a_r^2 with a_r = max_k x_k / x_r.
+double psi_balia(const std::vector<PathState>& paths, std::size_t r);
+
+/// ecMTCP: psi_r = RTT_r^3 (sum_k x_k)^2 / (|s| min_k RTT_k * w_r * sum_k w_k).
+double psi_ecmtcp(const std::vector<PathState>& paths, std::size_t r);
+
+/// wVegas: psi_r = RTT_r^2 (min_k q_k) (sum_k x_k)^2 / (q_r x_r), with
+/// q_r = RTT_r - baseRTT_r (the delay-based path price).
+double psi_wvegas(const std::vector<PathState>& paths, std::size_t r);
+
+/// DTS (the paper's proposal): psi_r = c * eps_r with eps_r from Eq. 5.
+double psi_dts(const std::vector<PathState>& paths, std::size_t r, double c = 1.0);
+
+/// Dispatcher over the enum (c only affects kDts).
+double psi(Algorithm alg, const std::vector<PathState>& paths, std::size_t r,
+           double c = 1.0);
+
+/// The per-ACK congestion-avoidance window increment (in MSS per MSS-sized
+/// ACK) that Eq. 3 induces:
+///   dw_r = psi_r * w_r / (RTT_r^2 * (sum_k w_k/RTT_k)^2) .
+/// This is the single formula through which ModelCc runs every algorithm.
+double per_ack_increase(double psi_r, const std::vector<PathState>& paths, std::size_t r);
+
+}  // namespace mpcc::core

@@ -1,0 +1,73 @@
+#include "core/responsiveness.h"
+
+#include <cmath>
+
+namespace mpcc::core {
+
+namespace {
+
+FluidNetwork two_path_network(double cap0, double cap1, double prop_rtt) {
+  FluidNetwork net;
+  net.links = {{cap0}, {cap1}};
+  FluidUser user;
+  user.paths = {{{0}, prop_rtt}, {{1}, prop_rtt}};
+  net.users = {user};
+  return net;
+}
+
+double total_rate(const FluidModel& model, const FluidState& x) {
+  return model.user_rates(x)[0];
+}
+
+}  // namespace
+
+ResponsivenessResult measure_responsiveness(Algorithm alg,
+                                            ResponsivenessConfig config) {
+  ResponsivenessResult result;
+
+  // Pre-step equilibrium on symmetric paths.
+  FluidModel before(two_path_network(config.capacity, config.capacity,
+                                     config.prop_rtt),
+                    alg, config.dts_c);
+  FluidState state = before.equilibrium();
+  result.rate_before = total_rate(before, state);
+
+  // Friendliness index: psi on the (tied) best path at this equilibrium.
+  {
+    const auto loads = before.link_loads(state);
+    std::vector<PathState> ps(2);
+    for (std::size_t p = 0; p < 2; ++p) {
+      ps[p].rtt = before.path_rtt(0, p, loads);
+      ps[p].base_rtt = config.prop_rtt;
+      ps[p].w = state[0][p] * ps[p].rtt;
+    }
+    result.psi_index = psi(alg, ps, 0, config.dts_c);
+  }
+
+  // The step: link 0 loses (1 - step_factor) of its capacity.
+  FluidModel after(two_path_network(config.capacity * config.step_factor,
+                                    config.capacity, config.prop_rtt),
+                   alg, config.dts_c);
+  const FluidState target_state = after.equilibrium();
+  result.rate_after = total_rate(after, target_state);
+
+  // Integrate from the old state under the new network, tracking settling.
+  const double dt = 0.01;
+  const double check = 0.25;  // seconds between band checks
+  double last_outside = 0;
+  for (double t = 0; t < config.horizon_s; t += check) {
+    state = after.integrate(std::move(state), dt, check);
+    const double rate = total_rate(after, state);
+    const double rel = std::fabs(rate - result.rate_after) /
+                       std::max(result.rate_after, 1e-9);
+    if (rel > result.overshoot && t > 0) {
+      // Excursions beyond the new equilibrium (both directions count).
+      result.overshoot = rel;
+    }
+    if (rel > config.band) last_outside = t + check;
+  }
+  result.settle_time_s = last_outside;
+  return result;
+}
+
+}  // namespace mpcc::core

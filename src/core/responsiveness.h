@@ -1,0 +1,49 @@
+// Responsiveness analysis (Section V.A: "there is, however, a tradeoff
+// between TCP-friendliness and responsiveness").
+//
+// Responsiveness is measured in the fluid model as the settling time after
+// a capacity step: run a two-path network to equilibrium, then *grow* one
+// link's capacity and time how long the total rate takes to enter (and stay
+// within) a band around the new equilibrium. The upward direction is the
+// discriminating one — downward adjustments are loss-driven and fast for
+// every algorithm, while reclaiming freed capacity is limited by the
+// increase term psi shapes. Together with psi_h at the
+// symmetric equilibrium (the TCP-friendliness index of Condition 1), this
+// makes the paper's tradeoff plot-able: aggressive algorithms (high psi)
+// settle fast but exceed a TCP share; conservative ones are friendly but
+// slow to reclaim capacity.
+#pragma once
+
+#include "core/fluid_model.h"
+#include "core/psi.h"
+
+namespace mpcc::core {
+
+struct ResponsivenessResult {
+  /// Seconds from the capacity step until the user's total rate stays
+  /// within `band` of the new equilibrium.
+  double settle_time_s = 0;
+  /// Largest relative excursion beyond the new equilibrium after the step.
+  double overshoot = 0;
+  /// Total rate before the step and at the new equilibrium (MSS/s).
+  double rate_before = 0;
+  double rate_after = 0;
+  /// psi on the best path at the pre-step equilibrium — the Condition-1
+  /// friendliness index (<= 1 means TCP-friendly).
+  double psi_index = 0;
+};
+
+struct ResponsivenessConfig {
+  double capacity = 1000.0;      ///< per-link capacity before the step (MSS/s)
+  double step_factor = 4.0;      ///< link-0 capacity multiplier at the step
+  double prop_rtt = 0.05;        ///< propagation RTT of both paths (s)
+  double band = 0.05;            ///< settle band around the new equilibrium
+  double horizon_s = 300.0;      ///< give-up time
+  double dts_c = 1.0;
+};
+
+/// Runs the capacity-step experiment for `alg` in the fluid model.
+ResponsivenessResult measure_responsiveness(Algorithm alg,
+                                            ResponsivenessConfig config = {});
+
+}  // namespace mpcc::core

@@ -1,0 +1,37 @@
+#include "energy/cpu_power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcc {
+
+double WiredCpuPower::power_watts(const HostActivity& a) const {
+  const WiredCpuPowerConfig& c = config_;
+  double p = c.idle_watts;
+  p += c.per_subflow_watts * std::max(a.active_subflows, 0);
+  const double effective =
+      a.throughput + c.retransmit_multiplier * a.retransmit_throughput;
+  if (effective > 0) {
+    const double norm = effective / c.tput_ref;
+    double rate_term = c.rate_coeff_watts * std::pow(norm, c.exponent);
+    const double rtt_factor =
+        1.0 + c.rtt_coeff * std::max(0.0, a.mean_rtt_s) / c.rtt_ref_s;
+    p += rate_term * rtt_factor;
+  }
+  return p;
+}
+
+double WirelessCpuPower::power_watts(const HostActivity& a) const {
+  const WirelessCpuPowerConfig& c = config_;
+  double p = c.idle_watts;
+  p += c.per_subflow_watts * std::max(a.active_subflows, 0);
+  const double effective = to_mbps(a.throughput) +
+                           c.retransmit_multiplier * to_mbps(a.retransmit_throughput);
+  double rate_term = c.watts_per_mbps * effective;
+  const double rtt_factor =
+      1.0 + c.rtt_coeff * std::max(0.0, a.mean_rtt_s) / c.rtt_ref_s;
+  p += rate_term * rtt_factor;
+  return p;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,66 @@
+// Host CPU power models (the RAPL-measured quantity of Figs 1, 3, 4).
+#pragma once
+
+#include "energy/power_model.h"
+
+namespace mpcc {
+
+/// Wired-host CPU power (Fig 1 / Fig 3a / Fig 4):
+///
+///   P = idle + per_subflow * n
+///       + rate_coeff * (tput/tput_ref)^exponent * (1 + rtt_coeff * rtt/rtt_ref)
+///
+/// Non-linear in throughput (exponent < 1 reproduces the gentle ~15% power
+/// rise from 200 Mbps to 1 Gbps of Fig 3a), additive per-subflow cost
+/// (Fig 1's growth with num_subflows: interrupts, timers, socket state),
+/// and multiplicative RTT sensitivity (Fig 4: high-RTT paths hold more
+/// outstanding state and do more protocol work per delivered byte).
+struct WiredCpuPowerConfig {
+  double idle_watts = 10.0;
+  double per_subflow_watts = 1.0;
+  double rate_coeff_watts = 3.0;
+  Rate tput_ref = gbps(1);
+  double exponent = 0.6;
+  double rtt_coeff = 0.3;
+  double rtt_ref_s = 0.1;  // 100 ms
+  /// Each retransmitted byte costs this many times a streamed byte
+  /// (recovery touches timers, the retransmit queue, and re-does the wire
+  /// work). Drives the Section III retransmission-energy effect.
+  double retransmit_multiplier = 15.0;
+};
+
+class WiredCpuPower final : public PowerModel {
+ public:
+  explicit WiredCpuPower(WiredCpuPowerConfig config = {}) : config_(config) {}
+  double power_watts(const HostActivity& activity) const override;
+  const char* name() const override { return "wired-cpu"; }
+  const WiredCpuPowerConfig& config() const { return config_; }
+
+ private:
+  WiredCpuPowerConfig config_;
+};
+
+/// Wireless-host power (Fig 3b): linear in throughput,
+///   P = idle + slope * tput + per_subflow * n,
+/// calibrated to the ~90% power rise from 10 to 50 Mbps over WiFi.
+struct WirelessCpuPowerConfig {
+  double idle_watts = 1.0;
+  double watts_per_mbps = 0.03;
+  double per_subflow_watts = 0.05;
+  double rtt_coeff = 0.1;
+  double rtt_ref_s = 0.1;
+  double retransmit_multiplier = 15.0;
+};
+
+class WirelessCpuPower final : public PowerModel {
+ public:
+  explicit WirelessCpuPower(WirelessCpuPowerConfig config = {}) : config_(config) {}
+  double power_watts(const HostActivity& activity) const override;
+  const char* name() const override { return "wireless-cpu"; }
+  const WirelessCpuPowerConfig& config() const { return config_; }
+
+ private:
+  WirelessCpuPowerConfig config_;
+};
+
+}  // namespace mpcc

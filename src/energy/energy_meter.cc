@@ -1,0 +1,76 @@
+#include "energy/energy_meter.h"
+
+#include <algorithm>
+
+namespace mpcc {
+
+void FlowGroupProbe::add_flow(const TcpSrc* flow) {
+  flows_.push_back(flow);
+  last_acked_.push_back(flow->bytes_acked_total());
+  last_retx_.push_back(flow->bytes_retransmitted());
+}
+
+void FlowGroupProbe::add_connection(const MptcpConnection* conn) {
+  for (const Subflow* sf : conn->subflows()) add_flow(sf);
+}
+
+HostActivity FlowGroupProbe::sample(SimTime interval) {
+  HostActivity activity;
+  Bytes delta_total = 0;
+  Bytes retx_total = 0;
+  double rtt_weighted = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const TcpSrc* flow = flows_[i];
+    const Bytes acked = flow->bytes_acked_total();
+    const Bytes delta = acked - last_acked_[i];
+    last_acked_[i] = acked;
+    delta_total += delta;
+    const Bytes retx = flow->bytes_retransmitted();
+    retx_total += retx - last_retx_[i];
+    last_retx_[i] = retx;
+    if (delta > 0 || flow->inflight() > 0) {
+      ++activity.active_subflows;
+      if (flow->rtt().has_sample()) {
+        rtt_weighted += to_seconds(flow->rtt().srtt()) *
+                        static_cast<double>(std::max<Bytes>(delta, 1));
+      }
+    }
+  }
+  activity.throughput = throughput(delta_total, interval);
+  activity.retransmit_throughput = throughput(retx_total, interval);
+  if (delta_total > 0) {
+    activity.mean_rtt_s = rtt_weighted / static_cast<double>(delta_total);
+  }
+  if (delta_total > 0) {
+    idle_time_ = 0;
+  } else {
+    idle_time_ += interval;
+  }
+  activity.since_activity = idle_time_;
+  return activity;
+}
+
+EnergyMeter::EnergyMeter(Network& net, std::string name, const PowerModel& model,
+                         ActivityProbe& probe, SimTime period)
+    : net_(net),
+      model_(model),
+      probe_(probe),
+      timer_(net.events(), std::move(name), period, [this] { take_sample(); }) {}
+
+void EnergyMeter::stop() { timer_.stop(); }
+
+void EnergyMeter::take_sample() {
+  const SimTime interval = timer_.period();
+  const HostActivity activity = probe_.sample(interval);
+  const double watts = model_.power_watts(activity);
+  energy_joules_ += watts * to_seconds(interval);
+  peak_watts_ = std::max(peak_watts_, watts);
+  metered_time_ += interval;
+  if (trace_enabled_) trace_.emplace_back(net_.now(), watts);
+}
+
+double EnergyMeter::average_power_watts() const {
+  return metered_time_ > 0 ? energy_joules_ / to_seconds(metered_time_) : 0.0;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,75 @@
+// EnergyMeter: integrates a PowerModel over simulated time.
+//
+// Plays the role RAPL (wired hosts) and the Monsoon monitor (Nexus 5) play
+// in the paper's testbed: it samples a host's transport activity on a fixed
+// period, evaluates the power model, and accumulates joules. Activity comes
+// from an ActivityProbe — FlowGroupProbe aggregates the TcpSrcs/subflows
+// rooted at one host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "energy/power_model.h"
+#include "mptcp/connection.h"
+#include "sim/timer.h"
+#include "tcp/tcp_src.h"
+
+namespace mpcc {
+
+class ActivityProbe {
+ public:
+  virtual ~ActivityProbe() = default;
+  /// Activity over the elapsed `interval` (called once per sample).
+  virtual HostActivity sample(SimTime interval) = 0;
+};
+
+/// Aggregates a set of flows (plain TcpSrc or MPTCP subflows) as one host.
+class FlowGroupProbe final : public ActivityProbe {
+ public:
+  void add_flow(const TcpSrc* flow);
+  /// Adds every subflow of `conn`.
+  void add_connection(const MptcpConnection* conn);
+
+  HostActivity sample(SimTime interval) override;
+
+ private:
+  std::vector<const TcpSrc*> flows_;
+  std::vector<Bytes> last_acked_;
+  std::vector<Bytes> last_retx_;
+  SimTime idle_time_ = 0;  // accumulated time since the last active sample
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(Network& net, std::string name, const PowerModel& model,
+              ActivityProbe& probe, SimTime period = 10 * kMillisecond);
+
+  void start() { timer_.start(); }
+  void stop();
+
+  /// Record a (time, watts) trace point per sample (off by default).
+  void enable_trace() { trace_enabled_ = true; }
+
+  double energy_joules() const { return energy_joules_; }
+  double average_power_watts() const;
+  double peak_power_watts() const { return peak_watts_; }
+  SimTime metered_time() const { return metered_time_; }
+  const std::vector<std::pair<SimTime, double>>& trace() const { return trace_; }
+
+ private:
+  void take_sample();
+
+  Network& net_;
+  const PowerModel& model_;
+  ActivityProbe& probe_;
+  PeriodicTimer timer_;
+
+  double energy_joules_ = 0;
+  double peak_watts_ = 0;
+  SimTime metered_time_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<std::pair<SimTime, double>> trace_;
+};
+
+}  // namespace mpcc

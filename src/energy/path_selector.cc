@@ -1,0 +1,62 @@
+#include "energy/path_selector.h"
+
+namespace mpcc {
+
+EnergyAwarePathSelector::EnergyAwarePathSelector(Network& net, MptcpConnection& conn,
+                                                 std::size_t costly_subflow,
+                                                 PathSelectorConfig config)
+    : net_(net),
+      conn_(conn),
+      costly_(costly_subflow),
+      config_(config),
+      timer_(net.events(), "path-selector", config.period, [this] { evaluate(); }) {
+  last_delivered_ = conn.bytes_delivered();
+  required_confidence_ = config_.confidence;
+}
+
+void EnergyAwarePathSelector::set_enabled(bool enabled) {
+  if (enabled == enabled_) return;
+  enabled_ = enabled;
+  ++toggles_;
+  Subflow& sf = conn_.subflow(costly_);
+  if (enabled) {
+    sf.set_max_cwnd(conn_.config().subflow.max_cwnd);  // restore original cap
+    sf.notify_data_available();
+  } else {
+    sf.set_max_cwnd(sf.mss());  // quiesce: one segment in flight at most
+  }
+}
+
+void EnergyAwarePathSelector::evaluate() {
+  const Bytes delivered = conn_.bytes_delivered();
+  const Rate goodput = throughput(delivered - last_delivered_, config_.period);
+  last_delivered_ = delivered;
+
+  // Quiescing is a *probe*: whether the cheap paths can hold the target is
+  // only observable after the costly one is off (the coupled CC shifts its
+  // aggressiveness over). A failed probe (goodput collapses, costly path
+  // re-enabled) doubles the confidence required before the next probe, so
+  // a cheap path that genuinely cannot carry the target is probed ever more
+  // rarely instead of flapping.
+  if (enabled_) {
+    if (goodput >= config_.target_rate) {
+      if (++above_streak_ >= required_confidence_) set_enabled(false);
+    } else {
+      above_streak_ = 0;
+    }
+    below_streak_ = 0;
+  } else {
+    if (goodput < config_.target_rate) {
+      if (++below_streak_ >= config_.patience) {
+        set_enabled(true);  // probe failed
+        required_confidence_ = std::min(required_confidence_ * 2,
+                                        config_.confidence * 64);
+      }
+    } else {
+      below_streak_ = 0;
+    }
+    above_streak_ = 0;
+  }
+}
+
+}  // namespace mpcc

@@ -1,0 +1,63 @@
+// EnergyAwarePathSelector: an eMPTCP-style path-selection baseline
+// (Lim et al., CoNEXT 2015 — the paper's "first category" of energy-aware
+// MPTCP designs).
+//
+// Instead of shaping congestion windows, path selection turns expensive
+// interfaces off unless performance demands them: the selector watches the
+// connection's goodput and quiesces the costly subflow (clamps its cwnd to
+// one segment) while the cheap subflows deliver at least `target_rate`;
+// if goodput falls below the target for `patience`, the costly subflow is
+// re-enabled. Hysteresis prevents flapping.
+//
+// The paper argues this class trades user-visible QoS for energy; having
+// it in the repo lets the benches show that trade against the
+// congestion-control class (DTS and friends).
+#pragma once
+
+#include "mptcp/connection.h"
+#include "sim/timer.h"
+
+namespace mpcc {
+
+struct PathSelectorConfig {
+  /// Goodput the cheap subflows must sustain for the costly one to stay off.
+  Rate target_rate = mbps(5);
+  /// Evaluation period.
+  SimTime period = 500 * kMillisecond;
+  /// Consecutive below-target periods before re-enabling the costly path.
+  int patience = 2;
+  /// Consecutive above-target periods before quiescing it again.
+  int confidence = 6;
+};
+
+class EnergyAwarePathSelector {
+ public:
+  /// `costly_subflow` is the index of the expensive interface (e.g. LTE).
+  EnergyAwarePathSelector(Network& net, MptcpConnection& conn,
+                          std::size_t costly_subflow, PathSelectorConfig config = {});
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  bool costly_path_enabled() const { return enabled_; }
+  std::uint64_t toggles() const { return toggles_; }
+
+ private:
+  void evaluate();
+  void set_enabled(bool enabled);
+
+  Network& net_;
+  MptcpConnection& conn_;
+  std::size_t costly_;
+  PathSelectorConfig config_;
+  PeriodicTimer timer_;
+
+  Bytes last_delivered_ = 0;
+  bool enabled_ = true;
+  int below_streak_ = 0;
+  int above_streak_ = 0;
+  int required_confidence_ = 0;  // set from config in ctor; doubles per flap
+  std::uint64_t toggles_ = 0;
+};
+
+}  // namespace mpcc

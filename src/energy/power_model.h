@@ -1,0 +1,41 @@
+// Power models: watts as a function of transport activity.
+//
+// Section III of the paper reduces its RAPL/Monsoon measurements to Eq. 2:
+// per-path power P_r(tput_r, RTT_r) increasing in both arguments, roughly
+// linear in throughput for wireless NICs and distinctly sub-linear
+// (non-linear) for wired ones, plus a per-subflow processing overhead
+// (Fig 1) and a path-delay term (Fig 4: more outstanding state, more
+// timers/retransmission work at higher RTT). The models here implement
+// exactly that functional family, calibrated to the paper's reported
+// slopes; absolute watt values are representative, shapes are the target.
+#pragma once
+
+#include "util/units.h"
+
+namespace mpcc {
+
+/// A snapshot of one host's transport activity over a sampling interval.
+struct HostActivity {
+  /// Goodput aggregated over the host's flows (bits/s).
+  Rate throughput = 0;
+  /// Retransmitted traffic (bits/s). Loss-recovery work is far more
+  /// expensive per byte than streaming (Section III: retransmission
+  /// operations "significantly increase the energy consumption").
+  Rate retransmit_throughput = 0;
+  /// Traffic-weighted mean smoothed RTT over active subflows (seconds).
+  double mean_rtt_s = 0;
+  /// Subflows with data outstanding during the interval.
+  int active_subflows = 0;
+  /// Time since this host last sent/received (drives radio tail states).
+  SimTime since_activity = 0;
+};
+
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+  /// Instantaneous electrical power in watts.
+  virtual double power_watts(const HostActivity& activity) const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,39 @@
+#include "energy/radio_power.h"
+
+namespace mpcc {
+
+RadioPowerConfig lte_radio_config() {
+  RadioPowerConfig c;
+  c.idle_watts = 0.031;
+  c.active_base_watts = 1.060;
+  c.watts_per_mbps = 0.052;
+  c.tail_watts = 1.060;
+  c.tail_duration = 11'500 * kMillisecond;
+  return c;
+}
+
+RadioPowerConfig wifi_radio_config() {
+  RadioPowerConfig c;
+  c.idle_watts = 0.077;
+  c.active_base_watts = 0.400;
+  c.watts_per_mbps = 0.016;
+  c.tail_watts = 0.240;
+  c.tail_duration = 240 * kMillisecond;
+  return c;
+}
+
+double RadioPower::power_watts(const HostActivity& a) const {
+  const Rate effective =
+      a.throughput + config_.retransmit_multiplier * a.retransmit_throughput;
+  return power_at(effective, a.throughput > 0 ? 0 : a.since_activity);
+}
+
+double RadioPower::power_at(Rate throughput, SimTime since_activity) const {
+  if (throughput > 0) {
+    return config_.active_base_watts + config_.watts_per_mbps * to_mbps(throughput);
+  }
+  if (since_activity < config_.tail_duration) return config_.tail_watts;
+  return config_.idle_watts;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,49 @@
+// Mobile radio power models (Fig 2's Nexus 5 measurements).
+//
+// State-machine model after Huang et al. (MobiSys 2012), the reference the
+// paper relies on for device energy: a radio is IDLE, ACTIVE (base power +
+// a per-Mbps slope while traffic flows), or in TAIL (the radio lingers at
+// elevated power after the last packet — long for LTE's RRC tail, short
+// for WiFi PSM). Power is evaluated against the time since last activity.
+#pragma once
+
+#include "energy/power_model.h"
+
+namespace mpcc {
+
+struct RadioPowerConfig {
+  double idle_watts = 0.03;
+  double active_base_watts = 1.0;
+  double watts_per_mbps = 0.05;
+  double tail_watts = 1.0;
+  SimTime tail_duration = 11'500 * kMillisecond / 1000;  // 11.5 s (LTE default)
+  /// Airtime premium per retransmitted byte (see WiredCpuPowerConfig).
+  double retransmit_multiplier = 10.0;
+};
+
+/// Huang et al. LTE profile: high base power, ~11.5 s RRC tail.
+RadioPowerConfig lte_radio_config();
+
+/// WiFi profile: lower base, ~240 ms power-save tail.
+RadioPowerConfig wifi_radio_config();
+
+class RadioPower final : public PowerModel {
+ public:
+  explicit RadioPower(RadioPowerConfig config) : config_(config) {}
+
+  /// Stateless interface: ACTIVE power if throughput > 0, else idle (tail
+  /// handled by power_at below; EnergyMeter uses the stateful form).
+  double power_watts(const HostActivity& activity) const override;
+  const char* name() const override { return "radio"; }
+
+  /// Stateful evaluation: `since_activity` is the time since the last
+  /// packet was sent or received on this radio.
+  double power_at(Rate throughput, SimTime since_activity) const;
+
+  const RadioPowerConfig& config() const { return config_; }
+
+ private:
+  RadioPowerConfig config_;
+};
+
+}  // namespace mpcc

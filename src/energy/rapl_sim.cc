@@ -1,0 +1,3 @@
+#include "energy/rapl_sim.h"
+
+// Header-only; this translation unit exists for build symmetry.

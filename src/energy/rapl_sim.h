@@ -1,0 +1,38 @@
+// RaplSimulator: expose an EnergyMeter the way Intel RAPL exposes package
+// energy — as a monotonically increasing counter in fixed energy units
+// (2^-14 J on the paper's Ivy Bridge / Haswell parts), read via MSR.
+//
+// Mostly a fidelity veneer for tests/benches that want to consume energy
+// readings through the same quantised interface the paper's tooling did.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy_meter.h"
+
+namespace mpcc {
+
+class RaplSimulator {
+ public:
+  /// `energy_unit_joules` defaults to the ESU of MSR_RAPL_POWER_UNIT
+  /// (2^-14 J).
+  explicit RaplSimulator(const EnergyMeter& meter,
+                         double energy_unit_joules = 6.103515625e-5)
+      : meter_(meter), unit_(energy_unit_joules) {}
+
+  /// Raw counter (energy / unit), truncated like the MSR.
+  std::uint64_t read_counter() const {
+    return static_cast<std::uint64_t>(meter_.energy_joules() / unit_);
+  }
+
+  /// Counter converted back to joules (quantised).
+  double read_joules() const { return static_cast<double>(read_counter()) * unit_; }
+
+  double energy_unit() const { return unit_; }
+
+ private:
+  const EnergyMeter& meter_;
+  double unit_;
+};
+
+}  // namespace mpcc

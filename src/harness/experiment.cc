@@ -1,0 +1,50 @@
+#include "harness/experiment.h"
+
+#include <cstring>
+
+namespace mpcc::harness {
+
+namespace {
+const char* find_value(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i] && i + 1 < argc) return argv[i + 1];
+    // --name=value form
+    const std::size_t len = name.size();
+    if (std::strncmp(argv[i], name.c_str(), len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+}  // namespace
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+double arg_double(int argc, char** argv, const std::string& name, double fallback) {
+  const char* v = find_value(argc, argv, name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+std::int64_t arg_int(int argc, char** argv, const std::string& name,
+                     std::int64_t fallback) {
+  const char* v = find_value(argc, argv, name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+std::string arg_string(int argc, char** argv, const std::string& name,
+                       std::string fallback) {
+  const char* v = find_value(argc, argv, name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+HostMeter::HostMeter(Network& net, std::string name, const PowerModel& model,
+                     SimTime period) {
+  meter_ = std::make_unique<EnergyMeter>(net, std::move(name), model, probe_, period);
+}
+
+}  // namespace mpcc::harness

@@ -1,0 +1,61 @@
+// Shared experiment scaffolding for the figure benches and examples:
+// result records, CLI argument helpers, and a RAII bundle tying a power
+// model + probe + meter to a host's flows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/cpu_power.h"
+#include "energy/energy_meter.h"
+#include "util/units.h"
+
+namespace mpcc::harness {
+
+/// Outcome of one metered run (one host or one whole fabric).
+struct RunResult {
+  double energy_j = 0;       ///< integrated electrical energy
+  double avg_power_w = 0;    ///< energy / metered time
+  Bytes bytes_delivered = 0; ///< connection-level goodput bytes
+  SimTime duration = 0;      ///< metered wall (simulated) time
+  SimTime completion = 0;    ///< flow completion time (0 if long-lived)
+  double retransmit_rate = 0;
+
+  Rate goodput() const { return throughput(bytes_delivered, duration); }
+  double joules_per_gigabyte() const {
+    return bytes_delivered > 0
+               ? energy_j / (static_cast<double>(bytes_delivered) / 1e9)
+               : 0.0;
+  }
+};
+
+// --- tiny argv helpers (benches accept --seconds, --seed, --quick, ...) ---
+
+bool has_flag(int argc, char** argv, const std::string& name);
+double arg_double(int argc, char** argv, const std::string& name, double fallback);
+std::int64_t arg_int(int argc, char** argv, const std::string& name,
+                     std::int64_t fallback);
+std::string arg_string(int argc, char** argv, const std::string& name,
+                       std::string fallback);
+
+/// One host's energy instrumentation: owns the probe and meter (the model
+/// is borrowed and must outlive the bundle).
+class HostMeter {
+ public:
+  HostMeter(Network& net, std::string name, const PowerModel& model,
+            SimTime period = 10 * kMillisecond);
+
+  FlowGroupProbe& probe() { return probe_; }
+  EnergyMeter& meter() { return *meter_; }
+  void start() { meter_->start(); }
+  void stop() { meter_->stop(); }
+  double energy_j() const { return meter_->energy_joules(); }
+  double avg_power_w() const { return meter_->average_power_watts(); }
+
+ private:
+  FlowGroupProbe probe_;
+  std::unique_ptr<EnergyMeter> meter_;
+};
+
+}  // namespace mpcc::harness

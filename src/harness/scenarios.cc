@@ -1,0 +1,313 @@
+#include "harness/scenarios.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cc/registry.h"
+#include "energy/path_selector.h"
+#include "energy/radio_power.h"
+#include "mptcp/path_manager.h"
+#include "mptcp/scheduler.h"
+#include "stats/flow_recorder.h"
+#include "tcp/dctcp.h"
+#include "traffic/bulk_flow.h"
+#include "traffic/permutation.h"
+
+namespace mpcc::harness {
+
+namespace {
+
+MptcpConfig make_mptcp_config(Bytes flow_size, SimTime min_rto, Bytes recv_buffer = 0) {
+  MptcpConfig cfg;
+  cfg.flow_size = flow_size;
+  cfg.recv_buffer = recv_buffer;
+  cfg.subflow.min_rto = min_rto;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- two-path
+
+TwoPathResult run_two_path(const TwoPathOptions& options) {
+  Network net(options.seed);
+  TwoPath topo(net, options.topo);
+
+  auto* conn = net.emplace<MptcpConnection>(
+      net, "mptcp", make_mptcp_config(-1, 200 * kMillisecond),
+      make_multipath_cc(options.cc, options.price));
+  for (const PathSpec& path : topo.paths()) conn->add_subflow(path);
+
+  WiredCpuPower power_model;
+  HostMeter meter(net, "host", power_model);
+  meter.probe().add_connection(conn);
+  if (options.record_trace) meter.meter().enable_trace();
+  meter.start();
+
+  FlowRecorder recorder(net, options.trace_period);
+  if (options.record_trace) {
+    recorder.track_connection("goodput", *conn);
+    recorder.start();
+  }
+
+  topo.start_cross_traffic(0);
+  conn->start(100 * kMillisecond);
+  net.events().run_until(options.duration);
+
+  TwoPathResult result;
+  result.run.energy_j = meter.energy_j();
+  result.run.avg_power_w = meter.avg_power_w();
+  result.run.bytes_delivered = conn->bytes_delivered();
+  result.run.duration = options.duration;
+  std::uint64_t sent = 0;
+  std::uint64_t retx = 0;
+  for (const Subflow* sf : conn->subflows()) {
+    result.subflow_bytes.push_back(sf->bytes_acked_total());
+    sent += sf->packets_sent();
+    retx += sf->retransmits();
+  }
+  result.run.retransmit_rate =
+      sent > 0 ? static_cast<double>(retx) / static_cast<double>(sent) : 0.0;
+  if (options.record_trace) {
+    for (const auto& [t, w] : meter.meter().trace()) result.power_trace.add(t, w);
+    if (const TimeSeries* s = recorder.series("goodput")) result.tput_trace = *s;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- dumbbell
+
+DumbbellResult run_dumbbell(const DumbbellOptions& options) {
+  Network net(options.seed);
+  DumbbellConfig topo_cfg = options.topo;
+  topo_cfg.mptcp_users = options.n_users;
+  topo_cfg.tcp_users = 2 * options.n_users;
+  Dumbbell topo(net, topo_cfg);
+
+  WiredCpuPower power_model;
+  Rng rng = net.rng().fork(7);
+
+  // Background regular TCP (long-lived), one per TCP user.
+  for (std::size_t u = 0; u < topo_cfg.tcp_users; ++u) {
+    const PathSpec path = topo.tcp_path(u);
+    TcpFlowHandles flow = make_tcp_flow(net, "tcp" + std::to_string(u), path.forward,
+                                        path.reverse);
+    flow.src->start(rng.uniform_int(0, 50 * kMillisecond));
+  }
+
+  // N MPTCP users, each transferring flow_bytes.
+  DumbbellResult result;
+  result.per_flow_energy_j.resize(options.n_users, 0);
+  result.completion_s.resize(options.n_users, 0);
+  std::vector<std::unique_ptr<HostMeter>> meters;
+  std::size_t remaining = options.n_users;
+
+  std::vector<MptcpConnection*> conns;
+  for (std::size_t u = 0; u < options.n_users; ++u) {
+    auto* conn = net.emplace<MptcpConnection>(
+        net, "m" + std::to_string(u),
+        make_mptcp_config(options.flow_bytes, 200 * kMillisecond),
+        make_multipath_cc(options.cc));
+    PathManager::fullmesh(*conn, topo.mptcp_paths(u));
+    auto meter = std::make_unique<HostMeter>(net, "meter" + std::to_string(u),
+                                             power_model);
+    meter->probe().add_connection(conn);
+    meter->start();
+    HostMeter* meter_raw = meter.get();
+    meters.push_back(std::move(meter));
+    conn->set_on_complete([&, u, meter_raw](MptcpConnection& c) {
+      meter_raw->stop();
+      result.per_flow_energy_j[u] = meter_raw->energy_j();
+      result.completion_s[u] = to_seconds(c.completion_time() - c.start_time());
+      --remaining;
+    });
+    conn->start(100 * kMillisecond + rng.uniform_int(0, 100 * kMillisecond));
+    conns.push_back(conn);
+  }
+
+  // Run until all MPTCP transfers finish (or the safety cap).
+  while (remaining > 0 && net.now() < options.max_time) {
+    net.events().run_until(net.now() + kSecond);
+  }
+  result.incomplete = remaining;
+  for (const auto& m : meters) result.total_energy_j += m->energy_j();
+  return result;
+}
+
+// -------------------------------------------------------------- datacenter
+
+const char* dc_topo_name(DcTopo topo) {
+  switch (topo) {
+    case DcTopo::kFatTree:
+      return "fattree";
+    case DcTopo::kVl2:
+      return "vl2";
+    case DcTopo::kBCube:
+      return "bcube";
+    case DcTopo::kVirtualCloud:
+      return "cloud";
+  }
+  return "?";
+}
+
+DatacenterResult run_datacenter(const DatacenterOptions& options) {
+  Network net(options.seed);
+
+  std::unique_ptr<Topology> owned;
+  switch (options.topo) {
+    case DcTopo::kFatTree:
+      owned = std::make_unique<FatTree>(net, options.fat_tree);
+      break;
+    case DcTopo::kVl2:
+      owned = std::make_unique<Vl2>(net, options.vl2);
+      break;
+    case DcTopo::kBCube:
+      owned = std::make_unique<BCube>(net, options.bcube);
+      break;
+    case DcTopo::kVirtualCloud:
+      owned = std::make_unique<VirtualCloud>(net, options.cloud);
+      break;
+  }
+  Topology& topo = *owned;
+
+  Rng rng = net.rng().fork(11);
+  std::vector<FlowAssignment> assignments =
+      permutation_traffic(topo.num_hosts(), rng, 50 * kMillisecond);
+  if (options.max_flows > 0 && assignments.size() > options.max_flows) {
+    assignments.resize(options.max_flows);
+  }
+
+  const bool single_path = options.cc == "tcp" || options.cc == "dctcp";
+  WiredCpuPower power_model;
+  std::vector<std::unique_ptr<HostMeter>> meters;
+  std::vector<MptcpConnection*> conns;
+  std::vector<TcpSrc*> tcp_flows;
+
+  for (const FlowAssignment& a : assignments) {
+    std::vector<PathSpec> paths = topo.paths(a.src_host, a.dst_host);
+    assert(!paths.empty());
+    auto meter = std::make_unique<HostMeter>(
+        net, "meter" + std::to_string(a.src_host), power_model);
+
+    if (single_path) {
+      const PathSpec& path =
+          paths[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(paths.size()) - 1))];
+      TcpConfig cfg;
+      cfg.min_rto = options.min_rto;
+      if (options.cc == "dctcp") cfg = dctcp_tcp_config(cfg);
+      TcpFlowHandles flow = make_tcp_flow(net, "f" + std::to_string(a.src_host),
+                                          path.forward, path.reverse, cfg);
+      if (options.cc == "dctcp") flow.src->set_hooks(std::make_unique<DctcpHooks>());
+      flow.src->start(a.start_time);
+      meter->probe().add_flow(flow.src);
+      tcp_flows.push_back(flow.src);
+    } else {
+      auto* conn = net.emplace<MptcpConnection>(
+          net, "c" + std::to_string(a.src_host),
+          make_mptcp_config(-1, options.min_rto),
+          make_multipath_cc(options.cc, options.price));
+      PathManager::random_k_with_reuse(*conn, paths, options.subflows, rng);
+      conn->start(a.start_time);
+      meter->probe().add_connection(conn);
+      conns.push_back(conn);
+    }
+    meter->start();
+    meters.push_back(std::move(meter));
+  }
+
+  net.events().run_until(options.duration);
+
+  DatacenterResult result;
+  result.flows = assignments.size();
+  for (const auto& m : meters) result.total_energy_j += m->energy_j();
+  for (const MptcpConnection* c : conns) result.bytes_delivered += c->bytes_delivered();
+  for (const TcpSrc* f : tcp_flows) result.bytes_delivered += f->bytes_acked_total();
+  result.aggregate_goodput = throughput(result.bytes_delivered, options.duration);
+  if (result.bytes_delivered > 0) {
+    result.joules_per_gigabyte =
+        result.total_energy_j / (static_cast<double>(result.bytes_delivered) / 1e9);
+  }
+  for (const Queue* q : net.queues()) result.fabric_drops += q->drops();
+  return result;
+}
+
+// ---------------------------------------------------------------- wireless
+
+WirelessResult run_wireless(const WirelessOptions& options) {
+  Network net(options.seed);
+  WirelessHetero topo(net, options.topo);
+  const std::vector<PathSpec> paths = topo.paths();
+
+  RadioPower wifi_model(wifi_radio_config());
+  RadioPower cell_model(lte_radio_config());
+  HostMeter wifi_meter(net, "wifi", wifi_model, 20 * kMillisecond);
+  HostMeter cell_meter(net, "cell", cell_model, 20 * kMillisecond);
+
+  MptcpConnection* conn = nullptr;
+  TcpSrc* tcp = nullptr;
+
+  if (options.cc == "tcp-wifi" || options.cc == "tcp-cell") {
+    const PathSpec& path = paths[options.cc == "tcp-wifi" ? 0 : 1];
+    TcpConfig cfg;
+    cfg.max_cwnd = options.recv_buffer;
+    TcpFlowHandles flow = make_tcp_flow(net, options.cc, path.forward, path.reverse, cfg);
+    flow.src->start(100 * kMillisecond);
+    tcp = flow.src;
+    (options.cc == "tcp-wifi" ? wifi_meter : cell_meter).probe().add_flow(flow.src);
+  } else {
+    // "emptcp" = the eMPTCP-style path-selection baseline: LIA plus an
+    // energy-aware selector quiescing the LTE subflow while WiFi delivers.
+    const bool path_selection = options.cc == "emptcp";
+    conn = net.emplace<MptcpConnection>(
+        net, "mp", make_mptcp_config(-1, 200 * kMillisecond, options.recv_buffer),
+        make_multipath_cc(path_selection ? "lia" : options.cc, options.price));
+    // The kernel's default scheduler: under receive-window pressure, the
+    // lowest-RTT subflow gets the data first.
+    conn->set_scheduler(std::make_unique<MinRttScheduler>(1 << 20));  // always prefer
+    conn->add_subflow(paths[0]);
+    conn->add_subflow(paths[1]);
+    wifi_meter.probe().add_flow(&conn->subflow(0));
+    cell_meter.probe().add_flow(&conn->subflow(1));
+    conn->start(100 * kMillisecond);
+    if (path_selection) {
+      auto* selector = net.emplace<EnergyAwarePathSelector>(
+          net, *conn, /*costly_subflow=*/1, PathSelectorConfig{});
+      selector->start();
+    }
+  }
+  wifi_meter.start();
+  cell_meter.start();
+
+  topo.start_cross_traffic(0);
+  net.events().run_until(options.duration);
+
+  WirelessResult result;
+  result.wifi_energy_j = wifi_meter.energy_j();
+  result.cell_energy_j = cell_meter.energy_j();
+  result.radio_energy_j = result.wifi_energy_j + result.cell_energy_j;
+  if (conn != nullptr) {
+    result.wifi_bytes = conn->subflow(0).bytes_acked_total();
+    result.cell_bytes = conn->subflow(1).bytes_acked_total();
+    result.bytes_delivered = conn->bytes_delivered();
+  } else {
+    result.bytes_delivered = tcp->bytes_acked_total();
+    (options.cc == "tcp-wifi" ? result.wifi_bytes : result.cell_bytes) =
+        result.bytes_delivered;
+  }
+  result.goodput = throughput(result.bytes_delivered, options.duration);
+  // Marginal per-byte energy from the radios' per-Mbps slopes:
+  // J/byte = 8 * watts_per_mbps / 1e6.
+  const double wifi_j_per_byte = 8.0 * wifi_model.config().watts_per_mbps / 1e6;
+  const double cell_j_per_byte = 8.0 * cell_model.config().watts_per_mbps / 1e6;
+  result.marginal_energy_j =
+      wifi_j_per_byte * static_cast<double>(result.wifi_bytes) +
+      cell_j_per_byte * static_cast<double>(result.cell_bytes);
+  if (result.bytes_delivered > 0) {
+    const double gb = static_cast<double>(result.bytes_delivered) / 1e9;
+    result.joules_per_gigabyte = result.radio_energy_j / gb;
+    result.marginal_joules_per_gigabyte = result.marginal_energy_j / gb;
+  }
+  return result;
+}
+
+}  // namespace mpcc::harness

@@ -1,0 +1,133 @@
+// Scenario runners: one function per experiment family in the paper's
+// evaluation. Benches, examples, and integration tests all drive these.
+//
+//   run_two_path    — Fig 5(b): bursty two-path traffic shifting (Figs 7-9)
+//   run_dumbbell    — Fig 5(a): N MPTCP + 2N TCP over two bottlenecks (Fig 6)
+//   run_datacenter  — FatTree / VL2 / BCube / EC2-like cloud (Figs 10, 12-16)
+//   run_wireless    — WiFi + 4G heterogeneous wireless (Figs 2, 17)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/energy_price.h"
+#include "harness/experiment.h"
+#include "stats/series.h"
+#include "topo/bcube.h"
+#include "topo/dumbbell.h"
+#include "topo/fat_tree.h"
+#include "topo/two_path.h"
+#include "topo/virtual_cloud.h"
+#include "topo/vl2.h"
+#include "topo/wireless_hetero.h"
+
+namespace mpcc::harness {
+
+// ------------------------------------------------------------- two-path
+
+struct TwoPathOptions {
+  std::string cc = "lia";
+  SimTime duration = seconds(60);
+  std::uint64_t seed = 1;
+  TwoPathConfig topo;
+  core::EnergyPriceConfig price;  // used by dts-ep
+  bool record_trace = false;      // power + throughput traces (Fig 8)
+  SimTime trace_period = 200 * kMillisecond;
+};
+
+struct TwoPathResult {
+  RunResult run;
+  std::vector<Bytes> subflow_bytes;  // per-path traffic split
+  TimeSeries power_trace;            // watts over time (if record_trace)
+  TimeSeries tput_trace;             // bits/s over time (if record_trace)
+};
+
+TwoPathResult run_two_path(const TwoPathOptions& options);
+
+// ------------------------------------------------------------- dumbbell
+
+struct DumbbellOptions {
+  std::string cc = "lia";
+  std::size_t n_users = 10;              // N; TCP users = 2N
+  Bytes flow_bytes = mega_bytes(16);
+  std::uint64_t seed = 1;
+  SimTime max_time = seconds(600);
+  DumbbellConfig topo;                   // user counts overwritten from n_users
+};
+
+struct DumbbellResult {
+  std::vector<double> per_flow_energy_j;  // one per MPTCP user
+  std::vector<double> completion_s;
+  double total_energy_j = 0;
+  std::size_t incomplete = 0;  // flows that missed max_time (should be 0)
+};
+
+DumbbellResult run_dumbbell(const DumbbellOptions& options);
+
+// ----------------------------------------------------------- datacenter
+
+enum class DcTopo { kFatTree, kVl2, kBCube, kVirtualCloud };
+
+const char* dc_topo_name(DcTopo topo);
+
+struct DatacenterOptions {
+  DcTopo topo = DcTopo::kFatTree;
+  /// Multipath CC name, or the single-path baselines "tcp" / "dctcp".
+  std::string cc = "lia";
+  int subflows = 8;
+  SimTime duration = seconds(2);
+  std::uint64_t seed = 1;
+  FatTreeConfig fat_tree;
+  Vl2Config vl2;
+  BCubeConfig bcube;
+  VirtualCloudConfig cloud;
+  /// Cap on concurrent flows (0 = one per host, the paper's permutation).
+  std::size_t max_flows = 0;
+  core::EnergyPriceConfig price;
+  SimTime min_rto = 10 * kMillisecond;  // datacenter-tuned RTO
+};
+
+struct DatacenterResult {
+  double total_energy_j = 0;
+  Bytes bytes_delivered = 0;
+  double joules_per_gigabyte = 0;
+  Rate aggregate_goodput = 0;
+  std::size_t flows = 0;
+  std::uint64_t fabric_drops = 0;
+};
+
+DatacenterResult run_datacenter(const DatacenterOptions& options);
+
+// ------------------------------------------------------------- wireless
+
+struct WirelessOptions {
+  /// Multipath CC name, or "tcp-wifi" / "tcp-cell" single-path baselines.
+  std::string cc = "lia";
+  SimTime duration = seconds(200);
+  std::uint64_t seed = 1;
+  WirelessHeteroConfig topo;
+  Bytes recv_buffer = 64 * 1024;  // the paper's ns-2 default
+  core::EnergyPriceConfig price;
+};
+
+struct WirelessResult {
+  double wifi_energy_j = 0;
+  double cell_energy_j = 0;
+  double radio_energy_j = 0;  // wifi + cellular (state-machine model)
+  Bytes wifi_bytes = 0;
+  Bytes cell_bytes = 0;
+  Bytes bytes_delivered = 0;
+  Rate goodput = 0;
+  double joules_per_gigabyte = 0;
+  /// Marginal (per-byte) radio energy: bytes x the radios' per-Mbps slopes,
+  /// ignoring base/tail power — the energy model class the paper's ns-2
+  /// evaluation uses. Traffic shifting shows up directly here; the
+  /// state-machine joules above additionally charge radios for being awake.
+  double marginal_energy_j = 0;
+  double marginal_joules_per_gigabyte = 0;
+};
+
+WirelessResult run_wireless(const WirelessOptions& options);
+
+}  // namespace mpcc::harness

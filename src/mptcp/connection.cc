@@ -1,0 +1,164 @@
+#include "mptcp/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mptcp/scheduler.h"
+#include "util/logging.h"
+
+namespace mpcc {
+
+MptcpConnection::MptcpConnection(Network& net, std::string name, MptcpConfig config,
+                                 std::unique_ptr<MultipathCc> cc)
+    : net_(net),
+      name_(std::move(name)),
+      config_(config),
+      cc_(std::move(cc)),
+      scheduler_(std::make_unique<AnySubflowScheduler>()),
+      recv_buffer_(config.recv_buffer) {
+  assert(cc_ != nullptr);
+  cc_->attach(*this);
+}
+
+MptcpConnection::~MptcpConnection() = default;
+
+void MptcpConnection::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  assert(scheduler != nullptr);
+  scheduler_ = std::move(scheduler);
+}
+
+Subflow& MptcpConnection::add_subflow(const PathSpec& path) {
+  assert(!started_ && "add_subflow before start()");
+  const std::size_t index = subflows_.size();
+  auto sf = std::make_unique<Subflow>(net_, name_ + ":sf" + std::to_string(index),
+                                      config_.subflow, *this, index);
+  sf->set_inter_switch_hops(path.inter_switch_hops);
+  sf->set_path_energy_cost(path.energy_cost);
+  sf->set_path_queues(path.queues);
+
+  // Reverse route: path hops back plus the subflow source as final hop.
+  Route* reverse = net_.make_route();
+  for (PacketHandler* hop : path.reverse) reverse->push_back(hop);
+  reverse->push_back(sf.get());
+
+  TcpSink* sink = net_.emplace<TcpSink>(net_, name_ + ":sink" + std::to_string(index),
+                                        reverse);
+  sink->set_consumer(this);
+
+  // Forward route: path hops plus the sink.
+  Route* forward = net_.make_route();
+  for (PacketHandler* hop : path.forward) forward->push_back(hop);
+  forward->push_back(sink);
+
+  sf->connect(forward, sink);
+
+  Subflow& ref = *sf;
+  subflow_ptrs_.push_back(sf.get());
+  sinks_.push_back(sink);
+  subflows_.push_back(std::move(sf));
+  cc_->on_subflow_added(*this, ref);
+  return ref;
+}
+
+void MptcpConnection::start(SimTime at) {
+  assert(!subflows_.empty() && "connection needs at least one subflow");
+  started_ = true;
+  start_time_ = at;
+  for (auto& sf : subflows_) sf->start(at);
+  if (config_.enable_reinjection && config_.recv_buffer > 0 && num_subflows() > 1) {
+    reinject_timer_ = std::make_unique<PeriodicTimer>(
+        net_.events(), name_ + ":reinject", config_.reinject_after / 2,
+        [this] { check_reinjection(); });
+    reinject_timer_->start();
+  }
+}
+
+bool MptcpConnection::allocate_chunk(Subflow& sf, Bytes mss, Bytes& len,
+                                     std::int64_t& data_seq) {
+  // Reinjections take priority over fresh data and bypass the window (the
+  // data-sequence space is already allocated; this is a duplicate copy).
+  for (auto it = reinject_queue_.begin(); it != reinject_queue_.end(); ++it) {
+    if (it->exclude_owner == sf.index() || it->len > mss) continue;
+    len = it->len;
+    data_seq = it->data_seq;
+    reinject_queue_.erase(it);
+    ++reinjections_;
+    return true;
+  }
+
+  if (config_.flow_size >= 0) {
+    const Bytes remaining = config_.flow_size - allocated_;
+    if (remaining <= 0) return false;
+    len = std::min<Bytes>(mss, remaining);
+  } else {
+    len = mss;
+  }
+  if (!recv_buffer_.window_allows(allocated_, len)) return false;
+  if (!scheduler_->may_allocate(*this, sf)) return false;
+  data_seq = allocated_;
+  allocated_ += len;
+  if (config_.enable_reinjection) {
+    outstanding_.emplace(data_seq, OutstandingChunk{len, sf.index()});
+  }
+  return true;
+}
+
+void MptcpConnection::check_reinjection() {
+  if (completed_) return;
+  const std::int64_t in_order = recv_buffer_.in_order_point();
+  if (in_order != last_in_order_) {
+    last_in_order_ = in_order;
+    stall_since_ = net_.now();
+    return;
+  }
+  // Stalled: only act when the window is actually exhausted (otherwise the
+  // subflows simply have nothing to send or are ramping).
+  const bool window_blocked = !recv_buffer_.window_allows(allocated_, kDefaultMss);
+  if (!window_blocked || net_.now() - stall_since_ < config_.reinject_after) return;
+
+  const auto it = outstanding_.find(in_order);
+  if (it == outstanding_.end()) return;
+  // Queue one duplicate copy for any *other* subflow; re-arm the stall clock
+  // so we do not flood copies while the reinjection is in flight.
+  reinject_queue_.push_back(
+      ReinjectEntry{in_order, it->second.len, it->second.owner});
+  stall_since_ = net_.now();
+  for (auto& sf : subflows_) {
+    if (sf->index() != it->second.owner) sf->notify_data_available();
+  }
+}
+
+void MptcpConnection::on_in_order_data(std::int64_t data_seq, Bytes len) {
+  assert(data_seq >= 0 && "MPTCP segments must carry a data sequence");
+  const Bytes before = recv_buffer_.delivered();
+  recv_buffer_.on_data(data_seq, len);
+  if (config_.enable_reinjection) {
+    outstanding_.erase(outstanding_.begin(),
+                       outstanding_.lower_bound(recv_buffer_.in_order_point()));
+  }
+  check_complete();
+  if (completed_) return;
+  // The connection-level window may have opened: let idle subflows pull.
+  if (config_.recv_buffer > 0 && recv_buffer_.delivered() > before) {
+    for (auto& sf : subflows_) sf->notify_data_available();
+  }
+}
+
+void MptcpConnection::check_complete() {
+  if (completed_ || config_.flow_size < 0) return;
+  if (recv_buffer_.delivered() >= config_.flow_size) {
+    completed_ = true;
+    completion_time_ = net_.now();
+    if (reinject_timer_ != nullptr) reinject_timer_->stop();
+    MPCC_DEBUG << name_ << " complete at " << to_ms(completion_time_) << " ms";
+    if (on_complete_) on_complete_(*this);
+  }
+}
+
+Bytes MptcpConnection::total_cwnd() const {
+  Bytes total = 0;
+  for (const auto& sf : subflows_) total += static_cast<Bytes>(sf->cwnd());
+  return total;
+}
+
+}  // namespace mpcc

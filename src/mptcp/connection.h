@@ -1,0 +1,155 @@
+// MptcpConnection: an end-to-end MPTCP connection over multiple paths.
+//
+// Owns its subflows (sources + sinks + endpoint routes), a connection-level
+// data-sequence allocator bounded by the receive buffer, the reassembly
+// ReceiveBuffer, and the coupled congestion-control algorithm. Subflows
+// pull data chunks on demand ("pull" scheduling), optionally filtered by a
+// Scheduler policy.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/timer.h"
+
+#include "cc/multipath_cc.h"
+#include "mptcp/receive_buffer.h"
+#include "mptcp/subflow.h"
+#include "tcp/tcp_sink.h"
+
+namespace mpcc {
+
+class Scheduler;
+
+struct MptcpConfig {
+  TcpConfig subflow;
+  /// Connection-level receive buffer in bytes; 0 = unlimited.
+  Bytes recv_buffer = 0;
+  /// Total bytes to transfer; -1 = long-lived (unbounded).
+  Bytes flow_size = -1;
+  /// Opportunistic reinjection (the kernel's answer to head-of-line
+  /// blocking): when the receive window is exhausted and the in-order point
+  /// has stalled, the blocking chunk is re-sent on a *different* subflow.
+  /// Only meaningful with a finite recv_buffer.
+  bool enable_reinjection = false;
+  /// How long the in-order point may stall before reinjecting.
+  SimTime reinject_after = 200 * kMillisecond;
+};
+
+/// Description of one network path for a subflow: the hops (queues/pipes)
+/// from sender to receiver and back, *excluding* the endpoints, which the
+/// connection creates and appends itself.
+struct PathSpec {
+  std::string name;
+  std::vector<PacketHandler*> forward;
+  std::vector<PacketHandler*> reverse;
+  /// Inter-switch links on this path (L' of Eq. 6), for the energy price.
+  int inter_switch_hops = 0;
+  /// Relative per-byte energy cost of this path (rho's per-link weight in
+  /// Eq. 6): e.g. an LTE radio path costs several times a WiFi path.
+  double energy_cost = 1.0;
+  /// Queues along the forward path, for oracle price signals.
+  std::vector<const Queue*> queues;
+};
+
+class MptcpConnection final : public DataConsumer {
+ public:
+  MptcpConnection(Network& net, std::string name, MptcpConfig config,
+                  std::unique_ptr<MultipathCc> cc);
+  ~MptcpConnection() override;
+
+  MptcpConnection(const MptcpConnection&) = delete;
+  MptcpConnection& operator=(const MptcpConnection&) = delete;
+
+  /// Adds one subflow over `path`. Call before start().
+  Subflow& add_subflow(const PathSpec& path);
+
+  /// Optional scheduler policy (default: any subflow may pull).
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+
+  void set_on_complete(std::function<void(MptcpConnection&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  /// Starts every subflow at absolute time `at`.
+  void start(SimTime at);
+
+  // --- data allocation (called by subflow providers) ---
+  bool allocate_chunk(Subflow& sf, Bytes mss, Bytes& len, std::int64_t& data_seq);
+
+  // --- DataConsumer: subflow-level in-order data reaches the connection ---
+  void on_in_order_data(std::int64_t data_seq, Bytes len) override;
+
+  // --- accessors ---
+  Network& net() { return net_; }
+  const std::string& name() const { return name_; }
+  const MptcpConfig& config() const { return config_; }
+  MultipathCc& cc() { return *cc_; }
+
+  std::size_t num_subflows() const { return subflows_.size(); }
+  Subflow& subflow(std::size_t i) { return *subflows_[i]; }
+  const Subflow& subflow(std::size_t i) const { return *subflows_[i]; }
+  const std::vector<Subflow*>& subflows() const { return subflow_ptrs_; }
+  TcpSink& sink(std::size_t i) { return *sinks_[i]; }
+
+  Bytes bytes_delivered() const { return recv_buffer_.delivered(); }
+  const ReceiveBuffer& receive_buffer() const { return recv_buffer_; }
+  std::int64_t bytes_allocated() const { return allocated_; }
+
+  bool complete() const { return completed_; }
+  SimTime start_time() const { return start_time_; }
+  SimTime completion_time() const { return completion_time_; }
+
+  /// Sum of subflow cwnds in bytes (diagnostic).
+  Bytes total_cwnd() const;
+
+  /// Chunks re-sent on an alternative subflow due to HoL stalls.
+  std::uint64_t reinjections() const { return reinjections_; }
+
+ private:
+  struct OutstandingChunk {
+    Bytes len;
+    std::size_t owner;  // subflow index the chunk was first given to
+  };
+
+  void check_complete();
+  void check_reinjection();
+
+  Network& net_;
+  std::string name_;
+  MptcpConfig config_;
+  std::unique_ptr<MultipathCc> cc_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<std::unique_ptr<Subflow>> subflows_;
+  std::vector<Subflow*> subflow_ptrs_;
+  std::vector<TcpSink*> sinks_;  // owned by net_
+
+  ReceiveBuffer recv_buffer_;
+  std::int64_t allocated_ = 0;
+
+  // Reinjection state (only maintained when enabled).
+  std::map<std::int64_t, OutstandingChunk> outstanding_;  // data_seq -> chunk
+  struct ReinjectEntry {
+    std::int64_t data_seq;
+    Bytes len;
+    std::size_t exclude_owner;
+  };
+  std::deque<ReinjectEntry> reinject_queue_;
+  std::unique_ptr<PeriodicTimer> reinject_timer_;
+  std::int64_t last_in_order_ = 0;
+  SimTime stall_since_ = 0;
+  std::uint64_t reinjections_ = 0;
+
+  bool started_ = false;
+  bool completed_ = false;
+  SimTime start_time_ = 0;
+  SimTime completion_time_ = 0;
+  std::function<void(MptcpConnection&)> on_complete_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,34 @@
+#include "mptcp/path_manager.h"
+
+#include <numeric>
+
+namespace mpcc {
+
+void PathManager::fullmesh(MptcpConnection& conn, const std::vector<PathSpec>& paths,
+                           int subflows_per_path) {
+  for (const PathSpec& path : paths) {
+    for (int i = 0; i < subflows_per_path; ++i) conn.add_subflow(path);
+  }
+}
+
+void PathManager::random_k(MptcpConnection& conn, const std::vector<PathSpec>& paths,
+                           int k, Rng& rng) {
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const std::size_t n = std::min<std::size_t>(static_cast<std::size_t>(k), paths.size());
+  for (std::size_t i = 0; i < n; ++i) conn.add_subflow(paths[order[i]]);
+}
+
+void PathManager::random_k_with_reuse(MptcpConnection& conn,
+                                      const std::vector<PathSpec>& paths, int k,
+                                      Rng& rng) {
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  for (int i = 0; i < k; ++i) {
+    conn.add_subflow(paths[order[static_cast<std::size_t>(i) % order.size()]]);
+  }
+}
+
+}  // namespace mpcc

@@ -1,0 +1,35 @@
+// PathManager: policies for which subflows an MPTCP connection opens.
+//
+// Reproduces the knobs of the paper's kernel experiments: the `fullmesh`
+// path manager opens subflows over every available path, and its
+// `num_subflows` module parameter (Section III) puts several subflows on
+// the *same* path. random_k models path sampling in large fabrics (an
+// MPTCP connection in a FatTree uses a handful of the k^2/4 core paths).
+#pragma once
+
+#include <vector>
+
+#include "mptcp/connection.h"
+#include "util/rng.h"
+
+namespace mpcc {
+
+class PathManager {
+ public:
+  /// Opens `subflows_per_path` subflows over each path in `paths`.
+  static void fullmesh(MptcpConnection& conn, const std::vector<PathSpec>& paths,
+                       int subflows_per_path = 1);
+
+  /// Opens one subflow over each of `k` paths sampled without replacement.
+  /// If k >= paths.size(), uses every path once.
+  static void random_k(MptcpConnection& conn, const std::vector<PathSpec>& paths, int k,
+                       Rng& rng);
+
+  /// Like random_k, but when k exceeds the number of distinct paths the
+  /// sampling wraps around (several subflows on the same path) — the
+  /// kernel's num_subflows semantics used by the datacenter sweeps.
+  static void random_k_with_reuse(MptcpConnection& conn,
+                                  const std::vector<PathSpec>& paths, int k, Rng& rng);
+};
+
+}  // namespace mpcc

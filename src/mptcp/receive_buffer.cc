@@ -1,0 +1,38 @@
+#include "mptcp/receive_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpcc {
+
+void ReceiveBuffer::on_data(std::int64_t data_seq, Bytes len) {
+  assert(len > 0);
+  const std::int64_t end = data_seq + len;
+  if (end <= in_order_) return;  // stale duplicate
+  if (data_seq < in_order_) {    // partial overlap with consumed data
+    data_seq = in_order_;
+    len = end - data_seq;
+  }
+
+  if (data_seq == in_order_) {
+    in_order_ = end;
+  } else {
+    auto [it, inserted] = pending_.emplace(data_seq, len);
+    if (inserted) {
+      buffered_ += len;
+      max_buffered_ = std::max(max_buffered_, buffered_);
+    }
+    return;
+  }
+
+  // Drain any now-contiguous chunks.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first <= in_order_) {
+    const std::int64_t chunk_end = it->first + it->second;
+    buffered_ -= it->second;
+    if (chunk_end > in_order_) in_order_ = chunk_end;
+    it = pending_.erase(it);
+  }
+}
+
+}  // namespace mpcc

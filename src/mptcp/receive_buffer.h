@@ -1,0 +1,53 @@
+// Connection-level receive/reorder buffer.
+//
+// MPTCP subflows deliver in-order at the *subflow* level, but chunks of the
+// connection's data stream can arrive out of order across subflows (a slow
+// path delays its chunks). This buffer reassembles the data-sequence space
+// and tracks occupancy, so experiments can (a) measure head-of-line
+// blocking and (b) bound the sender through a finite window (the 64 KB
+// default receive buffer of the paper's ns-2 wireless setup).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/units.h"
+
+namespace mpcc {
+
+class ReceiveBuffer {
+ public:
+  /// `capacity` = 0 means unlimited.
+  explicit ReceiveBuffer(Bytes capacity = 0) : capacity_(capacity) {}
+
+  /// A chunk [data_seq, data_seq+len) arrived in-order on some subflow.
+  /// Duplicate/overlapping chunks (from spurious retransmits) are ignored.
+  void on_data(std::int64_t data_seq, Bytes len);
+
+  /// Next data-sequence byte the application has not yet consumed.
+  std::int64_t in_order_point() const { return in_order_; }
+  Bytes delivered() const { return in_order_; }
+
+  /// Bytes currently parked above the in-order point (reorder occupancy).
+  Bytes buffered() const { return buffered_; }
+  Bytes max_buffered() const { return max_buffered_; }
+
+  Bytes capacity() const { return capacity_; }
+
+  /// Whether a sender may put `len` more bytes of data-sequence space in
+  /// flight given `allocated` bytes already handed out.
+  bool window_allows(std::int64_t allocated, Bytes len) const {
+    return capacity_ == 0 || allocated - in_order_ + len <= capacity_;
+  }
+
+  std::size_t pending_chunks() const { return pending_.size(); }
+
+ private:
+  Bytes capacity_;
+  std::int64_t in_order_ = 0;
+  Bytes buffered_ = 0;
+  Bytes max_buffered_ = 0;
+  std::map<std::int64_t, Bytes> pending_;  // data_seq -> len, above in_order_
+};
+
+}  // namespace mpcc

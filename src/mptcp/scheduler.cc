@@ -1,0 +1,30 @@
+#include "mptcp/scheduler.h"
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+bool MinRttScheduler::may_allocate(const MptcpConnection& conn, const Subflow& sf) {
+  const Bytes free_window =
+      conn.config().recv_buffer == 0
+          ? Bytes{INT64_MAX}
+          : conn.config().recv_buffer -
+                (conn.bytes_allocated() - conn.receive_buffer().delivered());
+  if (free_window > static_cast<Bytes>(pressure_chunks_) * sf.mss()) return true;
+
+  // Under pressure: only the lowest-srtt subflow that still has cwnd space
+  // may take the chunk.
+  SimTime best = kSimTimeMax;
+  const Subflow* best_sf = nullptr;
+  for (const Subflow* other : conn.subflows()) {
+    if (other->inflight() + other->mss() > static_cast<Bytes>(other->cwnd())) continue;
+    const SimTime rtt = other->rtt().has_sample() ? other->rtt().srtt() : 0;
+    if (rtt < best) {
+      best = rtt;
+      best_sf = other;
+    }
+  }
+  return best_sf == nullptr || best_sf == &sf;
+}
+
+}  // namespace mpcc

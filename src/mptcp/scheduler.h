@@ -1,0 +1,43 @@
+// Scheduler: which subflow may pull the next data chunk.
+//
+// With an unlimited receive buffer, pull scheduling needs no policy — every
+// subflow with window space sends. Under a finite buffer the policy matters
+// (a chunk handed to a slow path can head-of-line block the window); the
+// kernel's default scheduler prefers the lowest-RTT subflow, which
+// MinRttScheduler reproduces.
+#pragma once
+
+#include "mptcp/subflow.h"
+
+namespace mpcc {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  /// May subflow `sf` be given the next chunk right now?
+  virtual bool may_allocate(const MptcpConnection& conn, const Subflow& sf) = 0;
+};
+
+/// No policy: any subflow with congestion-window space pulls.
+class AnySubflowScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "any"; }
+  bool may_allocate(const MptcpConnection&, const Subflow&) override { return true; }
+};
+
+/// Lowest-RTT-first under buffer pressure: when less than `pressure_chunks`
+/// chunks of window remain, only the subflow with the smallest smoothed RTT
+/// (among those with cwnd space) may pull.
+class MinRttScheduler final : public Scheduler {
+ public:
+  explicit MinRttScheduler(int pressure_chunks = 8) : pressure_chunks_(pressure_chunks) {}
+  const char* name() const override { return "min-rtt"; }
+  bool may_allocate(const MptcpConnection& conn, const Subflow& sf) override;
+
+ private:
+  int pressure_chunks_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,40 @@
+#include "mptcp/subflow.h"
+
+#include "mptcp/connection.h"
+
+namespace mpcc {
+
+Subflow::Subflow(Network& net, std::string name, TcpConfig config,
+                 MptcpConnection& conn, std::size_t index)
+    : TcpSrc(net, std::move(name), config), conn_(conn), index_(index), provider_(*this) {
+  set_provider(&provider_);
+  set_hooks(std::make_unique<Hooks>(*this));
+}
+
+void Subflow::after_ack_processing() {
+  // A window change on this subflow can indirectly unblock siblings when the
+  // connection is receive-buffer limited; the connection re-kicks them as
+  // in-order data is delivered, so nothing to do here.
+}
+
+bool Subflow::Provider::next_segment(Bytes mss, Bytes& len, std::int64_t& data_seq) {
+  return sf_.conn_.allocate_chunk(sf_, mss, len, data_seq);
+}
+
+void Subflow::Hooks::on_ack(TcpSrc&, Bytes newly_acked, bool ecn_echo, SimTime rtt) {
+  sf_.conn_.cc().on_ack(sf_.conn_, sf_, newly_acked, ecn_echo, rtt);
+}
+
+void Subflow::Hooks::on_ca_increase(TcpSrc&, Bytes newly_acked) {
+  sf_.conn_.cc().on_ca_increase(sf_.conn_, sf_, newly_acked);
+}
+
+void Subflow::Hooks::on_fast_retransmit(TcpSrc&) {
+  sf_.conn_.cc().on_loss(sf_.conn_, sf_);
+}
+
+void Subflow::Hooks::on_timeout(TcpSrc&) { sf_.conn_.cc().on_timeout(sf_.conn_, sf_); }
+
+const char* Subflow::Hooks::name() const { return sf_.conn_.cc().name(); }
+
+}  // namespace mpcc

@@ -1,0 +1,85 @@
+// Subflow: one TCP flow inside an MPTCP connection.
+//
+// A Subflow is a TcpSrc whose congestion-avoidance hooks are forwarded to
+// the connection's coupled MultipathCc algorithm and whose data comes from
+// the connection's data-sequence allocator (pull-based scheduling). It also
+// carries the per-path metadata the energy-aware algorithms use: the number
+// of inter-switch links on its path (for the energy price of Eq. 6) and an
+// optional list of oracle-observable queues.
+#pragma once
+
+#include <vector>
+
+#include "tcp/tcp_src.h"
+
+namespace mpcc {
+
+class MptcpConnection;
+
+class Subflow final : public TcpSrc {
+ public:
+  Subflow(Network& net, std::string name, TcpConfig config, MptcpConnection& conn,
+          std::size_t index);
+
+  MptcpConnection& connection() { return conn_; }
+  const MptcpConnection& connection() const { return conn_; }
+  std::size_t index() const { return index_; }
+
+  /// Number of inter-switch (aggregation/core) links on this subflow's
+  /// path — the L' set of the paper's Eq. 6. Used by the energy price.
+  int inter_switch_hops() const { return inter_switch_hops_; }
+  void set_inter_switch_hops(int hops) { inter_switch_hops_ = hops; }
+
+  /// Relative per-byte energy cost of this subflow's path (see
+  /// PathSpec::energy_cost).
+  double path_energy_cost() const { return path_energy_cost_; }
+  void set_path_energy_cost(double cost) { path_energy_cost_ = cost; }
+
+  /// Queues on this subflow's path, for the oracle energy-price signal.
+  const std::vector<const Queue*>& path_queues() const { return path_queues_; }
+  void set_path_queues(std::vector<const Queue*> queues) {
+    path_queues_ = std::move(queues);
+  }
+
+  /// Scratch slot algorithms may use for per-subflow state (e.g. wVegas
+  /// epoch tracking); owned by the MultipathCc via index(), this is only a
+  /// convenience for simple algorithms.
+  double cc_scratch = 0.0;
+
+ protected:
+  void after_ack_processing() override;
+
+ private:
+  // Pulls connection-level chunks on demand.
+  class Provider final : public SegmentProvider {
+   public:
+    explicit Provider(Subflow& sf) : sf_(sf) {}
+    bool next_segment(Bytes mss, Bytes& len, std::int64_t& data_seq) override;
+
+   private:
+    Subflow& sf_;
+  };
+
+  // Forwards the CC hooks to the connection's MultipathCc.
+  class Hooks final : public TcpCcHooks {
+   public:
+    explicit Hooks(Subflow& sf) : sf_(sf) {}
+    void on_ack(TcpSrc& src, Bytes newly_acked, bool ecn_echo, SimTime rtt) override;
+    void on_ca_increase(TcpSrc& src, Bytes newly_acked) override;
+    void on_fast_retransmit(TcpSrc& src) override;
+    void on_timeout(TcpSrc& src) override;
+    const char* name() const override;
+
+   private:
+    Subflow& sf_;
+  };
+
+  MptcpConnection& conn_;
+  std::size_t index_;
+  int inter_switch_hops_ = 0;
+  double path_energy_cost_ = 1.0;
+  std::vector<const Queue*> path_queues_;
+  Provider provider_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,18 @@
+#include "net/ecn_queue.h"
+
+namespace mpcc {
+
+EcnQueue::EcnQueue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+                   Bytes mark_threshold_bytes)
+    : Queue(events, std::move(name), rate, capacity_bytes),
+      mark_threshold_(mark_threshold_bytes) {}
+
+bool EcnQueue::on_enqueue(Packet& pkt) {
+  if (pkt.ecn_capable && queued_bytes() >= mark_threshold_) {
+    pkt.ecn_ce = true;
+    ++marks_;
+  }
+  return true;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,27 @@
+// ECN marking queue for DCTCP.
+//
+// Marks CE on every ECN-capable packet that arrives while the instantaneous
+// queue exceeds threshold K (DCTCP's single-threshold marking,
+// Alizadeh et al., SIGCOMM 2010). Non-ECN packets are unaffected.
+#pragma once
+
+#include "net/queue.h"
+
+namespace mpcc {
+
+class EcnQueue final : public Queue {
+ public:
+  EcnQueue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+           Bytes mark_threshold_bytes);
+
+  std::uint64_t marks() const { return marks_; }
+
+ protected:
+  bool on_enqueue(Packet& pkt) override;
+
+ private:
+  Bytes mark_threshold_;
+  std::uint64_t marks_ = 0;
+};
+
+}  // namespace mpcc

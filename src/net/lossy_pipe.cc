@@ -1,0 +1,23 @@
+#include "net/lossy_pipe.h"
+
+namespace mpcc {
+
+LossyPipe::LossyPipe(EventList& events, std::string name, SimTime delay,
+                     double loss_rate, SimTime max_jitter, std::uint64_t seed)
+    : Pipe(events, std::move(name), delay),
+      loss_rate_(loss_rate),
+      max_jitter_(max_jitter),
+      rng_(seed) {}
+
+bool LossyPipe::on_ingress(Packet&, SimTime& extra_delay) {
+  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+    ++losses_;
+    return false;
+  }
+  if (max_jitter_ > 0) {
+    extra_delay = static_cast<SimTime>(rng_.uniform(0.0, static_cast<double>(max_jitter_)));
+  }
+  return true;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,34 @@
+// LossyPipe: a propagation-delay link with random loss and jitter.
+//
+// Models the wireless links of the paper's heterogeneous scenario
+// (Section VI.C.2): a WiFi or 4G hop with a configurable random packet error
+// rate and delay jitter. Loss is i.i.d. Bernoulli (the abstraction ns-2's
+// simple error model provides) — adequate for congestion-control studies
+// where the CC reaction, not the PHY, is under test.
+#pragma once
+
+#include "net/pipe.h"
+#include "util/rng.h"
+
+namespace mpcc {
+
+class LossyPipe final : public Pipe {
+ public:
+  LossyPipe(EventList& events, std::string name, SimTime delay, double loss_rate,
+            SimTime max_jitter, std::uint64_t seed);
+
+  std::uint64_t losses() const { return losses_; }
+  double loss_rate() const { return loss_rate_; }
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+
+ protected:
+  bool on_ingress(Packet& pkt, SimTime& extra_delay) override;
+
+ private:
+  double loss_rate_;
+  SimTime max_jitter_;
+  Rng rng_;
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace mpcc

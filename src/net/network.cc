@@ -1,0 +1,23 @@
+#include "net/network.h"
+
+namespace mpcc {
+
+Link Network::make_link(const std::string& name, Rate rate, SimTime delay, Bytes buffer,
+                        std::size_t buffer_packets) {
+  Link link;
+  link.queue = make_queue(name + ":q", rate, buffer, buffer_packets);
+  link.pipe = make_pipe(name + ":p", delay);
+  queues_.push_back(link.queue);
+  return link;
+}
+
+Link Network::make_ecn_link(const std::string& name, Rate rate, SimTime delay,
+                            Bytes buffer, Bytes mark_threshold) {
+  Link link;
+  link.queue = make_ecn_queue(name + ":q", rate, buffer, mark_threshold);
+  link.pipe = make_pipe(name + ":p", delay);
+  queues_.push_back(link.queue);
+  return link;
+}
+
+}  // namespace mpcc

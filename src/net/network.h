@@ -1,0 +1,103 @@
+// Network: owns the event list, the RNG, and every simulation component.
+//
+// Topology builders and experiments create queues/pipes/routes/endpoints
+// through a Network so lifetime is centralised: components hold raw
+// non-owning pointers to each other (routes reference queues, packets
+// reference routes) and everything dies together when the Network does.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/ecn_queue.h"
+#include "net/lossy_pipe.h"
+#include "net/pipe.h"
+#include "net/queue.h"
+#include "net/red_queue.h"
+#include "net/route.h"
+#include "sim/event_list.h"
+#include "util/rng.h"
+
+namespace mpcc {
+
+/// A unidirectional link: output queue followed by a propagation pipe.
+struct Link {
+  Queue* queue = nullptr;
+  Pipe* pipe = nullptr;
+
+  /// Appends this link's hops to a route under construction.
+  void append_to(Route& route) const {
+    route.push_back(queue);
+    route.push_back(pipe);
+  }
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  EventList& events() { return events_; }
+  const EventList& events() const { return events_; }
+  SimTime now() const { return events_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Creates and owns an arbitrary component, forwarding constructor args.
+  /// Type-erased shared_ptr<void> keeps heterogeneous ownership in one
+  /// container while still running the right destructor.
+  template <typename T, typename... Args>
+  T* emplace(Args&&... args) {
+    auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+    T* raw = obj.get();
+    owned_.push_back(std::move(obj));
+    return raw;
+  }
+
+  Queue* make_queue(std::string name, Rate rate, Bytes capacity,
+                    std::size_t capacity_packets = 0) {
+    return emplace<Queue>(events_, std::move(name), rate, capacity, capacity_packets);
+  }
+
+  EcnQueue* make_ecn_queue(std::string name, Rate rate, Bytes capacity,
+                           Bytes mark_threshold) {
+    return emplace<EcnQueue>(events_, std::move(name), rate, capacity, mark_threshold);
+  }
+
+  Pipe* make_pipe(std::string name, SimTime delay) {
+    return emplace<Pipe>(events_, std::move(name), delay);
+  }
+
+  LossyPipe* make_lossy_pipe(std::string name, SimTime delay, double loss_rate,
+                             SimTime max_jitter = 0) {
+    return emplace<LossyPipe>(events_, std::move(name), delay, loss_rate, max_jitter,
+                              rng_.fork(owned_.size()).engine()());
+  }
+
+  /// Builds queue+pipe for one direction of a link.
+  Link make_link(const std::string& name, Rate rate, SimTime delay, Bytes buffer,
+                 std::size_t buffer_packets = 0);
+
+  /// Same but with an ECN-marking queue (for DCTCP fabrics).
+  Link make_ecn_link(const std::string& name, Rate rate, SimTime delay, Bytes buffer,
+                     Bytes mark_threshold);
+
+  Route* make_route() { return emplace<Route>(); }
+  Route* make_route(std::vector<PacketHandler*> hops) {
+    return emplace<Route>(std::move(hops));
+  }
+
+  std::uint64_t next_flow_id() { return next_flow_id_++; }
+
+  /// All queues created through make_queue/make_link, for fabric-wide stats.
+  const std::vector<Queue*>& queues() const { return queues_; }
+
+ private:
+  EventList events_;
+  Rng rng_;
+  std::vector<std::shared_ptr<void>> owned_;
+  std::vector<Queue*> queues_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace mpcc

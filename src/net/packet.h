@@ -1,0 +1,67 @@
+// Packet: the unit that flows through queues and pipes.
+//
+// Packets are value types moved hop-to-hop (no shared ownership, no pool):
+// a hop either forwards the packet or drops it on the floor, so lifetime is
+// trivially correct. A packet carries its full source route (htsim-style)
+// and an index of the next hop.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace mpcc {
+
+class Route;
+
+enum class PacketType : std::uint8_t { kData, kAck };
+
+/// Bytes of L3/L4 header accounted on the wire for every segment.
+inline constexpr Bytes kHeaderBytes = 40;
+/// Default maximum segment (payload) size.
+inline constexpr Bytes kDefaultMss = 1460;
+
+struct Packet {
+  PacketType type = PacketType::kData;
+
+  /// Identifies the sending TcpSrc/subflow; the sink echoes it on ACKs.
+  std::uint64_t flow_id = 0;
+
+  /// Payload bytes (0 for pure ACKs).
+  Bytes payload = 0;
+
+  /// DATA: sequence number of the first payload byte.
+  /// ACK: cumulative acknowledgement (next expected byte).
+  std::int64_t seq = 0;
+
+  /// MPTCP data-level sequence carried by the segment (DSS mapping); -1 for
+  /// single-path flows.
+  std::int64_t data_seq = -1;
+
+  /// Timestamp option: set by the sender, echoed by the sink, used for RTT.
+  SimTime ts = 0;
+  SimTime ts_echo = 0;
+
+  /// ECN: sender marks capability; queues set CE; sinks echo ECE on ACKs.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
+  bool ecn_echo = false;
+
+  /// Source route and the index of the hop that should receive the packet
+  /// next.
+  const Route* route = nullptr;
+  std::uint32_t next_hop = 0;
+
+  /// Total bytes this packet occupies on the wire.
+  Bytes wire_size() const { return payload + kHeaderBytes; }
+};
+
+/// Creates a data segment for `flow`.
+Packet make_data_packet(std::uint64_t flow_id, std::int64_t seq, Bytes payload,
+                        const Route* route, SimTime now);
+
+/// Creates the ACK acknowledging through `cum_ack`, echoing `ts`.
+Packet make_ack_packet(std::uint64_t flow_id, std::int64_t cum_ack, const Route* route,
+                       SimTime now, SimTime ts_echo);
+
+}  // namespace mpcc

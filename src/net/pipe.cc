@@ -1,0 +1,43 @@
+#include "net/pipe.h"
+
+#include <cassert>
+
+namespace mpcc {
+
+Pipe::Pipe(EventList& events, std::string name, SimTime delay)
+    : EventSource(std::move(name)), events_(events), delay_(delay) {}
+
+bool Pipe::on_ingress(Packet&, SimTime&) { return true; }
+
+void Pipe::receive(Packet pkt) {
+  SimTime extra = 0;
+  if (!on_ingress(pkt, extra)) return;  // dropped (lossy subclass)
+  // Keep deliveries monotone even with jitter so the deque stays sorted.
+  SimTime deliver_at = events_.now() + delay_ + extra;
+  if (deliver_at < last_delivery_) deliver_at = last_delivery_;
+  last_delivery_ = deliver_at;
+  in_flight_.push_back(InFlight{deliver_at, std::move(pkt)});
+  if (!event_pending_) {
+    event_pending_ = true;
+    events_.schedule_at(this, deliver_at);
+  }
+}
+
+void Pipe::do_next_event() {
+  assert(!in_flight_.empty());
+  event_pending_ = false;
+  // Deliver everything due now (simultaneous arrivals collapse into one
+  // event when they share a timestamp).
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= events_.now()) {
+    Packet pkt = std::move(in_flight_.front().pkt);
+    in_flight_.pop_front();
+    ++forwarded_;
+    Route::forward(std::move(pkt));
+  }
+  if (!in_flight_.empty()) {
+    event_pending_ = true;
+    events_.schedule_at(this, in_flight_.front().deliver_at);
+  }
+}
+
+}  // namespace mpcc

@@ -1,0 +1,45 @@
+// Pipe: fixed propagation delay.
+//
+// A pipe delays every packet by `delay` and forwards it. Because the delay
+// is constant, deliveries stay FIFO and a simple deque suffices; the pipe
+// keeps at most one pending event (for its earliest delivery).
+#pragma once
+
+#include <deque>
+
+#include "net/route.h"
+#include "sim/event_list.h"
+
+namespace mpcc {
+
+class Pipe : public PacketHandler, public EventSource {
+ public:
+  Pipe(EventList& events, std::string name, SimTime delay);
+
+  void receive(Packet pkt) override;
+  void do_next_event() override;
+
+  SimTime delay() const { return delay_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ protected:
+  /// Subclass hook: return false to drop the packet at ingress (loss), and
+  /// optionally perturb `extra_delay` (jitter).
+  virtual bool on_ingress(Packet& pkt, SimTime& extra_delay);
+
+  EventList& events_;
+
+ private:
+  struct InFlight {
+    SimTime deliver_at;
+    Packet pkt;
+  };
+
+  SimTime delay_;
+  std::deque<InFlight> in_flight_;
+  bool event_pending_ = false;
+  SimTime last_delivery_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,72 @@
+#include "net/queue.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace mpcc {
+
+Queue::Queue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+             std::size_t capacity_packets)
+    : EventSource(std::move(name)),
+      events_(events),
+      rate_(rate),
+      capacity_bytes_(capacity_bytes),
+      capacity_packets_(capacity_packets) {
+  assert(rate_ > 0);
+}
+
+bool Queue::on_enqueue(Packet&) { return true; }
+
+void Queue::receive(Packet pkt) {
+  const bool over_bytes = queued_bytes_ + pkt.wire_size() > capacity_bytes_;
+  const bool over_packets =
+      capacity_packets_ != 0 && queued_packets() + 1 > capacity_packets_;
+  if (over_bytes || over_packets) {
+    ++drops_;
+    MPCC_DEBUG << name() << " drop flow=" << pkt.flow_id << " seq=" << pkt.seq;
+    return;  // tail drop
+  }
+  if (!on_enqueue(pkt)) {
+    ++drops_;
+    return;
+  }
+  queued_bytes_ += pkt.wire_size();
+  if (!busy_) {
+    start_service(std::move(pkt));
+  } else {
+    fifo_.push_back(std::move(pkt));
+  }
+}
+
+void Queue::start_service(Packet pkt) {
+  busy_ = true;
+  service_started_ = events_.now();
+  in_service_ = std::move(pkt);
+  events_.schedule_in(this, transmission_time(in_service_.wire_size(), rate_));
+}
+
+void Queue::do_next_event() {
+  assert(busy_);
+  busy_time_ += events_.now() - service_started_;
+  queued_bytes_ -= in_service_.wire_size();
+  ++forwarded_;
+  bytes_forwarded_ += in_service_.wire_size();
+  Packet done = std::move(in_service_);
+  if (!fifo_.empty()) {
+    Packet next = std::move(fifo_.front());
+    fifo_.pop_front();
+    start_service(std::move(next));
+  } else {
+    busy_ = false;
+  }
+  Route::forward(std::move(done));
+}
+
+double Queue::utilization(SimTime now) const {
+  SimTime busy = busy_time_;
+  if (busy_) busy += now - service_started_;
+  return now > 0 ? static_cast<double>(busy) / static_cast<double>(now) : 0.0;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,67 @@
+// DropTail output queue with a finite buffer and a serialisation rate.
+//
+// The queue models a switch/NIC output port: arriving packets wait in FIFO
+// order, the head packet is serialised at `rate` bits/s, and arrivals that
+// would overflow the buffer are dropped (tail drop). Buffer capacity can be
+// expressed in bytes or packets (the paper's ns-2 wireless setup uses a
+// 50-*packet* DropTail queue).
+#pragma once
+
+#include <deque>
+#include <limits>
+
+#include "net/route.h"
+#include "sim/event_list.h"
+#include "util/units.h"
+
+namespace mpcc {
+
+class Queue : public PacketHandler, public EventSource {
+ public:
+  /// Buffer limit: `capacity_bytes` caps queued bytes; `capacity_packets`
+  /// (if non-zero) caps queued packet count instead.
+  Queue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+        std::size_t capacity_packets = 0);
+
+  void receive(Packet pkt) override;
+  void do_next_event() override;
+
+  Rate rate() const { return rate_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+  std::size_t queued_packets() const { return fifo_.size() + (busy_ ? 1 : 0); }
+  Bytes capacity_bytes() const { return capacity_bytes_; }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  Bytes bytes_forwarded() const { return bytes_forwarded_; }
+
+  /// Mean utilisation since creation: busy time / elapsed time.
+  double utilization(SimTime now) const;
+
+ protected:
+  /// Hook for subclasses (ECN/RED) to examine/modify a packet at enqueue
+  /// time. Returning false drops the packet.
+  virtual bool on_enqueue(Packet& pkt);
+
+  EventList& events_;
+
+ private:
+  void start_service(Packet pkt);
+
+  Rate rate_;
+  Bytes capacity_bytes_;
+  std::size_t capacity_packets_;
+
+  std::deque<Packet> fifo_;
+  Bytes queued_bytes_ = 0;  // includes the packet in service
+  bool busy_ = false;
+  Packet in_service_;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t forwarded_ = 0;
+  Bytes bytes_forwarded_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime service_started_ = 0;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,46 @@
+#include "net/red_queue.h"
+
+#include <algorithm>
+
+namespace mpcc {
+
+RedQueue::RedQueue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+                   RedConfig config, std::uint64_t seed)
+    : Queue(events, std::move(name), rate, capacity_bytes),
+      config_(config),
+      rng_(seed) {}
+
+bool RedQueue::on_enqueue(Packet& pkt) {
+  avg_ = (1.0 - config_.weight) * avg_ +
+         config_.weight * static_cast<double>(queued_bytes());
+  if (avg_ < static_cast<double>(config_.min_threshold)) {
+    since_last_drop_++;
+    return true;
+  }
+  double p;
+  if (avg_ >= static_cast<double>(config_.max_threshold)) {
+    p = 1.0;
+  } else {
+    const double span =
+        static_cast<double>(config_.max_threshold - config_.min_threshold);
+    p = config_.max_probability *
+        (avg_ - static_cast<double>(config_.min_threshold)) / span;
+    // Gentle count correction as in the original RED: spread drops out.
+    const double denom = 1.0 - std::min<double>(static_cast<double>(since_last_drop_), 50.0) * p;
+    if (denom > 0) p = std::min(1.0, p / denom);
+  }
+  if (!rng_.bernoulli(p)) {
+    since_last_drop_++;
+    return true;
+  }
+  since_last_drop_ = 0;
+  if (config_.mark_instead_of_drop && pkt.ecn_capable) {
+    pkt.ecn_ce = true;
+    ++marks_;
+    return true;
+  }
+  ++early_drops_;
+  return false;  // early drop
+}
+
+}  // namespace mpcc

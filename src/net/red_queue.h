@@ -1,0 +1,43 @@
+// Random Early Detection queue.
+//
+// Classic RED (Floyd & Jacobson 1993): an EWMA of the queue length drives a
+// drop/mark probability ramp between min_th and max_th. Included as an AQM
+// substrate; the paper's Internet-path scenarios are DropTail, but RED lets
+// tests exercise CC behaviour under probabilistic marking as well.
+#pragma once
+
+#include "net/queue.h"
+#include "util/rng.h"
+
+namespace mpcc {
+
+struct RedConfig {
+  Bytes min_threshold = 0;
+  Bytes max_threshold = 0;
+  double max_probability = 0.1;  // drop probability at max_threshold
+  double weight = 0.002;         // EWMA weight for the average queue size
+  bool mark_instead_of_drop = false;  // ECN mode for capable packets
+};
+
+class RedQueue final : public Queue {
+ public:
+  RedQueue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
+           RedConfig config, std::uint64_t seed);
+
+  double average_queue() const { return avg_; }
+  std::uint64_t early_drops() const { return early_drops_; }
+  std::uint64_t marks() const { return marks_; }
+
+ protected:
+  bool on_enqueue(Packet& pkt) override;
+
+ private:
+  RedConfig config_;
+  Rng rng_;
+  double avg_ = 0.0;
+  std::uint64_t early_drops_ = 0;
+  std::uint64_t marks_ = 0;
+  std::uint64_t since_last_drop_ = 0;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,22 @@
+#include "net/route.h"
+
+#include <cassert>
+
+namespace mpcc {
+
+void Route::forward(Packet pkt) {
+  assert(pkt.route != nullptr);
+  assert(pkt.next_hop < pkt.route->size() && "packet ran off the end of its route");
+  PacketHandler* next = pkt.route->hop(pkt.next_hop);
+  ++pkt.next_hop;
+  next->receive(std::move(pkt));
+}
+
+void Route::inject(Packet pkt) const {
+  assert(!hops_.empty());
+  pkt.route = this;
+  pkt.next_hop = 0;
+  forward(std::move(pkt));
+}
+
+}  // namespace mpcc

@@ -1,0 +1,50 @@
+// Source routing, htsim-style.
+//
+// A Route is an ordered list of PacketHandlers (queues, pipes, and finally
+// an endpoint). Senders stamp the route on the packet; each hop calls
+// Route::forward to move the packet along. Routes are owned by the Network
+// and immutable once built, so raw non-owning pointers on packets are safe.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+
+namespace mpcc {
+
+/// Anything a packet can be delivered to.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  /// Takes ownership of the packet: the handler forwards it or drops it.
+  virtual void receive(Packet pkt) = 0;
+};
+
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<PacketHandler*> hops) : hops_(std::move(hops)) {}
+
+  void push_back(PacketHandler* hop) { hops_.push_back(hop); }
+
+  /// Appends all hops of `tail` (used to splice access + core segments).
+  void append(const Route& tail) {
+    hops_.insert(hops_.end(), tail.hops_.begin(), tail.hops_.end());
+  }
+
+  std::size_t size() const { return hops_.size(); }
+  bool empty() const { return hops_.empty(); }
+  PacketHandler* hop(std::size_t i) const { return hops_[i]; }
+
+  /// Delivers `pkt` to its next hop, advancing the hop index. The packet
+  /// must still have hops remaining.
+  static void forward(Packet pkt);
+
+  /// Injects `pkt` at the first hop of this route.
+  void inject(Packet pkt) const;
+
+ private:
+  std::vector<PacketHandler*> hops_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,54 @@
+#include "sim/event_list.h"
+
+#include <cassert>
+
+namespace mpcc {
+
+EventToken EventList::schedule_at(EventSource* src, SimTime t) {
+  assert(src != nullptr);
+  assert(t >= now_ && "cannot schedule into the past");
+  EventToken token = next_token_++;
+  heap_.push(Entry{t, token, src});
+  return token;
+}
+
+void EventList::cancel(EventToken token) {
+  if (token != kInvalidEventToken) cancelled_.insert(token);
+}
+
+bool EventList::run_next() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.token); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++dispatched_;
+    e.source->do_next_event();
+    return true;
+  }
+  return false;
+}
+
+void EventList::run_until(SimTime t) {
+  while (!heap_.empty()) {
+    const Entry& e = heap_.top();
+    if (e.time > t) break;
+    if (cancelled_.erase(e.token) > 0) {
+      heap_.pop();
+      continue;
+    }
+    run_next();
+  }
+  if (t > now_) now_ = t;
+}
+
+void EventList::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace mpcc

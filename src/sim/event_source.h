@@ -1,0 +1,24 @@
+// EventSource: anything that can be scheduled on the EventList.
+#pragma once
+
+#include <string>
+
+namespace mpcc {
+
+class EventSource {
+ public:
+  explicit EventSource(std::string name) : name_(std::move(name)) {}
+  virtual ~EventSource() = default;
+  EventSource(const EventSource&) = delete;
+  EventSource& operator=(const EventSource&) = delete;
+
+  /// Called by the EventList when this source's scheduled time arrives.
+  virtual void do_next_event() = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace mpcc

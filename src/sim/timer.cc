@@ -1,0 +1,4 @@
+#include "sim/timer.h"
+
+// Timer and PeriodicTimer are header-only; this translation unit anchors
+// their vtables.

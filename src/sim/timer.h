@@ -1,0 +1,93 @@
+// One-shot and periodic timers built on the EventList.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_list.h"
+
+namespace mpcc {
+
+/// A restartable one-shot timer invoking a callback at expiry. Used for TCP
+/// retransmission timeouts and traffic on/off transitions.
+class Timer final : public EventSource {
+ public:
+  Timer(EventList& events, std::string name, std::function<void()> callback)
+      : EventSource(std::move(name)), events_(events), callback_(std::move(callback)) {}
+
+  ~Timer() override { cancel(); }
+
+  /// (Re)arms the timer to fire `delay` from now; any pending expiry is
+  /// cancelled first.
+  void arm(SimTime delay) {
+    cancel();
+    token_ = events_.schedule_in(this, delay);
+    expiry_ = events_.now() + delay;
+  }
+
+  void arm_at(SimTime when) {
+    cancel();
+    token_ = events_.schedule_at(this, when);
+    expiry_ = when;
+  }
+
+  void cancel() {
+    if (token_ != kInvalidEventToken) {
+      events_.cancel(token_);
+      token_ = kInvalidEventToken;
+    }
+  }
+
+  bool armed() const { return token_ != kInvalidEventToken; }
+  SimTime expiry() const { return expiry_; }
+
+  void do_next_event() override {
+    token_ = kInvalidEventToken;
+    callback_();
+  }
+
+ private:
+  EventList& events_;
+  std::function<void()> callback_;
+  EventToken token_ = kInvalidEventToken;
+  SimTime expiry_ = 0;
+};
+
+/// Fires a callback every `period` until stopped. Used by energy meters and
+/// throughput samplers.
+class PeriodicTimer final : public EventSource {
+ public:
+  PeriodicTimer(EventList& events, std::string name, SimTime period,
+                std::function<void()> callback)
+      : EventSource(std::move(name)),
+        events_(events),
+        period_(period),
+        callback_(std::move(callback)) {}
+
+  ~PeriodicTimer() override { stop(); }
+
+  void start() {
+    if (token_ == kInvalidEventToken) token_ = events_.schedule_in(this, period_);
+  }
+
+  void stop() {
+    if (token_ != kInvalidEventToken) {
+      events_.cancel(token_);
+      token_ = kInvalidEventToken;
+    }
+  }
+
+  SimTime period() const { return period_; }
+
+  void do_next_event() override {
+    token_ = events_.schedule_in(this, period_);
+    callback_();
+  }
+
+ private:
+  EventList& events_;
+  SimTime period_;
+  std::function<void()> callback_;
+  EventToken token_ = kInvalidEventToken;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,28 @@
+#include "stats/boxstats.h"
+
+namespace mpcc {
+
+BoxStats box_stats(const Summary& summary) {
+  BoxStats b;
+  if (summary.empty()) return b;
+  b.q1 = summary.percentile(25.0);
+  b.median = summary.percentile(50.0);
+  b.q3 = summary.percentile(75.0);
+  b.min = summary.min();
+  b.max = summary.max();
+  const double low_fence = b.q1 - 1.5 * b.iqr();
+  const double high_fence = b.q3 + 1.5 * b.iqr();
+  b.whisker_low = b.q3;
+  b.whisker_high = b.q1;
+  for (double v : summary.values()) {
+    if (v < low_fence || v > high_fence) {
+      b.outliers.push_back(v);
+    } else {
+      if (v < b.whisker_low) b.whisker_low = v;
+      if (v > b.whisker_high) b.whisker_high = v;
+    }
+  }
+  return b;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,27 @@
+// Box-and-whisker statistics, exactly as the paper's Fig 6 defines them:
+// min, Q1, median, Q3, max, and outliers beyond [Q1 - 1.5 IQR, Q3 + 1.5 IQR]
+// (whiskers extend to the most extreme non-outlier values).
+#pragma once
+
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace mpcc {
+
+struct BoxStats {
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_low = 0;   // most extreme sample >= Q1 - 1.5 IQR
+  double whisker_high = 0;  // most extreme sample <= Q3 + 1.5 IQR
+  double min = 0;
+  double max = 0;
+  std::vector<double> outliers;
+
+  double iqr() const { return q3 - q1; }
+};
+
+BoxStats box_stats(const Summary& summary);
+
+}  // namespace mpcc

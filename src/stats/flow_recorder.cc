@@ -1,0 +1,41 @@
+#include "stats/flow_recorder.h"
+
+namespace mpcc {
+
+FlowRecorder::FlowRecorder(Network& net, SimTime period)
+    : net_(net),
+      timer_(net.events(), "flow-recorder", period, [this] { take_sample(); }) {}
+
+void FlowRecorder::track(std::string label, std::function<Bytes()> cumulative_bytes) {
+  Entry e;
+  e.label = std::move(label);
+  e.counter = std::move(cumulative_bytes);
+  e.last = e.counter();
+  entries_.push_back(std::move(e));
+}
+
+void FlowRecorder::track_flow(std::string label, const TcpSrc& flow) {
+  track(std::move(label), [&flow] { return flow.bytes_acked_total(); });
+}
+
+void FlowRecorder::track_connection(std::string label, const MptcpConnection& conn) {
+  track(std::move(label), [&conn] { return conn.bytes_delivered(); });
+}
+
+void FlowRecorder::take_sample() {
+  for (Entry& e : entries_) {
+    const Bytes now_bytes = e.counter();
+    const Bytes delta = now_bytes - e.last;
+    e.last = now_bytes;
+    e.series.add(net_.now(), throughput(delta, timer_.period()));
+  }
+}
+
+const TimeSeries* FlowRecorder::series(const std::string& label) const {
+  for (const Entry& e : entries_) {
+    if (e.label == label) return &e.series;
+  }
+  return nullptr;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,63 @@
+#include "stats/series.h"
+
+#include <algorithm>
+
+namespace mpcc {
+
+double TimeSeries::mean(SimTime from, SimTime to) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : samples_) {
+    if (t >= from && t < to) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::min_value() const {
+  double best = 0;
+  bool first = true;
+  for (const auto& [t, v] : samples_) {
+    (void)t;
+    if (first || v < best) best = v;
+    first = false;
+  }
+  return best;
+}
+
+double TimeSeries::max_value() const {
+  double best = 0;
+  bool first = true;
+  for (const auto& [t, v] : samples_) {
+    (void)t;
+    if (first || v > best) best = v;
+    first = false;
+  }
+  return best;
+}
+
+std::vector<std::pair<SimTime, double>> TimeSeries::rebucket(SimTime width) const {
+  std::vector<std::pair<SimTime, double>> out;
+  if (samples_.empty() || width <= 0) return out;
+  SimTime bucket_start = 0;
+  double sum = 0;
+  std::size_t n = 0;
+  double last = samples_.front().second;
+  for (const auto& [t, v] : samples_) {
+    while (t >= bucket_start + width) {
+      out.emplace_back(bucket_start, n > 0 ? sum / static_cast<double>(n) : last);
+      if (n > 0) last = sum / static_cast<double>(n);
+      bucket_start += width;
+      sum = 0;
+      n = 0;
+    }
+    sum += v;
+    ++n;
+  }
+  out.emplace_back(bucket_start, n > 0 ? sum / static_cast<double>(n) : last);
+  return out;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,33 @@
+// TimeSeries: (time, value) samples with windowed reductions.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpcc {
+
+class TimeSeries {
+ public:
+  void add(SimTime t, double v) { samples_.emplace_back(t, v); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<std::pair<SimTime, double>>& samples() const { return samples_; }
+
+  /// Mean of values with t in [from, to).
+  double mean(SimTime from = 0, SimTime to = kSimTimeMax) const;
+
+  double min_value() const;
+  double max_value() const;
+
+  /// Resamples onto fixed buckets of `width`, averaging within each bucket;
+  /// empty buckets repeat the previous value (trace plotting helper).
+  std::vector<std::pair<SimTime, double>> rebucket(SimTime width) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> samples_;
+};
+
+}  // namespace mpcc

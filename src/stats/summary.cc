@@ -1,0 +1,56 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcc {
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0;
+  for (double v : values_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::min() const {
+  return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::jain_index() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double v : values_) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0) return 1.0;  // all-zero allocation is trivially "fair"
+  return sum * sum / (static_cast<double>(values_.size()) * sum_sq);
+}
+
+double Summary::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace mpcc

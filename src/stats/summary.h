@@ -1,0 +1,36 @@
+// Summary statistics over a sample set: mean, stddev, percentiles.
+#pragma once
+
+#include <vector>
+
+namespace mpcc {
+
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> values) : values_(std::move(values)) {}
+
+  void add(double v) { values_.push_back(v); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double mean() const;
+  double stddev() const;  // sample standard deviation (n-1)
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Jain's fairness index (sum x)^2 / (n sum x^2): 1 = perfectly fair,
+  /// 1/n = one value holds everything. Used for the allocation checks the
+  /// multipath literature reports.
+  double jain_index() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace mpcc

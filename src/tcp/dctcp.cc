@@ -1,0 +1,45 @@
+#include "tcp/dctcp.h"
+
+#include <algorithm>
+
+namespace mpcc {
+
+void DctcpHooks::on_ack(TcpSrc& src, Bytes newly_acked, bool ecn_echo, SimTime) {
+  acked_bytes_ += newly_acked;
+  if (ecn_echo) marked_bytes_ += newly_acked;
+
+  // One observation window ~= one RTT of data.
+  if (src.last_acked() >= window_end_) {
+    if (acked_bytes_ > 0) {
+      const double fraction =
+          static_cast<double>(marked_bytes_) / static_cast<double>(acked_bytes_);
+      alpha_ = (1.0 - config_.g) * alpha_ + config_.g * fraction;
+    }
+    acked_bytes_ = 0;
+    marked_bytes_ = 0;
+    window_end_ = src.highest_sent();
+  }
+
+  // ECN reaction: at most one multiplicative reduction per window.
+  if (ecn_echo && src.last_acked() > cwr_end_) {
+    cwr_end_ = src.highest_sent();
+    const double reduced = src.cwnd() * (1.0 - alpha_ / 2.0);
+    src.set_cwnd(reduced);
+    src.set_ssthresh(static_cast<Bytes>(reduced));
+  }
+}
+
+void DctcpHooks::on_ca_increase(TcpSrc& src, Bytes newly_acked) {
+  TcpCcHooks::on_ca_increase(src, newly_acked);  // Reno additive increase
+}
+
+void DctcpHooks::on_fast_retransmit(TcpSrc& src) {
+  TcpCcHooks::on_fast_retransmit(src);  // packet loss still halves
+}
+
+TcpConfig dctcp_tcp_config(TcpConfig base) {
+  base.ecn_capable = true;
+  return base;
+}
+
+}  // namespace mpcc

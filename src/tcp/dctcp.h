@@ -1,0 +1,42 @@
+// DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+//
+// The sender maintains alpha, an EWMA of the fraction of ECN-marked bytes
+// per window, and on congestion (ECE) cuts cwnd by alpha/2 instead of 1/2.
+// Used as one of the single-path baselines in the paper's virtual-cloud
+// experiment (Fig 10).
+#pragma once
+
+#include "tcp/tcp_src.h"
+
+namespace mpcc {
+
+struct DctcpConfig {
+  /// EWMA gain for alpha (DCTCP paper recommends 1/16).
+  double g = 1.0 / 16.0;
+  double initial_alpha = 1.0;
+};
+
+class DctcpHooks final : public TcpCcHooks {
+ public:
+  explicit DctcpHooks(DctcpConfig config = {}) : config_(config), alpha_(config.initial_alpha) {}
+
+  void on_ack(TcpSrc& src, Bytes newly_acked, bool ecn_echo, SimTime rtt_sample) override;
+  void on_ca_increase(TcpSrc& src, Bytes newly_acked) override;
+  void on_fast_retransmit(TcpSrc& src) override;
+  const char* name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  DctcpConfig config_;
+  double alpha_;
+  Bytes acked_bytes_ = 0;
+  Bytes marked_bytes_ = 0;
+  std::int64_t window_end_ = 0;  // next alpha update when last_acked passes this
+  std::int64_t cwr_end_ = -1;    // at most one reduction per window
+};
+
+/// Creates a TcpSrc configured for DCTCP (ECN-capable + DctcpHooks).
+TcpConfig dctcp_tcp_config(TcpConfig base = {});
+
+}  // namespace mpcc

@@ -1,0 +1,30 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+
+namespace mpcc {
+
+void RttEstimator::add_sample(SimTime rtt) {
+  if (rtt <= 0) return;
+  last_ = rtt;
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    base_ = rtt;
+  } else {
+    // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt.
+    const SimTime err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+    if (base_ == 0 || rtt < base_) base_ = rtt;
+  }
+  ++samples_;
+}
+
+SimTime RttEstimator::rto() const {
+  if (samples_ == 0) return std::max<SimTime>(min_rto_, kSecond);
+  SimTime rto = srtt_ + std::max<SimTime>(4 * rttvar_, kMillisecond);
+  return std::clamp(rto, min_rto_, max_rto_);
+}
+
+}  // namespace mpcc

@@ -1,0 +1,52 @@
+// RFC 6298 RTT estimation plus the min-RTT ("baseRTT") tracking that the
+// paper's DTS factor (Eq. 5) and wVegas require.
+#pragma once
+
+#include "util/units.h"
+
+namespace mpcc {
+
+class RttEstimator {
+ public:
+  /// `min_rto` clamps the computed RTO from below (kernels use 200 ms;
+  /// datacenter deployments tune it down).
+  explicit RttEstimator(SimTime min_rto = 200 * kMillisecond,
+                        SimTime max_rto = 60 * kSecond)
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  /// Feeds one RTT measurement.
+  void add_sample(SimTime rtt);
+
+  bool has_sample() const { return samples_ > 0; }
+  std::uint64_t samples() const { return samples_; }
+
+  /// Smoothed RTT (RFC 6298 alpha = 1/8). Zero until the first sample.
+  SimTime srtt() const { return srtt_; }
+
+  /// Latest raw measurement.
+  SimTime last_rtt() const { return last_; }
+
+  /// Minimum RTT ever observed — the paper's baseRTT_r.
+  SimTime base_rtt() const { return base_; }
+
+  SimTime rttvar() const { return rttvar_; }
+
+  /// Current retransmission timeout: srtt + 4*rttvar, clamped to
+  /// [min_rto, max_rto]; a conservative default before any sample.
+  SimTime rto() const;
+
+  /// Forgets the base RTT (used when a path's propagation delay is known to
+  /// have changed, e.g. a handover).
+  void reset_base() { base_ = 0; }
+
+ private:
+  SimTime min_rto_;
+  SimTime max_rto_;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  SimTime last_ = 0;
+  SimTime base_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace mpcc

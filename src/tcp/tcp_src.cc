@@ -1,0 +1,279 @@
+#include "tcp/tcp_src.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace mpcc {
+
+// ---------------------------------------------------------------- provider
+
+bool FixedFlowProvider::next_segment(Bytes mss, Bytes& len, std::int64_t& data_seq) {
+  if (remaining_ == 0) return false;
+  if (remaining_ < 0) {
+    len = mss;  // unbounded
+  } else {
+    len = std::min<Bytes>(mss, remaining_);
+    remaining_ -= len;
+  }
+  data_seq = next_seq_;
+  next_seq_ += len;
+  return true;
+}
+
+// ------------------------------------------------------------------- hooks
+
+void TcpCcHooks::on_ack(TcpSrc&, Bytes, bool, SimTime) {}
+
+void TcpCcHooks::on_ca_increase(TcpSrc& src, Bytes newly_acked) {
+  // Reno: one mss per window's worth of ACKed bytes.
+  const double mss = static_cast<double>(src.mss());
+  src.set_cwnd(src.cwnd() + mss * static_cast<double>(newly_acked) / src.cwnd());
+}
+
+void TcpCcHooks::on_fast_retransmit(TcpSrc& src) {
+  const Bytes half = std::max<Bytes>(src.inflight() / 2, 2 * src.mss());
+  src.set_ssthresh(half);
+  src.set_cwnd(static_cast<double>(half + 3 * src.mss()));
+}
+
+void TcpCcHooks::on_timeout(TcpSrc& src) {
+  src.set_ssthresh(std::max<Bytes>(src.inflight() / 2, 2 * src.mss()));
+}
+
+// ------------------------------------------------------------------ TcpSrc
+
+TcpSrc::TcpSrc(Network& net, std::string name, TcpConfig config)
+    : EventSource(std::move(name)),
+      net_(net),
+      config_(config),
+      flow_id_(net.next_flow_id()),
+      hooks_(std::make_unique<TcpCcHooks>()),
+      ssthresh_(config.max_cwnd > 0 ? config.max_cwnd : mega_bytes(1024)),
+      rtt_(config.min_rto, config.max_rto),
+      rto_timer_(net.events(), this->name() + ":rto", [this] { on_rto(); }) {
+  cwnd_ = static_cast<double>(config_.initial_window_segments) *
+          static_cast<double>(config_.mss);
+  owned_provider_ = std::make_unique<FixedFlowProvider>(Bytes{-1});
+  provider_ = owned_provider_.get();
+}
+
+void TcpSrc::connect(const Route* forward, TcpSink* sink) {
+  assert(forward != nullptr && sink != nullptr);
+  forward_ = forward;
+  (void)sink;  // the sink is reached through `forward`; kept for clarity
+}
+
+void TcpSrc::set_flow_size(Bytes total) {
+  owned_provider_ = std::make_unique<FixedFlowProvider>(total);
+  provider_ = owned_provider_.get();
+}
+
+void TcpSrc::start(SimTime at) {
+  assert(forward_ != nullptr && "connect() before start()");
+  start_time_ = at;
+  net_.events().schedule_at(this, at);
+}
+
+void TcpSrc::do_next_event() {
+  started_ = true;
+  send_available();
+}
+
+void TcpSrc::set_cwnd(double cwnd) {
+  const double floor = static_cast<double>(config_.mss);
+  double cap = config_.max_cwnd > 0 ? static_cast<double>(config_.max_cwnd)
+                                    : static_cast<double>(giga_bytes(1));
+  cwnd_ = std::clamp(cwnd, floor, cap);
+}
+
+Bytes TcpSrc::effective_cwnd() const { return static_cast<Bytes>(cwnd_); }
+
+void TcpSrc::send_available() {
+  if (!started_ || completed_) return;
+  // RFC 2861: a cwnd unused across an idle period says nothing about the
+  // current network; restart from the initial window.
+  if (config_.cwnd_restart_after_idle && inflight() == 0 && last_send_time_ > 0 &&
+      net_.now() - last_send_time_ > rtt_.rto()) {
+    const double initial = static_cast<double>(config_.initial_window_segments) *
+                           static_cast<double>(config_.mss);
+    if (cwnd_ > initial) set_cwnd(initial);
+  }
+  while (true) {
+    const Bytes pipe = inflight();
+    if (pipe + config_.mss > effective_cwnd() && pipe > 0) break;
+    if (next_send_ < highest_sent_) {
+      // Go-back-N resend of an already-mapped segment.
+      auto it = segments_.find(next_send_);
+      assert(it != segments_.end() && "resend point must be segment-aligned");
+      send_segment(next_send_, it->second, /*retransmit=*/true);
+      next_send_ += it->second.len;
+    } else {
+      Bytes len = 0;
+      std::int64_t data_seq = -1;
+      if (!provider_->next_segment(config_.mss, len, data_seq)) break;
+      assert(len > 0 && len <= config_.mss);
+      SegmentMeta meta{len, data_seq};
+      segments_.emplace(highest_sent_, meta);
+      send_segment(highest_sent_, meta, /*retransmit=*/false);
+      highest_sent_ += len;
+      next_send_ = highest_sent_;
+    }
+  }
+  if (inflight() > 0 && !rto_timer_.armed()) arm_rto();
+}
+
+void TcpSrc::send_segment(std::int64_t seq, const SegmentMeta& meta, bool retransmit) {
+  Packet pkt = make_data_packet(flow_id_, seq, meta.len, forward_, net_.now());
+  pkt.data_seq = meta.data_seq;
+  pkt.ecn_capable = config_.ecn_capable;
+  last_send_time_ = net_.now();
+  ++packets_sent_;
+  if (retransmit) {
+    ++retransmits_;
+    bytes_retransmitted_ += meta.len;
+  }
+  forward_->inject(std::move(pkt));
+}
+
+void TcpSrc::retransmit_one(std::int64_t seq) {
+  auto it = segments_.find(seq);
+  if (it == segments_.end()) return;  // already acked by a racing ACK
+  send_segment(seq, it->second, /*retransmit=*/true);
+}
+
+void TcpSrc::receive(Packet pkt) {
+  assert(pkt.type == PacketType::kAck);
+  if (completed_) return;
+  if (pkt.seq > last_acked_) {
+    handle_new_ack(pkt);
+  } else if (pkt.seq == last_acked_ && inflight() > 0) {
+    handle_dup_ack();
+  }
+  send_available();
+}
+
+void TcpSrc::handle_new_ack(const Packet& ack) {
+  const Bytes newly = ack.seq - last_acked_;
+  last_acked_ = ack.seq;
+  if (next_send_ < last_acked_) next_send_ = last_acked_;
+  segments_.erase(segments_.begin(), segments_.lower_bound(last_acked_));
+  rto_backoff_ = 1;
+
+  const SimTime rtt_sample = net_.now() - ack.ts_echo;
+  rtt_.add_sample(rtt_sample);
+  hooks_->on_ack(*this, newly, ack.ecn_echo, rtt_sample);
+
+  bool partial_ack = false;
+  if (in_recovery_) {
+    if (last_acked_ >= recover_) {
+      // Full ACK: leave recovery, deflate to ssthresh.
+      in_recovery_ = false;
+      dup_acks_ = 0;
+      set_cwnd(static_cast<double>(ssthresh_));
+    } else {
+      // NewReno partial ACK: retransmit the next hole, partial deflation.
+      partial_ack = true;
+      retransmit_one(last_acked_);
+      set_cwnd(std::max(cwnd_ - static_cast<double>(newly) + static_cast<double>(mss()),
+                        static_cast<double>(mss())));
+    }
+  } else {
+    dup_acks_ = 0;
+    if (cwnd_ < static_cast<double>(ssthresh_)) {
+      set_cwnd(cwnd_ + static_cast<double>(newly));  // slow start
+      // HyStart-style exit: queueing delay says the pipe is full.
+      if (config_.hystart &&
+          cwnd_ >= static_cast<double>(config_.hystart_min_segments * mss()) &&
+          rtt_.has_sample()) {
+        const SimTime budget =
+            std::max<SimTime>(4 * kMillisecond, rtt_.base_rtt() / 16);
+        if (rtt_sample > rtt_.base_rtt() + budget) {
+          set_ssthresh(static_cast<Bytes>(cwnd_));
+        }
+      }
+    } else {
+      hooks_->on_ca_increase(*this, newly);
+    }
+  }
+
+  after_ack_processing();
+
+  if (inflight() == 0) {
+    rto_timer_.cancel();
+  } else if (!partial_ack) {
+    arm_rto();
+  } else if (!rto_rearmed_in_recovery_) {
+    // RFC 6582 "impatient": re-arm on the first partial ACK only, so a
+    // one-hole-per-RTT recovery that would take forever falls back to RTO
+    // and go-back-N instead.
+    rto_rearmed_in_recovery_ = true;
+    arm_rto();
+  }
+  check_complete();
+}
+
+void TcpSrc::handle_dup_ack() {
+  ++dup_acks_;
+  if (in_recovery_) {
+    set_cwnd(cwnd_ + static_cast<double>(mss()));  // window inflation
+    return;
+  }
+  if (dup_acks_ == 3) {
+    // RFC 6582 bugfix: dupacks for data sent before the last loss event
+    // (e.g. just after an RTO) must not trigger a second window reduction.
+    // Still repair the hole, or every residual hole would cost an RTO.
+    if (last_acked_ < recover_) {
+      retransmit_one(last_acked_);
+      return;
+    }
+    in_recovery_ = true;
+    rto_rearmed_in_recovery_ = false;
+    recover_ = highest_sent_;
+    ++fast_retransmit_events_;
+    hooks_->on_fast_retransmit(*this);
+    retransmit_one(last_acked_);
+  }
+}
+
+void TcpSrc::on_rto() {
+  if (completed_ || inflight() == 0) return;
+  ++timeout_events_;
+  MPCC_DEBUG << name() << " RTO at " << to_ms(net_.now()) << "ms, cwnd=" << cwnd_;
+  hooks_->on_timeout(*this);
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  recover_ = highest_sent_;  // suppress fast retransmit on stale dupacks
+  set_cwnd(static_cast<double>(mss()));
+  rto_backoff_ = std::min(rto_backoff_ * 2, 64);
+  next_send_ = last_acked_;  // go-back-N
+  send_available();
+  arm_rto();
+}
+
+void TcpSrc::arm_rto() {
+  rto_timer_.arm(rtt_.rto() * rto_backoff_);
+}
+
+void TcpSrc::check_complete() {
+  if (completed_) return;
+  // Complete when the provider has no more data and everything sent is acked.
+  Bytes len;
+  std::int64_t dseq;
+  if (inflight() != 0) return;
+  if (owned_provider_ != nullptr && provider_ == owned_provider_.get()) {
+    if (owned_provider_->unbounded() || owned_provider_->remaining() > 0) return;
+  } else {
+    // External provider (MPTCP subflow): the connection tracks completion.
+    (void)len;
+    (void)dseq;
+    return;
+  }
+  completed_ = true;
+  completion_time_ = net_.now();
+  rto_timer_.cancel();
+  if (on_complete_) on_complete_(*this);
+}
+
+}  // namespace mpcc

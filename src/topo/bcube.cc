@@ -1,0 +1,111 @@
+#include "topo/bcube.h"
+
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace mpcc {
+
+BCube::BCube(Network& net, BCubeConfig config) : Topology(net), config_(config) {
+  assert(config_.n >= 2 && config_.k >= 0);
+  hosts_ = 1;
+  for (int i = 0; i <= config_.k; ++i) hosts_ *= static_cast<std::size_t>(config_.n);
+  switches_per_level_ = hosts_ / static_cast<std::size_t>(config_.n);
+
+  const int levels = config_.k + 1;
+  up_hs_.reserve(hosts_ * static_cast<std::size_t>(levels));
+  down_sh_.reserve(hosts_ * static_cast<std::size_t>(levels));
+  for (std::size_t h = 0; h < hosts_; ++h) {
+    for (int l = 0; l < levels; ++l) {
+      const std::string tag = "h" + std::to_string(h) + "l" + std::to_string(l);
+      up_hs_.push_back(make(tag + ">"));
+      down_sh_.push_back(make(tag + "<"));
+    }
+  }
+}
+
+int BCube::digit(std::size_t h, int l) const {
+  for (int i = 0; i < l; ++i) h /= static_cast<std::size_t>(config_.n);
+  return static_cast<int>(h % static_cast<std::size_t>(config_.n));
+}
+
+std::size_t BCube::with_digit(std::size_t h, int l, int v) const {
+  std::size_t scale = 1;
+  for (int i = 0; i < l; ++i) scale *= static_cast<std::size_t>(config_.n);
+  const int old = digit(h, l);
+  return h + (static_cast<std::size_t>(v) - static_cast<std::size_t>(old)) * scale;
+}
+
+PathSpec BCube::build_path(std::size_t src, std::size_t dst, int start) const {
+  const int levels = config_.k + 1;
+  // The sequence of relay hosts and correction levels (BCube's BuildPathSet,
+  // Guo et al. Section 4): starting level `start` is handled first — with a
+  // neighbor detour if src and dst already agree there, which keeps the
+  // k+1 paths node-disjoint — and corrected back last.
+  std::vector<std::size_t> hops_hosts{src};
+  std::vector<int> hop_levels;
+  std::size_t cur = src;
+  bool detoured = false;
+  if (digit(src, start) == digit(dst, start)) {
+    // Only detour if some other digit differs (src != dst guaranteed).
+    const int alt = (digit(src, start) + 1) % config_.n;
+    cur = with_digit(cur, start, alt);
+    hops_hosts.push_back(cur);
+    hop_levels.push_back(start);
+    detoured = true;
+  }
+  for (int i = detoured ? 1 : 0; i < levels; ++i) {
+    const int l = (start + i) % levels;
+    const int want = digit(dst, l);
+    if (digit(cur, l) == want) continue;
+    cur = with_digit(cur, l, want);
+    hops_hosts.push_back(cur);
+    hop_levels.push_back(l);
+  }
+  if (detoured) {
+    // Correct the detoured digit back, last.
+    cur = with_digit(cur, start, digit(dst, start));
+    hops_hosts.push_back(cur);
+    hop_levels.push_back(start);
+  }
+
+  PathSpec p;
+  p.name = "b" + std::to_string(start);
+  const std::size_t m = hop_levels.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const int l = hop_levels[i];
+    add_link(p.forward, up_hs_[link_index(hops_hosts[i], l)]);
+    add_link(p.forward, down_sh_[link_index(hops_hosts[i + 1], l)]);
+    p.queues.push_back(up_hs_[link_index(hops_hosts[i], l)].queue);
+    p.queues.push_back(down_sh_[link_index(hops_hosts[i + 1], l)].queue);
+  }
+  for (std::size_t i = m; i > 0; --i) {
+    const int l = hop_levels[i - 1];
+    add_link(p.reverse, up_hs_[link_index(hops_hosts[i], l)]);
+    add_link(p.reverse, down_sh_[link_index(hops_hosts[i - 1], l)]);
+  }
+  // BCube has no switch-switch links; relays are hosts. For the energy
+  // price, charge the relay count (hops beyond the first).
+  p.inter_switch_hops = m > 0 ? static_cast<int>(m) - 1 : 0;
+  return p;
+}
+
+std::vector<PathSpec> BCube::paths(std::size_t src, std::size_t dst) const {
+  std::vector<PathSpec> out;
+  if (src == dst) return out;
+  const int levels = config_.k + 1;
+  std::set<std::string> seen;
+  for (int start = 0; start < levels; ++start) {
+    PathSpec p = build_path(src, dst, start);
+    if (p.forward.empty()) continue;
+    // Dedupe paths whose correction order collapses to the same hop list.
+    std::string key;
+    for (const PacketHandler* h : p.forward) {
+      key += std::to_string(reinterpret_cast<std::uintptr_t>(h)) + ",";
+    }
+    if (seen.insert(key).second) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace mpcc

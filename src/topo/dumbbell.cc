@@ -1,0 +1,76 @@
+#include "topo/dumbbell.h"
+
+#include <array>
+
+namespace mpcc {
+
+Dumbbell::Dumbbell(Network& net, DumbbellConfig config)
+    : Topology(net), config_(config) {
+  for (std::size_t b = 0; b < 2; ++b) {
+    const std::string name = "bottleneck" + std::to_string(b);
+    bottleneck_fwd_[b] = net_.make_link(name + ":f", config_.bottleneck_rate,
+                                        config_.bottleneck_delay,
+                                        config_.bottleneck_buffer);
+    bottleneck_rev_[b] = net_.make_link(name + ":r", config_.bottleneck_rate,
+                                        config_.bottleneck_delay,
+                                        config_.bottleneck_buffer);
+  }
+  auto access_delay = [&](std::size_t user) {
+    return config_.access_delay_base +
+           static_cast<SimTime>(user) * config_.access_delay_step;
+  };
+  for (std::size_t u = 0; u < config_.mptcp_users; ++u) {
+    std::array<Link, 2> fwd;
+    std::array<Link, 2> rev;
+    for (std::size_t b = 0; b < 2; ++b) {
+      const std::string name =
+          "m" + std::to_string(u) + "b" + std::to_string(b) + ":acc";
+      fwd[b] = net_.make_link(name + "f", config_.access_rate, access_delay(u),
+                              config_.access_buffer);
+      rev[b] = net_.make_link(name + "r", config_.access_rate, access_delay(u),
+                              config_.access_buffer);
+    }
+    mptcp_access_fwd_.push_back(fwd);
+    mptcp_access_rev_.push_back(rev);
+  }
+  for (std::size_t u = 0; u < config_.tcp_users; ++u) {
+    const std::string name = "t" + std::to_string(u) + ":acc";
+    tcp_access_fwd_.push_back(net_.make_link(name + "f", config_.access_rate,
+                                             access_delay(u), config_.access_buffer));
+    tcp_access_rev_.push_back(net_.make_link(name + "r", config_.access_rate,
+                                             access_delay(u), config_.access_buffer));
+  }
+}
+
+PathSpec Dumbbell::make_path(const Link& access_fwd, const Link& access_rev,
+                             std::size_t b, std::string name) const {
+  PathSpec p;
+  p.name = std::move(name);
+  add_link(p.forward, access_fwd);
+  add_link(p.forward, bottleneck_fwd_[b]);
+  add_link(p.reverse, bottleneck_rev_[b]);
+  add_link(p.reverse, access_rev);
+  p.inter_switch_hops = 1;  // the bottleneck is the inter-switch segment
+  p.queues = {bottleneck_fwd_[b].queue};
+  return p;
+}
+
+std::vector<PathSpec> Dumbbell::mptcp_paths(std::size_t u) const {
+  std::vector<PathSpec> out;
+  for (std::size_t b = 0; b < 2; ++b) {
+    out.push_back(make_path(mptcp_access_fwd_[u][b], mptcp_access_rev_[u][b], b,
+                            "m" + std::to_string(u) + ":b" + std::to_string(b)));
+  }
+  return out;
+}
+
+PathSpec Dumbbell::tcp_path(std::size_t u) const {
+  return make_path(tcp_access_fwd_[u], tcp_access_rev_[u], u % 2,
+                   "t" + std::to_string(u));
+}
+
+std::vector<PathSpec> Dumbbell::paths(std::size_t src, std::size_t) const {
+  return mptcp_paths(src);
+}
+
+}  // namespace mpcc

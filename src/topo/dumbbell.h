@@ -1,0 +1,64 @@
+// Dumbbell: the Fig 5(a) scenario.
+//
+// N MPTCP users and 2N regular-TCP users share two bottleneck links. Every
+// MPTCP user has one path through each bottleneck; TCP user i uses
+// bottleneck i % 2. Each user gets private access links (with a small
+// per-user delay spread to break phase effects), so contention happens at
+// the two shared bottlenecks only.
+//
+//   senders ---access--->  [bottleneck 1]  ---> receivers
+//           \--access--->  [bottleneck 2]  --->
+#pragma once
+
+#include <array>
+
+#include "topo/topology.h"
+
+namespace mpcc {
+
+struct DumbbellConfig {
+  std::size_t mptcp_users = 10;
+  std::size_t tcp_users = 20;  // paper uses 2N
+  Rate bottleneck_rate = mbps(100);
+  SimTime bottleneck_delay = 5 * kMillisecond;
+  Bytes bottleneck_buffer = 150'000;  // ~100 pkts
+  Rate access_rate = gbps(1);
+  SimTime access_delay_base = 1 * kMillisecond;
+  SimTime access_delay_step = 100 * kMicrosecond;  // per-user spread
+  Bytes access_buffer = 300'000;
+};
+
+class Dumbbell final : public Topology {
+ public:
+  Dumbbell(Network& net, DumbbellConfig config);
+
+  std::size_t num_hosts() const override { return config_.mptcp_users + config_.tcp_users; }
+
+  /// Not meaningful here (users, not hosts, are the unit); use the
+  /// dedicated accessors below.
+  std::vector<PathSpec> paths(std::size_t, std::size_t) const override;
+
+  /// Both paths (via bottleneck 0 and 1) for MPTCP user `u`.
+  std::vector<PathSpec> mptcp_paths(std::size_t u) const;
+
+  /// The single path for TCP user `u` (uses bottleneck u % 2).
+  PathSpec tcp_path(std::size_t u) const;
+
+  const Link& bottleneck_fwd(std::size_t b) const { return bottleneck_fwd_[b]; }
+
+ private:
+  PathSpec make_path(const Link& access_fwd, const Link& access_rev, std::size_t b,
+                     std::string name) const;
+
+  DumbbellConfig config_;
+  Link bottleneck_fwd_[2];
+  Link bottleneck_rev_[2];
+  // Per MPTCP user: one access link pair per bottleneck path.
+  std::vector<std::array<Link, 2>> mptcp_access_fwd_;
+  std::vector<std::array<Link, 2>> mptcp_access_rev_;
+  // Per TCP user: one access link pair.
+  std::vector<Link> tcp_access_fwd_;
+  std::vector<Link> tcp_access_rev_;
+};
+
+}  // namespace mpcc

@@ -1,0 +1,122 @@
+#include "topo/fat_tree.h"
+
+#include <cassert>
+
+namespace mpcc {
+
+FatTree::FatTree(Network& net, FatTreeConfig config)
+    : Topology(net),
+      config_(config),
+      half_(static_cast<std::size_t>(config.k) / 2),
+      hosts_(static_cast<std::size_t>(config.k) * half_ * half_) {
+  assert(config_.k >= 2 && config_.k % 2 == 0);
+  const std::size_t pods = static_cast<std::size_t>(config_.k);
+
+  up_he_.reserve(hosts_);
+  down_eh_.reserve(hosts_);
+  for (std::size_t h = 0; h < hosts_; ++h) {
+    up_he_.push_back(make("h" + std::to_string(h) + ">e"));
+    down_eh_.push_back(make("e>h" + std::to_string(h)));
+  }
+  up_ea_.reserve(pods * half_ * half_);
+  down_ae_.reserve(pods * half_ * half_);
+  for (std::size_t p = 0; p < pods; ++p) {
+    for (std::size_t e = 0; e < half_; ++e) {
+      for (std::size_t a = 0; a < half_; ++a) {
+        const std::string tag =
+            "p" + std::to_string(p) + "e" + std::to_string(e) + "a" + std::to_string(a);
+        up_ea_.push_back(make(tag + ">"));
+        down_ae_.push_back(make(tag + "<"));
+      }
+    }
+  }
+  up_ac_.reserve(pods * half_ * half_);
+  down_ca_.reserve(pods * half_ * half_);
+  for (std::size_t p = 0; p < pods; ++p) {
+    for (std::size_t a = 0; a < half_; ++a) {
+      for (std::size_t j = 0; j < half_; ++j) {
+        const std::string tag =
+            "p" + std::to_string(p) + "a" + std::to_string(a) + "c" + std::to_string(j);
+        up_ac_.push_back(make(tag + ">"));
+        down_ca_.push_back(make(tag + "<"));
+      }
+    }
+  }
+}
+
+std::vector<PathSpec> FatTree::paths(std::size_t src, std::size_t dst) const {
+  std::vector<PathSpec> out;
+  if (src == dst) return out;
+  const std::size_t ps = pod_of(src);
+  const std::size_t pd = pod_of(dst);
+  const std::size_t es = edge_of(src);
+  const std::size_t ed = edge_of(dst);
+
+  auto base_path = [&](const std::string& name) {
+    PathSpec p;
+    p.name = name;
+    add_link(p.forward, up_he_[src]);
+    add_link(p.reverse, up_he_[dst]);
+    return p;
+  };
+  auto finish_path = [&](PathSpec& p) {
+    add_link(p.forward, down_eh_[dst]);
+    add_link(p.reverse, down_eh_[src]);
+  };
+
+  if (ps == pd && es == ed) {
+    // Same edge switch: one two-hop path, no inter-switch links.
+    PathSpec p = base_path("edge");
+    finish_path(p);
+    out.push_back(std::move(p));
+    return out;
+  }
+
+  if (ps == pd) {
+    // Intra-pod: one path per aggregation switch.
+    for (std::size_t a = 0; a < half_; ++a) {
+      PathSpec p = base_path("agg" + std::to_string(a));
+      add_link(p.forward, up_ea_[eidx(ps, es, a)]);
+      add_link(p.forward, down_ae_[eidx(pd, ed, a)]);
+      add_link(p.reverse, up_ea_[eidx(pd, ed, a)]);
+      add_link(p.reverse, down_ae_[eidx(ps, es, a)]);
+      p.inter_switch_hops = 2;
+      p.queues = {up_ea_[eidx(ps, es, a)].queue, down_ae_[eidx(pd, ed, a)].queue};
+      finish_path(p);
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  // Inter-pod: one path per core switch c = a*(k/2) + j.
+  for (std::size_t a = 0; a < half_; ++a) {
+    for (std::size_t j = 0; j < half_; ++j) {
+      PathSpec p = base_path("core" + std::to_string(a * half_ + j));
+      add_link(p.forward, up_ea_[eidx(ps, es, a)]);
+      add_link(p.forward, up_ac_[aidx(ps, a, j)]);
+      add_link(p.forward, down_ca_[aidx(pd, a, j)]);
+      add_link(p.forward, down_ae_[eidx(pd, ed, a)]);
+      add_link(p.reverse, up_ea_[eidx(pd, ed, a)]);
+      add_link(p.reverse, up_ac_[aidx(pd, a, j)]);
+      add_link(p.reverse, down_ca_[aidx(ps, a, j)]);
+      add_link(p.reverse, down_ae_[eidx(ps, es, a)]);
+      p.inter_switch_hops = 4;
+      p.queues = {up_ea_[eidx(ps, es, a)].queue, up_ac_[aidx(ps, a, j)].queue,
+                  down_ca_[aidx(pd, a, j)].queue, down_ae_[eidx(pd, ed, a)].queue};
+      finish_path(p);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<const Queue*> FatTree::inter_switch_queues() const {
+  std::vector<const Queue*> queues;
+  for (const Link& l : up_ea_) queues.push_back(l.queue);
+  for (const Link& l : down_ae_) queues.push_back(l.queue);
+  for (const Link& l : up_ac_) queues.push_back(l.queue);
+  for (const Link& l : down_ca_) queues.push_back(l.queue);
+  return queues;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,3 @@
+#include "topo/topology.h"
+
+// Topology is header-only; this translation unit anchors the vtable.

@@ -1,0 +1,46 @@
+// TwoPath: the Fig 5(b) traffic-shifting scenario.
+//
+// One multihomed sender, one receiver, two independent paths. Each path
+// carries bursty Pareto cross traffic, so path quality flips between
+// Good/Bad at random — the four states (Bad-Bad, Bad-Good, Good-Good,
+// Good-Bad) the paper describes. Cross traffic enters at the path's
+// bottleneck queue and terminates at a CountingSink.
+#pragma once
+
+#include "topo/topology.h"
+#include "traffic/bulk_flow.h"
+#include "traffic/pareto_burst.h"
+
+namespace mpcc {
+
+struct TwoPathConfig {
+  Rate rate[2] = {mbps(100), mbps(100)};
+  SimTime delay[2] = {10 * kMillisecond, 10 * kMillisecond};
+  Bytes buffer[2] = {150'000, 150'000};
+  ParetoBurstConfig burst;  // applied to both paths
+  bool cross_traffic = true;
+};
+
+class TwoPath final : public Topology {
+ public:
+  TwoPath(Network& net, TwoPathConfig config);
+
+  std::size_t num_hosts() const override { return 2; }
+  std::vector<PathSpec> paths(std::size_t src_host = 0,
+                              std::size_t dst_host = 1) const override;
+
+  /// Starts both paths' Pareto burst generators.
+  void start_cross_traffic(SimTime at);
+
+  const Link& forward_link(std::size_t p) const { return fwd_[p]; }
+  ParetoBurstSource* burst_source(std::size_t p) { return bursts_[p]; }
+
+ private:
+  TwoPathConfig config_;
+  Link fwd_[2];
+  Link rev_[2];
+  CountingSink* cross_sinks_[2] = {nullptr, nullptr};
+  ParetoBurstSource* bursts_[2] = {nullptr, nullptr};
+};
+
+}  // namespace mpcc

@@ -1,0 +1,36 @@
+#include "topo/virtual_cloud.h"
+
+namespace mpcc {
+
+VirtualCloud::VirtualCloud(Network& net, VirtualCloudConfig config)
+    : Topology(net), config_(config) {
+  for (std::size_t h = 0; h < config_.num_hosts; ++h) {
+    for (std::size_t s = 0; s < config_.num_subnets; ++s) {
+      const std::string tag = "h" + std::to_string(h) + "s" + std::to_string(s);
+      up_hs_.push_back(net_.make_ecn_link(tag + ">", config_.eni_rate,
+                                          config_.link_delay, config_.buffer,
+                                          config_.ecn_threshold));
+      down_sh_.push_back(net_.make_ecn_link(tag + "<", config_.eni_rate,
+                                            config_.link_delay, config_.buffer,
+                                            config_.ecn_threshold));
+    }
+  }
+}
+
+std::vector<PathSpec> VirtualCloud::paths(std::size_t src, std::size_t dst) const {
+  std::vector<PathSpec> out;
+  if (src == dst) return out;
+  for (std::size_t s = 0; s < config_.num_subnets; ++s) {
+    PathSpec p;
+    p.name = "subnet" + std::to_string(s);
+    add_link(p.forward, up_hs_[idx(src, s)]);
+    add_link(p.forward, down_sh_[idx(dst, s)]);
+    add_link(p.reverse, up_hs_[idx(dst, s)]);
+    add_link(p.reverse, down_sh_[idx(src, s)]);
+    p.queues = {up_hs_[idx(src, s)].queue, down_sh_[idx(dst, s)].queue};
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,43 @@
+// VirtualCloud: the paper's EC2 setup (Section VI.C.1, Fig 10).
+//
+// A virtual private cloud with `num_subnets` private subnets; each host has
+// one Elastic Network Interface per subnet, capped at `eni_rate`
+// (256 Mbps in the paper). Each subnet is a non-blocking virtual switch, so
+// a host pair has exactly `num_subnets` routes — one per subnet — and the
+// contention points are the per-ENI ingress/egress caps.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace mpcc {
+
+struct VirtualCloudConfig {
+  std::size_t num_hosts = 40;
+  std::size_t num_subnets = 4;
+  Rate eni_rate = mbps(256);
+  SimTime link_delay = 200 * kMicrosecond;
+  Bytes buffer = 200'000;
+  /// ENI queues mark ECN above this threshold (only affects ECN-capable
+  /// flows, i.e. the DCTCP baseline of Fig 10).
+  Bytes ecn_threshold = 30'000;
+};
+
+class VirtualCloud final : public Topology {
+ public:
+  VirtualCloud(Network& net, VirtualCloudConfig config);
+
+  std::size_t num_hosts() const override { return config_.num_hosts; }
+  std::size_t num_subnets() const { return config_.num_subnets; }
+
+  std::vector<PathSpec> paths(std::size_t src_host, std::size_t dst_host) const override;
+
+ private:
+  std::size_t idx(std::size_t host, std::size_t subnet) const {
+    return host * config_.num_subnets + subnet;
+  }
+
+  VirtualCloudConfig config_;
+  std::vector<Link> up_hs_, down_sh_;  // host ENI <-> subnet, by idx
+};
+
+}  // namespace mpcc

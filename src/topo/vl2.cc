@@ -1,0 +1,83 @@
+#include "topo/vl2.h"
+
+namespace mpcc {
+
+Vl2::Vl2(Network& net, Vl2Config config) : Topology(net), config_(config) {
+  const std::size_t hosts = num_hosts();
+  for (std::size_t h = 0; h < hosts; ++h) {
+    up_ht_.push_back(make_host("h" + std::to_string(h) + ">t"));
+    down_th_.push_back(make_host("t>h" + std::to_string(h)));
+  }
+  for (std::size_t t = 0; t < config_.num_tor; ++t) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const std::string tag = "t" + std::to_string(t) + "a" + std::to_string(c);
+      up_ta_.push_back(make_switch(tag + ">"));
+      down_at_.push_back(make_switch(tag + "<"));
+    }
+  }
+  for (std::size_t a = 0; a < config_.num_agg; ++a) {
+    for (std::size_t i = 0; i < config_.num_int; ++i) {
+      const std::string tag = "a" + std::to_string(a) + "i" + std::to_string(i);
+      up_ai_.push_back(make_switch(tag + ">"));
+      down_ia_.push_back(make_switch(tag + "<"));
+    }
+  }
+}
+
+std::vector<PathSpec> Vl2::paths(std::size_t src, std::size_t dst) const {
+  std::vector<PathSpec> out;
+  if (src == dst) return out;
+  const std::size_t ts = tor_of(src);
+  const std::size_t td = tor_of(dst);
+
+  if (ts == td) {
+    PathSpec p;
+    p.name = "tor";
+    add_link(p.forward, up_ht_[src]);
+    add_link(p.forward, down_th_[dst]);
+    add_link(p.reverse, up_ht_[dst]);
+    add_link(p.reverse, down_th_[src]);
+    out.push_back(std::move(p));
+    return out;
+  }
+
+  for (std::size_t cs = 0; cs < 2; ++cs) {
+    for (std::size_t cd = 0; cd < 2; ++cd) {
+      const std::size_t as = agg_of(ts, cs);
+      const std::size_t ad = agg_of(td, cd);
+      for (std::size_t i = 0; i < config_.num_int; ++i) {
+        PathSpec p;
+        p.name = "a" + std::to_string(as) + "i" + std::to_string(i) + "a" +
+                 std::to_string(ad);
+        add_link(p.forward, up_ht_[src]);
+        add_link(p.forward, up_ta_[ts * 2 + cs]);
+        add_link(p.forward, up_ai_[ai(as, i)]);
+        add_link(p.forward, down_ia_[ai(ad, i)]);
+        add_link(p.forward, down_at_[td * 2 + cd]);
+        add_link(p.forward, down_th_[dst]);
+        add_link(p.reverse, up_ht_[dst]);
+        add_link(p.reverse, up_ta_[td * 2 + cd]);
+        add_link(p.reverse, up_ai_[ai(ad, i)]);
+        add_link(p.reverse, down_ia_[ai(as, i)]);
+        add_link(p.reverse, down_at_[ts * 2 + cs]);
+        add_link(p.reverse, down_th_[src]);
+        p.inter_switch_hops = 4;
+        p.queues = {up_ta_[ts * 2 + cs].queue, up_ai_[ai(as, i)].queue,
+                    down_ia_[ai(ad, i)].queue, down_at_[td * 2 + cd].queue};
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const Queue*> Vl2::inter_switch_queues() const {
+  std::vector<const Queue*> queues;
+  for (const Link& l : up_ta_) queues.push_back(l.queue);
+  for (const Link& l : down_at_) queues.push_back(l.queue);
+  for (const Link& l : up_ai_) queues.push_back(l.queue);
+  for (const Link& l : down_ia_) queues.push_back(l.queue);
+  return queues;
+}
+
+}  // namespace mpcc

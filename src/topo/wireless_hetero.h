@@ -1,0 +1,60 @@
+// WirelessHetero: the Section VI.C.2 heterogeneous wireless scenario.
+//
+// A multihomed sender reaches a receiver over a WiFi path (10 Mbps, 40 ms,
+// DropTail queue of 50 packets) and a 4G path (20 Mbps, 100 ms, same
+// queue), matching the paper's ns-2.35 setup. Wireless links are LossyPipes
+// with configurable random loss and jitter, and each path carries optional
+// bursty cross traffic ("cross traffic on both links to simulate a dynamic
+// wireless network environment").
+#pragma once
+
+#include "topo/topology.h"
+#include "traffic/bulk_flow.h"
+#include "traffic/pareto_burst.h"
+
+namespace mpcc {
+
+struct WirelessPathConfig {
+  Rate rate = mbps(10);
+  SimTime delay = 40 * kMillisecond;
+  std::size_t queue_packets = 50;  // ns-2 DropTail "queue limit 50"
+  double loss_rate = 0.0;
+  SimTime jitter = 0;
+};
+
+struct WirelessHeteroConfig {
+  WirelessPathConfig wifi{mbps(10), 40 * kMillisecond, 50, 0.0, 0};
+  WirelessPathConfig cellular{mbps(20), 100 * kMillisecond, 50, 0.0, 0};
+  bool cross_traffic = true;
+  ParetoBurstConfig wifi_burst{mbps(4), 8 * kSecond, 4 * kSecond, 1.5};
+  ParetoBurstConfig cellular_burst{mbps(8), 8 * kSecond, 4 * kSecond, 1.5};
+};
+
+class WirelessHetero final : public Topology {
+ public:
+  WirelessHetero(Network& net, WirelessHeteroConfig config);
+
+  std::size_t num_hosts() const override { return 2; }
+  std::vector<PathSpec> paths(std::size_t src_host = 0,
+                              std::size_t dst_host = 1) const override;
+
+  /// Path 0 = WiFi, path 1 = cellular (matches paths() order).
+  const Queue* bottleneck_queue(std::size_t p) const { return fwd_queue_[p]; }
+  LossyPipe* forward_pipe(std::size_t p) { return fwd_pipe_[p]; }
+
+  void start_cross_traffic(SimTime at);
+
+ private:
+  void build_path(std::size_t index, const std::string& name,
+                  const WirelessPathConfig& cfg, const ParetoBurstConfig& burst);
+
+  WirelessHeteroConfig config_;
+  Queue* fwd_queue_[2] = {nullptr, nullptr};
+  LossyPipe* fwd_pipe_[2] = {nullptr, nullptr};
+  Queue* rev_queue_[2] = {nullptr, nullptr};
+  LossyPipe* rev_pipe_[2] = {nullptr, nullptr};
+  CountingSink* cross_sinks_[2] = {nullptr, nullptr};
+  ParetoBurstSource* bursts_[2] = {nullptr, nullptr};
+};
+
+}  // namespace mpcc

@@ -1,0 +1,27 @@
+#include "traffic/bulk_flow.h"
+
+namespace mpcc {
+
+TcpFlowHandles make_tcp_flow(Network& net, const std::string& name,
+                             const std::vector<PacketHandler*>& forward_hops,
+                             const std::vector<PacketHandler*>& reverse_hops,
+                             TcpConfig config, Bytes flow_size) {
+  TcpFlowHandles h;
+  h.src = net.emplace<TcpSrc>(net, name, config);
+
+  Route* reverse = net.make_route();
+  for (PacketHandler* hop : reverse_hops) reverse->push_back(hop);
+  reverse->push_back(h.src);
+
+  h.sink = net.emplace<TcpSink>(net, name + ":sink", reverse);
+
+  Route* forward = net.make_route();
+  for (PacketHandler* hop : forward_hops) forward->push_back(hop);
+  forward->push_back(h.sink);
+
+  h.src->connect(forward, h.sink);
+  if (flow_size >= 0) h.src->set_flow_size(flow_size);
+  return h;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,78 @@
+// Cross-traffic generators.
+//
+// CbrSource injects fixed-size packets at a constant bit rate into a route.
+// ParetoBurstSource gates a CbrSource through an on/off process: OFF gaps
+// are exponential with a configurable mean, ON bursts are Pareto-heavy-
+// tailed — the Fig 5(b) scenario ("bursty traffic that follows Pareto
+// pattern at rate 45 Mbps ... random intervals (average 10 seconds) ...
+// average bursty duration of 5 seconds").
+#pragma once
+
+#include "net/network.h"
+#include "sim/timer.h"
+#include "util/rng.h"
+
+namespace mpcc {
+
+class CbrSource final : public EventSource {
+ public:
+  CbrSource(Network& net, std::string name, Rate rate, const Route* route,
+            Bytes packet_payload = kDefaultMss);
+
+  /// Begins emitting at absolute time `at` (idempotent stop/start safe).
+  void start(SimTime at);
+  void stop();
+  bool running() const { return running_; }
+
+  Rate rate() const { return rate_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+  void do_next_event() override;
+
+ private:
+  Network& net_;
+  Rate rate_;
+  const Route* route_;
+  Bytes payload_;
+  std::uint64_t flow_id_;
+  bool running_ = false;
+  EventToken pending_ = kInvalidEventToken;
+  std::uint64_t packets_sent_ = 0;
+};
+
+struct ParetoBurstConfig {
+  Rate burst_rate = mbps(45);
+  /// Mean OFF interval between bursts (exponential).
+  SimTime mean_gap = 10 * kSecond;
+  /// Mean ON burst duration (Pareto with the given shape).
+  SimTime mean_burst = 5 * kSecond;
+  double pareto_shape = 1.5;
+};
+
+class ParetoBurstSource {
+ public:
+  ParetoBurstSource(Network& net, std::string name, ParetoBurstConfig config,
+                    const Route* route, std::uint64_t seed);
+
+  /// Arms the first OFF->ON transition after `at`.
+  void start(SimTime at);
+
+  bool bursting() const { return cbr_.running(); }
+  SimTime total_on_time() const { return total_on_; }
+  std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  void enter_burst();
+  void leave_burst();
+
+  Network& net_;
+  ParetoBurstConfig config_;
+  CbrSource cbr_;
+  Timer transition_;
+  Rng rng_;
+  SimTime burst_started_ = 0;
+  SimTime total_on_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace mpcc

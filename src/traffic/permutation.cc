@@ -1,0 +1,21 @@
+#include "traffic/permutation.h"
+
+namespace mpcc {
+
+std::vector<FlowAssignment> permutation_traffic(std::size_t hosts, Rng& rng,
+                                                SimTime start_jitter) {
+  const std::vector<std::size_t> perm = rng.permutation_no_fixed_point(hosts);
+  std::vector<FlowAssignment> flows;
+  flows.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    FlowAssignment f;
+    f.src_host = i;
+    f.dst_host = perm[i];
+    f.start_time =
+        start_jitter > 0 ? rng.uniform_int(0, static_cast<std::int64_t>(start_jitter)) : 0;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,24 @@
+// Permutation traffic matrices for datacenter experiments: every host sends
+// one long-lived flow to a distinct random host ("each host sends a
+// long-lived MPTCP flow to another host, chosen at random" — Section VI.C).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mpcc {
+
+struct FlowAssignment {
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  SimTime start_time = 0;
+};
+
+/// One flow per host to a fixed-point-free random destination, with start
+/// times jittered uniformly in [0, start_jitter] to avoid phase locking.
+std::vector<FlowAssignment> permutation_traffic(std::size_t hosts, Rng& rng,
+                                                SimTime start_jitter = 0);
+
+}  // namespace mpcc

@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace mpcc {
+
+void Table::add_row(std::vector<Cell> cells) {
+  assert(cells.size() == header_.size() && "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", *d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(std::get<std::int64_t>(c)));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << header_[i] << (i + 1 < header_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << render(row[i]) << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace mpcc

@@ -1,0 +1,42 @@
+// Tiny CSV/table writer used by the figure benches.
+//
+// Benches both print aligned, human-readable tables (the "rows the paper
+// reports") and can optionally persist CSV for plotting.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mpcc {
+
+/// Accumulates rows of heterogeneous cells and renders them either as an
+/// aligned text table or as CSV.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends one row; the number of cells must match the header width.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our content).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::vector<Cell>>& data() const { return rows_; }
+
+ private:
+  static std::string render(const Cell& c);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mpcc

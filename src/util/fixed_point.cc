@@ -1,0 +1,67 @@
+#include "util/fixed_point.h"
+
+#include <cmath>
+
+namespace mpcc {
+
+Fixed Fixed::from_double(double v) {
+  return from_raw(static_cast<std::int64_t>(std::llround(v * kOne)));
+}
+
+namespace {
+
+// log2(e) in Q16.16.
+constexpr std::int64_t kLog2E = 94548;  // round(1.4426950408889634 * 65536)
+
+// 2^f for f in [0,1), Q16.16, using a minimax-ish cubic:
+// 2^f ~= 1 + f*(c1 + f*(c2 + f*c3)) with c1=0.6951, c2=0.2273, c3=0.0776.
+// Max relative error ~2e-4 on [0,1).
+constexpr std::int64_t kC1 = 45557;  // 0.6951 * 65536
+constexpr std::int64_t kC2 = 14897;  // 0.2273 * 65536
+constexpr std::int64_t kC3 = 5086;   // 0.0776 * 65536
+
+std::int64_t exp2_fraction(std::int64_t f) {
+  // Horner evaluation, all Q16.16.
+  std::int64_t acc = kC3;
+  acc = kC2 + ((f * acc) >> Fixed::kFractionBits);
+  acc = kC1 + ((f * acc) >> Fixed::kFractionBits);
+  return Fixed::kOne + ((f * acc) >> Fixed::kFractionBits);
+}
+
+}  // namespace
+
+Fixed fixed_exp(Fixed x) {
+  // exp(x) = 2^(x * log2 e). Split into integer and fractional parts.
+  std::int64_t y = (x.raw() * kLog2E) >> Fixed::kFractionBits;  // Q16.16 exponent
+  std::int64_t ip = y >> Fixed::kFractionBits;                  // floor
+  std::int64_t fp = y - (ip << Fixed::kFractionBits);           // in [0, 1)
+  if (ip > 30) return Fixed::from_raw(INT64_MAX >> 8);          // saturate
+  if (ip < -30) return Fixed::from_raw(0);
+  std::int64_t frac = exp2_fraction(fp);
+  if (ip >= 0) return Fixed::from_raw(frac << ip);
+  return Fixed::from_raw(frac >> (-ip));
+}
+
+Fixed fixed_exp_taylor3(Fixed u) {
+  // 1 + u + u^2/2 + u^3/6, as in the paper's Algorithm 1 pseudo-code
+  // (their constants are expressed in a per-100 scale; the math is the same
+  // truncated series).
+  const std::int64_t r = u.raw();
+  const std::int64_t u2 = (r * r) >> Fixed::kFractionBits;
+  const std::int64_t u3 = (u2 * r) >> Fixed::kFractionBits;
+  std::int64_t result = Fixed::kOne + r + u2 / 2 + u3 / 6;
+  // The series goes negative for u < ~-1.6; clamp like the kernel clamps
+  // window deltas.
+  if (result < 0) result = 0;
+  return Fixed::from_raw(result);
+}
+
+Fixed fixed_sigmoid(Fixed x) {
+  // 1/(1+exp(-x)). Evaluate with exp of -|x| to avoid overflow, then mirror.
+  const bool negative = x.raw() < 0;
+  const Fixed e = fixed_exp(negative ? x : -x);  // exp(-|x|) in (0, 1]
+  const Fixed s = kFixedOne / (kFixedOne + e);   // sigmoid(|x|)
+  return negative ? (kFixedOne - s) : s;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace mpcc {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+constexpr const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace mpcc

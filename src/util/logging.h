@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded; the logger is a process-wide sink with a
+// runtime level. Hot paths guard with `if (log_enabled(...))` so formatting
+// cost is only paid when the level is active.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mpcc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// Writes one log line to stderr (with level tag). Prefer the MPCC_LOG_*
+/// helpers below.
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mpcc
+
+#define MPCC_LOG(level)                    \
+  if (!::mpcc::log_enabled(level)) {       \
+  } else                                   \
+    ::mpcc::detail::LogMessage(level)
+
+#define MPCC_DEBUG MPCC_LOG(::mpcc::LogLevel::kDebug)
+#define MPCC_INFO MPCC_LOG(::mpcc::LogLevel::kInfo)
+#define MPCC_WARN MPCC_LOG(::mpcc::LogLevel::kWarn)
+#define MPCC_ERROR MPCC_LOG(::mpcc::LogLevel::kError)

@@ -1,0 +1,47 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mpcc {
+
+std::uint64_t Rng::split_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double Rng::pareto(double alpha, double mean) {
+  assert(alpha > 1.0 && "Pareto mean is finite only for alpha > 1");
+  // Pareto(x_m, alpha) has mean alpha*x_m/(alpha-1); solve for the scale x_m.
+  const double x_m = mean * (alpha - 1.0) / alpha;
+  double u = uniform();
+  // Guard against u == 0 (infinite sample).
+  if (u < 1e-12) u = 1e-12;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::size_t> Rng::permutation_no_fixed_point(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  if (n < 2) return perm;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    shuffle(perm);
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (perm[i] == i) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return perm;
+  }
+  // Fallback: rotate by one, which is always fixed-point free.
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = 0; i < n; ++i) perm[i] = (i + 1) % n;
+  return perm;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that a
+// whole experiment is reproducible from a single root seed. Rng wraps a
+// mersenne twister and adds the distributions the workloads need, including
+// the Pareto distribution used by the paper's bursty cross-traffic
+// (Section VI.B, Fig 5(b)).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mpcc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child generator; children with distinct tags are
+  /// decorrelated even though they come from the same root seed.
+  Rng fork(std::uint64_t tag) {
+    std::uint64_t mixed = split_mix(engine_() ^ (tag * 0x9E3779B97F4A7C15ull));
+    return Rng(mixed);
+  }
+
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Pareto with shape alpha and the given mean; requires alpha > 1.
+  /// Used for bursty traffic durations (heavy-tailed, as in data centers).
+  double pareto(double alpha, double mean);
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random derangement-ish permutation for permutation traffic matrices:
+  /// no index maps to itself (retries until fixed-point-free).
+  std::vector<std::size_t> permutation_no_fixed_point(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t split_mix(std::uint64_t x);
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mpcc

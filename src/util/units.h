@@ -1,0 +1,62 @@
+// Units and unit helpers used throughout mpcc.
+//
+// Simulated time is kept as an integer count of nanoseconds (SimTime).
+// Rates are bits per second (double), sizes are bytes (int64_t).
+// Helper constructors make call sites read like the paper's parameter
+// tables: `mbps(100)`, `ms(40)`, `mega_bytes(16)`.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcc {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// A point in simulated time that is later than any event.
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+constexpr SimTime ns(double v) { return static_cast<SimTime>(v); }
+constexpr SimTime us(double v) { return static_cast<SimTime>(v * kMicrosecond); }
+constexpr SimTime ms(double v) { return static_cast<SimTime>(v * kMillisecond); }
+constexpr SimTime seconds(double v) { return static_cast<SimTime>(v * kSecond); }
+
+/// Converts SimTime to floating-point seconds (for reporting only).
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Link and flow rates, in bits per second.
+using Rate = double;
+
+constexpr Rate bps(double v) { return v; }
+constexpr Rate kbps(double v) { return v * 1e3; }
+constexpr Rate mbps(double v) { return v * 1e6; }
+constexpr Rate gbps(double v) { return v * 1e9; }
+
+constexpr double to_mbps(Rate r) { return r / 1e6; }
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+constexpr Bytes kilo_bytes(double v) { return static_cast<Bytes>(v * 1'000); }
+constexpr Bytes mega_bytes(double v) { return static_cast<Bytes>(v * 1'000'000); }
+constexpr Bytes giga_bytes(double v) { return static_cast<Bytes>(v * 1'000'000'000); }
+
+/// Time to serialise `size` bytes onto a link of rate `r` bits/sec.
+constexpr SimTime transmission_time(Bytes size, Rate r) {
+  return static_cast<SimTime>(static_cast<double>(size) * 8.0 / r * kSecond);
+}
+
+/// Throughput in bits/sec given bytes delivered over an interval.
+constexpr Rate throughput(Bytes delivered, SimTime interval) {
+  return interval > 0
+             ? static_cast<double>(delivered) * 8.0 * kSecond / static_cast<double>(interval)
+             : 0.0;
+}
+
+}  // namespace mpcc

@@ -1,0 +1,338 @@
+// Tests for the analytical core: psi closed forms, the DTS factor, the
+// fluid model, and the Condition 1 / Condition 2 checkers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conditions.h"
+#include "core/dts_factor.h"
+#include "core/fluid_model.h"
+#include "core/responsiveness.h"
+#include "core/psi.h"
+
+namespace mpcc::core {
+namespace {
+
+std::vector<PathState> symmetric_two_paths(double w = 10, double rtt = 0.1) {
+  return {{w, rtt, rtt}, {w, rtt, rtt}};
+}
+
+// ---------------------------------------------------------------- psi forms
+
+TEST(Psi, OliaIsAlwaysOne) {
+  auto paths = symmetric_two_paths();
+  EXPECT_DOUBLE_EQ(psi_olia(paths, 0), 1.0);
+  paths[0].w = 99;
+  paths[1].rtt = 0.9;
+  EXPECT_DOUBLE_EQ(psi_olia(paths, 1), 1.0);
+}
+
+TEST(Psi, EwtcpSymmetricValue) {
+  // x_r = total/2 => psi = total^2/(x^2 sqrt 2) = 4/sqrt(2) = 2.828...
+  const auto paths = symmetric_two_paths();
+  EXPECT_NEAR(psi_ewtcp(paths, 0), 4.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Psi, LiaSymmetricEqualsHalf) {
+  // max_k w/rtt^2 = w/rtt^2; psi = (w/rtt^2) rtt^2/w ... with equal paths
+  // psi_lia = 1 (same w). With one path double the window, the smaller
+  // path's psi is 2.
+  auto paths = symmetric_two_paths();
+  EXPECT_NEAR(psi_lia(paths, 0), 1.0, 1e-9);
+  paths[0].w = 20;
+  EXPECT_NEAR(psi_lia(paths, 1), 2.0, 1e-9);  // small path pushed harder
+  EXPECT_NEAR(psi_lia(paths, 0), 1.0, 1e-9);
+}
+
+TEST(Psi, BaliaSymmetricValue) {
+  // a_r = 1 at symmetry: psi = 2/5 + 1/2 + 1/10 = 1.
+  const auto paths = symmetric_two_paths();
+  EXPECT_NEAR(psi_balia(paths, 0), 1.0, 1e-9);
+}
+
+TEST(Psi, BaliaFavoursBelowMaxPaths) {
+  auto paths = symmetric_two_paths();
+  paths[1].w = 5;  // slower path: a_r = 2
+  // psi = 0.4 + 1 + 0.4 = 1.8.
+  EXPECT_NEAR(psi_balia(paths, 1), 1.8, 1e-9);
+}
+
+TEST(Psi, CoupledSymmetricValue) {
+  // rtt^2 (2w/rtt)^2/(2w)^2 = 1 at symmetry.
+  const auto paths = symmetric_two_paths();
+  EXPECT_NEAR(psi_coupled(paths, 0), 1.0, 1e-9);
+}
+
+TEST(Psi, EcmtcpPushesHighRttPaths) {
+  auto paths = symmetric_two_paths();
+  paths[1].rtt = 0.2;  // twice the RTT
+  const double psi_low = psi_ecmtcp(paths, 0);
+  const double psi_high = psi_ecmtcp(paths, 1);
+  EXPECT_GT(psi_high, psi_low);
+}
+
+TEST(Psi, WvegasPrefersLowQueueingDelay) {
+  std::vector<PathState> paths = {{10, 0.11, 0.1}, {10, 0.15, 0.1}};
+  // Path 0 has q = 10 ms, path 1 q = 50 ms: psi_0 > psi_1.
+  EXPECT_GT(psi_wvegas(paths, 0), psi_wvegas(paths, 1));
+}
+
+TEST(Psi, DtsEqualsCTimesEpsilon) {
+  std::vector<PathState> paths = {{10, 0.1, 0.08}, {10, 0.1, 0.1}};
+  EXPECT_NEAR(psi_dts(paths, 0, 1.0), dts_epsilon(0.08, 0.1), 1e-12);
+  EXPECT_NEAR(psi_dts(paths, 0, 0.5), 0.5 * dts_epsilon(0.08, 0.1), 1e-12);
+}
+
+TEST(Psi, DispatcherMatchesDirectCalls) {
+  const auto paths = symmetric_two_paths();
+  EXPECT_DOUBLE_EQ(psi(Algorithm::kOlia, paths, 0), psi_olia(paths, 0));
+  EXPECT_DOUBLE_EQ(psi(Algorithm::kLia, paths, 1), psi_lia(paths, 1));
+  EXPECT_DOUBLE_EQ(psi(Algorithm::kBalia, paths, 0), psi_balia(paths, 0));
+  EXPECT_DOUBLE_EQ(psi(Algorithm::kEwtcp, paths, 0), psi_ewtcp(paths, 0));
+}
+
+TEST(Psi, PerAckIncreaseMatchesOliaKernelFormula) {
+  // For OLIA (psi = 1) the per-ACK step must equal the kernel's
+  // (w_r/rtt_r^2) / (sum w_k/rtt_k)^2.
+  std::vector<PathState> paths = {{12, 0.05, 0.05}, {30, 0.2, 0.2}};
+  const double total = 12 / 0.05 + 30 / 0.2;
+  const double want = (12 / (0.05 * 0.05)) / (total * total);
+  EXPECT_NEAR(per_ack_increase(1.0, paths, 0), want, 1e-12);
+}
+
+TEST(Psi, NamesRoundTrip) {
+  for (Algorithm a : {Algorithm::kEwtcp, Algorithm::kCoupled, Algorithm::kLia,
+                      Algorithm::kOlia, Algorithm::kBalia, Algorithm::kEcMtcp,
+                      Algorithm::kWvegas, Algorithm::kDts}) {
+    EXPECT_FALSE(algorithm_name(a).empty());
+  }
+  EXPECT_EQ(algorithm_name(Algorithm::kDts), "dts");
+}
+
+// --------------------------------------------------------------- DTS factor
+
+TEST(DtsFactor, RangeIsZeroToTwo) {
+  for (double ratio = 0.0; ratio <= 1.0; ratio += 0.01) {
+    const double eps = dts_epsilon_from_ratio(ratio);
+    EXPECT_GT(eps, 0.0);
+    EXPECT_LT(eps, 2.0);
+  }
+}
+
+TEST(DtsFactor, MonotonicallyIncreasingInRatio) {
+  double prev = -1;
+  for (double ratio = 0.0; ratio <= 1.0; ratio += 0.005) {
+    const double eps = dts_epsilon_from_ratio(ratio);
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(DtsFactor, MidpointIsOne) {
+  // eps(1/2) = 2/(1+e^0) = 1: the Condition-1 design point.
+  EXPECT_DOUBLE_EQ(dts_epsilon_from_ratio(0.5), 1.0);
+}
+
+TEST(DtsFactor, PaperEndpoints) {
+  EXPECT_NEAR(dts_epsilon_from_ratio(1.0), 2.0 / (1.0 + std::exp(-5.0)), 1e-12);
+  EXPECT_NEAR(dts_epsilon_from_ratio(0.0), 2.0 / (1.0 + std::exp(5.0)), 1e-12);
+}
+
+TEST(DtsFactor, ClampsRatioOutsideUnitInterval) {
+  EXPECT_DOUBLE_EQ(dts_epsilon_from_ratio(1.5), dts_epsilon_from_ratio(1.0));
+  EXPECT_DOUBLE_EQ(dts_epsilon_from_ratio(-0.5), dts_epsilon_from_ratio(0.0));
+}
+
+TEST(DtsFactor, NoSampleGivesNeutralFactor) {
+  EXPECT_DOUBLE_EQ(dts_epsilon(0.0, 0.0), 1.0);
+}
+
+TEST(DtsFactor, FixedPointTracksExact) {
+  for (int base_us = 1000; base_us <= 100000; base_us += 3173) {
+    for (double mult : {1.0, 1.2, 1.6, 2.5, 6.0}) {
+      const int rtt_us = static_cast<int>(base_us * mult);
+      const double exact = dts_epsilon(base_us, rtt_us);
+      const double fp =
+          dts_epsilon_fixed(Fixed::from_int(base_us), Fixed::from_int(rtt_us))
+              .to_double();
+      EXPECT_NEAR(fp, exact, 5e-3) << base_us << "/" << rtt_us;
+    }
+  }
+}
+
+TEST(DtsFactor, Taylor3DivergesAwayFromMidpoint) {
+  // At ratio = 0.3 (u = -2) the 3-term Taylor series of exp() has already
+  // gone negative and clamps to 0, so eps collapses to 0 instead of ~0.24
+  // — the approximation-quality caveat of Algorithm 1's pseudo-code.
+  // (Near ratio = 1 the sigmoid saturates, hiding the error.)
+  const double exact = dts_epsilon_from_ratio(0.3);
+  const double taylor =
+      dts_epsilon_taylor3(Fixed::from_int(3), Fixed::from_int(10)).to_double();
+  EXPECT_GT(std::fabs(taylor - exact), 0.1);
+  // But near the design midpoint it is accurate.
+  const double taylor_mid =
+      dts_epsilon_taylor3(Fixed::from_int(1), Fixed::from_int(2)).to_double();
+  EXPECT_NEAR(taylor_mid, 1.0, 0.01);
+}
+
+// -------------------------------------------------------------- fluid model
+
+FluidNetwork single_bottleneck_two_paths() {
+  FluidNetwork net;
+  net.links = {{1000.0}, {1000.0}};  // two parallel links, MSS/s
+  FluidUser user;
+  user.paths = {{{0}, 0.05}, {{1}, 0.05}};
+  net.users = {user};
+  return net;
+}
+
+TEST(FluidModel, EquilibriumIsStationary) {
+  FluidModel model(single_bottleneck_two_paths(), Algorithm::kOlia);
+  const FluidState eq = model.equilibrium();
+  const FluidState dx = model.derivative(eq);
+  for (const auto& user : dx) {
+    for (double d : user) EXPECT_LT(std::fabs(d), 5.0);  // MSS/s^2, ~0 vs x~1e3
+  }
+}
+
+TEST(FluidModel, SymmetricPathsGetEqualRates) {
+  for (Algorithm alg : {Algorithm::kOlia, Algorithm::kLia, Algorithm::kBalia,
+                        Algorithm::kDts}) {
+    FluidModel model(single_bottleneck_two_paths(), alg);
+    const FluidState eq = model.equilibrium();
+    EXPECT_NEAR(eq[0][0] / eq[0][1], 1.0, 0.05) << algorithm_name(alg);
+  }
+}
+
+TEST(FluidModel, MoreCapacityMoreRate) {
+  FluidNetwork net = single_bottleneck_two_paths();
+  FluidModel small(net, Algorithm::kOlia);
+  net.links[0].capacity *= 4;
+  net.links[1].capacity *= 4;
+  FluidModel big(net, Algorithm::kOlia);
+  const double r_small = big.user_rates(small.equilibrium())[0];
+  const double r_big = big.user_rates(big.equilibrium())[0];
+  EXPECT_GT(r_big, 1.5 * r_small);
+}
+
+TEST(FluidModel, PhiTermSuppressesRate) {
+  const auto base = single_bottleneck_two_paths();
+  FluidModel plain(base, Algorithm::kDts);
+  FluidModel priced(base, Algorithm::kDts, 1.0,
+                    [](std::size_t, std::size_t p, const FluidState& x) {
+                      // Price only path 1: phi = kappa * x^2 * price.
+                      return p == 1 ? 5e-4 * x[0][1] * x[0][1] : 0.0;
+                    });
+  const FluidState eq_plain = plain.equilibrium();
+  const FluidState eq_priced = priced.equilibrium();
+  EXPECT_LT(eq_priced[0][1], 0.8 * eq_plain[0][1]);
+  // Traffic shifts: the unpriced path gains.
+  EXPECT_GT(eq_priced[0][0], eq_plain[0][0] * 0.95);
+}
+
+TEST(FluidModel, RttGrowsWithLoad) {
+  FluidModel model(single_bottleneck_two_paths(), Algorithm::kOlia);
+  const FluidState eq = model.equilibrium();
+  const auto loads = model.link_loads(eq);
+  EXPECT_GT(model.path_rtt(0, 0, loads), 0.05);
+}
+
+// -------------------------------------------------------------- conditions
+
+TEST(Condition1, OliaAndDtsSatisfyLiaDependsOnState) {
+  // Symmetric equilibrium, ratio at the DTS design point 1/2.
+  std::vector<PathState> states = {{10, 0.1, 0.05}, {10, 0.1, 0.05}};
+  const std::vector<double> lambda = {0.01, 0.01};
+
+  const auto olia = check_condition1(Algorithm::kOlia, states, lambda);
+  EXPECT_TRUE(olia.satisfied);
+  EXPECT_NEAR(olia.psi_best, 1.0, 1e-9);
+  EXPECT_LE(olia.mptcp_throughput, olia.tcp_bound + 1e-9);
+
+  const auto dts = check_condition1(Algorithm::kDts, states, lambda);
+  EXPECT_TRUE(dts.satisfied);
+  EXPECT_NEAR(dts.psi_best, 1.0, 1e-9);
+
+  const auto lia = check_condition1(Algorithm::kLia, states, lambda);
+  EXPECT_TRUE(lia.satisfied);  // symmetric: psi = 1
+
+  // EWTCP violates Condition 1 at the symmetric point.
+  const auto ewtcp = check_condition1(Algorithm::kEwtcp, states, lambda);
+  EXPECT_FALSE(ewtcp.satisfied);
+  EXPECT_GT(ewtcp.mptcp_throughput, ewtcp.tcp_bound);
+}
+
+TEST(Condition1, PicksTheBestPath) {
+  std::vector<PathState> states = {{5, 0.1, 0.1}, {30, 0.1, 0.1}};
+  const auto r = check_condition1(Algorithm::kOlia, states, {0.01, 0.01});
+  EXPECT_EQ(r.best_path, 1u);
+}
+
+/// The OLIA paper's non-Pareto example for LIA: two users, one shared
+/// congested link plus private links with spare capacity.
+FluidNetwork khalili_network() {
+  FluidNetwork net;
+  net.links = {{800.0}, {2000.0}, {2000.0}};  // 0 = shared, 1/2 = private
+  FluidUser u1;
+  u1.paths = {{{0}, 0.05}, {{1}, 0.05}};
+  FluidUser u2;
+  u2.paths = {{{0}, 0.05}, {{2}, 0.05}};
+  net.users = {u1, u2};
+  return net;
+}
+
+TEST(Condition2, OliaMorePareToEfficientThanLia) {
+  FluidModel olia(khalili_network(), Algorithm::kOlia);
+  FluidModel lia(khalili_network(), Algorithm::kLia);
+  const auto probe_olia = pareto_probe(olia);
+  const auto probe_lia = pareto_probe(lia);
+  // OLIA leaves no more unilateral headroom than LIA does.
+  EXPECT_LE(probe_olia.best_unilateral_gain, probe_lia.best_unilateral_gain + 1e-6);
+}
+
+TEST(Condition2, SingleUserSaturatesItsPaths) {
+  FluidModel model(single_bottleneck_two_paths(), Algorithm::kOlia);
+  const auto probe = pareto_probe(model);
+  EXPECT_TRUE(probe.pareto_optimal);
+}
+
+}  // namespace
+}  // namespace mpcc::core
+
+namespace mpcc::core {
+namespace {
+
+// ---------------------------------------------------------- responsiveness
+
+TEST(Responsiveness, FriendlyAlgorithmsReclaimSlower) {
+  // Section V.A's tradeoff, quantified: EWTCP (psi ~ 2.8 at symmetry)
+  // must reclaim a freed link faster than OLIA (psi = 1).
+  const auto olia = measure_responsiveness(Algorithm::kOlia);
+  const auto ewtcp = measure_responsiveness(Algorithm::kEwtcp);
+  EXPECT_LE(olia.psi_index, 1.0 + 1e-6);
+  EXPECT_GT(ewtcp.psi_index, 2.0);
+  EXPECT_LT(ewtcp.settle_time_s, olia.settle_time_s);
+  // Both end near the new equilibrium: more capacity, more rate.
+  EXPECT_GT(olia.rate_after, olia.rate_before * 1.5);
+}
+
+TEST(Responsiveness, DownwardStepsSettleFast) {
+  // Loss-driven adjustment: cutting capacity settles almost immediately for
+  // a friendly algorithm.
+  ResponsivenessConfig cfg;
+  cfg.step_factor = 0.5;
+  const auto r = measure_responsiveness(Algorithm::kLia, cfg);
+  EXPECT_LT(r.settle_time_s, 1.0);
+  EXPECT_LT(r.rate_after, r.rate_before);
+}
+
+TEST(Responsiveness, DeterministicAndFinite) {
+  const auto a = measure_responsiveness(Algorithm::kBalia);
+  const auto b = measure_responsiveness(Algorithm::kBalia);
+  EXPECT_DOUBLE_EQ(a.settle_time_s, b.settle_time_s);
+  EXPECT_LT(a.settle_time_s, 100.0);
+  EXPECT_GE(a.overshoot, 0.0);
+}
+
+}  // namespace
+}  // namespace mpcc::core

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "energy/cpu_power.h"
+#include "energy/energy_meter.h"
+#include "energy/radio_power.h"
+#include "energy/rapl_sim.h"
+#include "test_util.h"
+
+namespace mpcc {
+namespace {
+
+HostActivity activity(Rate tput, double rtt_s = 0.01, int subflows = 1,
+                      SimTime idle = 0) {
+  HostActivity a;
+  a.throughput = tput;
+  a.mean_rtt_s = rtt_s;
+  a.active_subflows = subflows;
+  a.since_activity = idle;
+  return a;
+}
+
+// ----------------------------------------------------------- WiredCpuPower
+
+TEST(WiredCpuPower, IncreasesWithThroughput) {
+  WiredCpuPower model;
+  double prev = 0;
+  for (Rate r : {mbps(100), mbps(200), mbps(500), gbps(1)}) {
+    const double p = model.power_watts(activity(r));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(WiredCpuPower, MatchesPaperSlopeFig3a) {
+  // "only about 15% power increase across the bandwidth ranging from
+  // 200 Mbps to 1000 Mbps" — non-linear throughput term.
+  WiredCpuPower model;
+  const double p200 = model.power_watts(activity(mbps(200)));
+  const double p1000 = model.power_watts(activity(gbps(1)));
+  EXPECT_NEAR(p1000 / p200, 1.15, 0.07);
+}
+
+TEST(WiredCpuPower, SubLinearInThroughput) {
+  WiredCpuPower model;
+  const double idle = model.power_watts(activity(0, 0, 0));
+  const double d1 = model.power_watts(activity(mbps(200))) - idle;
+  const double d2 = model.power_watts(activity(mbps(400))) - idle;
+  EXPECT_LT(d2, 2.0 * d1);  // concave: doubling rate < doubling power
+}
+
+TEST(WiredCpuPower, IncreasesWithSubflowCount) {
+  // Fig 1: power grows with num_subflows at similar throughput.
+  WiredCpuPower model;
+  double prev = 0;
+  for (int n = 1; n <= 8; ++n) {
+    const double p = model.power_watts(activity(mbps(200), 0.01, n));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(WiredCpuPower, IncreasesWithRtt) {
+  // Fig 4: high-RTT paths consume more power at equal throughput.
+  WiredCpuPower model;
+  const double low = model.power_watts(activity(mbps(200), 0.01));
+  const double high = model.power_watts(activity(mbps(200), 0.1));
+  EXPECT_GT(high, low);
+}
+
+TEST(WiredCpuPower, IdlePowerAtZeroThroughput) {
+  WiredCpuPowerConfig cfg;
+  WiredCpuPower model(cfg);
+  EXPECT_DOUBLE_EQ(model.power_watts(activity(0, 0, 0)), cfg.idle_watts);
+}
+
+// -------------------------------------------------------- WirelessCpuPower
+
+TEST(WirelessCpuPower, LinearInThroughput) {
+  WirelessCpuPower model;
+  const double idle = model.power_watts(activity(0, 0, 0));
+  const double d1 = model.power_watts(activity(mbps(10), 0, 0)) - idle;
+  const double d2 = model.power_watts(activity(mbps(20), 0, 0)) - idle;
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+}
+
+TEST(WirelessCpuPower, MatchesPaperSlopeFig3b) {
+  // "power consumption of MPTCP increases sharply with throughput, up to
+  // 90% across the throughput ranging from 10Mbps to 50Mbps".
+  WirelessCpuPower model;
+  const double p10 = model.power_watts(activity(mbps(10)));
+  const double p50 = model.power_watts(activity(mbps(50)));
+  EXPECT_NEAR(p50 / p10, 1.9, 0.2);
+}
+
+// --------------------------------------------------------------- RadioPower
+
+TEST(RadioPower, LteProfileStates) {
+  RadioPower lte{lte_radio_config()};
+  const double active = lte.power_at(mbps(10), 0);
+  const double tail = lte.power_at(0, 5 * kSecond);
+  const double idle = lte.power_at(0, 30 * kSecond);
+  EXPECT_GT(active, tail);
+  EXPECT_GT(tail, idle);
+  EXPECT_NEAR(idle, 0.031, 1e-6);
+}
+
+TEST(RadioPower, WifiTailMuchShorterThanLte) {
+  RadioPower wifi{wifi_radio_config()};
+  RadioPower lte{lte_radio_config()};
+  // 1 second after last activity: WiFi already idle, LTE still in tail.
+  EXPECT_LT(wifi.power_at(0, kSecond), 0.1);
+  EXPECT_GT(lte.power_at(0, kSecond), 1.0);
+}
+
+TEST(RadioPower, LtePerMbpsSlopeDominatesWifi) {
+  RadioPower wifi{wifi_radio_config()};
+  RadioPower lte{lte_radio_config()};
+  const double w = wifi.power_at(mbps(20), 0) - wifi.power_at(mbps(10), 0);
+  const double l = lte.power_at(mbps(20), 0) - lte.power_at(mbps(10), 0);
+  EXPECT_GT(l, 2.0 * w);
+}
+
+TEST(RadioPower, StatelessInterfaceUsesSinceActivity) {
+  RadioPower lte{lte_radio_config()};
+  EXPECT_GT(lte.power_watts(activity(0, 0, 0, kSecond)),
+            lte.power_watts(activity(0, 0, 0, 60 * kSecond)));
+}
+
+// -------------------------------------------------------------- EnergyMeter
+
+TEST(EnergyMeter, IntegratesConstantPower) {
+  // A probe with zero activity + a model with known idle power:
+  // energy = idle * time.
+  Network net(1);
+  FlowGroupProbe probe;  // no flows: throughput 0
+  WiredCpuPowerConfig cfg;
+  cfg.idle_watts = 10.0;
+  WiredCpuPower model(cfg);
+  EnergyMeter meter(net, "m", model, probe, 10 * kMillisecond);
+  meter.start();
+  net.events().run_until(seconds(5));
+  EXPECT_NEAR(meter.energy_joules(), 50.0, 0.2);
+  EXPECT_NEAR(meter.average_power_watts(), 10.0, 0.01);
+}
+
+TEST(EnergyMeter, TracksFlowThroughput) {
+  testing::SingleLinkFlow s(1, mbps(100), 5 * kMillisecond, 150'000);
+  WiredCpuPower model;
+  FlowGroupProbe probe;
+  probe.add_flow(s.flow.src);
+  EnergyMeter meter(s.net, "m", model, probe);
+  meter.enable_trace();
+  meter.start();
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(10));
+  // Active at ~95 Mbps: power above idle.
+  EXPECT_GT(meter.average_power_watts(), 10.5);
+  EXPECT_GT(meter.peak_power_watts(), meter.average_power_watts() * 0.99);
+  EXPECT_FALSE(meter.trace().empty());
+}
+
+TEST(EnergyMeter, StopFreezesEnergy) {
+  Network net(1);
+  FlowGroupProbe probe;
+  WiredCpuPower model;
+  EnergyMeter meter(net, "m", model, probe);
+  meter.start();
+  net.events().run_until(seconds(1));
+  meter.stop();
+  const double e = meter.energy_joules();
+  net.events().run_until(seconds(10));
+  EXPECT_DOUBLE_EQ(meter.energy_joules(), e);
+}
+
+TEST(FlowGroupProbe, TracksIdleTimeForRadioTail) {
+  Network net(1);
+  FlowGroupProbe probe;
+  // No flows: successive samples accumulate idle time.
+  HostActivity a1 = probe.sample(100 * kMillisecond);
+  HostActivity a2 = probe.sample(100 * kMillisecond);
+  EXPECT_EQ(a1.since_activity, 100 * kMillisecond);
+  EXPECT_EQ(a2.since_activity, 200 * kMillisecond);
+}
+
+// ------------------------------------------------------------ RaplSimulator
+
+TEST(RaplSimulator, QuantisesToEnergyUnits) {
+  Network net(1);
+  FlowGroupProbe probe;
+  WiredCpuPowerConfig cfg;
+  cfg.idle_watts = 10.0;
+  WiredCpuPower model(cfg);
+  EnergyMeter meter(net, "m", model, probe);
+  RaplSimulator rapl(meter);
+  meter.start();
+  net.events().run_until(seconds(1));
+  const double j = meter.energy_joules();
+  EXPECT_NEAR(rapl.read_joules(), j, rapl.energy_unit());
+  EXPECT_EQ(rapl.read_counter(),
+            static_cast<std::uint64_t>(j / rapl.energy_unit()));
+}
+
+// --------------------------------------- end-to-end: energy vs throughput
+
+TEST(EnergyIntegration, FasterLinkLowerTotalEnergyForFixedTransfer) {
+  // Fig 3a's headline: total energy for a fixed transfer *decreases* with
+  // available bandwidth even though power increases.
+  // 100 MB keeps the transfer steady-state-dominated even at 1 Gbps (the
+  // slow-start ramp would otherwise mask the rate difference), and a deep
+  // buffer (~2x the 1 Gbps BDP) lets Reno hold the link near line rate.
+  auto energy_for = [](Rate rate) {
+    testing::SingleLinkFlow s(1, rate, 5 * kMillisecond, 2'500'000, {},
+                              mega_bytes(100));
+    WiredCpuPower model;
+    FlowGroupProbe probe;
+    probe.add_flow(s.flow.src);
+    EnergyMeter meter(s.net, "m", model, probe);
+    meter.start();
+    double energy = -1;
+    s.flow.src->set_on_complete([&](TcpSrc&) {
+      meter.stop();
+      energy = meter.energy_joules();
+    });
+    s.flow.src->start(0);
+    s.net.events().run_until(seconds(60));
+    return energy;
+  };
+  const double e200 = energy_for(mbps(200));
+  const double e1000 = energy_for(gbps(1));
+  ASSERT_GT(e200, 0);
+  ASSERT_GT(e1000, 0);
+  EXPECT_LT(e1000, e200 * 0.5);
+}
+
+}  // namespace
+}  // namespace mpcc

@@ -1,0 +1,182 @@
+// Tests for the extension components: DWC (dynamic window coupling) and
+// the eMPTCP-style energy-aware path selector.
+#include <gtest/gtest.h>
+
+#include "cc/dwc.h"
+#include "cc/registry.h"
+#include "energy/path_selector.h"
+#include "harness/scenarios.h"
+#include "mptcp/path_manager.h"
+#include "topo/two_path.h"
+#include "traffic/bulk_flow.h"
+
+namespace mpcc {
+namespace {
+
+// --------------------------------------------------------------------- DWC
+
+TEST(Dwc, DisjointPathsStayUngroupedAndGetFullShare) {
+  // Two independent bottlenecks: losses never correlate, so each subflow
+  // runs as plain Reno and the bundle saturates both links (~190 Mbps),
+  // unlike LIA which couples unconditionally.
+  Network net(1);
+  TwoPathConfig cfg;
+  cfg.cross_traffic = false;
+  // Slightly different delays desynchronise the AIMD sawteeth; two
+  // *identical* disjoint paths keep losing in lock-step and DWC (like the
+  // original) would read that as a shared bottleneck.
+  cfg.delay[1] = 17 * kMillisecond;
+  TwoPath topo(net, cfg);
+  MptcpConfig mcfg;
+  auto cc_owned = std::make_unique<DwcCc>();
+  DwcCc* cc = cc_owned.get();
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, std::move(cc_owned));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  net.events().run_until(seconds(20));
+  EXPECT_FALSE(cc->same_group(0, 1));
+  EXPECT_GT(throughput(conn->bytes_delivered(), seconds(20)), mbps(150));
+}
+
+TEST(Dwc, SharedBottleneckGetsGrouped) {
+  // Both subflows on one link: overflow losses land within the correlation
+  // window, so DWC merges them into one group.
+  Network net(2);
+  Link fwd = net.make_link("f", mbps(50), 10 * kMillisecond, 100'000);
+  Link rev = net.make_link("r", mbps(50), 10 * kMillisecond, 100'000);
+  MptcpConfig mcfg;
+  auto cc_owned = std::make_unique<DwcCc>();
+  DwcCc* cc = cc_owned.get();
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, std::move(cc_owned));
+  PathSpec path;
+  path.forward = {fwd.queue, fwd.pipe};
+  path.reverse = {rev.queue, rev.pipe};
+  conn->add_subflow(path);
+  conn->add_subflow(path);
+  conn->start(0);
+  net.events().run_until(seconds(30));
+  EXPECT_TRUE(cc->same_group(0, 1));
+}
+
+TEST(Dwc, GroupedBundleIsTcpFriendly) {
+  // Shared bottleneck with a competing TCP: once grouped, the DWC bundle
+  // should take roughly one TCP share.
+  Network net(3);
+  Link fwd = net.make_link("f", mbps(100), 10 * kMillisecond, 150'000);
+  Link rev = net.make_link("r", mbps(100), 10 * kMillisecond, 150'000);
+  TcpFlowHandles tcp = make_tcp_flow(net, "tcp", {fwd.queue, fwd.pipe},
+                                     {rev.queue, rev.pipe});
+  MptcpConfig mcfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "mp", mcfg, make_multipath_cc("dwc"));
+  PathSpec path;
+  path.forward = {fwd.queue, fwd.pipe};
+  path.reverse = {rev.queue, rev.pipe};
+  conn->add_subflow(path);
+  conn->add_subflow(path);
+  tcp.src->start(0);
+  conn->start(50 * kMillisecond);
+  net.events().run_until(seconds(60));
+  double mp = 0;
+  for (const Subflow* sf : conn->subflows()) {
+    mp += static_cast<double>(sf->bytes_acked_total());
+  }
+  const double share = mp / static_cast<double>(tcp.src->bytes_acked_total());
+  // Grouping happens after the first loss burst; the pre-grouping phase is
+  // uncoupled, so allow a wider band than the always-coupled algorithms.
+  EXPECT_LT(share, 2.0);
+  EXPECT_GT(share, 0.3);
+}
+
+TEST(Dwc, GroupExpiresWithoutCorrelatedLosses) {
+  DwcConfig cfg;
+  cfg.group_expiry = 2 * kSecond;
+  Network net(4);
+  TwoPathConfig tcfg;
+  tcfg.cross_traffic = false;
+  tcfg.delay[1] = 23 * kMillisecond;         // desynchronise steady state
+  tcfg.buffer[0] = tcfg.buffer[1] = 40'000;  // early shared-ish loss phase
+  TwoPath topo(net, tcfg);
+  MptcpConfig mcfg;
+  auto cc_owned = std::make_unique<DwcCc>(cfg);
+  DwcCc* cc = cc_owned.get();
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, std::move(cc_owned));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  net.events().run_until(seconds(30));
+  // Whatever happened early, on disjoint paths the grouping must
+  // eventually lapse (losses on independent links decorrelate).
+  EXPECT_FALSE(cc->same_group(0, 1));
+}
+
+// ----------------------------------------------------------- PathSelector
+
+TEST(PathSelector, QuiescesCostlyPathWhenCheapPathSuffices) {
+  // Quiet two-path network: path 0 alone easily exceeds the target, so the
+  // selector should turn path 1 off and keep it off.
+  Network net(5);
+  TwoPathConfig cfg;
+  cfg.cross_traffic = false;
+  TwoPath topo(net, cfg);
+  MptcpConfig mcfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, make_multipath_cc("lia"));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  PathSelectorConfig scfg;
+  scfg.target_rate = mbps(20);
+  auto* selector = net.emplace<EnergyAwarePathSelector>(net, *conn, 1, scfg);
+  selector->start();
+  net.events().run_until(seconds(30));
+  EXPECT_FALSE(selector->costly_path_enabled());
+  // Quiesced: the costly subflow carried almost nothing after the toggle.
+  const double share =
+      static_cast<double>(conn->subflow(1).bytes_acked_total()) /
+      static_cast<double>(conn->bytes_delivered());
+  EXPECT_LT(share, 0.4);
+}
+
+TEST(PathSelector, ReenablesWhenCheapPathDegrades) {
+  // Path 0 capacity below the target: the selector must keep path 1 on.
+  Network net(6);
+  TwoPathConfig cfg;
+  cfg.cross_traffic = false;
+  cfg.rate[0] = mbps(3);  // cheap path cannot meet the target alone
+  TwoPath topo(net, cfg);
+  MptcpConfig mcfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, make_multipath_cc("lia"));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  PathSelectorConfig scfg;
+  scfg.target_rate = mbps(20);
+  auto* selector = net.emplace<EnergyAwarePathSelector>(net, *conn, 1, scfg);
+  selector->start();
+  net.events().run_until(seconds(30));
+  // The selector probed (toggled) but backed off; the costly path carried
+  // the overwhelming majority of the traffic and ends enabled.
+  EXPECT_TRUE(selector->costly_path_enabled());
+  EXPECT_GE(selector->toggles(), 2u);
+  const double share1 =
+      static_cast<double>(conn->subflow(1).bytes_acked_total()) /
+      static_cast<double>(conn->bytes_delivered());
+  EXPECT_GT(share1, 0.6);
+}
+
+TEST(PathSelector, WirelessScenarioSavesEnergy) {
+  harness::WirelessOptions lia;
+  lia.cc = "lia";
+  lia.duration = seconds(90);
+  const auto base = run_wireless(lia);
+  harness::WirelessOptions sel = lia;
+  sel.cc = "emptcp";
+  const auto emptcp = run_wireless(sel);
+  // Path selection should spend clearly less marginal radio energy per byte
+  // (it concentrates traffic on WiFi).
+  EXPECT_LT(emptcp.marginal_joules_per_gigabyte,
+            base.marginal_joules_per_gigabyte * 0.9);
+  const double wifi_share =
+      static_cast<double>(emptcp.wifi_bytes) /
+      static_cast<double>(emptcp.wifi_bytes + emptcp.cell_bytes);
+  EXPECT_GT(wifi_share, 0.8);
+}
+
+}  // namespace
+}  // namespace mpcc

@@ -1,0 +1,217 @@
+// Tests for the transport-feature extensions: opportunistic reinjection,
+// delayed ACKs, RFC 2861 idle restart, and Jain's fairness index.
+#include <gtest/gtest.h>
+
+#include "cc/registry.h"
+#include "mptcp/path_manager.h"
+#include "stats/summary.h"
+#include "test_util.h"
+#include "topo/two_path.h"
+
+namespace mpcc {
+namespace {
+
+// ------------------------------------------------------------- reinjection
+
+/// HoL-blocking scenario: a tiny receive buffer and a slow, *lossy* path.
+/// A chunk stuck on the slow path stalls the whole connection until the
+/// slow path's RTO resolves it — unless reinjection re-sends it via the
+/// fast path.
+MptcpConnection* make_hol_conn(Network& net, TwoPath& topo, bool reinject) {
+  MptcpConfig cfg;
+  cfg.recv_buffer = 32 * 1024;
+  cfg.enable_reinjection = reinject;
+  cfg.reinject_after = 100 * kMillisecond;
+  auto* conn =
+      net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("uncoupled"));
+  PathManager::fullmesh(*conn, topo.paths());
+  return conn;
+}
+
+TwoPathConfig hol_topology() {
+  TwoPathConfig cfg;
+  cfg.cross_traffic = false;
+  cfg.delay[0] = 5 * kMillisecond;
+  cfg.delay[1] = 100 * kMillisecond;  // slow path
+  cfg.buffer[1] = 10'000;             // and drop-prone
+  return cfg;
+}
+
+TEST(Reinjection, RecoversHolStallsAndImprovesGoodput) {
+  auto run = [](bool reinject) {
+    Network net(3);
+    TwoPath topo(net, hol_topology());
+    MptcpConnection* conn = make_hol_conn(net, topo, reinject);
+    conn->start(0);
+    net.events().run_until(seconds(60));
+    return std::make_pair(conn->bytes_delivered(), conn->reinjections());
+  };
+  const auto [plain_bytes, plain_reinjects] = run(false);
+  const auto [assisted_bytes, assisted_reinjects] = run(true);
+  EXPECT_EQ(plain_reinjects, 0u);
+  EXPECT_GT(assisted_reinjects, 0u);
+  EXPECT_GT(assisted_bytes, plain_bytes);
+}
+
+TEST(Reinjection, InactiveWithoutFiniteBuffer) {
+  Network net(4);
+  TwoPathConfig cfg;
+  cfg.cross_traffic = false;
+  TwoPath topo(net, cfg);
+  MptcpConfig mcfg;
+  mcfg.enable_reinjection = true;  // but recv_buffer == 0 (unlimited)
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, make_multipath_cc("lia"));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  net.events().run_until(seconds(10));
+  EXPECT_EQ(conn->reinjections(), 0u);
+}
+
+TEST(Reinjection, DataStillConservedWithDuplicates) {
+  Network net(5);
+  TwoPath topo(net, hol_topology());
+  MptcpConfig cfg;
+  cfg.recv_buffer = 32 * 1024;
+  cfg.enable_reinjection = true;
+  cfg.reinject_after = 100 * kMillisecond;
+  cfg.flow_size = mega_bytes(2);
+  auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("uncoupled"));
+  PathManager::fullmesh(*conn, topo.paths());
+  conn->start(0);
+  net.events().run_until(seconds(120));
+  ASSERT_TRUE(conn->complete());
+  EXPECT_EQ(conn->bytes_delivered(), mega_bytes(2));
+  EXPECT_EQ(conn->receive_buffer().buffered(), 0);
+}
+
+// ------------------------------------------------------------ delayed ACKs
+
+TEST(DelayedAcks, RoughlyHalvesAckCount) {
+  auto acks_sent = [](bool delayed) {
+    testing::SingleLinkFlow s(1, mbps(50), 10 * kMillisecond, 300'000, {},
+                              mega_bytes(5));
+    if (delayed) s.flow.sink->enable_delayed_acks();
+    s.flow.src->start(0);
+    s.net.events().run_until(seconds(30));
+    EXPECT_TRUE(s.flow.src->complete());
+    // ACK count == packets forwarded on the reverse queue.
+    return s.rev.queue->forwarded();
+  };
+  const auto immediate = acks_sent(false);
+  const auto delayed = acks_sent(true);
+  EXPECT_LT(delayed, immediate * 0.6);
+  EXPECT_GT(delayed, immediate * 0.4);
+}
+
+TEST(DelayedAcks, TransferStillCompletesAndTimerFlushesTail) {
+  testing::SingleLinkFlow s(2, mbps(50), 10 * kMillisecond, 300'000, {},
+                            // Odd number of segments: the last one relies on
+                            // the 40 ms delack timer.
+                            3 * kDefaultMss);
+  s.flow.sink->enable_delayed_acks();
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(5));
+  EXPECT_TRUE(s.flow.src->complete());
+  EXPECT_GT(s.flow.sink->delayed_acks(), 0u);
+}
+
+TEST(DelayedAcks, DupacksStillFlowForFastRetransmit) {
+  // Lossy path with delayed ACKs: fast retransmit must still work (OOO
+  // arrivals are ACKed immediately).
+  Network net(6);
+  Link fwd{net.make_queue("f:q", mbps(20), 150'000),
+           net.make_lossy_pipe("f:p", 10 * kMillisecond, 0.01)};
+  Link rev = net.make_link("r", mbps(20), 10 * kMillisecond, 150'000);
+  TcpFlowHandles flow = make_tcp_flow(net, "flow", {fwd.queue, fwd.pipe},
+                                      {rev.queue, rev.pipe}, {}, mega_bytes(2));
+  flow.sink->enable_delayed_acks();
+  flow.src->start(0);
+  net.events().run_until(seconds(60));
+  EXPECT_TRUE(flow.src->complete());
+  EXPECT_GT(flow.src->fast_retransmit_events(), 0u);
+}
+
+// ------------------------------------------------------------ idle restart
+
+/// Provider that hands out data in on/off pulses driven by the test.
+class PulsedProvider final : public SegmentProvider {
+ public:
+  bool next_segment(Bytes mss, Bytes& len, std::int64_t& data_seq) override {
+    if (budget_ <= 0) return false;
+    len = std::min(mss, budget_);
+    budget_ -= len;
+    data_seq = next_;
+    next_ += len;
+    return true;
+  }
+  void grant(Bytes bytes) { budget_ += bytes; }
+
+ private:
+  Bytes budget_ = 0;
+  std::int64_t next_ = 0;
+};
+
+TEST(IdleRestart, CwndCollapsesAfterIdlePeriod) {
+  testing::SingleLinkFlow s(7, mbps(100), 10 * kMillisecond, 500'000);
+  PulsedProvider provider;
+  s.flow.src->set_provider(&provider);
+  s.flow.src->start(0);
+  provider.grant(mega_bytes(5));
+  s.flow.src->notify_data_available();
+  s.net.events().run_until(seconds(5));
+  const double cwnd_busy = s.flow.src->cwnd();
+  EXPECT_GT(cwnd_busy, 20.0 * kDefaultMss);
+  // Idle for 2 seconds (>> RTO), then send again.
+  s.net.events().run_until(seconds(7));
+  provider.grant(kDefaultMss);
+  s.flow.src->notify_data_available();
+  EXPECT_LE(s.flow.src->cwnd(),
+            static_cast<double>(s.flow.src->config().initial_window_segments) *
+                kDefaultMss + 1);
+}
+
+TEST(IdleRestart, DisabledKeepsStaleCwnd) {
+  TcpConfig cfg;
+  cfg.cwnd_restart_after_idle = false;
+  testing::SingleLinkFlow s(8, mbps(100), 10 * kMillisecond, 500'000, cfg);
+  PulsedProvider provider;
+  s.flow.src->set_provider(&provider);
+  s.flow.src->start(0);
+  provider.grant(mega_bytes(5));
+  s.flow.src->notify_data_available();
+  s.net.events().run_until(seconds(5));
+  const double cwnd_busy = s.flow.src->cwnd();
+  s.net.events().run_until(seconds(7));
+  provider.grant(kDefaultMss);
+  s.flow.src->notify_data_available();
+  EXPECT_NEAR(s.flow.src->cwnd(), cwnd_busy, 1.0);
+}
+
+// --------------------------------------------------------------- Jain index
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(Summary({1, 1, 1, 1}).jain_index(), 1.0);
+  EXPECT_DOUBLE_EQ(Summary({1, 0, 0, 0}).jain_index(), 0.25);
+  EXPECT_NEAR(Summary({2, 1}).jain_index(), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(Summary().jain_index(), 0.0);
+  EXPECT_DOUBLE_EQ(Summary({0, 0}).jain_index(), 1.0);
+}
+
+TEST(JainIndex, TwoRenoFlowsAreFair) {
+  Network net(9);
+  Link fwd = net.make_link("f", mbps(100), 10 * kMillisecond, 150'000);
+  Link rev = net.make_link("r", mbps(100), 10 * kMillisecond, 150'000);
+  TcpFlowHandles a = make_tcp_flow(net, "a", {fwd.queue, fwd.pipe},
+                                   {rev.queue, rev.pipe});
+  TcpFlowHandles b = make_tcp_flow(net, "b", {fwd.queue, fwd.pipe},
+                                   {rev.queue, rev.pipe});
+  a.src->start(0);
+  b.src->start(100 * kMillisecond);
+  net.events().run_until(seconds(60));
+  Summary rates({static_cast<double>(a.src->bytes_acked_total()),
+                 static_cast<double>(b.src->bytes_acked_total())});
+  EXPECT_GT(rates.jain_index(), 0.95);
+}
+
+}  // namespace
+}  // namespace mpcc

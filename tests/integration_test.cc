@@ -1,0 +1,182 @@
+// Integration tests: the harness scenario runners end-to-end, at reduced
+// scale. These are the same code paths the figure benches drive.
+#include <gtest/gtest.h>
+
+#include "harness/scenarios.h"
+#include "stats/summary.h"
+
+namespace mpcc::harness {
+namespace {
+
+// ------------------------------------------------------------ run_two_path
+
+TEST(TwoPathScenario, ProducesEnergyAndTraffic) {
+  TwoPathOptions opts;
+  opts.cc = "lia";
+  opts.duration = seconds(20);
+  const auto r = run_two_path(opts);
+  EXPECT_GT(r.run.energy_j, 0);
+  EXPECT_GT(r.run.bytes_delivered, 0);
+  EXPECT_GT(r.run.avg_power_w, 10.0);  // above idle
+  ASSERT_EQ(r.subflow_bytes.size(), 2u);
+  EXPECT_GT(r.subflow_bytes[0] + r.subflow_bytes[1], 0);
+}
+
+TEST(TwoPathScenario, TraceRecordingWorks) {
+  TwoPathOptions opts;
+  opts.cc = "dts";
+  opts.duration = seconds(10);
+  opts.record_trace = true;
+  const auto r = run_two_path(opts);
+  EXPECT_GT(r.power_trace.size(), 100u);
+  EXPECT_GT(r.tput_trace.size(), 10u);
+  EXPECT_GT(r.tput_trace.mean(seconds(2), seconds(10)), mbps(10));
+}
+
+TEST(TwoPathScenario, DeterministicPerSeed) {
+  TwoPathOptions opts;
+  opts.cc = "balia";
+  opts.duration = seconds(10);
+  opts.seed = 5;
+  const auto a = run_two_path(opts);
+  const auto b = run_two_path(opts);
+  EXPECT_EQ(a.run.bytes_delivered, b.run.bytes_delivered);
+  EXPECT_DOUBLE_EQ(a.run.energy_j, b.run.energy_j);
+}
+
+// ------------------------------------------------------------ run_dumbbell
+
+TEST(DumbbellScenario, AllFlowsCompleteAndAreMetered) {
+  DumbbellOptions opts;
+  opts.cc = "olia";
+  opts.n_users = 4;
+  opts.flow_bytes = mega_bytes(4);
+  const auto r = run_dumbbell(opts);
+  EXPECT_EQ(r.incomplete, 0u);
+  ASSERT_EQ(r.per_flow_energy_j.size(), 4u);
+  for (double e : r.per_flow_energy_j) EXPECT_GT(e, 0);
+  for (double c : r.completion_s) EXPECT_GT(c, 0);
+  EXPECT_GT(r.total_energy_j, 0);
+}
+
+TEST(DumbbellScenario, MoreUsersTakeLonger) {
+  auto mean_completion = [](std::size_t n) {
+    DumbbellOptions opts;
+    opts.cc = "lia";
+    opts.n_users = n;
+    opts.flow_bytes = mega_bytes(4);
+    const auto r = run_dumbbell(opts);
+    Summary s(r.completion_s);
+    return s.mean();
+  };
+  EXPECT_GT(mean_completion(8), 1.5 * mean_completion(2));
+}
+
+// ---------------------------------------------------------- run_datacenter
+
+class DatacenterScenario : public ::testing::TestWithParam<DcTopo> {
+ protected:
+  DatacenterOptions small_options(const std::string& cc) {
+    DatacenterOptions opts;
+    opts.topo = GetParam();
+    opts.cc = cc;
+    opts.subflows = 2;
+    opts.duration = seconds(1);
+    opts.fat_tree.k = 4;
+    opts.bcube.n = 3;
+    opts.bcube.k = 1;
+    opts.vl2.num_tor = 4;
+    opts.vl2.hosts_per_tor = 2;
+    opts.vl2.num_agg = 4;
+    opts.vl2.num_int = 2;
+    opts.cloud.num_hosts = 6;
+    return opts;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, DatacenterScenario,
+                         ::testing::Values(DcTopo::kFatTree, DcTopo::kVl2,
+                                           DcTopo::kBCube, DcTopo::kVirtualCloud),
+                         [](const auto& info) {
+                           return std::string(dc_topo_name(info.param));
+                         });
+
+TEST_P(DatacenterScenario, MptcpPermutationDeliversTraffic) {
+  const auto r = run_datacenter(small_options("lia"));
+  EXPECT_GT(r.bytes_delivered, 0);
+  EXPECT_GT(r.total_energy_j, 0);
+  EXPECT_GT(r.joules_per_gigabyte, 0);
+  EXPECT_GT(r.flows, 0u);
+}
+
+TEST_P(DatacenterScenario, SinglePathBaselinesRun) {
+  for (const std::string cc : {"tcp", "dctcp"}) {
+    const auto r = run_datacenter(small_options(cc));
+    EXPECT_GT(r.bytes_delivered, 0) << cc;
+  }
+}
+
+TEST_P(DatacenterScenario, Deterministic) {
+  const auto a = run_datacenter(small_options("dts"));
+  const auto b = run_datacenter(small_options("dts"));
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+}
+
+TEST(DatacenterScenario2, MultipathBeatsSinglePathInCloud) {
+  // The Fig 10 headline at miniature scale: MPTCP aggregates the 4 ENIs.
+  DatacenterOptions opts;
+  opts.topo = DcTopo::kVirtualCloud;
+  opts.cloud.num_hosts = 6;
+  opts.subflows = 4;
+  opts.duration = seconds(2);
+  opts.cc = "tcp";
+  const auto tcp = run_datacenter(opts);
+  opts.cc = "lia";
+  const auto lia = run_datacenter(opts);
+  EXPECT_GT(lia.aggregate_goodput, 2.0 * tcp.aggregate_goodput);
+  EXPECT_LT(lia.joules_per_gigabyte, 0.7 * tcp.joules_per_gigabyte);
+}
+
+// ------------------------------------------------------------ run_wireless
+
+TEST(WirelessScenario, SinglePathBaselinesRespectTheirLink) {
+  WirelessOptions opts;
+  opts.duration = seconds(60);
+  opts.cc = "tcp-wifi";
+  const auto wifi = run_wireless(opts);
+  EXPECT_GT(wifi.goodput, 0);
+  EXPECT_LT(wifi.goodput, mbps(10));
+  opts.cc = "tcp-cell";
+  const auto cell = run_wireless(opts);
+  EXPECT_LT(cell.goodput, mbps(20));
+  // LTE per-byte energy far exceeds WiFi's.
+  EXPECT_GT(cell.joules_per_gigabyte, 1.5 * wifi.joules_per_gigabyte);
+}
+
+TEST(WirelessScenario, MptcpAggregatesBothRadios) {
+  WirelessOptions opts;
+  opts.duration = seconds(60);
+  opts.cc = "lia";
+  const auto r = run_wireless(opts);
+  EXPECT_GT(r.wifi_energy_j, 0);
+  EXPECT_GT(r.cell_energy_j, 0);
+  // The 64 KB receive buffer over these RTTs caps throughput well below the
+  // 30 Mbps aggregate but above either single radio under cross traffic.
+  EXPECT_GT(r.goodput, mbps(4));
+}
+
+TEST(WirelessScenario, DtsShiftsTowardWifi) {
+  WirelessOptions lia_opts;
+  lia_opts.duration = seconds(120);
+  lia_opts.cc = "lia";
+  const auto lia = run_wireless(lia_opts);
+  WirelessOptions dts_opts = lia_opts;
+  dts_opts.cc = "dts";
+  const auto dts = run_wireless(dts_opts);
+  // DTS favours the low-delay WiFi path, cutting per-byte radio energy.
+  EXPECT_LE(dts.joules_per_gigabyte, lia.joules_per_gigabyte * 1.02);
+}
+
+}  // namespace
+}  // namespace mpcc::harness

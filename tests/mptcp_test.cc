@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "cc/registry.h"
+#include "cc/uncoupled.h"
+#include "mptcp/path_manager.h"
+#include "mptcp/receive_buffer.h"
+#include "mptcp/scheduler.h"
+#include "test_util.h"
+#include "topo/two_path.h"
+
+namespace mpcc {
+namespace {
+
+// ----------------------------------------------------------- ReceiveBuffer
+
+TEST(ReceiveBuffer, InOrderDeliveryAdvances) {
+  ReceiveBuffer rb;
+  rb.on_data(0, 100);
+  rb.on_data(100, 100);
+  EXPECT_EQ(rb.in_order_point(), 200);
+  EXPECT_EQ(rb.buffered(), 0);
+}
+
+TEST(ReceiveBuffer, OutOfOrderBuffersThenDrains) {
+  ReceiveBuffer rb;
+  rb.on_data(100, 100);
+  rb.on_data(200, 50);
+  EXPECT_EQ(rb.in_order_point(), 0);
+  EXPECT_EQ(rb.buffered(), 150);
+  rb.on_data(0, 100);  // fills the hole
+  EXPECT_EQ(rb.in_order_point(), 250);
+  EXPECT_EQ(rb.buffered(), 0);
+  EXPECT_EQ(rb.max_buffered(), 150);
+}
+
+TEST(ReceiveBuffer, DuplicatesIgnored) {
+  ReceiveBuffer rb;
+  rb.on_data(0, 100);
+  rb.on_data(0, 100);  // stale
+  EXPECT_EQ(rb.in_order_point(), 100);
+  rb.on_data(200, 100);
+  rb.on_data(200, 100);  // duplicate pending chunk
+  EXPECT_EQ(rb.buffered(), 100);
+}
+
+TEST(ReceiveBuffer, PartialOverlapTrimmed) {
+  ReceiveBuffer rb;
+  rb.on_data(0, 100);
+  rb.on_data(50, 100);  // [50,150) overlaps consumed [0,100)
+  EXPECT_EQ(rb.in_order_point(), 150);
+}
+
+TEST(ReceiveBuffer, WindowAccounting) {
+  ReceiveBuffer rb(1000);
+  EXPECT_TRUE(rb.window_allows(0, 1000));
+  EXPECT_FALSE(rb.window_allows(0, 1001));
+  rb.on_data(0, 500);
+  EXPECT_TRUE(rb.window_allows(500, 1000));  // 500 delivered frees window
+  ReceiveBuffer unlimited(0);
+  EXPECT_TRUE(unlimited.window_allows(1 << 30, 1 << 20));
+}
+
+// --------------------------------------------------------- MptcpConnection
+
+class MptcpTest : public ::testing::Test {
+ protected:
+  /// Builds a connection over a fresh TwoPath topology (no cross traffic).
+  MptcpConnection* make_conn(Network& net, TwoPath& topo, const std::string& cc,
+                             Bytes flow_size = -1, Bytes recv_buffer = 0) {
+    MptcpConfig cfg;
+    cfg.flow_size = flow_size;
+    cfg.recv_buffer = recv_buffer;
+    auto* conn =
+        net.emplace<MptcpConnection>(net, "conn", cfg, make_multipath_cc(cc));
+    for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
+    return conn;
+  }
+
+  TwoPathConfig quiet_topo() {
+    TwoPathConfig cfg;
+    cfg.cross_traffic = false;
+    return cfg;
+  }
+};
+
+TEST_F(MptcpTest, TransfersFixedAmountAcrossTwoPaths) {
+  Network net(1);
+  TwoPath topo(net, quiet_topo());
+  MptcpConnection* conn = make_conn(net, topo, "lia", mega_bytes(8));
+  bool done = false;
+  conn->set_on_complete([&](MptcpConnection&) { done = true; });
+  conn->start(0);
+  net.events().run_until(seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(conn->bytes_delivered(), mega_bytes(8));
+  // Both subflows carried data.
+  EXPECT_GT(conn->subflow(0).bytes_acked_total(), 0);
+  EXPECT_GT(conn->subflow(1).bytes_acked_total(), 0);
+}
+
+TEST_F(MptcpTest, UsesBothPathsForHigherThroughputThanOnePath) {
+  // Two 100 Mbps paths: uncoupled MPTCP should clearly beat one path.
+  Network net(2);
+  TwoPath topo(net, quiet_topo());
+  MptcpConnection* conn = make_conn(net, topo, "uncoupled");
+  conn->start(0);
+  net.events().run_until(seconds(20));
+  const Rate goodput = throughput(conn->bytes_delivered(), seconds(20));
+  EXPECT_GT(goodput, mbps(140));
+}
+
+TEST_F(MptcpTest, DataSequenceSpaceIsContiguous) {
+  Network net(3);
+  TwoPath topo(net, quiet_topo());
+  MptcpConnection* conn = make_conn(net, topo, "olia", mega_bytes(4));
+  conn->start(0);
+  net.events().run_until(seconds(30));
+  EXPECT_TRUE(conn->complete());
+  // Everything allocated was delivered: no data-seq gaps at the end.
+  EXPECT_EQ(conn->bytes_allocated(), mega_bytes(4));
+  EXPECT_EQ(conn->receive_buffer().buffered(), 0);
+  EXPECT_EQ(conn->receive_buffer().pending_chunks(), 0u);
+}
+
+TEST_F(MptcpTest, AsymmetricPathsCauseReordering) {
+  // Very different path delays: connection-level reorder buffer must absorb
+  // chunks from the fast path while the slow path's are in flight.
+  Network net(4);
+  TwoPathConfig cfg = quiet_topo();
+  cfg.delay[0] = 2 * kMillisecond;
+  cfg.delay[1] = 60 * kMillisecond;
+  TwoPath topo(net, cfg);
+  MptcpConnection* conn = make_conn(net, topo, "uncoupled");
+  conn->start(0);
+  net.events().run_until(seconds(10));
+  EXPECT_GT(conn->receive_buffer().max_buffered(), 0);
+  EXPECT_GT(conn->bytes_delivered(), 0);
+}
+
+TEST_F(MptcpTest, FiniteReceiveBufferLimitsInflightDataSeq) {
+  Network net(5);
+  TwoPathConfig cfg = quiet_topo();
+  cfg.delay[0] = 2 * kMillisecond;
+  cfg.delay[1] = 60 * kMillisecond;
+  TwoPath topo(net, cfg);
+  const Bytes buffer = 64 * 1024;
+  MptcpConnection* conn = make_conn(net, topo, "uncoupled", -1, buffer);
+  conn->start(0);
+  for (SimTime t = kSecond; t <= seconds(10); t += kSecond) {
+    net.events().run_until(t);
+    EXPECT_LE(conn->bytes_allocated() - conn->bytes_delivered(), buffer);
+  }
+  // And the buffer never holds more than its capacity.
+  EXPECT_LE(conn->receive_buffer().max_buffered(), buffer);
+}
+
+TEST_F(MptcpTest, SmallBufferThrottlesThroughput) {
+  auto run = [&](Bytes buffer) {
+    Network net(6);
+    TwoPathConfig cfg = quiet_topo();
+    cfg.delay[0] = cfg.delay[1] = 30 * kMillisecond;
+    TwoPath topo(net, cfg);
+    MptcpConnection* conn = make_conn(net, topo, "uncoupled", -1, buffer);
+    conn->start(0);
+    net.events().run_until(seconds(15));
+    return throughput(conn->bytes_delivered(), seconds(15));
+  };
+  // Window frees when data reaches the receive buffer (one-way delay), so
+  // the cap is ~64 KB / 30 ms ~= 17.5 Mbps.
+  const Rate small = run(64 * 1024);
+  const Rate large = run(4 * 1024 * 1024);
+  EXPECT_LT(small, mbps(20));
+  EXPECT_GT(large, 2.5 * small);
+}
+
+TEST_F(MptcpTest, PathManagerFullmeshSubflowCounts) {
+  Network net(7);
+  TwoPath topo(net, quiet_topo());
+  MptcpConfig cfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("lia"));
+  PathManager::fullmesh(*conn, topo.paths(), 3);
+  EXPECT_EQ(conn->num_subflows(), 6u);  // 2 paths x 3 subflows
+}
+
+TEST_F(MptcpTest, PathManagerRandomKSamplesWithoutReplacement) {
+  Network net(8);
+  TwoPath topo(net, quiet_topo());
+  MptcpConfig cfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("lia"));
+  Rng rng(9);
+  PathManager::random_k(*conn, topo.paths(), 5, rng);  // only 2 paths exist
+  EXPECT_EQ(conn->num_subflows(), 2u);
+}
+
+TEST_F(MptcpTest, SubflowsCarryInterSwitchMetadata) {
+  Network net(9);
+  TwoPath topo(net, quiet_topo());
+  MptcpConnection* conn = make_conn(net, topo, "dts-ep");
+  EXPECT_EQ(conn->subflow(0).inter_switch_hops(), 1);
+  EXPECT_EQ(conn->subflow(0).path_queues().size(), 1u);
+}
+
+TEST_F(MptcpTest, MinRttSchedulerPrefersFastPathUnderPressure) {
+  Network net(10);
+  TwoPathConfig cfg = quiet_topo();
+  cfg.delay[0] = 2 * kMillisecond;   // fast path
+  cfg.delay[1] = 80 * kMillisecond;  // slow path
+  TwoPath topo(net, cfg);
+  MptcpConfig mcfg;
+  mcfg.recv_buffer = 32 * 1024;  // tight: scheduling choice matters
+  auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, make_multipath_cc("uncoupled"));
+  for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
+  conn->set_scheduler(std::make_unique<MinRttScheduler>());
+  conn->start(0);
+  net.events().run_until(seconds(10));
+  // The fast path should carry the overwhelming majority of traffic.
+  const double fast = static_cast<double>(conn->subflow(0).bytes_acked_total());
+  const double slow = static_cast<double>(conn->subflow(1).bytes_acked_total());
+  EXPECT_GT(fast, 5 * slow);
+}
+
+TEST_F(MptcpTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Network net(seed);
+    TwoPathConfig cfg;
+    cfg.cross_traffic = true;
+    TwoPath topo(net, cfg);
+    MptcpConfig mcfg;
+    auto* conn = net.emplace<MptcpConnection>(net, "c", mcfg, make_multipath_cc("lia"));
+    for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
+    topo.start_cross_traffic(0);
+    conn->start(100 * kMillisecond);
+    net.events().run_until(seconds(20));
+    return std::make_tuple(conn->bytes_delivered(),
+                           conn->subflow(0).bytes_acked_total(),
+                           conn->subflow(1).bytes_acked_total());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<0>(run(42)), std::get<0>(run(43)));
+}
+
+}  // namespace
+}  // namespace mpcc

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "traffic/bulk_flow.h"
+
+namespace mpcc {
+namespace {
+
+Packet data_packet(std::uint64_t flow, std::int64_t seq, Bytes payload, const Route* r,
+                   SimTime now) {
+  return make_data_packet(flow, seq, payload, r, now);
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  Network net{1};
+};
+
+TEST_F(NetTest, QueueSerialisesAtLinkRate) {
+  // 100 Mbps; a 1460+40 = 1500 B packet takes 120 us on the wire.
+  Queue* q = net.make_queue("q", mbps(100), 1'000'000);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+
+  route->inject(data_packet(1, 0, 1460, route, 0));
+  net.events().run_until(119 * kMicrosecond);
+  EXPECT_EQ(sink->packets(), 0u);
+  net.events().run_until(121 * kMicrosecond);
+  EXPECT_EQ(sink->packets(), 1u);
+}
+
+TEST_F(NetTest, QueueBacklogSerialisesSequentially) {
+  Queue* q = net.make_queue("q", mbps(100), 1'000'000);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  for (int i = 0; i < 5; ++i) route->inject(data_packet(1, i * 1460, 1460, route, 0));
+  // 5 packets x 120 us.
+  net.events().run_until(599 * kMicrosecond);
+  EXPECT_EQ(sink->packets(), 4u);
+  net.events().run_until(601 * kMicrosecond);
+  EXPECT_EQ(sink->packets(), 5u);
+  EXPECT_EQ(q->drops(), 0u);
+  EXPECT_EQ(q->forwarded(), 5u);
+}
+
+TEST_F(NetTest, QueueTailDropsWhenBufferFull) {
+  // Buffer fits exactly two full packets (3000 B).
+  Queue* q = net.make_queue("q", mbps(10), 3'000);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  for (int i = 0; i < 5; ++i) route->inject(data_packet(1, i * 1460, 1460, route, 0));
+  net.events().run_all();
+  EXPECT_EQ(sink->packets(), 2u);
+  EXPECT_EQ(q->drops(), 3u);
+}
+
+TEST_F(NetTest, QueuePacketCapacityLimit) {
+  // Byte budget is huge but packet cap is 3.
+  Queue* q = net.make_queue("q", mbps(10), 10'000'000, 3);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  for (int i = 0; i < 6; ++i) route->inject(data_packet(1, i * 1460, 1460, route, 0));
+  net.events().run_all();
+  EXPECT_EQ(sink->packets(), 3u);
+  EXPECT_EQ(q->drops(), 3u);
+}
+
+TEST_F(NetTest, QueueUtilization) {
+  Queue* q = net.make_queue("q", mbps(100), 1'000'000);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  route->inject(data_packet(1, 0, 1460, route, 0));
+  net.events().run_until(240 * kMicrosecond);  // busy 120 of 240 us
+  EXPECT_NEAR(q->utilization(net.now()), 0.5, 0.01);
+}
+
+TEST_F(NetTest, PipeDelaysPackets) {
+  Pipe* p = net.make_pipe("p", 10 * kMillisecond);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({p, sink});
+  route->inject(data_packet(1, 0, 100, route, 0));
+  net.events().run_until(10 * kMillisecond - 1);
+  EXPECT_EQ(sink->packets(), 0u);
+  net.events().run_until(10 * kMillisecond);
+  EXPECT_EQ(sink->packets(), 1u);
+}
+
+TEST_F(NetTest, PipePreservesFifoOrder) {
+  Pipe* p = net.make_pipe("p", 5 * kMillisecond);
+
+  class SeqSink final : public PacketHandler {
+   public:
+    void receive(Packet pkt) override { seqs.push_back(pkt.seq); }
+    std::vector<std::int64_t> seqs;
+  };
+  auto* sink = net.emplace<SeqSink>();
+  Route* route = net.make_route({p, sink});
+  route->inject(data_packet(1, 1, 10, route, 0));
+  net.events().run_until(kMillisecond);
+  route->inject(data_packet(1, 2, 10, route, 0));
+  net.events().run_all();
+  ASSERT_EQ(sink->seqs.size(), 2u);
+  EXPECT_EQ(sink->seqs[0], 1);
+  EXPECT_EQ(sink->seqs[1], 2);
+}
+
+TEST_F(NetTest, EcnQueueMarksAboveThreshold) {
+  // Threshold of one packet: the second concurrent packet gets marked.
+  EcnQueue* q = net.make_ecn_queue("q", mbps(10), 1'000'000, 1'500);
+
+  class EcnSink final : public PacketHandler {
+   public:
+    void receive(Packet pkt) override {
+      if (pkt.ecn_ce) ++marked;
+      ++total;
+    }
+    int marked = 0;
+    int total = 0;
+  };
+  auto* sink = net.emplace<EcnSink>();
+  Route* route = net.make_route({q, sink});
+
+  Packet a = data_packet(1, 0, 1460, route, 0);
+  a.ecn_capable = true;
+  Packet b = data_packet(1, 1460, 1460, route, 0);
+  b.ecn_capable = true;
+  route->inject(std::move(a));
+  route->inject(std::move(b));  // queue already holds packet a
+  net.events().run_all();
+  EXPECT_EQ(sink->total, 2);
+  EXPECT_EQ(sink->marked, 1);
+  EXPECT_EQ(q->marks(), 1u);
+}
+
+TEST_F(NetTest, EcnQueueIgnoresNonCapablePackets) {
+  EcnQueue* q = net.make_ecn_queue("q", mbps(10), 1'000'000, 0);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  route->inject(data_packet(1, 0, 1460, route, 0));  // not ECN-capable
+  net.events().run_all();
+  EXPECT_EQ(q->marks(), 0u);
+}
+
+TEST_F(NetTest, LossyPipeDropsAtConfiguredRate) {
+  LossyPipe* p = net.make_lossy_pipe("p", kMillisecond, 0.3);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({p, sink});
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) route->inject(data_packet(1, i, 100, route, 0));
+  net.events().run_all();
+  const double loss =
+      static_cast<double>(p->losses()) / static_cast<double>(n);
+  EXPECT_NEAR(loss, 0.3, 0.03);
+  EXPECT_EQ(sink->packets() + p->losses(), static_cast<std::uint64_t>(n));
+}
+
+TEST_F(NetTest, LossyPipeZeroLossDeliversEverything) {
+  LossyPipe* p = net.make_lossy_pipe("p", kMillisecond, 0.0);
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({p, sink});
+  for (int i = 0; i < 100; ++i) route->inject(data_packet(1, i, 100, route, 0));
+  net.events().run_all();
+  EXPECT_EQ(sink->packets(), 100u);
+}
+
+TEST_F(NetTest, LossyPipeJitterKeepsFifo) {
+  LossyPipe* p = net.make_lossy_pipe("p", kMillisecond, 0.0, 500 * kMicrosecond);
+
+  class SeqSink final : public PacketHandler {
+   public:
+    void receive(Packet pkt) override {
+      EXPECT_GE(pkt.seq, last);
+      last = pkt.seq;
+      ++count;
+    }
+    std::int64_t last = -1;
+    int count = 0;
+  };
+  auto* sink = net.emplace<SeqSink>();
+  Route* route = net.make_route({p, sink});
+  for (int i = 0; i < 200; ++i) {
+    route->inject(data_packet(1, i, 100, route, 0));
+    net.events().run_until(net.now() + 100 * kMicrosecond);
+  }
+  net.events().run_all();
+  EXPECT_EQ(sink->count, 200);
+}
+
+TEST_F(NetTest, RedQueueDropsProbabilisticallyBetweenThresholds) {
+  RedConfig red;
+  red.min_threshold = 3'000;
+  red.max_threshold = 30'000;
+  red.max_probability = 0.5;
+  red.weight = 1.0;  // instantaneous average for a deterministic-ish test
+  auto* q = net.emplace<RedQueue>(net.events(), "red", mbps(1), Bytes{1'000'000}, red,
+                                  std::uint64_t{42});
+  auto* sink = net.emplace<CountingSink>();
+  Route* route = net.make_route({q, sink});
+  for (int i = 0; i < 200; ++i) route->inject(data_packet(1, i * 1460, 1460, route, 0));
+  net.events().run_all();
+  EXPECT_GT(q->early_drops(), 0u);
+  EXPECT_GT(sink->packets(), 0u);
+}
+
+TEST_F(NetTest, RouteAppendSplicesHops) {
+  Queue* q1 = net.make_queue("q1", mbps(10), 100'000);
+  Queue* q2 = net.make_queue("q2", mbps(10), 100'000);
+  Route head({q1});
+  Route tail({q2});
+  head.append(tail);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_EQ(head.hop(0), q1);
+  EXPECT_EQ(head.hop(1), q2);
+}
+
+}  // namespace
+}  // namespace mpcc

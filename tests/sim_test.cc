@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_list.h"
+#include "sim/timer.h"
+
+namespace mpcc {
+namespace {
+
+/// Records its own firing times.
+class Recorder final : public EventSource {
+ public:
+  Recorder(EventList& events, std::vector<std::pair<std::string, SimTime>>& log,
+           std::string tag)
+      : EventSource(tag), events_(events), log_(log), tag_(std::move(tag)) {}
+
+  void do_next_event() override { log_.emplace_back(tag_, events_.now()); }
+
+ private:
+  EventList& events_;
+  std::vector<std::pair<std::string, SimTime>>& log_;
+  std::string tag_;
+};
+
+TEST(EventList, FiresInTimeOrder) {
+  EventList events;
+  std::vector<std::pair<std::string, SimTime>> log;
+  Recorder a(events, log, "a"), b(events, log, "b"), c(events, log, "c");
+  events.schedule_at(&b, 20);
+  events.schedule_at(&a, 10);
+  events.schedule_at(&c, 30);
+  events.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, "a");
+  EXPECT_EQ(log[1].first, "b");
+  EXPECT_EQ(log[2].first, "c");
+  EXPECT_EQ(events.now(), 30);
+}
+
+TEST(EventList, SimultaneousEventsFireInScheduleOrder) {
+  EventList events;
+  std::vector<std::pair<std::string, SimTime>> log;
+  Recorder a(events, log, "a"), b(events, log, "b"), c(events, log, "c");
+  events.schedule_at(&c, 5);
+  events.schedule_at(&a, 5);
+  events.schedule_at(&b, 5);
+  events.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, "c");
+  EXPECT_EQ(log[1].first, "a");
+  EXPECT_EQ(log[2].first, "b");
+}
+
+TEST(EventList, CancelSkipsEvent) {
+  EventList events;
+  std::vector<std::pair<std::string, SimTime>> log;
+  Recorder a(events, log, "a"), b(events, log, "b");
+  const EventToken ta = events.schedule_at(&a, 10);
+  events.schedule_at(&b, 20);
+  events.cancel(ta);
+  events.run_all();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, "b");
+}
+
+TEST(EventList, CancelInvalidTokenIsNoop) {
+  EventList events;
+  events.cancel(kInvalidEventToken);
+  events.cancel(99999);
+  EXPECT_FALSE(events.run_next());
+}
+
+TEST(EventList, RunUntilAdvancesTimeWithoutEvents) {
+  EventList events;
+  events.run_until(1234);
+  EXPECT_EQ(events.now(), 1234);
+}
+
+TEST(EventList, RunUntilStopsAtBoundary) {
+  EventList events;
+  std::vector<std::pair<std::string, SimTime>> log;
+  Recorder a(events, log, "a"), b(events, log, "b");
+  events.schedule_at(&a, 10);
+  events.schedule_at(&b, 30);
+  events.run_until(20);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(events.now(), 20);
+  events.run_until(40);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventList, EventsScheduledDuringDispatchRun) {
+  EventList events;
+  std::vector<std::pair<std::string, SimTime>> log;
+
+  class Chain final : public EventSource {
+   public:
+    Chain(EventList& events, int remaining) : EventSource("chain"), events_(events),
+                                              remaining_(remaining) {}
+    void do_next_event() override {
+      ++fired;
+      if (--remaining_ > 0) events_.schedule_in(this, 5);
+    }
+    int fired = 0;
+
+   private:
+    EventList& events_;
+    int remaining_;
+  };
+
+  Chain chain(events, 4);
+  events.schedule_at(&chain, 0);
+  events.run_all();
+  EXPECT_EQ(chain.fired, 4);
+  EXPECT_EQ(events.now(), 15);
+}
+
+TEST(Timer, ArmFiresOnce) {
+  EventList events;
+  int fired = 0;
+  Timer t(events, "t", [&] { ++fired; });
+  t.arm(100);
+  EXPECT_TRUE(t.armed());
+  events.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  EventList events;
+  std::vector<SimTime> fires;
+  Timer t(events, "t", [&] { fires.push_back(events.now()); });
+  t.arm(100);
+  t.arm(200);  // replaces the first
+  events.run_all();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 200);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  EventList events;
+  int fired = 0;
+  Timer t(events, "t", [&] { ++fired; });
+  t.arm(100);
+  t.cancel();
+  events.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CallbackMayRearm) {
+  EventList events;
+  int fired = 0;
+  Timer t(events, "t", [&] {
+    if (++fired < 3) t.arm(10);
+  });
+  t.arm(10);
+  events.run_all();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(events.now(), 30);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriodUntilStopped) {
+  EventList events;
+  int fired = 0;
+  PeriodicTimer t(events, "p", 10, [&] { ++fired; });
+  t.start();
+  events.run_until(55);
+  EXPECT_EQ(fired, 5);  // at 10, 20, 30, 40, 50
+  t.stop();
+  events.run_until(200);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTimer, StartIsIdempotent) {
+  EventList events;
+  int fired = 0;
+  PeriodicTimer t(events, "p", 10, [&] { ++fired; });
+  t.start();
+  t.start();
+  events.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace mpcc

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "tcp/dctcp.h"
+#include "tcp/rtt_estimator.h"
+#include "test_util.h"
+
+namespace mpcc {
+namespace {
+
+using testing::SingleLinkFlow;
+
+// ---------------------------------------------------------- RttEstimator
+
+TEST(RttEstimator, FirstSampleInitialises) {
+  RttEstimator est;
+  est.add_sample(100 * kMillisecond);
+  EXPECT_EQ(est.srtt(), 100 * kMillisecond);
+  EXPECT_EQ(est.rttvar(), 50 * kMillisecond);
+  EXPECT_EQ(est.base_rtt(), 100 * kMillisecond);
+}
+
+TEST(RttEstimator, SmoothsTowardSamples) {
+  RttEstimator est;
+  est.add_sample(100 * kMillisecond);
+  for (int i = 0; i < 50; ++i) est.add_sample(200 * kMillisecond);
+  EXPECT_NEAR(to_ms(est.srtt()), 200.0, 5.0);
+  EXPECT_EQ(est.base_rtt(), 100 * kMillisecond);  // min is sticky
+}
+
+TEST(RttEstimator, BaseRttTracksMinimum) {
+  RttEstimator est;
+  est.add_sample(100 * kMillisecond);
+  est.add_sample(60 * kMillisecond);
+  est.add_sample(150 * kMillisecond);
+  EXPECT_EQ(est.base_rtt(), 60 * kMillisecond);
+  est.reset_base();
+  est.add_sample(90 * kMillisecond);
+  EXPECT_EQ(est.base_rtt(), 90 * kMillisecond);
+}
+
+TEST(RttEstimator, RtoClampedToMinimum) {
+  RttEstimator est(200 * kMillisecond);
+  est.add_sample(kMillisecond);  // tiny RTT
+  EXPECT_EQ(est.rto(), 200 * kMillisecond);
+}
+
+TEST(RttEstimator, RtoBeforeSamplesIsConservative) {
+  RttEstimator est;
+  EXPECT_GE(est.rto(), kSecond);
+}
+
+TEST(RttEstimator, IgnoresNonPositiveSamples) {
+  RttEstimator est;
+  est.add_sample(0);
+  est.add_sample(-5);
+  EXPECT_FALSE(est.has_sample());
+}
+
+// ----------------------------------------------------------------- TcpSrc
+
+TEST(Tcp, CompletesFixedTransfer) {
+  SingleLinkFlow s(1, mbps(100), 5 * kMillisecond, 150'000, {}, mega_bytes(1));
+  bool done = false;
+  s.flow.src->set_on_complete([&](TcpSrc&) { done = true; });
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(10));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(s.flow.src->complete());
+  EXPECT_EQ(s.flow.src->bytes_acked_total(), mega_bytes(1));
+  EXPECT_EQ(s.flow.sink->cumulative_ack(), mega_bytes(1));
+}
+
+TEST(Tcp, SlowStartDoublesWindowPerRtt) {
+  // Large buffer, no losses: cwnd should grow exponentially initially.
+  TcpConfig cfg;
+  cfg.initial_window_segments = 2;
+  SingleLinkFlow s(1, gbps(10), 25 * kMillisecond, 10'000'000, cfg);
+  s.flow.src->start(0);
+  // RTT = 50 ms. After ~4 RTTs cwnd should be >= 16 segments.
+  s.net.events().run_until(4 * 50 * kMillisecond + 10 * kMillisecond);
+  EXPECT_GE(s.flow.src->cwnd(), 16.0 * kDefaultMss);
+  EXPECT_EQ(s.flow.src->retransmits(), 0u);
+}
+
+TEST(Tcp, ThroughputSaturatesBottleneck) {
+  SingleLinkFlow s(1, mbps(50), 10 * kMillisecond, 150'000);
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(20));
+  // Goodput should be within 10% of link rate (minus header overhead).
+  const Rate goodput = throughput(s.flow.src->bytes_acked_total(), seconds(20));
+  EXPECT_GT(goodput, mbps(50) * 0.85);
+  EXPECT_LT(goodput, mbps(50));
+}
+
+TEST(Tcp, LossTriggersFastRetransmitNotTimeout) {
+  // Small buffer forces periodic overflow: recovery should be via dupacks.
+  SingleLinkFlow s(1, mbps(20), 10 * kMillisecond, 30'000);
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(30));
+  EXPECT_GT(s.flow.src->fast_retransmit_events(), 5u);
+  EXPECT_LE(s.flow.src->timeout_events(), 2u);  // the odd tail-loss RTO is ok
+  // AIMD around the bottleneck: still decent utilisation.
+  const Rate goodput = throughput(s.flow.src->bytes_acked_total(), seconds(30));
+  EXPECT_GT(goodput, mbps(20) * 0.6);
+}
+
+TEST(Tcp, RecoversFromHeavyRandomLoss) {
+  Network net(3);
+  Link fwd_q{net.make_queue("f:q", mbps(10), 150'000),
+             net.make_lossy_pipe("f:p", 10 * kMillisecond, 0.05)};
+  Link rev = net.make_link("r", mbps(10), 10 * kMillisecond, 150'000);
+  TcpFlowHandles flow =
+      make_tcp_flow(net, "flow", {fwd_q.queue, fwd_q.pipe},
+                    {rev.queue, rev.pipe}, {}, mega_bytes(2));
+  bool done = false;
+  flow.src->set_on_complete([&](TcpSrc&) { done = true; });
+  flow.src->start(0);
+  net.events().run_until(seconds(120));
+  EXPECT_TRUE(done) << "transfer must survive 5% random loss";
+  EXPECT_GT(flow.src->retransmits(), 0u);
+}
+
+TEST(Tcp, RtoRecoversFromTotalAckLoss) {
+  // Reverse path loses everything for a while -> sender must RTO, back off,
+  // and finish once the path heals.
+  Network net(4);
+  Link fwd = net.make_link("f", mbps(10), 5 * kMillisecond, 150'000);
+  LossyPipe* rev_pipe = net.make_lossy_pipe("r:p", 5 * kMillisecond, 1.0);
+  Queue* rev_q = net.make_queue("r:q", mbps(10), 150'000);
+  TcpFlowHandles flow = make_tcp_flow(net, "flow", {fwd.queue, fwd.pipe},
+                                      {rev_q, rev_pipe}, {}, kilo_bytes(100));
+  flow.src->start(0);
+  net.events().run_until(seconds(3));
+  EXPECT_FALSE(flow.src->complete());
+  EXPECT_GT(flow.src->timeout_events(), 0u);
+  rev_pipe->set_loss_rate(0.0);  // path heals
+  net.events().run_until(seconds(200));
+  EXPECT_TRUE(flow.src->complete());
+}
+
+TEST(Tcp, MaxCwndCapsInflight) {
+  TcpConfig cfg;
+  cfg.max_cwnd = 10 * kDefaultMss;
+  SingleLinkFlow s(1, gbps(1), 50 * kMillisecond, 10'000'000, cfg);
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(5));
+  EXPECT_LE(s.flow.src->cwnd(), 10.0 * kDefaultMss + 1);
+  // Rate limited by window: 10 * 1460 B / 100 ms RTT ~= 1.17 Mbps.
+  const Rate goodput = throughput(s.flow.src->bytes_acked_total(), seconds(5));
+  EXPECT_LT(goodput, mbps(2));
+}
+
+TEST(Tcp, CongestionAvoidanceIsAdditive) {
+  // Force CA from the start by setting a tiny ssthresh via a loss-free run:
+  // after slow start overshoot and recovery the flow settles into CA where
+  // growth per RTT is ~1 mss.
+  SingleLinkFlow s(1, mbps(30), 20 * kMillisecond, 60'000);
+  s.flow.src->start(0);
+  s.net.events().run_until(seconds(20));
+  ASSERT_FALSE(s.flow.src->in_slow_start());
+  const double w0 = s.flow.src->cwnd();
+  // One RTT later (no loss in this short window hopefully) growth <= ~2 mss.
+  s.net.events().run_until(s.net.now() + 45 * kMillisecond);
+  const double w1 = s.flow.src->cwnd();
+  if (w1 >= w0) {  // ignore if a loss happened in between
+    EXPECT_LE(w1 - w0, 2.5 * kDefaultMss);
+  }
+}
+
+TEST(Tcp, TwoFlowsShareBottleneckFairly) {
+  Network net(5);
+  Link fwd = net.make_link("f", mbps(100), 10 * kMillisecond, 150'000);
+  Link rev = net.make_link("r", mbps(100), 10 * kMillisecond, 150'000);
+  // Per-flow private access links so ACK paths are independent.
+  TcpFlowHandles a = make_tcp_flow(net, "a", {fwd.queue, fwd.pipe},
+                                   {rev.queue, rev.pipe});
+  TcpFlowHandles b = make_tcp_flow(net, "b", {fwd.queue, fwd.pipe},
+                                   {rev.queue, rev.pipe});
+  a.src->start(0);
+  b.src->start(100 * kMillisecond);
+  net.events().run_until(seconds(60));
+  const double ga = static_cast<double>(a.src->bytes_acked_total());
+  const double gb = static_cast<double>(b.src->bytes_acked_total());
+  EXPECT_GT(gb / ga, 0.6);
+  EXPECT_LT(gb / ga, 1.67);
+}
+
+// ------------------------------------------------------------------ DCTCP
+
+TEST(Dctcp, AlphaTracksMarkingFraction) {
+  Network net(6);
+  // Tight ECN threshold: persistent marking.
+  Link fwd = net.make_ecn_link("f", mbps(50), 5 * kMillisecond, 300'000, 20'000);
+  Link rev = net.make_link("r", mbps(50), 5 * kMillisecond, 300'000);
+  TcpFlowHandles flow = make_tcp_flow(net, "d", {fwd.queue, fwd.pipe},
+                                      {rev.queue, rev.pipe}, dctcp_tcp_config());
+  auto hooks = std::make_unique<DctcpHooks>();
+  DctcpHooks* hooks_raw = hooks.get();
+  flow.src->set_hooks(std::move(hooks));
+  flow.src->start(0);
+  net.events().run_until(seconds(20));
+  // The flow keeps the queue around the threshold: alpha strictly between
+  // 0 and 1, and the flow stays near link capacity.
+  EXPECT_GT(hooks_raw->alpha(), 0.0);
+  EXPECT_LT(hooks_raw->alpha(), 1.0);
+  const Rate goodput = throughput(flow.src->bytes_acked_total(), seconds(20));
+  EXPECT_GT(goodput, mbps(50) * 0.8);
+}
+
+TEST(Dctcp, KeepsQueueShorterThanReno) {
+  auto run = [](bool dctcp) {
+    Network net(7);
+    Link fwd = net.make_ecn_link("f", mbps(50), 5 * kMillisecond, 600'000, 30'000);
+    Link rev = net.make_link("r", mbps(50), 5 * kMillisecond, 600'000);
+    TcpConfig cfg = dctcp ? dctcp_tcp_config() : TcpConfig{};
+    TcpFlowHandles flow = make_tcp_flow(net, "x", {fwd.queue, fwd.pipe},
+                                        {rev.queue, rev.pipe}, cfg);
+    if (dctcp) flow.src->set_hooks(std::make_unique<DctcpHooks>());
+    flow.src->start(0);
+    // Sample queue occupancy over time.
+    double sum = 0;
+    int n = 0;
+    for (SimTime t = seconds(2); t <= seconds(12); t += 100 * kMillisecond) {
+      net.events().run_until(t);
+      sum += static_cast<double>(fwd.queue->queued_bytes());
+      ++n;
+    }
+    return sum / n;
+  };
+  const double q_dctcp = run(true);
+  const double q_reno = run(false);
+  EXPECT_LT(q_dctcp, q_reno * 0.7)
+      << "DCTCP should hold a much shorter queue than Reno";
+}
+
+}  // namespace
+}  // namespace mpcc

@@ -1,0 +1,28 @@
+// Shared fixtures/helpers for the mpcc test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "traffic/bulk_flow.h"
+
+namespace mpcc::testing {
+
+/// A single bidirectional link with one TCP flow across it.
+struct SingleLinkFlow {
+  explicit SingleLinkFlow(std::uint64_t seed = 1, Rate rate = mbps(100),
+                          SimTime delay = 5 * kMillisecond, Bytes buffer = 150'000,
+                          TcpConfig cfg = {}, Bytes flow_size = -1)
+      : net(seed),
+        fwd(net.make_link("link:f", rate, delay, buffer)),
+        rev(net.make_link("link:r", rate, delay, buffer)),
+        flow(make_tcp_flow(net, "flow", {fwd.queue, fwd.pipe}, {rev.queue, rev.pipe},
+                           cfg, flow_size)) {}
+
+  Network net;
+  Link fwd;
+  Link rev;
+  TcpFlowHandles flow;
+};
+
+}  // namespace mpcc::testing

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mpcc {
+namespace {
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, TimeConstructors) {
+  EXPECT_EQ(seconds(1), kSecond);
+  EXPECT_EQ(ms(1), kMillisecond);
+  EXPECT_EQ(us(1), kMicrosecond);
+  EXPECT_EQ(ms(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_ms(kMillisecond), 1.0);
+}
+
+TEST(Units, RateConstructors) {
+  EXPECT_DOUBLE_EQ(mbps(100), 1e8);
+  EXPECT_DOUBLE_EQ(gbps(1), 1e9);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(42)), 42.0);
+}
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 100 Mbps = 120 microseconds.
+  EXPECT_EQ(transmission_time(1500, mbps(100)), 120 * kMicrosecond);
+  // 1 byte at 8 bps = 1 second.
+  EXPECT_EQ(transmission_time(1, bps(8)), kSecond);
+}
+
+TEST(Units, Throughput) {
+  EXPECT_DOUBLE_EQ(throughput(1'000'000, kSecond), 8e6);
+  EXPECT_DOUBLE_EQ(throughput(100, 0), 0.0);  // degenerate interval
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng root(7);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000) == b.uniform_int(0, 1000)) ++equal;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ParetoMeanAndTail) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  double max_sample = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.pareto(2.5, 5.0);
+    sum += v;
+    max_sample = std::max(max_sample, v);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.5);
+  // Heavy tail: the max should far exceed the mean.
+  EXPECT_GT(max_sample, 20.0);
+  // Scale: minimum possible sample is mean*(alpha-1)/alpha.
+  EXPECT_GT(sum / n, 5.0 * 1.5 / 2.5);
+}
+
+TEST(Rng, PermutationNoFixedPoint) {
+  Rng rng(17);
+  for (std::size_t n : {2u, 3u, 10u, 100u}) {
+    const auto perm = rng.permutation_no_fixed_point(n);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<bool> seen(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NE(perm[i], i) << "fixed point at " << i;
+      EXPECT_FALSE(seen[perm[i]]);
+      seen[perm[i]] = true;
+    }
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ------------------------------------------------------------ fixed point
+
+TEST(FixedPoint, BasicArithmetic) {
+  const Fixed a = Fixed::from_double(1.5);
+  const Fixed b = Fixed::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((b - a).to_double(), 0.75);
+  EXPECT_NEAR((a * b).to_double(), 3.375, 1e-4);
+  EXPECT_NEAR((b / a).to_double(), 1.5, 1e-4);
+  EXPECT_EQ(Fixed::from_int(7).to_int(), 7);
+  EXPECT_EQ((-Fixed::from_int(3)).to_int(), -3);
+}
+
+TEST(FixedPoint, DivisionByZeroSaturates) {
+  const Fixed x = Fixed::from_int(5) / Fixed::from_int(0);
+  EXPECT_GT(x.to_double(), 1e9);
+}
+
+TEST(FixedPoint, ExpAccuracy) {
+  // Tolerance: 0.2% relative, floored at two Q16.16 quanta (quantisation
+  // dominates once exp(x) ~ 2^-16, i.e. for very negative x).
+  for (double x = -8.0; x <= 8.0; x += 0.37) {
+    const double got = fixed_exp(Fixed::from_double(x)).to_double();
+    const double want = std::exp(x);
+    const double tol = std::max(2e-3 * want, 2.0 / Fixed::kOne);
+    EXPECT_NEAR(got, want, tol) << "x=" << x;
+  }
+}
+
+TEST(FixedPoint, ExpSaturation) {
+  EXPECT_GT(fixed_exp(Fixed::from_int(100)).to_double(), 1e11);
+  EXPECT_EQ(fixed_exp(Fixed::from_int(-100)).raw(), 0);
+}
+
+TEST(FixedPoint, SigmoidProperties) {
+  EXPECT_NEAR(fixed_sigmoid(Fixed::from_int(0)).to_double(), 0.5, 1e-3);
+  // Symmetry: s(x) + s(-x) == 1.
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    const double p = fixed_sigmoid(Fixed::from_double(x)).to_double();
+    const double n = fixed_sigmoid(Fixed::from_double(-x)).to_double();
+    EXPECT_NEAR(p + n, 1.0, 2e-3) << "x=" << x;
+    EXPECT_GT(p, 0.5);
+    EXPECT_LT(n, 0.5);
+  }
+  EXPECT_NEAR(fixed_sigmoid(Fixed::from_int(5)).to_double(), 1.0 / (1 + std::exp(-5.0)),
+              1e-3);
+}
+
+TEST(FixedPoint, Taylor3AccurateNearZeroOnly) {
+  // Near 0 the 3-term series is fine...
+  EXPECT_NEAR(fixed_exp_taylor3(Fixed::from_double(0.2)).to_double(), std::exp(0.2),
+              1e-3);
+  // ...but far from 0 it diverges badly (the ablation's point).
+  const double far = fixed_exp_taylor3(Fixed::from_double(4.0)).to_double();
+  EXPECT_GT(std::fabs(far - std::exp(4.0)) / std::exp(4.0), 0.3);
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Table, PrintAndCsv) {
+  Table t({"name", "value", "count"});
+  t.add_row({std::string("alpha"), 1.5, std::int64_t{10}});
+  t.add_row({std::string("beta"), 2.25, std::int64_t{20}});
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/mpcc_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "name,value,count");
+  std::string row1;
+  std::getline(in, row1);
+  EXPECT_EQ(row1, "alpha,1.5,10");
+}
+
+}  // namespace
+}  // namespace mpcc
