@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fluid_vs_packet"
+  "../bench/ablation_fluid_vs_packet.pdb"
+  "CMakeFiles/ablation_fluid_vs_packet.dir/ablation_fluid_vs_packet.cc.o"
+  "CMakeFiles/ablation_fluid_vs_packet.dir/ablation_fluid_vs_packet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fluid_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

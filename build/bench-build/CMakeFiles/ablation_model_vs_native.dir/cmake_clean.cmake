@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_vs_native"
+  "../bench/ablation_model_vs_native.pdb"
+  "CMakeFiles/ablation_model_vs_native.dir/ablation_model_vs_native.cc.o"
+  "CMakeFiles/ablation_model_vs_native.dir/ablation_model_vs_native.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_vs_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_price_signal"
+  "../bench/ablation_price_signal.pdb"
+  "CMakeFiles/ablation_price_signal.dir/ablation_price_signal.cc.o"
+  "CMakeFiles/ablation_price_signal.dir/ablation_price_signal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_price_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_power_vs_subflows"
+  "../bench/fig01_power_vs_subflows.pdb"
+  "CMakeFiles/fig01_power_vs_subflows.dir/fig01_power_vs_subflows.cc.o"
+  "CMakeFiles/fig01_power_vs_subflows.dir/fig01_power_vs_subflows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_power_vs_subflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_mobile_power"
+  "../bench/fig02_mobile_power.pdb"
+  "CMakeFiles/fig02_mobile_power.dir/fig02_mobile_power.cc.o"
+  "CMakeFiles/fig02_mobile_power.dir/fig02_mobile_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_mobile_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

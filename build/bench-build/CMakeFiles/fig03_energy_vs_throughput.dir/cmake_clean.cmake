@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_energy_vs_throughput"
+  "../bench/fig03_energy_vs_throughput.pdb"
+  "CMakeFiles/fig03_energy_vs_throughput.dir/fig03_energy_vs_throughput.cc.o"
+  "CMakeFiles/fig03_energy_vs_throughput.dir/fig03_energy_vs_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_energy_vs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

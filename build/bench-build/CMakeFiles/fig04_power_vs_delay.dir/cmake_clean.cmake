@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_power_vs_delay"
+  "../bench/fig04_power_vs_delay.pdb"
+  "CMakeFiles/fig04_power_vs_delay.dir/fig04_power_vs_delay.cc.o"
+  "CMakeFiles/fig04_power_vs_delay.dir/fig04_power_vs_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_power_vs_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_shared_bottleneck"
+  "../bench/fig06_shared_bottleneck.pdb"
+  "CMakeFiles/fig06_shared_bottleneck.dir/fig06_shared_bottleneck.cc.o"
+  "CMakeFiles/fig06_shared_bottleneck.dir/fig06_shared_bottleneck.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_shared_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

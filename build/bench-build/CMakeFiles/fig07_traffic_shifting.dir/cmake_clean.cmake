@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_traffic_shifting"
+  "../bench/fig07_traffic_shifting.pdb"
+  "CMakeFiles/fig07_traffic_shifting.dir/fig07_traffic_shifting.cc.o"
+  "CMakeFiles/fig07_traffic_shifting.dir/fig07_traffic_shifting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_traffic_shifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

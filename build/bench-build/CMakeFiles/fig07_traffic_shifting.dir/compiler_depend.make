@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_traffic_shifting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_dts_trace"
+  "../bench/fig08_dts_trace.pdb"
+  "CMakeFiles/fig08_dts_trace.dir/fig08_dts_trace.cc.o"
+  "CMakeFiles/fig08_dts_trace.dir/fig08_dts_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

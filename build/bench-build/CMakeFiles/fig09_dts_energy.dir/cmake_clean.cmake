@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_dts_energy"
+  "../bench/fig09_dts_energy.pdb"
+  "CMakeFiles/fig09_dts_energy.dir/fig09_dts_energy.cc.o"
+  "CMakeFiles/fig09_dts_energy.dir/fig09_dts_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dts_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_virtual_cloud"
+  "../bench/fig10_virtual_cloud.pdb"
+  "CMakeFiles/fig10_virtual_cloud.dir/fig10_virtual_cloud.cc.o"
+  "CMakeFiles/fig10_virtual_cloud.dir/fig10_virtual_cloud.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_virtual_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

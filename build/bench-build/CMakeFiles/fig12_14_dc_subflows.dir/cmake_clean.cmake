@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_14_dc_subflows"
+  "../bench/fig12_14_dc_subflows.pdb"
+  "CMakeFiles/fig12_14_dc_subflows.dir/fig12_14_dc_subflows.cc.o"
+  "CMakeFiles/fig12_14_dc_subflows.dir/fig12_14_dc_subflows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_14_dc_subflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_14_dc_subflows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_14_dc_subflows.
+# This may be replaced when dependencies are built.

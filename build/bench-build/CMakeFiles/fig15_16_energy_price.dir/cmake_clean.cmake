@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_16_energy_price"
+  "../bench/fig15_16_energy_price.pdb"
+  "CMakeFiles/fig15_16_energy_price.dir/fig15_16_energy_price.cc.o"
+  "CMakeFiles/fig15_16_energy_price.dir/fig15_16_energy_price.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_energy_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_wireless_hetero"
+  "../bench/fig17_wireless_hetero.pdb"
+  "CMakeFiles/fig17_wireless_hetero.dir/fig17_wireless_hetero.cc.o"
+  "CMakeFiles/fig17_wireless_hetero.dir/fig17_wireless_hetero.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_wireless_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_energy.dir/datacenter_energy.cpp.o"
+  "CMakeFiles/datacenter_energy.dir/datacenter_energy.cpp.o.d"
+  "datacenter_energy"
+  "datacenter_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

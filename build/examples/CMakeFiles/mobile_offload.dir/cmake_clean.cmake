@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_offload.dir/mobile_offload.cpp.o"
+  "CMakeFiles/mobile_offload.dir/mobile_offload.cpp.o.d"
+  "mobile_offload"
+  "mobile_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/balia.cc" "src/CMakeFiles/mpcc.dir/cc/balia.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/balia.cc.o.d"
+  "/root/repo/src/cc/coupled.cc" "src/CMakeFiles/mpcc.dir/cc/coupled.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/coupled.cc.o.d"
+  "/root/repo/src/cc/dts.cc" "src/CMakeFiles/mpcc.dir/cc/dts.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/dts.cc.o.d"
+  "/root/repo/src/cc/dts_ep.cc" "src/CMakeFiles/mpcc.dir/cc/dts_ep.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/dts_ep.cc.o.d"
+  "/root/repo/src/cc/dwc.cc" "src/CMakeFiles/mpcc.dir/cc/dwc.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/dwc.cc.o.d"
+  "/root/repo/src/cc/ecmtcp.cc" "src/CMakeFiles/mpcc.dir/cc/ecmtcp.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/ecmtcp.cc.o.d"
+  "/root/repo/src/cc/ewtcp.cc" "src/CMakeFiles/mpcc.dir/cc/ewtcp.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/ewtcp.cc.o.d"
+  "/root/repo/src/cc/lia.cc" "src/CMakeFiles/mpcc.dir/cc/lia.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/lia.cc.o.d"
+  "/root/repo/src/cc/model_cc.cc" "src/CMakeFiles/mpcc.dir/cc/model_cc.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/model_cc.cc.o.d"
+  "/root/repo/src/cc/multipath_cc.cc" "src/CMakeFiles/mpcc.dir/cc/multipath_cc.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/multipath_cc.cc.o.d"
+  "/root/repo/src/cc/olia.cc" "src/CMakeFiles/mpcc.dir/cc/olia.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/olia.cc.o.d"
+  "/root/repo/src/cc/registry.cc" "src/CMakeFiles/mpcc.dir/cc/registry.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/registry.cc.o.d"
+  "/root/repo/src/cc/uncoupled.cc" "src/CMakeFiles/mpcc.dir/cc/uncoupled.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/uncoupled.cc.o.d"
+  "/root/repo/src/cc/wvegas.cc" "src/CMakeFiles/mpcc.dir/cc/wvegas.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/cc/wvegas.cc.o.d"
+  "/root/repo/src/core/conditions.cc" "src/CMakeFiles/mpcc.dir/core/conditions.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/conditions.cc.o.d"
+  "/root/repo/src/core/dts_factor.cc" "src/CMakeFiles/mpcc.dir/core/dts_factor.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/dts_factor.cc.o.d"
+  "/root/repo/src/core/energy_price.cc" "src/CMakeFiles/mpcc.dir/core/energy_price.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/energy_price.cc.o.d"
+  "/root/repo/src/core/fluid_model.cc" "src/CMakeFiles/mpcc.dir/core/fluid_model.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/fluid_model.cc.o.d"
+  "/root/repo/src/core/psi.cc" "src/CMakeFiles/mpcc.dir/core/psi.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/psi.cc.o.d"
+  "/root/repo/src/core/responsiveness.cc" "src/CMakeFiles/mpcc.dir/core/responsiveness.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/core/responsiveness.cc.o.d"
+  "/root/repo/src/energy/cpu_power.cc" "src/CMakeFiles/mpcc.dir/energy/cpu_power.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/energy/cpu_power.cc.o.d"
+  "/root/repo/src/energy/energy_meter.cc" "src/CMakeFiles/mpcc.dir/energy/energy_meter.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/energy/energy_meter.cc.o.d"
+  "/root/repo/src/energy/path_selector.cc" "src/CMakeFiles/mpcc.dir/energy/path_selector.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/energy/path_selector.cc.o.d"
+  "/root/repo/src/energy/radio_power.cc" "src/CMakeFiles/mpcc.dir/energy/radio_power.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/energy/radio_power.cc.o.d"
+  "/root/repo/src/energy/rapl_sim.cc" "src/CMakeFiles/mpcc.dir/energy/rapl_sim.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/energy/rapl_sim.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/mpcc.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/scenarios.cc" "src/CMakeFiles/mpcc.dir/harness/scenarios.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/harness/scenarios.cc.o.d"
+  "/root/repo/src/mptcp/connection.cc" "src/CMakeFiles/mpcc.dir/mptcp/connection.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/mptcp/connection.cc.o.d"
+  "/root/repo/src/mptcp/path_manager.cc" "src/CMakeFiles/mpcc.dir/mptcp/path_manager.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/mptcp/path_manager.cc.o.d"
+  "/root/repo/src/mptcp/receive_buffer.cc" "src/CMakeFiles/mpcc.dir/mptcp/receive_buffer.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/mptcp/receive_buffer.cc.o.d"
+  "/root/repo/src/mptcp/scheduler.cc" "src/CMakeFiles/mpcc.dir/mptcp/scheduler.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/mptcp/scheduler.cc.o.d"
+  "/root/repo/src/mptcp/subflow.cc" "src/CMakeFiles/mpcc.dir/mptcp/subflow.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/mptcp/subflow.cc.o.d"
+  "/root/repo/src/net/ecn_queue.cc" "src/CMakeFiles/mpcc.dir/net/ecn_queue.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/ecn_queue.cc.o.d"
+  "/root/repo/src/net/lossy_pipe.cc" "src/CMakeFiles/mpcc.dir/net/lossy_pipe.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/lossy_pipe.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/mpcc.dir/net/network.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/network.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/mpcc.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/pipe.cc" "src/CMakeFiles/mpcc.dir/net/pipe.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/pipe.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/CMakeFiles/mpcc.dir/net/queue.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/queue.cc.o.d"
+  "/root/repo/src/net/red_queue.cc" "src/CMakeFiles/mpcc.dir/net/red_queue.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/red_queue.cc.o.d"
+  "/root/repo/src/net/route.cc" "src/CMakeFiles/mpcc.dir/net/route.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/net/route.cc.o.d"
+  "/root/repo/src/sim/event_list.cc" "src/CMakeFiles/mpcc.dir/sim/event_list.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/sim/event_list.cc.o.d"
+  "/root/repo/src/sim/timer.cc" "src/CMakeFiles/mpcc.dir/sim/timer.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/sim/timer.cc.o.d"
+  "/root/repo/src/stats/boxstats.cc" "src/CMakeFiles/mpcc.dir/stats/boxstats.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/stats/boxstats.cc.o.d"
+  "/root/repo/src/stats/flow_recorder.cc" "src/CMakeFiles/mpcc.dir/stats/flow_recorder.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/stats/flow_recorder.cc.o.d"
+  "/root/repo/src/stats/series.cc" "src/CMakeFiles/mpcc.dir/stats/series.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/stats/series.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/mpcc.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/stats/summary.cc.o.d"
+  "/root/repo/src/tcp/dctcp.cc" "src/CMakeFiles/mpcc.dir/tcp/dctcp.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/tcp/dctcp.cc.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cc" "src/CMakeFiles/mpcc.dir/tcp/rtt_estimator.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/tcp/rtt_estimator.cc.o.d"
+  "/root/repo/src/tcp/tcp_sink.cc" "src/CMakeFiles/mpcc.dir/tcp/tcp_sink.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/tcp/tcp_sink.cc.o.d"
+  "/root/repo/src/tcp/tcp_src.cc" "src/CMakeFiles/mpcc.dir/tcp/tcp_src.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/tcp/tcp_src.cc.o.d"
+  "/root/repo/src/topo/bcube.cc" "src/CMakeFiles/mpcc.dir/topo/bcube.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/bcube.cc.o.d"
+  "/root/repo/src/topo/dumbbell.cc" "src/CMakeFiles/mpcc.dir/topo/dumbbell.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/dumbbell.cc.o.d"
+  "/root/repo/src/topo/fat_tree.cc" "src/CMakeFiles/mpcc.dir/topo/fat_tree.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/fat_tree.cc.o.d"
+  "/root/repo/src/topo/topology.cc" "src/CMakeFiles/mpcc.dir/topo/topology.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/topology.cc.o.d"
+  "/root/repo/src/topo/two_path.cc" "src/CMakeFiles/mpcc.dir/topo/two_path.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/two_path.cc.o.d"
+  "/root/repo/src/topo/virtual_cloud.cc" "src/CMakeFiles/mpcc.dir/topo/virtual_cloud.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/virtual_cloud.cc.o.d"
+  "/root/repo/src/topo/vl2.cc" "src/CMakeFiles/mpcc.dir/topo/vl2.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/vl2.cc.o.d"
+  "/root/repo/src/topo/wireless_hetero.cc" "src/CMakeFiles/mpcc.dir/topo/wireless_hetero.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/topo/wireless_hetero.cc.o.d"
+  "/root/repo/src/traffic/bulk_flow.cc" "src/CMakeFiles/mpcc.dir/traffic/bulk_flow.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/traffic/bulk_flow.cc.o.d"
+  "/root/repo/src/traffic/pareto_burst.cc" "src/CMakeFiles/mpcc.dir/traffic/pareto_burst.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/traffic/pareto_burst.cc.o.d"
+  "/root/repo/src/traffic/permutation.cc" "src/CMakeFiles/mpcc.dir/traffic/permutation.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/traffic/permutation.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/mpcc.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/fixed_point.cc" "src/CMakeFiles/mpcc.dir/util/fixed_point.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/util/fixed_point.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mpcc.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/mpcc.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/mpcc.dir/util/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

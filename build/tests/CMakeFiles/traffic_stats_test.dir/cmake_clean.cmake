@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_stats_test.dir/traffic_stats_test.cc.o"
+  "CMakeFiles/traffic_stats_test.dir/traffic_stats_test.cc.o.d"
+  "traffic_stats_test"
+  "traffic_stats_test.pdb"
+  "traffic_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
