@@ -42,6 +42,7 @@ double share_vs_tcp(double c, SimTime duration) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
 
   bench::banner("Ablation — DTS constant c sweep",

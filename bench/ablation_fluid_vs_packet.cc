@@ -51,6 +51,7 @@ double fluid_share(core::Algorithm alg) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const SimTime duration =
       seconds(harness::arg_double(argc, argv, "--seconds", 30.0));
 

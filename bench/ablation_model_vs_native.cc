@@ -42,6 +42,7 @@ Outcome run(const std::string& cc, SimTime duration) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const SimTime duration =
       seconds(harness::arg_double(argc, argv, "--seconds", 30.0));
 

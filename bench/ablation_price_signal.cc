@@ -51,6 +51,7 @@ Outcome run(bool oracle, double kappa, SimTime duration) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
 
   bench::banner("Ablation — delay-inferred vs oracle energy-price signal",

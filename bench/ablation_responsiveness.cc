@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   core::ResponsivenessConfig cfg;
   cfg.horizon_s = harness::arg_double(argc, argv, "--horizon", 300.0);
 

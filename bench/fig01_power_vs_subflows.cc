@@ -65,6 +65,7 @@ Row run_mptcp(int subflows_per_path, SimTime duration) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const SimTime duration =
       seconds(harness::arg_double(argc, argv, "--seconds", 20.0));
 

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   harness::WirelessOptions base;
   base.duration = seconds(harness::arg_double(argc, argv, "--seconds", 60.0));
 

@@ -59,6 +59,7 @@ Point run_transfer(Rate aggregate_rate, Bytes size, const PowerModel& model) {
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const double scale = harness::arg_double(argc, argv, "--scale", 1.0);
 
   bench::banner("Fig 3 — energy & power vs throughput",

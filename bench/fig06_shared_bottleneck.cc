@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const bool full = harness::has_flag(argc, argv, "--full");
   std::vector<std::size_t> user_counts = full
                                              ? std::vector<std::size_t>{10, 20, 50, 100}

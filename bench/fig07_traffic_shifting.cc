@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const double secs = harness::arg_double(argc, argv, "--seconds", 120.0);
   const int seeds = static_cast<int>(harness::arg_int(argc, argv, "--seeds", 3));
 

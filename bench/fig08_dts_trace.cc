@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
   const SimTime bucket = seconds(harness::arg_double(argc, argv, "--bucket", 5.0));
 

@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const bool full = harness::has_flag(argc, argv, "--full");
   harness::DatacenterOptions base;
   base.topo = harness::DcTopo::kVirtualCloud;

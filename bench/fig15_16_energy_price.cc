@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpcc;
+  harness::ObsSession obs(argc, argv);
   const bool full = harness::has_flag(argc, argv, "--full");
   const double secs = harness::arg_double(argc, argv, "--seconds", full ? 2.0 : 1.0);
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Full pipeline check: configure + build + test + traced smoke run.
+#
+# Usage: scripts/check_build.sh [build-dir]
+#
+# The smoke stage runs a figure bench with --trace/--metrics and verifies
+# both output files parse (python3 when available, grep fallback), so a
+# broken exporter fails the script, not just a broken build.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+
+step "build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+step "ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+step "traced smoke run (fig08_dts_trace)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+TRACE="$SMOKE_DIR/fig08.trace.json"
+METRICS="$SMOKE_DIR/fig08.metrics.json"
+"$BUILD_DIR/bench/fig08_dts_trace" --seconds 2 \
+    --trace "$TRACE" --metrics "$METRICS"
+
+[ -s "$TRACE" ] || { echo "FAIL: trace file missing/empty: $TRACE"; exit 1; }
+[ -s "$METRICS" ] || { echo "FAIL: metrics file missing/empty: $METRICS"; exit 1; }
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE" "$METRICS" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+names = {e.get("name", "") for e in events}
+for series in ("/cwnd", "/eps", "/queue_bytes"):
+    assert any(series in n for n in names), f"no {series} records in trace"
+metrics = json.load(open(sys.argv[2]))
+assert metrics["metrics"], "empty metrics snapshot"
+print(f"trace OK: {len(events)} events; "
+      f"metrics OK: {len(metrics['metrics'])} series")
+EOF
+else
+  grep -q '"traceEvents"' "$TRACE" || { echo "FAIL: not a trace file"; exit 1; }
+  grep -q '/cwnd' "$TRACE" || { echo "FAIL: no cwnd records"; exit 1; }
+  grep -q '/eps' "$TRACE" || { echo "FAIL: no eps records"; exit 1; }
+  grep -q '/queue_bytes' "$TRACE" || { echo "FAIL: no queue records"; exit 1; }
+  grep -q '"metrics"' "$METRICS" || { echo "FAIL: not a metrics file"; exit 1; }
+  echo "trace + metrics OK (grep fallback)"
+fi
+
+echo
+echo "check_build: all stages passed"

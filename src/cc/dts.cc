@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mptcp/connection.h"
+#include "obs/trace.h"
 
 namespace mpcc {
 
@@ -29,16 +30,23 @@ double DtsCc::epsilon(const Subflow& sf) const {
 }
 
 double DtsCc::increase_delta(MptcpConnection& conn, Subflow& sf) const {
+  return increase_delta(conn, sf, epsilon(sf));
+}
+
+double DtsCc::increase_delta(MptcpConnection& conn, Subflow& sf, double eps) const {
   const double total = total_rate(conn);
   if (total <= 0) return 0.0;
   // LIA's coupled increase, scaled by the delay factor (Modified LIA).
   const double coupled = max_w_over_rtt_sq(conn) / (total * total);
   const double reno = 1.0 / window_mss(sf);
-  return config_.c * epsilon(sf) * std::min(coupled, reno);
+  return config_.c * eps * std::min(coupled, reno);
 }
 
 void DtsCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
-  apply_increase(sf, increase_delta(conn, sf), newly_acked);
+  const double eps = epsilon(sf);
+  MPCC_TRACE(obs::TraceCategory::kCc, obs::TraceEvent::kEpsilon,
+             sf.trace_source(), sf.net().now(), eps, config_.c * eps);
+  apply_increase(sf, increase_delta(conn, sf, eps), newly_acked);
 }
 
 }  // namespace mpcc

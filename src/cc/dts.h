@@ -53,6 +53,10 @@ class DtsCc : public MultipathCc {
   /// compensative term; shared with DtsEpCc.
   double increase_delta(MptcpConnection& conn, Subflow& sf) const;
 
+  /// Same, with eps_r already evaluated (so callers that also trace or
+  /// report eps pay for the sigmoid only once).
+  double increase_delta(MptcpConnection& conn, Subflow& sf, double eps) const;
+
   const DtsConfig& config() const { return config_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mptcp/connection.h"
+#include "obs/trace.h"
 
 namespace mpcc {
 
@@ -15,9 +16,14 @@ DtsEpCc::DtsEpCc(DtsConfig dts, core::EnergyPriceConfig price_config,
                   : std::make_unique<core::DelayPriceSignal>(price_config)) {}
 
 void DtsEpCc::on_ca_increase(MptcpConnection& conn, Subflow& sf, Bytes newly_acked) {
-  const double increase = increase_delta(conn, sf);
+  const double eps = epsilon(sf);
+  const double increase = increase_delta(conn, sf, eps);
   const double price = signal_->price(sf);
   const double divisor = 1.0 + price_config_.kappa * std::max(price, 0.0);
+  MPCC_TRACE(obs::TraceCategory::kCc, obs::TraceEvent::kEpsilon,
+             sf.trace_source(), sf.net().now(), eps, config().c * eps);
+  MPCC_TRACE(obs::TraceCategory::kCc, obs::TraceEvent::kEnergyPrice,
+             sf.trace_source(), sf.net().now(), price, divisor);
   apply_increase(sf, increase / divisor, newly_acked);
 }
 

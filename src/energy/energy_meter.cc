@@ -55,7 +55,8 @@ EnergyMeter::EnergyMeter(Network& net, std::string name, const PowerModel& model
     : net_(net),
       model_(model),
       probe_(probe),
-      timer_(net.events(), std::move(name), period, [this] { take_sample(); }) {}
+      timer_(net.events(), std::move(name), period, [this] { take_sample(); }),
+      trace_src_(obs::tracer().intern(timer_.name())) {}
 
 void EnergyMeter::stop() { timer_.stop(); }
 
@@ -67,6 +68,8 @@ void EnergyMeter::take_sample() {
   peak_watts_ = std::max(peak_watts_, watts);
   metered_time_ += interval;
   if (trace_enabled_) trace_.emplace_back(net_.now(), watts);
+  MPCC_TRACE(obs::TraceCategory::kEnergy, obs::TraceEvent::kMeterSample,
+             trace_src_, net_.now(), watts, energy_joules_);
 }
 
 double EnergyMeter::average_power_watts() const {

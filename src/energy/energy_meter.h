@@ -12,6 +12,7 @@
 
 #include "energy/power_model.h"
 #include "mptcp/connection.h"
+#include "obs/trace.h"
 #include "sim/timer.h"
 #include "tcp/tcp_src.h"
 
@@ -64,6 +65,7 @@ class EnergyMeter {
   const PowerModel& model_;
   ActivityProbe& probe_;
   PeriodicTimer timer_;
+  obs::SourceId trace_src_;
 
   double energy_joules_ = 0;
   double peak_watts_ = 0;

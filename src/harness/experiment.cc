@@ -1,6 +1,12 @@
 #include "harness/experiment.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace mpcc::harness {
 
@@ -16,6 +22,11 @@ const char* find_value(int argc, char** argv, const std::string& name) {
   }
   return nullptr;
 }
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 }  // namespace
 
 bool has_flag(int argc, char** argv, const std::string& name) {
@@ -27,13 +38,29 @@ bool has_flag(int argc, char** argv, const std::string& name) {
 
 double arg_double(int argc, char** argv, const std::string& name, double fallback) {
   const char* v = find_value(argc, argv, name);
-  return v != nullptr ? std::atof(v) : fallback;
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    MPCC_WARN << name << ": malformed numeric value '" << v << "', using "
+              << fallback;
+    return fallback;
+  }
+  return parsed;
 }
 
 std::int64_t arg_int(int argc, char** argv, const std::string& name,
                      std::int64_t fallback) {
   const char* v = find_value(argc, argv, name);
-  return v != nullptr ? std::atoll(v) : fallback;
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') {
+    MPCC_WARN << name << ": malformed integer value '" << v << "', using "
+              << fallback;
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string arg_string(int argc, char** argv, const std::string& name,
@@ -41,6 +68,66 @@ std::string arg_string(int argc, char** argv, const std::string& name,
   const char* v = find_value(argc, argv, name);
   return v != nullptr ? std::string(v) : fallback;
 }
+
+// ------------------------------------------------------------- obs session
+
+ObsOptions parse_obs_options(int argc, char** argv) {
+  ObsOptions options;
+  options.trace_path = arg_string(argc, argv, "--trace", "");
+  options.metrics_path = arg_string(argc, argv, "--metrics", "");
+  options.categories = arg_string(argc, argv, "--trace-categories", "all");
+  options.trace_capacity =
+      static_cast<std::size_t>(arg_int(argc, argv, "--trace-capacity", 0));
+  options.sample_every =
+      static_cast<std::uint32_t>(arg_int(argc, argv, "--trace-sample", 1));
+  options.profile_sim = has_flag(argc, argv, "--profile-sim");
+  return options;
+}
+
+ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
+  obs::metrics().reset();  // per-run snapshot starts clean
+  if (tracing()) {
+    obs::tracer().enable(obs::parse_trace_categories(options_.categories),
+                         options_.trace_capacity != 0
+                             ? options_.trace_capacity
+                             : obs::Tracer::kDefaultCapacity);
+    obs::tracer().clear();
+    if (options_.sample_every > 1) {
+      for (std::size_t i = 0; i < obs::kNumTraceCategories; ++i) {
+        obs::tracer().set_sampling(static_cast<obs::TraceCategory>(i),
+                                   options_.sample_every);
+      }
+    }
+  }
+  if (options_.profile_sim) obs::set_sim_profiling(true);
+}
+
+void ObsSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (tracing()) {
+    if (obs::write_chrome_trace(obs::tracer(), options_.trace_path)) {
+      std::printf("trace: %llu records (%zu retained) -> %s\n",
+                  static_cast<unsigned long long>(obs::tracer().total_recorded()),
+                  obs::tracer().size(), options_.trace_path.c_str());
+    } else {
+      MPCC_ERROR << "could not write trace to " << options_.trace_path;
+    }
+    obs::tracer().disable();
+  }
+  if (!options_.metrics_path.empty()) {
+    if (ends_with(options_.metrics_path, ".json")) {
+      obs::metrics().write_json(options_.metrics_path);
+    } else {
+      obs::metrics().write_csv(options_.metrics_path);
+    }
+    std::printf("metrics: %zu series -> %s\n", obs::metrics().size(),
+                options_.metrics_path.c_str());
+  }
+  obs::set_sim_profiling(false);
+}
+
+ObsSession::~ObsSession() { flush(); }
 
 HostMeter::HostMeter(Network& net, std::string name, const PowerModel& model,
                      SimTime period) {

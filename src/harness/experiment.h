@@ -1,6 +1,7 @@
 // Shared experiment scaffolding for the figure benches and examples:
-// result records, CLI argument helpers, and a RAII bundle tying a power
-// model + probe + meter to a host's flows.
+// result records, CLI argument helpers, a RAII bundle tying a power
+// model + probe + meter to a host's flows, and the observability session
+// that wires --trace/--metrics CLI flags to the obs subsystem.
 #pragma once
 
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "energy/cpu_power.h"
 #include "energy/energy_meter.h"
+#include "obs/trace.h"
 #include "util/units.h"
 
 namespace mpcc::harness {
@@ -31,6 +33,10 @@ struct RunResult {
 };
 
 // --- tiny argv helpers (benches accept --seconds, --seed, --quick, ...) ---
+//
+// Numeric helpers validate the whole value: a malformed number (e.g.
+// "--seconds=6Os") emits an MPCC_WARN naming the flag and returns the
+// fallback instead of silently parsing a prefix.
 
 bool has_flag(int argc, char** argv, const std::string& name);
 double arg_double(int argc, char** argv, const std::string& name, double fallback);
@@ -38,6 +44,46 @@ std::int64_t arg_int(int argc, char** argv, const std::string& name,
                      std::int64_t fallback);
 std::string arg_string(int argc, char** argv, const std::string& name,
                        std::string fallback);
+
+// --- observability session (--trace / --metrics wiring) -------------------
+
+/// CLI-shaped options for the obs subsystem; see parse_obs_options.
+struct ObsOptions {
+  std::string trace_path;    ///< --trace=FILE: Chrome trace-event JSON output
+  std::string metrics_path;  ///< --metrics=FILE: metric snapshot (.json or CSV)
+  std::string categories = "all";  ///< --trace-categories=queue,cwnd,...
+  std::size_t trace_capacity = 0;  ///< --trace-capacity=N records (0 = default)
+  std::uint32_t sample_every = 1;  ///< --trace-sample=N: keep 1-in-N records
+  bool profile_sim = false;        ///< --profile-sim: event-loop self-profiling
+};
+
+ObsOptions parse_obs_options(int argc, char** argv);
+
+/// RAII observability session for a bench/example main(): enables tracing,
+/// sampling, and sim profiling per the options at construction, and on
+/// destruction exports the trace (Chrome trace-event JSON) and the metrics
+/// snapshot (.json extension = JSON, anything else = CSV), then disables
+/// tracing again. Constructing from argc/argv makes wiring one line:
+///
+///   harness::ObsSession obs(argc, argv);
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) : ObsSession(parse_obs_options(argc, argv)) {}
+  explicit ObsSession(ObsOptions options);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return !options_.trace_path.empty(); }
+
+  /// Exports immediately instead of at destruction (idempotent).
+  void flush();
+
+ private:
+  ObsOptions options_;
+  bool flushed_ = false;
+};
 
 /// One host's energy instrumentation: owns the probe and meter (the model
 /// is borrowed and must outlive the bundle).

@@ -11,6 +11,11 @@ bool EcnQueue::on_enqueue(Packet& pkt) {
   if (pkt.ecn_capable && queued_bytes() >= mark_threshold_) {
     pkt.ecn_ce = true;
     ++marks_;
+    MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kEcnMark, trace_src_,
+               events_.now(), static_cast<double>(queued_bytes()), 0,
+               static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
+    static obs::Counter& marks = obs::metrics().counter("net.queue.ecn_marks");
+    marks.inc();
   }
   return true;
 }

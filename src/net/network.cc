@@ -1,6 +1,14 @@
 #include "net/network.h"
 
+#include "util/logging.h"
+
 namespace mpcc {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  log_clock_id_ = install_log_clock([this] { return events_.now(); });
+}
+
+Network::~Network() { uninstall_log_clock(log_clock_id_); }
 
 Link Network::make_link(const std::string& name, Rate rate, SimTime delay, Bytes buffer,
                         std::size_t buffer_packets) {

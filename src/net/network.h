@@ -36,7 +36,13 @@ struct Link {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  /// Also installs this network's event list as the process log clock, so
+  /// MPCC_LOG lines carry simulated time for the network's lifetime.
+  explicit Network(std::uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   EventList& events() { return events_; }
   const EventList& events() const { return events_; }
@@ -98,6 +104,7 @@ class Network {
   std::vector<std::shared_ptr<void>> owned_;
   std::vector<Queue*> queues_;
   std::uint64_t next_flow_id_ = 1;
+  int log_clock_id_ = 0;
 };
 
 }  // namespace mpcc

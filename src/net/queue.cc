@@ -10,6 +10,7 @@ Queue::Queue(EventList& events, std::string name, Rate rate, Bytes capacity_byte
              std::size_t capacity_packets)
     : EventSource(std::move(name)),
       events_(events),
+      trace_src_(obs::tracer().intern(this->name())),
       rate_(rate),
       capacity_bytes_(capacity_bytes),
       capacity_packets_(capacity_packets) {
@@ -25,6 +26,11 @@ void Queue::receive(Packet pkt) {
   if (over_bytes || over_packets) {
     ++drops_;
     MPCC_DEBUG << name() << " drop flow=" << pkt.flow_id << " seq=" << pkt.seq;
+    MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
+               events_.now(), static_cast<double>(queued_bytes_), 0,
+               static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
+    static obs::Counter& drop_counter = obs::metrics().counter("net.queue.drops");
+    drop_counter.inc();
     return;  // tail drop
   }
   if (!on_enqueue(pkt)) {
@@ -32,6 +38,17 @@ void Queue::receive(Packet pkt) {
     return;
   }
   queued_bytes_ += pkt.wire_size();
+  if (obs::tracer().enabled(obs::TraceCategory::kQueue)) {
+    obs::tracer().record(obs::TraceCategory::kQueue, obs::TraceEvent::kEnqueue,
+                         trace_src_, events_.now(),
+                         static_cast<double>(queued_bytes_), 0,
+                         static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
+    // Hot-path histogram rides the queue trace bit: free when tracing is off.
+    static obs::Histogram& occupancy = obs::metrics().histogram(
+        "net.queue.occupancy_bytes",
+        {/*min_value=*/1500.0, /*growth=*/2.0, /*num_buckets=*/24});
+    occupancy.record(static_cast<double>(queued_bytes_));
+  }
   if (!busy_) {
     start_service(std::move(pkt));
   } else {

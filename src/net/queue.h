@@ -11,6 +11,8 @@
 #include <limits>
 
 #include "net/route.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_list.h"
 #include "util/units.h"
 
@@ -44,6 +46,7 @@ class Queue : public PacketHandler, public EventSource {
   virtual bool on_enqueue(Packet& pkt);
 
   EventList& events_;
+  obs::SourceId trace_src_;  // interned name, for MPCC_TRACE call sites
 
  private:
   void start_service(Packet pkt);

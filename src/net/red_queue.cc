@@ -37,9 +37,17 @@ bool RedQueue::on_enqueue(Packet& pkt) {
   if (config_.mark_instead_of_drop && pkt.ecn_capable) {
     pkt.ecn_ce = true;
     ++marks_;
+    MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kEcnMark, trace_src_,
+               events_.now(), avg_, 0, static_cast<std::int64_t>(pkt.flow_id),
+               pkt.seq);
+    obs::metrics().counter("net.queue.ecn_marks").inc();
     return true;
   }
   ++early_drops_;
+  MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
+             events_.now(), avg_, 0, static_cast<std::int64_t>(pkt.flow_id),
+             pkt.seq);
+  obs::metrics().counter("net.queue.red_early_drops").inc();
   return false;  // early drop
 }
 

@@ -1,0 +1,27 @@
+// Exporters for the tracer: Chrome trace-event-format JSON.
+//
+// The emitted file loads directly in chrome://tracing and in Perfetto
+// (ui.perfetto.dev -> "Open trace file"). Mapping:
+//   - continuous quantities (cwnd, queue occupancy, eps_r, price, watts)
+//     become counter events ("ph":"C") named "<component>/<quantity>", one
+//     counter track each;
+//   - discrete happenings (drops, ECN marks, retransmit/RTO/recovery
+//     transitions) become thread-scoped instant events ("ph":"i") on a
+//     per-component track, labelled via thread_name metadata.
+// Timestamps are simulated microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace mpcc::obs {
+
+/// Writes the tracer's retained records to `os`.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Same, to a file. Returns false if the file could not be opened.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace mpcc::obs

@@ -1,0 +1,134 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// Any component may register a metric by name; the registry owns storage
+// with stable addresses, so call sites resolve the name once (at
+// construction) and then touch a plain field on the hot path. Snapshots
+// render per run through util/csv.h (CSV / aligned table) or as JSON.
+//
+// Naming convention: `layer.metric[_unit]`, lower_snake_case — e.g.
+// `net.queue.drops`, `tcp.rtt_us`, `sim.event_wall_ns`. Units are encoded
+// in the name suffix so exported files are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/units.h"
+
+namespace mpcc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    has_value_ = true;
+  }
+  double value() const { return value_; }
+  bool has_value() const { return has_value_; }
+  void reset() {
+    value_ = 0;
+    has_value_ = false;
+  }
+
+ private:
+  double value_ = 0;
+  bool has_value_ = false;
+};
+
+/// Geometric bucket layout: bucket 0 holds v < min_value (underflow);
+/// bucket i >= 1 holds [min_value * growth^(i-1), min_value * growth^i),
+/// and the last bucket additionally absorbs overflow.
+struct HistogramConfig {
+  double min_value = 1.0;
+  double growth = 2.0;
+  int num_buckets = 64;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramConfig config = {});
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  int bucket_index(double v) const;
+  /// Inclusive lower bound of bucket `idx` (0 for the underflow bucket).
+  double bucket_lower_bound(int idx) const;
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Estimate of the p-quantile (p in [0,1]) from the bucket counts, using
+  /// the geometric bucket midpoint, clamped to the observed [min, max].
+  double percentile(double p) const;
+
+  void reset();
+
+  const HistogramConfig& config() const { return config_; }
+
+ private:
+  HistogramConfig config_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Looks up or creates. A name registered as one type stays that type;
+  /// re-registering under a different type warns and returns a scratch
+  /// metric not included in snapshots.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, HistogramConfig config = {});
+
+  /// Zeroes every metric (names and types are kept). Call between runs.
+  void reset();
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// One row per metric: name, type, count, sum, mean, min, max, p50/p90/p99
+  /// (histograms only; counters fill count/sum, gauges fill mean).
+  Table snapshot() const;
+
+  void write_csv(const std::string& path) const { snapshot().write_csv(path); }
+  void write_json(const std::string& path) const;
+
+ private:
+  struct Entry {
+    enum class Type { kCounter, kGauge, kHistogram } type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* find(std::string_view name, Entry::Type want);
+
+  // std::map keeps snapshot order deterministic (sorted by name).
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// The process-wide registry (single-threaded, like the tracer).
+MetricsRegistry& metrics();
+
+}  // namespace mpcc::obs

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mpcc::obs {
+
+const char* trace_category_name(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kQueue:
+      return "queue";
+    case TraceCategory::kCwnd:
+      return "cwnd";
+    case TraceCategory::kSubflow:
+      return "subflow";
+    case TraceCategory::kCc:
+      return "cc";
+    case TraceCategory::kEnergy:
+      return "energy";
+    case TraceCategory::kSim:
+      return "sim";
+    case TraceCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::uint32_t parse_trace_categories(std::string_view spec) {
+  if (spec.empty() || spec == "all") return kAllTraceCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    bool known = false;
+    for (std::size_t i = 0; i < kNumTraceCategories; ++i) {
+      const auto cat = static_cast<TraceCategory>(i);
+      if (token == trace_category_name(cat)) {
+        mask |= category_bit(cat);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      MPCC_WARN << "unknown trace category '" << std::string(token)
+                << "' (known: queue,cwnd,subflow,cc,energy,sim,all)";
+    }
+  }
+  return mask;
+}
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kEnqueue:
+      return "enqueue";
+    case TraceEvent::kDrop:
+      return "drop";
+    case TraceEvent::kEcnMark:
+      return "ecn_mark";
+    case TraceEvent::kCwnd:
+      return "cwnd";
+    case TraceEvent::kRttSample:
+      return "rtt";
+    case TraceEvent::kFastRetransmit:
+      return "fast_retransmit";
+    case TraceEvent::kTimeout:
+      return "timeout";
+    case TraceEvent::kRecoveryExit:
+      return "recovery_exit";
+    case TraceEvent::kEpsilon:
+      return "eps";
+    case TraceEvent::kEnergyPrice:
+      return "price";
+    case TraceEvent::kMeterSample:
+      return "power";
+  }
+  return "?";
+}
+
+void Tracer::enable(std::uint32_t mask, std::size_t capacity) {
+  mask_ = mask & kAllTraceCategories;
+  if (capacity == 0) capacity = kDefaultCapacity;
+  if (capacity != capacity_) {
+    capacity_ = capacity;
+    ring_.assign(capacity_, TraceRecord{});
+    total_ = 0;
+  } else if (ring_.empty()) {
+    ring_.assign(capacity_, TraceRecord{});
+  }
+  sample_every_.fill(1);
+  sample_phase_.fill(0);
+}
+
+void Tracer::clear() {
+  total_ = 0;
+  sample_phase_.fill(0);
+}
+
+void Tracer::set_sampling(TraceCategory c, std::uint32_t every) {
+  sample_every_[static_cast<std::size_t>(c)] = std::max<std::uint32_t>(every, 1);
+}
+
+SourceId Tracer::intern(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const SourceId id = static_cast<SourceId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Tracer::record(TraceCategory cat, TraceEvent ev, SourceId src, SimTime t,
+                    double v0, double v1, std::int64_t i0, std::int64_t i1) {
+  if (capacity_ == 0) return;  // enabled() true but never enable()d: ignore
+  const auto ci = static_cast<std::size_t>(cat);
+  if (++sample_phase_[ci] < sample_every_[ci]) return;
+  sample_phase_[ci] = 0;
+  TraceRecord& slot = ring_[total_ % capacity_];
+  slot = TraceRecord{t, ev, cat, src, v0, v1, i0, i1};
+  ++total_;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t k = first; k < total_; ++k) {
+    out.push_back(ring_[k % capacity_]);
+  }
+  return out;
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace mpcc::obs

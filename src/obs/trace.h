@@ -1,0 +1,180 @@
+// Structured event tracer: a bounded ring buffer of typed trace records.
+//
+// Every instrumented component records TraceRecords through the process-wide
+// Tracer. The design goals, in order:
+//
+//   1. Zero cost when disabled. Call sites go through the MPCC_TRACE macro,
+//      which compiles away entirely under -DMPCC_TRACE_DISABLED and otherwise
+//      reduces to one bitmask test before any argument is evaluated.
+//   2. Bounded memory. Records land in a fixed-capacity ring; when it wraps,
+//      the oldest records are overwritten (the end of a run is usually the
+//      interesting part). total_recorded() keeps the true count.
+//   3. Runtime selectivity. Each record belongs to a TraceCategory with its
+//      own enable bit and 1-in-N sampling factor, so a fat-tree run can keep
+//      cwnd tracing on while sampling per-packet queue events.
+//
+// Records are typed (TraceEvent) with a fixed payload layout (two doubles,
+// two ints) so the ring stays flat and allocation-free; obs/export.h maps
+// them to Chrome trace-event JSON for chrome://tracing / Perfetto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpcc::obs {
+
+/// Coarse enable/sampling granule. One bit per category.
+enum class TraceCategory : std::uint8_t {
+  kQueue = 0,   ///< packet enqueue / drop / ECN mark, queue occupancy
+  kCwnd,        ///< congestion-window changes + RTT samples
+  kSubflow,     ///< (sub)flow state transitions: fast retx, RTO, recovery exit
+  kCc,          ///< CC internals: DTS eps_r/psi_r, energy-price terms
+  kEnergy,      ///< energy-meter samples
+  kSim,         ///< event-loop self-profiling
+  kCount,
+};
+
+inline constexpr std::size_t kNumTraceCategories =
+    static_cast<std::size_t>(TraceCategory::kCount);
+
+constexpr std::uint32_t category_bit(TraceCategory c) {
+  return 1u << static_cast<unsigned>(c);
+}
+
+inline constexpr std::uint32_t kAllTraceCategories =
+    (1u << kNumTraceCategories) - 1;
+
+/// Short lower-case name ("queue", "cwnd", ...), for CLI flags and exports.
+const char* trace_category_name(TraceCategory c);
+
+/// Parses a comma-separated category list ("queue,cwnd", or "all") into a
+/// bitmask. Unknown names are skipped (reported via MPCC_WARN).
+std::uint32_t parse_trace_categories(std::string_view spec);
+
+/// What happened. Each event type has a fixed meaning for the payload
+/// fields (v0, v1, i0, i1) — see the comments and obs/export.cc.
+enum class TraceEvent : std::uint8_t {
+  kEnqueue,         ///< kQueue: v0=queued bytes after, i0=flow, i1=seq
+  kDrop,            ///< kQueue: v0=queued bytes, i0=flow, i1=seq
+  kEcnMark,         ///< kQueue: v0=queued bytes, i0=flow, i1=seq
+  kCwnd,            ///< kCwnd: v0=cwnd bytes, v1=ssthresh bytes
+  kRttSample,       ///< kCwnd: v0=rtt us, v1=srtt us
+  kFastRetransmit,  ///< kSubflow: v0=cwnd bytes, v1=ssthresh bytes
+  kTimeout,         ///< kSubflow: v0=cwnd bytes, v1=ssthresh bytes
+  kRecoveryExit,    ///< kSubflow: v0=cwnd bytes, v1=ssthresh bytes
+  kEpsilon,         ///< kCc: v0=eps_r, v1=psi_r = c*eps_r
+  kEnergyPrice,     ///< kCc: v0=price dU_ep/dx_r, v1=increase divisor
+  kMeterSample,     ///< kEnergy: v0=watts, v1=cumulative joules
+};
+
+/// Short name ("enqueue", "cwnd", ...), used as the exported event name.
+const char* trace_event_name(TraceEvent e);
+
+/// Interned component name. Components intern once at construction (cold)
+/// so hot-path records carry a 4-byte id instead of a string.
+using SourceId = std::uint32_t;
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceEvent event{};
+  TraceCategory category{};
+  SourceId source = 0;
+  double v0 = 0;
+  double v1 = 0;
+  std::int64_t i0 = 0;
+  std::int64_t i1 = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  /// The hot-path guard: one load + mask test.
+  bool enabled(TraceCategory c) const { return (mask_ & category_bit(c)) != 0; }
+
+  /// Enables the categories in `mask` and (re)allocates the ring. Existing
+  /// records are kept if the capacity is unchanged.
+  void enable(std::uint32_t mask = kAllTraceCategories,
+              std::size_t capacity = kDefaultCapacity);
+
+  /// Clears the enable mask. Records are kept for export.
+  void disable() { mask_ = 0; }
+
+  /// Drops all records and resets sampling phase; interned names survive
+  /// (components hold SourceIds across runs).
+  void clear();
+
+  std::uint32_t mask() const { return mask_; }
+
+  /// Keep only 1 in `every` records of category `c` (default 1 = all).
+  void set_sampling(TraceCategory c, std::uint32_t every);
+
+  SourceId intern(std::string_view name);
+  const std::string& source_name(SourceId id) const { return names_[id]; }
+  std::size_t num_sources() const { return names_.size(); }
+
+  /// Appends one record (subject to sampling). Callers go through
+  /// MPCC_TRACE, which performs the enabled() check first.
+  void record(TraceCategory cat, TraceEvent ev, SourceId src, SimTime t,
+              double v0 = 0, double v1 = 0, std::int64_t i0 = 0,
+              std::int64_t i1 = 0);
+
+  /// Records ever stored (monotonic; exceeds size() after wraparound).
+  std::uint64_t total_recorded() const { return total_; }
+  std::size_t size() const { return std::min<std::uint64_t>(total_, capacity_); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Retained records, oldest first.
+  std::vector<TraceRecord> snapshot() const;
+
+ private:
+  std::uint32_t mask_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<TraceRecord> ring_;
+  std::array<std::uint32_t, kNumTraceCategories> sample_every_{};
+  std::array<std::uint32_t, kNumTraceCategories> sample_phase_{};
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SourceId> name_ids_;
+};
+
+/// The process-wide tracer (the simulator is single-threaded, like the
+/// logger in util/logging.h).
+Tracer& tracer();
+
+// --- event-loop self-profiling switch ------------------------------------
+//
+// When on, EventList measures wall-clock time per dispatched event,
+// aggregates it per EventSource, and flushes totals into the metrics
+// registry on destruction (sim.profiled_events, sim.event_wall_ns,
+// sim.events_per_wall_sec). A plain inline global so the per-dispatch check
+// is a single load.
+
+namespace detail {
+inline bool g_sim_profiling = false;
+}  // namespace detail
+
+inline bool sim_profiling() { return detail::g_sim_profiling; }
+inline void set_sim_profiling(bool on) { detail::g_sim_profiling = on; }
+
+}  // namespace mpcc::obs
+
+// The tracing macro. Arguments after the category are only evaluated when
+// the category is enabled; under -DMPCC_TRACE_DISABLED the whole statement
+// compiles to nothing.
+#ifdef MPCC_TRACE_DISABLED
+#define MPCC_TRACE(cat, ...) ((void)0)
+#else
+#define MPCC_TRACE(cat, ...)                           \
+  do {                                                 \
+    if (::mpcc::obs::tracer().enabled(cat)) {          \
+      ::mpcc::obs::tracer().record(cat, __VA_ARGS__);  \
+    }                                                  \
+  } while (0)
+#endif

@@ -1,8 +1,61 @@
 #include "sim/event_list.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpcc {
+
+EventList::~EventList() {
+  if (prof_.empty()) return;
+  // Aggregate self-profile -> metrics, for the per-run snapshot. Per-source
+  // rows stay accessible through profile() while the run is live.
+  std::uint64_t events = 0;
+  std::uint64_t wall_ns = 0;
+  for (const auto& [src, entry] : prof_) {
+    events += entry.dispatches;
+    wall_ns += entry.wall_ns;
+  }
+  obs::metrics().counter("sim.profiled_events").inc(events);
+  obs::metrics().counter("sim.profile_wall_ns").inc(wall_ns);
+  if (wall_ns > 0) {
+    obs::metrics()
+        .gauge("sim.events_per_wall_sec")
+        .set(static_cast<double>(events) / (static_cast<double>(wall_ns) / 1e9));
+  }
+}
+
+void EventList::profiled_dispatch(EventSource* src) {
+  const auto t0 = std::chrono::steady_clock::now();
+  src->do_next_event();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  ProfileEntry& entry = prof_[src];
+  if (entry.dispatches == 0) entry.name = src->name();
+  ++entry.dispatches;
+  entry.wall_ns += ns;
+  // Registry addresses are stable for the process lifetime, so resolve once.
+  static obs::Histogram& wall_hist = obs::metrics().histogram(
+      "sim.event_wall_ns", {/*min_value=*/16.0, /*growth=*/2.0,
+                            /*num_buckets=*/32});
+  wall_hist.record(static_cast<double>(ns));
+}
+
+std::vector<EventList::SourceProfile> EventList::profile() const {
+  std::vector<SourceProfile> out;
+  out.reserve(prof_.size());
+  for (const auto& [src, entry] : prof_) {
+    out.push_back({entry.name, entry.dispatches, entry.wall_ns});
+  }
+  std::sort(out.begin(), out.end(), [](const SourceProfile& a, const SourceProfile& b) {
+    return a.wall_ns > b.wall_ns;
+  });
+  return out;
+}
 
 EventToken EventList::schedule_at(EventSource* src, SimTime t) {
   assert(src != nullptr);
@@ -27,7 +80,11 @@ bool EventList::run_next() {
     assert(e.time >= now_);
     now_ = e.time;
     ++dispatched_;
-    e.source->do_next_event();
+    if (obs::sim_profiling()) {
+      profiled_dispatch(e.source);
+    } else {
+      e.source->do_next_event();
+    }
     return true;
   }
   return false;

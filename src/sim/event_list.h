@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <queue>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -24,6 +26,8 @@ inline constexpr EventToken kInvalidEventToken = 0;
 class EventList {
  public:
   EventList() = default;
+  /// Flushes any collected self-profiling data into the metrics registry.
+  ~EventList();
 
   /// Current simulated time. Starts at 0.
   SimTime now() const { return now_; }
@@ -55,7 +59,25 @@ class EventList {
   /// Total events dispatched so far (for perf reporting).
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Per-EventSource wall-clock self-profile, collected while
+  /// obs::sim_profiling() is on. Sorted by wall_ns descending. Only valid
+  /// while the profiled sources are alive (names are copied at first
+  /// dispatch, so reading after teardown is safe but adds nothing new).
+  struct SourceProfile {
+    std::string name;
+    std::uint64_t dispatches = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<SourceProfile> profile() const;
+
  private:
+  struct ProfileEntry {
+    std::string name;  // copied: sources may die before the EventList
+    std::uint64_t dispatches = 0;
+    std::uint64_t wall_ns = 0;
+  };
+
+  void profiled_dispatch(EventSource* src);
   struct Entry {
     SimTime time;
     EventToken token;
@@ -71,6 +93,7 @@ class EventList {
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<EventToken> cancelled_;
+  std::unordered_map<EventSource*, ProfileEntry> prof_;
 };
 
 }  // namespace mpcc

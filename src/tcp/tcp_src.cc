@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace mpcc {
@@ -49,6 +50,7 @@ TcpSrc::TcpSrc(Network& net, std::string name, TcpConfig config)
       net_(net),
       config_(config),
       flow_id_(net.next_flow_id()),
+      trace_src_(obs::tracer().intern(this->name())),
       hooks_(std::make_unique<TcpCcHooks>()),
       ssthresh_(config.max_cwnd > 0 ? config.max_cwnd : mega_bytes(1024)),
       rtt_(config.min_rto, config.max_rto),
@@ -86,6 +88,8 @@ void TcpSrc::set_cwnd(double cwnd) {
   double cap = config_.max_cwnd > 0 ? static_cast<double>(config_.max_cwnd)
                                     : static_cast<double>(giga_bytes(1));
   cwnd_ = std::clamp(cwnd, floor, cap);
+  MPCC_TRACE(obs::TraceCategory::kCwnd, obs::TraceEvent::kCwnd, trace_src_,
+             net_.now(), cwnd_, static_cast<double>(ssthresh_));
 }
 
 Bytes TcpSrc::effective_cwnd() const { return static_cast<Bytes>(cwnd_); }
@@ -163,6 +167,16 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
 
   const SimTime rtt_sample = net_.now() - ack.ts_echo;
   rtt_.add_sample(rtt_sample);
+  if (obs::tracer().enabled(obs::TraceCategory::kCwnd)) {
+    obs::tracer().record(obs::TraceCategory::kCwnd, obs::TraceEvent::kRttSample,
+                         trace_src_, net_.now(),
+                         static_cast<double>(rtt_sample) / kMicrosecond,
+                         static_cast<double>(rtt_.srtt()) / kMicrosecond);
+    // Hot-path histogram rides the cwnd trace bit (see queue occupancy).
+    static obs::Histogram& rtt_hist = obs::metrics().histogram(
+        "tcp.rtt_us", {/*min_value=*/10.0, /*growth=*/2.0, /*num_buckets=*/24});
+    rtt_hist.record(static_cast<double>(rtt_sample) / kMicrosecond);
+  }
   hooks_->on_ack(*this, newly, ack.ecn_echo, rtt_sample);
 
   bool partial_ack = false;
@@ -172,6 +186,8 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
       in_recovery_ = false;
       dup_acks_ = 0;
       set_cwnd(static_cast<double>(ssthresh_));
+      MPCC_TRACE(obs::TraceCategory::kSubflow, obs::TraceEvent::kRecoveryExit,
+                 trace_src_, net_.now(), cwnd_, static_cast<double>(ssthresh_));
     } else {
       // NewReno partial ACK: retransmit the next hole, partial deflation.
       partial_ack = true;
@@ -233,6 +249,9 @@ void TcpSrc::handle_dup_ack() {
     recover_ = highest_sent_;
     ++fast_retransmit_events_;
     hooks_->on_fast_retransmit(*this);
+    MPCC_TRACE(obs::TraceCategory::kSubflow, obs::TraceEvent::kFastRetransmit,
+               trace_src_, net_.now(), cwnd_, static_cast<double>(ssthresh_));
+    obs::metrics().counter("tcp.fast_retransmits").inc();
     retransmit_one(last_acked_);
   }
 }
@@ -241,6 +260,9 @@ void TcpSrc::on_rto() {
   if (completed_ || inflight() == 0) return;
   ++timeout_events_;
   MPCC_DEBUG << name() << " RTO at " << to_ms(net_.now()) << "ms, cwnd=" << cwnd_;
+  MPCC_TRACE(obs::TraceCategory::kSubflow, obs::TraceEvent::kTimeout, trace_src_,
+             net_.now(), cwnd_, static_cast<double>(ssthresh_));
+  obs::metrics().counter("tcp.timeouts").inc();
   hooks_->on_timeout(*this);
   in_recovery_ = false;
   dup_acks_ = 0;

@@ -22,6 +22,7 @@
 
 #include "net/network.h"
 #include "net/route.h"
+#include "obs/trace.h"
 #include "sim/timer.h"
 #include "tcp/rtt_estimator.h"
 #include "tcp/tcp_sink.h"
@@ -155,6 +156,9 @@ class TcpSrc : public PacketHandler, public EventSource {
   bool in_slow_start() const { return !in_recovery_ && cwnd_ < static_cast<double>(ssthresh_); }
   const RttEstimator& rtt() const { return rtt_; }
   std::uint64_t flow_id() const { return flow_id_; }
+  /// Interned tracer id for this flow, for MPCC_TRACE call sites in CC
+  /// algorithms (see cc/dts.cc).
+  obs::SourceId trace_source() const { return trace_src_; }
 
   // --- statistics ---
   Bytes bytes_acked_total() const { return last_acked_; }
@@ -191,6 +195,7 @@ class TcpSrc : public PacketHandler, public EventSource {
   Network& net_;
   TcpConfig config_;
   std::uint64_t flow_id_;
+  obs::SourceId trace_src_;
   const Route* forward_ = nullptr;
 
   std::unique_ptr<TcpCcHooks> hooks_;

@@ -6,6 +6,8 @@ namespace mpcc {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+std::function<SimTime()> g_clock;
+int g_clock_id = 0;
 
 constexpr const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,9 +30,32 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 LogLevel log_level() { return g_level; }
 
+int install_log_clock(std::function<SimTime()> clock) {
+  g_clock = std::move(clock);
+  return ++g_clock_id;
+}
+
+void uninstall_log_clock(int id) {
+  if (id == g_clock_id) g_clock = nullptr;
+}
+
+std::string format_log_line(LogLevel level, std::string_view msg) {
+  char prefix[64];
+  int n;
+  if (g_clock) {
+    n = std::snprintf(prefix, sizeof(prefix), "[%s][%8.3fs] ", level_tag(level),
+                      to_seconds(g_clock()));
+  } else {
+    n = std::snprintf(prefix, sizeof(prefix), "[%s] ", level_tag(level));
+  }
+  std::string out(prefix, static_cast<std::size_t>(n));
+  out.append(msg);
+  return out;
+}
+
 void log_line(LogLevel level, std::string_view msg) {
-  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level), static_cast<int>(msg.size()),
-               msg.data());
+  const std::string line = format_log_line(level, msg);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace mpcc

@@ -5,9 +5,12 @@
 // cost is only paid when the level is active.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "util/units.h"
 
 namespace mpcc {
 
@@ -18,6 +21,20 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// Optional simulated-clock hook: when installed, every log line is
+/// prefixed with the current simulated time ("[   1.500s]"). Network
+/// installs its EventList on construction, so experiment and bench logs are
+/// sim-timestamped automatically. Returns an installation id; the matching
+/// uninstall is a no-op if a newer clock has been installed since (e.g. two
+/// Networks alive at once — the most recent wins).
+int install_log_clock(std::function<SimTime()> clock);
+void uninstall_log_clock(int id);
+
+/// Renders one log line (level tag, optional sim-time prefix, message)
+/// without emitting it; log_line() writes exactly this to stderr. Split out
+/// so tests can cover the formatting.
+std::string format_log_line(LogLevel level, std::string_view msg);
 
 /// Writes one log line to stderr (with level tag). Prefer the MPCC_LOG_*
 /// helpers below.

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "net/network.h"
 #include "util/csv.h"
 #include "util/fixed_point.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -171,6 +173,43 @@ TEST(FixedPoint, Taylor3AccurateNearZeroOnly) {
   // ...but far from 0 it diverges badly (the ablation's point).
   const double far = fixed_exp_taylor3(Fixed::from_double(4.0)).to_double();
   EXPECT_GT(std::fabs(far - std::exp(4.0)) / std::exp(4.0), 0.3);
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, NoClockMeansLevelTagOnly) {
+  const std::string line = format_log_line(LogLevel::kWarn, "plain");
+  EXPECT_EQ(line, "[WARN ] plain");
+}
+
+TEST(Logging, InstalledClockPrefixesSimTime) {
+  const int id = install_log_clock([] { return ms(1500); });
+  const std::string line = format_log_line(LogLevel::kInfo, "hello");
+  uninstall_log_clock(id);
+  EXPECT_NE(line.find("[INFO ]"), std::string::npos);
+  EXPECT_NE(line.find("1.500s]"), std::string::npos);
+  EXPECT_NE(line.find("hello"), std::string::npos);
+  // Uninstall restores the bare format.
+  EXPECT_EQ(format_log_line(LogLevel::kInfo, "hello"), "[INFO ] hello");
+}
+
+TEST(Logging, StaleUninstallKeepsNewerClock) {
+  const int old_id = install_log_clock([] { return kSecond; });
+  const int new_id = install_log_clock([] { return 2 * kSecond; });
+  uninstall_log_clock(old_id);  // stale id: must not remove the newer clock
+  EXPECT_NE(format_log_line(LogLevel::kDebug, "x").find("2.000s]"),
+            std::string::npos);
+  uninstall_log_clock(new_id);
+  EXPECT_EQ(format_log_line(LogLevel::kDebug, "x"), "[DEBUG] x");
+}
+
+TEST(Logging, NetworkInstallsItsEventListAsClock) {
+  {
+    Network net(1);
+    EXPECT_EQ(format_log_line(LogLevel::kInfo, "t").find("[INFO ]["), 0u);
+  }
+  // Network destruction uninstalls the clock again.
+  EXPECT_EQ(format_log_line(LogLevel::kInfo, "t"), "[INFO ] t");
 }
 
 // -------------------------------------------------------------------- csv
