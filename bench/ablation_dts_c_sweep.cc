@@ -37,6 +37,33 @@ double share_vs_tcp(double c, SimTime duration) {
   return mp / static_cast<double>(tcp.src->bytes_acked_total());
 }
 
+struct BurstyPoint {
+  double jpgb;
+  double mbps;
+};
+
+/// Bursty two-path energy (Fig 5(b) scenario) at this c.
+BurstyPoint bursty_energy(double c, SimTime duration) {
+  Network net(4);
+  TwoPathConfig tcfg;
+  TwoPath topo(net, tcfg);
+  MptcpConfig mcfg;
+  auto* conn = net.emplace<MptcpConnection>(
+      net, "mp", mcfg, std::make_unique<DtsCc>(DtsConfig{c, EpsilonMode::kFixedPoint}));
+  for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
+  WiredCpuPower model;
+  FlowGroupProbe probe;
+  probe.add_connection(conn);
+  EnergyMeter meter(net, "m", model, probe);
+  meter.start();
+  topo.start_cross_traffic(0);
+  conn->start(100 * kMillisecond);
+  net.events().run_until(duration);
+  const double gb = static_cast<double>(conn->bytes_delivered()) / 1e9;
+  return {gb > 0 ? meter.energy_joules() / gb : 0.0,
+          to_mbps(throughput(conn->bytes_delivered(), duration))};
+}
+
 }  // namespace
 }  // namespace mpcc
 
@@ -49,29 +76,23 @@ int main(int argc, char** argv) {
                 "c = 1 is the paper's Condition-1 design point; larger c "
                 "buys throughput at the cost of TCP-friendliness");
 
-  Table table({"c", "share_vs_tcp", "bursty_J_per_GB", "bursty_Mbps"});
-  for (double c : {0.5, 0.75, 1.0, 1.5, 2.0}) {
-    const double share = share_vs_tcp(c, seconds(secs));
+  const std::vector<double> cs = {0.5, 0.75, 1.0, 1.5, 2.0};
+  std::vector<double> shares(cs.size());
+  std::vector<BurstyPoint> bursty(cs.size());
+  // Two independent simulations per c; run them all in parallel.
+  harness::parallel_for(2 * cs.size(), bench::jobs_flag(argc, argv),
+                        [&](std::size_t i) {
+                          const std::size_t j = i / 2;
+                          if (i % 2 == 0) {
+                            shares[j] = share_vs_tcp(cs[j], seconds(secs));
+                          } else {
+                            bursty[j] = bursty_energy(cs[j], seconds(secs));
+                          }
+                        });
 
-    // Bursty two-path energy (Fig 5(b) scenario) at this c.
-    Network net(4);
-    TwoPathConfig tcfg;
-    TwoPath topo(net, tcfg);
-    MptcpConfig mcfg;
-    auto* conn = net.emplace<MptcpConnection>(
-        net, "mp", mcfg, std::make_unique<DtsCc>(DtsConfig{c, EpsilonMode::kFixedPoint}));
-    for (const PathSpec& p : topo.paths()) conn->add_subflow(p);
-    WiredCpuPower model;
-    FlowGroupProbe probe;
-    probe.add_connection(conn);
-    EnergyMeter meter(net, "m", model, probe);
-    meter.start();
-    topo.start_cross_traffic(0);
-    conn->start(100 * kMillisecond);
-    net.events().run_until(seconds(secs));
-    const double gb = static_cast<double>(conn->bytes_delivered()) / 1e9;
-    table.add_row({c, share, gb > 0 ? meter.energy_joules() / gb : 0.0,
-                   to_mbps(throughput(conn->bytes_delivered(), seconds(secs)))});
+  Table table({"c", "share_vs_tcp", "bursty_J_per_GB", "bursty_Mbps"});
+  for (std::size_t j = 0; j < cs.size(); ++j) {
+    table.add_row({cs[j], shares[j], bursty[j].jpgb, bursty[j].mbps});
   }
   table.print(std::cout);
   return 0;

@@ -11,32 +11,35 @@
 int main(int argc, char** argv) {
   using namespace mpcc;
   harness::ObsSession obs(argc, argv);
-  harness::WirelessOptions base;
-  base.duration = seconds(harness::arg_double(argc, argv, "--seconds", 60.0));
+  const double secs = harness::arg_double(argc, argv, "--seconds", 60.0);
 
   bench::banner("Fig 2 — mobile device power during data transfers",
                 "MPTCP (WiFi+LTE) draws far more radio power than "
                 "single-radio TCP; LTE is costlier than WiFi");
 
+  const std::vector<std::string> algs = {"tcp-wifi", "tcp-cell", "lia", "dts"};
+  harness::SweepPlan plan;
+  plan.scenario = "wireless";
+  plan.axes = {{"cc", algs}, {"duration_s", {std::to_string(secs)}}};
+  const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
   Table table({"config", "radio_power_W", "wifi_J", "lte_J", "goodput_Mbps"});
-  // Idle row: both radios idle for the whole window.
+  // Idle row: both radios idle for the whole window, straight from the
+  // radio profiles.
   {
-    harness::WirelessOptions opts = base;
-    opts.cc = "tcp-wifi";
-    opts.duration = base.duration;
-    // Derive the idle powers straight from the radio profiles.
     RadioPower wifi{wifi_radio_config()};
     RadioPower lte{lte_radio_config()};
-    const double idle_w = wifi.power_at(0, kSimTimeMax) + lte.power_at(0, kSimTimeMax);
+    const double idle_w =
+        wifi.power_at(0, kSimTimeMax) + lte.power_at(0, kSimTimeMax);
     table.add_row({std::string("idle"), idle_w, 0.0, 0.0, 0.0});
   }
-  for (const std::string cc : {"tcp-wifi", "tcp-cell", "lia", "dts"}) {
-    harness::WirelessOptions opts = base;
-    opts.cc = cc;
-    const auto r = run_wireless(opts);
-    table.add_row({cc == "tcp-cell" ? "tcp-lte" : cc,
-                   r.radio_energy_j / to_seconds(opts.duration), r.wifi_energy_j,
-                   r.cell_energy_j, to_mbps(r.goodput)});
+  for (const std::string& cc : algs) {
+    const auto points = bench::select(report, "cc", cc);
+    table.add_row({cc == "tcp-cell" ? std::string("tcp-lte") : cc,
+                   bench::column_mean(points, "radio_energy_j") / secs,
+                   bench::column_mean(points, "wifi_energy_j"),
+                   bench::column_mean(points, "cell_energy_j"),
+                   bench::column_mean(points, "goodput_mbps")});
   }
   table.print(std::cout);
   bench::note("expected shape: idle << tcp-wifi < tcp-lte < mptcp rows; "

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   using namespace mpcc;
   harness::ObsSession obs(argc, argv);
   const double scale = harness::arg_double(argc, argv, "--scale", 1.0);
+  const int jobs = bench::jobs_flag(argc, argv);
 
   bench::banner("Fig 3 — energy & power vs throughput",
                 "(a) Ethernet: energy falls with tput, power rises ~15% "
@@ -70,29 +71,35 @@ int main(int argc, char** argv) {
               scale >= 1.0 ? "200 MB" : "scaled");
   WiredCpuPower wired;
   Table ta({"bandwidth_Mbps", "achieved_Mbps", "energy_J", "avg_power_W"});
-  double p200 = 0, p1000 = 0;
-  for (double mb : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
-    const auto pt = run_transfer(mbps(mb), mega_bytes(200 * scale), wired);
-    ta.add_row({mb, pt.tput_mbps, pt.energy_j, pt.power_w});
-    if (mb == 200.0) p200 = pt.power_w;
-    if (mb == 1000.0) p1000 = pt.power_w;
+  const std::vector<double> wired_mbps = {200.0, 400.0, 600.0, 800.0, 1000.0};
+  std::vector<Point> wired_pts(wired_mbps.size());
+  harness::parallel_for(wired_mbps.size(), jobs, [&](std::size_t i) {
+    wired_pts[i] =
+        run_transfer(mbps(wired_mbps[i]), mega_bytes(200 * scale), wired);
+  });
+  for (std::size_t i = 0; i < wired_mbps.size(); ++i) {
+    ta.add_row({wired_mbps[i], wired_pts[i].tput_mbps, wired_pts[i].energy_j,
+                wired_pts[i].power_w});
   }
   ta.print(std::cout);
   std::printf("power increase 200->1000 Mbps: %.1f%% (paper: ~15%%)\n\n",
-              (p1000 / p200 - 1.0) * 100.0);
+              (wired_pts.back().power_w / wired_pts.front().power_w - 1.0) * 100.0);
 
   std::printf("--- (b) WiFi, %s download ---\n", scale >= 1.0 ? "50 MB" : "scaled");
   WirelessCpuPower wireless;
   Table tb({"bandwidth_Mbps", "achieved_Mbps", "energy_J", "avg_power_W"});
-  double p10 = 0, p50 = 0;
-  for (double mb : {10.0, 20.0, 30.0, 40.0, 50.0}) {
-    const auto pt = run_transfer(mbps(mb), mega_bytes(50 * scale), wireless);
-    tb.add_row({mb, pt.tput_mbps, pt.energy_j, pt.power_w});
-    if (mb == 10.0) p10 = pt.power_w;
-    if (mb == 50.0) p50 = pt.power_w;
+  const std::vector<double> wifi_mbps = {10.0, 20.0, 30.0, 40.0, 50.0};
+  std::vector<Point> wifi_pts(wifi_mbps.size());
+  harness::parallel_for(wifi_mbps.size(), jobs, [&](std::size_t i) {
+    wifi_pts[i] =
+        run_transfer(mbps(wifi_mbps[i]), mega_bytes(50 * scale), wireless);
+  });
+  for (std::size_t i = 0; i < wifi_mbps.size(); ++i) {
+    tb.add_row({wifi_mbps[i], wifi_pts[i].tput_mbps, wifi_pts[i].energy_j,
+                wifi_pts[i].power_w});
   }
   tb.print(std::cout);
   std::printf("power increase 10->50 Mbps: %.1f%% (paper: ~90%%)\n",
-              (p50 / p10 - 1.0) * 100.0);
+              (wifi_pts.back().power_w / wifi_pts.front().power_w - 1.0) * 100.0);
   return 0;
 }

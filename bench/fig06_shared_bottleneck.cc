@@ -24,29 +24,50 @@ int main(int argc, char** argv) {
                 "especially at large N");
   if (!full) bench::note("running N in {10,20}; pass --full for {10,20,50,100}");
 
+  // Flatten the (N x algorithm) grid so all cells can run in parallel; the
+  // sweep engine's flat rows can't carry the per-flow energy vectors the
+  // box plot needs, so this bench fans out through parallel_for instead.
+  const std::vector<std::string> algs = {"lia", "olia", "balia", "ecmtcp"};
+  struct Cell {
+    std::size_t n;
+    std::string cc;
+  };
+  std::vector<Cell> cells;
   for (std::size_t n : user_counts) {
-    std::printf("\n--- N = %zu MPTCP users (+%zu TCP) ---\n", n, 2 * n);
-    Table table({"algorithm", "min_J", "q1_J", "median_J", "q3_J", "max_J",
-                 "outliers", "mean_s"});
-    for (const std::string cc : {"lia", "olia", "balia", "ecmtcp"}) {
-      harness::DumbbellOptions opts;
-      opts.cc = cc;
-      opts.n_users = n;
-      opts.flow_bytes = mega_bytes(16);
-      opts.seed = 1000 + n;
-      const auto result = run_dumbbell(opts);
-      if (result.incomplete > 0) {
-        std::printf("%s: %zu flows missed the deadline!\n", cc.c_str(),
-                    result.incomplete);
+    for (const std::string& cc : algs) cells.push_back({n, cc});
+  }
+  std::vector<harness::DumbbellResult> results(cells.size());
+  harness::parallel_for(cells.size(), bench::jobs_flag(argc, argv),
+                        [&](std::size_t i) {
+                          harness::DumbbellOptions opts;
+                          opts.cc = cells[i].cc;
+                          opts.n_users = cells[i].n;
+                          opts.flow_bytes = mega_bytes(16);
+                          opts.seed = 1000 + cells[i].n;
+                          results[i] = run_dumbbell(opts);
+                        });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i % algs.size() == 0) {
+      std::printf("\n--- N = %zu MPTCP users (+%zu TCP) ---\n", cells[i].n,
+                  2 * cells[i].n);
+      Table table({"algorithm", "min_J", "q1_J", "median_J", "q3_J", "max_J",
+                   "outliers", "mean_s"});
+      for (std::size_t j = i; j < i + algs.size(); ++j) {
+        const harness::DumbbellResult& result = results[j];
+        if (result.incomplete > 0) {
+          std::printf("%s: %zu flows missed the deadline!\n",
+                      cells[j].cc.c_str(), result.incomplete);
+        }
+        Summary s(result.per_flow_energy_j);
+        const BoxStats b = box_stats(s);
+        Summary completion(result.completion_s);
+        table.add_row({cells[j].cc, b.min, b.q1, b.median, b.q3, b.max,
+                       static_cast<std::int64_t>(b.outliers.size()),
+                       completion.mean()});
       }
-      Summary s(result.per_flow_energy_j);
-      const BoxStats b = box_stats(s);
-      Summary completion(result.completion_s);
-      table.add_row({cc, b.min, b.q1, b.median, b.q3, b.max,
-                     static_cast<std::int64_t>(b.outliers.size()),
-                     completion.mean()});
+      table.print(std::cout);
     }
-    table.print(std::cout);
   }
   bench::note("expected shape: olia's median at or below the others, gap "
               "growing with N");

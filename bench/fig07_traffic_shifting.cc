@@ -18,25 +18,23 @@ int main(int argc, char** argv) {
                 "energy and goodput of LIA/OLIA/Balia/ecMTCP; LIA shifts "
                 "traffic best among the pre-existing algorithms");
 
+  const std::vector<std::string> algs = {"lia",   "olia",    "balia", "ecmtcp",
+                                         "ewtcp", "coupled", "wvegas"};
+  harness::SweepPlan plan;
+  plan.scenario = "two_path";
+  plan.axes = {{"cc", algs}, {"duration_s", {std::to_string(secs)}}};
+  plan.seeds = seeds;
+  plan.seed_base = 42;
+  const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
   Table table({"algorithm", "energy_J", "goodput_Mbps", "J_per_GB", "retx_rate"});
-  for (const std::string cc :
-       {"lia", "olia", "balia", "ecmtcp", "ewtcp", "coupled", "wvegas"}) {
-    double energy = 0, goodput = 0, retx = 0;
-    for (int s = 0; s < seeds; ++s) {
-      harness::TwoPathOptions opts;
-      opts.cc = cc;
-      opts.duration = seconds(secs);
-      opts.seed = 42 + s;
-      const auto r = run_two_path(opts);
-      energy += r.run.energy_j;
-      goodput += to_mbps(r.run.goodput());
-      retx += r.run.retransmit_rate;
-    }
-    energy /= seeds;
-    goodput /= seeds;
-    retx /= seeds;
+  for (const std::string& cc : algs) {
+    const auto points = bench::select(report, "cc", cc);
+    const double energy = bench::column_mean(points, "energy_j");
+    const double goodput = bench::column_mean(points, "goodput_mbps");
     const double jpgb = energy / (goodput * 1e6 / 8 * secs / 1e9);
-    table.add_row({cc, energy, goodput, jpgb, retx});
+    table.add_row(
+        {cc, energy, goodput, jpgb, bench::column_mean(points, "retx_rate")});
   }
   table.print(std::cout);
   bench::note("first four rows reproduce the paper's comparison; the last "

@@ -7,7 +7,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "stats/summary.h"
 
 int main(int argc, char** argv) {
   using namespace mpcc;
@@ -18,32 +17,24 @@ int main(int argc, char** argv) {
   bench::banner("Fig 9 — DTS vs LIA energy efficiency",
                 "DTS saves up to ~20% energy vs LIA at comparable goodput");
 
-  struct Acc {
-    Summary jpgb;
-    Summary goodput;
-  };
-  std::vector<std::string> algs = {"lia", "dts", "dts-exact", "dts-taylor"};
-  std::vector<Acc> acc(algs.size());
-  for (int s = 0; s < seeds; ++s) {
-    for (std::size_t i = 0; i < algs.size(); ++i) {
-      harness::TwoPathOptions opts;
-      opts.cc = algs[i];
-      opts.duration = seconds(secs);
-      opts.seed = 100 + s;
-      const auto r = run_two_path(opts);
-      const double gb = static_cast<double>(r.run.bytes_delivered) / 1e9;
-      acc[i].jpgb.add(gb > 0 ? r.run.energy_j / gb : 0);
-      acc[i].goodput.add(to_mbps(r.run.goodput()));
-    }
-  }
+  const std::vector<std::string> algs = {"lia", "dts", "dts-exact", "dts-taylor"};
+  harness::SweepPlan plan;
+  plan.scenario = "two_path";
+  plan.axes = {{"cc", algs}, {"duration_s", {std::to_string(secs)}}};
+  plan.seeds = seeds;
+  plan.seed_base = 100;
+  const harness::SweepReport report = bench::sweep(plan, argc, argv);
 
   Table table({"algorithm", "J_per_GB_mean", "J_per_GB_sd", "goodput_Mbps",
                "saving_vs_lia_%"});
-  const double lia_jpgb = acc[0].jpgb.mean();
-  for (std::size_t i = 0; i < algs.size(); ++i) {
-    table.add_row({algs[i], acc[i].jpgb.mean(), acc[i].jpgb.stddev(),
-                   acc[i].goodput.mean(),
-                   (1.0 - acc[i].jpgb.mean() / lia_jpgb) * 100.0});
+  const double lia_jpgb =
+      bench::column_mean(bench::select(report, "cc", "lia"), "joules_per_gb");
+  for (const std::string& cc : algs) {
+    const auto points = bench::select(report, "cc", cc);
+    const Summary jpgb = bench::column_summary(points, "joules_per_gb");
+    table.add_row({cc, jpgb.mean(), jpgb.stddev(),
+                   bench::column_mean(points, "goodput_mbps"),
+                   (1.0 - jpgb.mean() / lia_jpgb) * 100.0});
   }
   table.print(std::cout);
   bench::note("expected shape: dts rows save energy vs lia at similar "

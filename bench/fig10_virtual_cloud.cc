@@ -14,31 +14,39 @@ int main(int argc, char** argv) {
   using namespace mpcc;
   harness::ObsSession obs(argc, argv);
   const bool full = harness::has_flag(argc, argv, "--full");
-  harness::DatacenterOptions base;
-  base.topo = harness::DcTopo::kVirtualCloud;
-  base.cloud.num_hosts = static_cast<std::size_t>(
-      harness::arg_int(argc, argv, "--hosts", full ? 40 : 16));
-  base.duration = seconds(harness::arg_double(argc, argv, "--seconds", full ? 3.0 : 1.5));
-  base.subflows = 4;
+  const std::int64_t hosts =
+      harness::arg_int(argc, argv, "--hosts", full ? 40 : 16);
+  const double secs =
+      harness::arg_double(argc, argv, "--seconds", full ? 3.0 : 1.5);
 
   bench::banner("Fig 10 — EC2-like virtual cloud: TCP / DCTCP / LIA / DTS",
                 "multipath saves up to ~70% energy per byte vs single-path; "
                 "DTS ~ LIA");
   if (!full) bench::note("16 hosts, 1.5 s (pass --full for the paper's 40 hosts)");
 
+  const std::vector<std::string> algs = {"tcp", "dctcp", "lia", "dts"};
+  harness::SweepPlan plan;
+  plan.scenario = "datacenter";
+  plan.axes = {{"cc", algs},
+               {"topo", {"cloud"}},
+               {"subflows", {"4"}},
+               {"cloud_hosts", {std::to_string(hosts)}},
+               {"duration_s", {std::to_string(secs)}}};
+  plan.seed_base = 5;
+  const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
   Table table({"algorithm", "J_per_GB", "aggregate_Gbps", "energy_J",
                "saving_vs_tcp_%", "drops"});
-  double tcp_jpgb = 0;
-  for (const std::string cc : {"tcp", "dctcp", "lia", "dts"}) {
-    harness::DatacenterOptions opts = base;
-    opts.cc = cc;
-    opts.seed = 5;
-    const auto r = run_datacenter(opts);
-    if (cc == "tcp") tcp_jpgb = r.joules_per_gigabyte;
-    table.add_row({cc, r.joules_per_gigabyte, r.aggregate_goodput / 1e9,
-                   r.total_energy_j,
-                   (1.0 - r.joules_per_gigabyte / tcp_jpgb) * 100.0,
-                   static_cast<std::int64_t>(r.fabric_drops)});
+  const double tcp_jpgb =
+      bench::column_mean(bench::select(report, "cc", "tcp"), "joules_per_gb");
+  for (const std::string& cc : algs) {
+    const auto points = bench::select(report, "cc", cc);
+    const double jpgb = bench::column_mean(points, "joules_per_gb");
+    table.add_row({cc, jpgb, bench::column_mean(points, "goodput_mbps") / 1e3,
+                   bench::column_mean(points, "total_energy_j"),
+                   (1.0 - jpgb / tcp_jpgb) * 100.0,
+                   static_cast<std::int64_t>(
+                       bench::column_mean(points, "fabric_drops"))});
   }
   table.print(std::cout);
   bench::note("expected shape: lia/dts rows cut J/GB by a large factor "

@@ -23,45 +23,55 @@ int main(int argc, char** argv) {
                 "more subflows cut energy overhead in BCube but not in the "
                 "hierarchical FatTree / VL2");
 
+  std::vector<std::string> subflow_counts =
+      full ? std::vector<std::string>{"1", "2", "3", "4", "6", "8"}
+           : std::vector<std::string>{"1", "2", "4", "8"};
+
+  // One sweep per fabric so each can carry its own scaled-down topology
+  // parameters. BCube keeps its three levels (three host NICs) in the quick
+  // run — that headroom is the whole point of Fig 12.
   struct TopoCase {
     const char* label;
-    harness::DcTopo topo;
+    std::vector<harness::SweepAxis> axes;
   };
-  const std::vector<int> subflow_counts = full ? std::vector<int>{1, 2, 3, 4, 6, 8}
-                                               : std::vector<int>{1, 2, 4, 8};
+  std::vector<TopoCase> cases = {
+      {"Fig 12: BCube",
+       {{"topo", {"bcube"}},
+        {"bcube_n", {full ? "5" : "3"}},
+        {"bcube_k", {"2"}}}},
+      {"Fig 13: FatTree", {{"topo", {"fattree"}}, {"fattree_k", {full ? "8" : "4"}}}},
+      {"Fig 14: VL2",
+       full ? std::vector<harness::SweepAxis>{{"topo", {"vl2"}},
+                                              // keep the event count tractable;
+                                              // preserves the 10x switch speedup
+                                              {"vl2_host_rate_mbps", {"250"}},
+                                              {"vl2_switch_rate_mbps", {"2500"}}}
+            : std::vector<harness::SweepAxis>{{"topo", {"vl2"}},
+                                              {"vl2_tor", {"8"}},
+                                              {"vl2_hosts_per_tor", {"2"}},
+                                              {"vl2_agg", {"8"}},
+                                              {"vl2_int", {"4"}}}},
+  };
 
-  for (const TopoCase& tc :
-       {TopoCase{"Fig 12: BCube", harness::DcTopo::kBCube},
-        TopoCase{"Fig 13: FatTree", harness::DcTopo::kFatTree},
-        TopoCase{"Fig 14: VL2", harness::DcTopo::kVl2}}) {
+  for (const TopoCase& tc : cases) {
     std::printf("\n--- %s ---\n", tc.label);
+    harness::SweepPlan plan;
+    plan.scenario = "datacenter";
+    plan.axes = tc.axes;
+    plan.axes.push_back({"cc", {"lia"}});
+    plan.axes.push_back({"subflows", subflow_counts});
+    plan.axes.push_back({"duration_s", {std::to_string(secs)}});
+    plan.seed_base = 21;
+    const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
     Table table({"subflows", "J_per_GB", "aggregate_Gbps", "drops"});
-    for (int subflows : subflow_counts) {
-      harness::DatacenterOptions opts;
-      opts.topo = tc.topo;
-      opts.cc = "lia";
-      opts.subflows = subflows;
-      opts.duration = seconds(secs);
-      opts.seed = 21;
-      if (!full) {
-        // Scaled-down fabrics for the default quick run. BCube keeps its
-        // three levels (three host NICs) — that headroom is the whole
-        // point of Fig 12.
-        opts.fat_tree.k = 4;
-        opts.bcube.n = 3;
-        opts.bcube.k = 2;
-        opts.vl2.num_tor = 8;
-        opts.vl2.hosts_per_tor = 2;
-        opts.vl2.num_agg = 8;
-        opts.vl2.num_int = 4;
-      } else {
-        opts.vl2.host_rate = mbps(250);   // keep the event count tractable
-        opts.vl2.switch_rate = gbps(2.5); // preserves the 10x switch speedup
-      }
-      const auto r = run_datacenter(opts);
-      table.add_row({std::int64_t{subflows}, r.joules_per_gigabyte,
-                     r.aggregate_goodput / 1e9,
-                     static_cast<std::int64_t>(r.fabric_drops)});
+    for (const std::string& subflows : subflow_counts) {
+      const auto points = bench::select(report, "subflows", subflows);
+      table.add_row({std::int64_t(std::stoll(subflows)),
+                     bench::column_mean(points, "joules_per_gb"),
+                     bench::column_mean(points, "goodput_mbps") / 1e3,
+                     static_cast<std::int64_t>(
+                         bench::column_mean(points, "fabric_drops"))});
     }
     table.print(std::cout);
   }

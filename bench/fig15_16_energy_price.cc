@@ -13,42 +13,53 @@ int main(int argc, char** argv) {
   harness::ObsSession obs(argc, argv);
   const bool full = harness::has_flag(argc, argv, "--full");
   const double secs = harness::arg_double(argc, argv, "--seconds", full ? 2.0 : 1.0);
+  const double kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
 
   bench::banner("Figs 15-16 — extended DTS (energy price) in FatTree / VL2",
                 "phi_r saves up to ~20% energy vs LIA at similar aggregate "
                 "throughput (8 subflows)");
 
-  for (const auto& [label, topo] :
-       std::vector<std::pair<std::string, harness::DcTopo>>{
-           {"FatTree", harness::DcTopo::kFatTree}, {"VL2", harness::DcTopo::kVl2}}) {
-    std::printf("\n--- %s, 8 subflows ---\n", label.c_str());
+  const std::vector<std::string> algs = {"lia", "dts", "dts-ep"};
+  struct TopoCase {
+    const char* label;
+    std::vector<harness::SweepAxis> axes;
+  };
+  // FatTree keeps k=8 (8 subflows need 8 distinct core paths for the price
+  // to have anywhere to shift traffic); VL2 is scaled down in quick runs.
+  std::vector<TopoCase> cases = {
+      {"FatTree", {{"topo", {"fattree"}}}},
+      {"VL2",
+       full ? std::vector<harness::SweepAxis>{{"topo", {"vl2"}},
+                                              {"vl2_host_rate_mbps", {"250"}},
+                                              {"vl2_switch_rate_mbps", {"2500"}}}
+            : std::vector<harness::SweepAxis>{{"topo", {"vl2"}},
+                                              {"vl2_tor", {"8"}},
+                                              {"vl2_hosts_per_tor", {"2"}},
+                                              {"vl2_agg", {"8"}},
+                                              {"vl2_int", {"4"}}}},
+  };
+
+  for (const TopoCase& tc : cases) {
+    std::printf("\n--- %s, 8 subflows ---\n", tc.label);
+    harness::SweepPlan plan;
+    plan.scenario = "datacenter";
+    plan.axes = tc.axes;
+    plan.axes.push_back({"cc", algs});
+    plan.axes.push_back({"subflows", {"8"}});
+    plan.axes.push_back({"duration_s", {std::to_string(secs)}});
+    plan.axes.push_back({"kappa", {std::to_string(kappa)}});
+    plan.axes.push_back({"delay_target_ms", {"10"}});
+    plan.seed_base = 31;
+    const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
     Table table({"algorithm", "J_per_GB", "saving_vs_lia_%", "aggregate_Gbps"});
-    double lia_jpgb = 0;
-    for (const std::string cc : {"lia", "dts", "dts-ep"}) {
-      harness::DatacenterOptions opts;
-      opts.topo = topo;
-      opts.cc = cc;
-      opts.subflows = 8;
-      opts.duration = seconds(secs);
-      opts.seed = 31;
-      opts.price.kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
-      opts.price.queue_delay_target = 10 * kMillisecond;
-      if (!full) {
-        // FatTree keeps k=8 (8 subflows need 8 distinct core paths for the
-        // price to have anywhere to shift traffic); VL2 is scaled down.
-        opts.vl2.num_tor = 8;
-        opts.vl2.hosts_per_tor = 2;
-        opts.vl2.num_agg = 8;
-        opts.vl2.num_int = 4;
-      } else {
-        opts.vl2.host_rate = mbps(250);
-        opts.vl2.switch_rate = gbps(2.5);
-      }
-      const auto r = run_datacenter(opts);
-      if (cc == "lia") lia_jpgb = r.joules_per_gigabyte;
-      table.add_row({cc, r.joules_per_gigabyte,
-                     (1.0 - r.joules_per_gigabyte / lia_jpgb) * 100.0,
-                     r.aggregate_goodput / 1e9});
+    const double lia_jpgb =
+        bench::column_mean(bench::select(report, "cc", "lia"), "joules_per_gb");
+    for (const std::string& cc : algs) {
+      const auto points = bench::select(report, "cc", cc);
+      const double jpgb = bench::column_mean(points, "joules_per_gb");
+      table.add_row({cc, jpgb, (1.0 - jpgb / lia_jpgb) * 100.0,
+                     bench::column_mean(points, "goodput_mbps") / 1e3});
     }
     table.print(std::cout);
   }

@@ -21,41 +21,40 @@ int main(int argc, char** argv) {
   harness::ObsSession obs(argc, argv);
   const double secs = harness::arg_double(argc, argv, "--seconds", 200.0);
   const int seeds = static_cast<int>(harness::arg_int(argc, argv, "--seeds", 3));
+  const double kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
 
   bench::banner("Fig 17 — heterogeneous wireless (WiFi 10M/40ms + 4G 20M/100ms)",
                 "DTS saves up to ~30% radio energy vs LIA, trading some "
                 "throughput");
 
-  Table table({"algorithm", "marginal_J_per_GB", "saving_vs_lia_%", "total_J_per_GB",
-               "goodput_Mbps", "wifi_byte_share_%"});
-  double lia_marginal = 0;
-  for (const std::string cc :
-       {"tcp-wifi", "tcp-cell", "lia", "dts", "dts-ep", "emptcp"}) {
-    double marginal = 0, total = 0, goodput = 0, wifi_share = 0;
-    for (int s = 0; s < seeds; ++s) {
-      harness::WirelessOptions opts;
-      opts.cc = cc;
-      opts.duration = seconds(secs);
-      opts.seed = 50 + s;
-      opts.price.kappa = harness::arg_double(argc, argv, "--kappa", 0.5);
-      opts.price.rho = 0.3;  // per-byte price; LTE costs 3x (path_energy_cost)
-      opts.price.queue_delay_target = 80 * kMillisecond;
-      const auto r = run_wireless(opts);
-      marginal += r.marginal_joules_per_gigabyte;
-      total += r.joules_per_gigabyte;
-      goodput += to_mbps(r.goodput);
-      const double bytes = static_cast<double>(r.wifi_bytes + r.cell_bytes);
-      wifi_share += bytes > 0 ? 100.0 * static_cast<double>(r.wifi_bytes) / bytes : 0.0;
-    }
-    marginal /= seeds;
-    total /= seeds;
-    goodput /= seeds;
-    wifi_share /= seeds;
-    if (cc == "lia") lia_marginal = marginal;
+  const std::vector<std::string> algs = {"tcp-wifi", "tcp-cell", "lia",
+                                         "dts",      "dts-ep",   "emptcp"};
+  harness::SweepPlan plan;
+  plan.scenario = "wireless";
+  plan.axes = {{"cc", algs},
+               {"duration_s", {std::to_string(secs)}},
+               {"kappa", {std::to_string(kappa)}},
+               // Per-byte price; LTE costs 3x (path_energy_cost).
+               {"rho", {"0.3"}},
+               {"delay_target_ms", {"80"}}};
+  plan.seeds = seeds;
+  plan.seed_base = 50;
+  const harness::SweepReport report = bench::sweep(plan, argc, argv);
+
+  Table table({"algorithm", "marginal_J_per_GB", "saving_vs_lia_%",
+               "total_J_per_GB", "goodput_Mbps", "wifi_byte_share_%"});
+  const double lia_marginal = bench::column_mean(
+      bench::select(report, "cc", "lia"), "marginal_joules_per_gb");
+  for (const std::string& cc : algs) {
+    const auto points = bench::select(report, "cc", cc);
+    const double marginal =
+        bench::column_mean(points, "marginal_joules_per_gb");
     const bool baseline = cc == "tcp-wifi" || cc == "tcp-cell";
     table.add_row({cc, marginal,
-                   baseline ? 0.0 : (1.0 - marginal / lia_marginal) * 100.0, total,
-                   goodput, wifi_share});
+                   baseline ? 0.0 : (1.0 - marginal / lia_marginal) * 100.0,
+                   bench::column_mean(points, "joules_per_gb"),
+                   bench::column_mean(points, "goodput_mbps"),
+                   100.0 * bench::column_mean(points, "wifi_share")});
   }
   table.print(std::cout);
   bench::note("expected shape: dts/dts-ep cut marginal J/GB vs lia (paper: "

@@ -30,7 +30,13 @@ MptcpConfig make_mptcp_config(Bytes flow_size, SimTime min_rto, Bytes recv_buffe
 // ---------------------------------------------------------------- two-path
 
 TwoPathResult run_two_path(const TwoPathOptions& options) {
-  Network net(options.seed);
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_two_path(ctx, options);
+}
+
+TwoPathResult run_two_path(SimContext& ctx, const TwoPathOptions& options) {
+  Network net(ctx);
   TwoPath topo(net, options.topo);
 
   auto* conn = net.emplace<MptcpConnection>(
@@ -78,7 +84,13 @@ TwoPathResult run_two_path(const TwoPathOptions& options) {
 // ---------------------------------------------------------------- dumbbell
 
 DumbbellResult run_dumbbell(const DumbbellOptions& options) {
-  Network net(options.seed);
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_dumbbell(ctx, options);
+}
+
+DumbbellResult run_dumbbell(SimContext& ctx, const DumbbellOptions& options) {
+  Network net(ctx);
   DumbbellConfig topo_cfg = options.topo;
   topo_cfg.mptcp_users = options.n_users;
   topo_cfg.tcp_users = 2 * options.n_users;
@@ -151,7 +163,13 @@ const char* dc_topo_name(DcTopo topo) {
 }
 
 DatacenterResult run_datacenter(const DatacenterOptions& options) {
-  Network net(options.seed);
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_datacenter(ctx, options);
+}
+
+DatacenterResult run_datacenter(SimContext& ctx, const DatacenterOptions& options) {
+  Network net(ctx);
 
   std::unique_ptr<Topology> owned;
   switch (options.topo) {
@@ -234,7 +252,13 @@ DatacenterResult run_datacenter(const DatacenterOptions& options) {
 // ---------------------------------------------------------------- wireless
 
 WirelessResult run_wireless(const WirelessOptions& options) {
-  Network net(options.seed);
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_wireless(ctx, options);
+}
+
+WirelessResult run_wireless(SimContext& ctx, const WirelessOptions& options) {
+  Network net(ctx);
   WirelessHetero topo(net, options.topo);
   const std::vector<PathSpec> paths = topo.paths();
 

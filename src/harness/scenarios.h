@@ -1,10 +1,17 @@
 // Scenario runners: one function per experiment family in the paper's
-// evaluation. Benches, examples, and integration tests all drive these.
+// evaluation. Benches, examples, tests, and the sweep engine all drive
+// these.
 //
 //   run_two_path    — Fig 5(b): bursty two-path traffic shifting (Figs 7-9)
 //   run_dumbbell    — Fig 5(a): N MPTCP + 2N TCP over two bottlenecks (Fig 6)
 //   run_datacenter  — FatTree / VL2 / BCube / EC2-like cloud (Figs 10, 12-16)
 //   run_wireless    — WiFi + 4G heterogeneous wireless (Figs 2, 17)
+//
+// Each runner has two forms: the (SimContext&, options) form executes the
+// run inside the given per-run context (the sweep engine passes an isolated
+// context per worker run), and the (options) convenience form creates a
+// context from options.seed, enters its scope, and delegates. Results are a
+// pure function of the options either way.
 #pragma once
 
 #include <optional>
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "core/energy_price.h"
+#include "sim/context.h"
 #include "harness/experiment.h"
 #include "stats/series.h"
 #include "topo/bcube.h"
@@ -43,6 +51,7 @@ struct TwoPathResult {
   TimeSeries tput_trace;             // bits/s over time (if record_trace)
 };
 
+TwoPathResult run_two_path(SimContext& ctx, const TwoPathOptions& options);
 TwoPathResult run_two_path(const TwoPathOptions& options);
 
 // ------------------------------------------------------------- dumbbell
@@ -63,6 +72,7 @@ struct DumbbellResult {
   std::size_t incomplete = 0;  // flows that missed max_time (should be 0)
 };
 
+DumbbellResult run_dumbbell(SimContext& ctx, const DumbbellOptions& options);
 DumbbellResult run_dumbbell(const DumbbellOptions& options);
 
 // ----------------------------------------------------------- datacenter
@@ -97,6 +107,7 @@ struct DatacenterResult {
   std::uint64_t fabric_drops = 0;
 };
 
+DatacenterResult run_datacenter(SimContext& ctx, const DatacenterOptions& options);
 DatacenterResult run_datacenter(const DatacenterOptions& options);
 
 // ------------------------------------------------------------- wireless
@@ -128,6 +139,7 @@ struct WirelessResult {
   double marginal_joules_per_gigabyte = 0;
 };
 
+WirelessResult run_wireless(SimContext& ctx, const WirelessOptions& options);
 WirelessResult run_wireless(const WirelessOptions& options);
 
 }  // namespace mpcc::harness

@@ -1,0 +1,714 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "harness/scenarios.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace mpcc::harness {
+
+namespace {
+
+// Parses the full string as a double; returns false on any trailing junk.
+bool parse_double(const std::string& s, double& out) {
+  std::istringstream is(s);
+  is >> out;
+  return !is.fail() && is.eof();
+}
+
+bool parse_int(const std::string& s, std::int64_t& out) {
+  std::istringstream is(s);
+  is >> out;
+  return !is.fail() && is.eof();
+}
+
+// Shortest %g rendering that round-trips typical grid values.
+std::string render_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+double param_double(const ParamMap& params, const std::string& name,
+                    double fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  double v = 0;
+  if (!parse_double(it->second, v)) {
+    MPCC_WARN << "param " << name << "=\"" << it->second
+                << "\" is not a number; using " << fallback;
+    return fallback;
+  }
+  return v;
+}
+
+std::int64_t param_int(const ParamMap& params, const std::string& name,
+                       std::int64_t fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  std::int64_t v = 0;
+  if (!parse_int(it->second, v)) {
+    MPCC_WARN << "param " << name << "=\"" << it->second
+                << "\" is not an integer; using " << fallback;
+    return fallback;
+  }
+  return v;
+}
+
+std::string param_string(const ParamMap& params, const std::string& name,
+                         std::string fallback) {
+  const auto it = params.find(name);
+  return it == params.end() ? std::move(fallback) : it->second;
+}
+
+bool param_bool(const ParamMap& params, const std::string& name, bool fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  MPCC_WARN << "param " << name << "=\"" << v << "\" is not a bool; using "
+              << fallback;
+  return fallback;
+}
+
+bool ScenarioSpec::has_param(const std::string& param) const {
+  if (param == "seed") return true;
+  for (const ParamSpec& p : params) {
+    if (p.name == param) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- registry
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  for (ScenarioSpec& existing : specs_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::all() const {
+  std::vector<const ScenarioSpec*> out;
+  out.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) out.push_back(&spec);
+  return out;
+}
+
+// ------------------------------------------------------- builtin scenarios
+
+namespace {
+
+void apply_price_params(const ParamMap& p, core::EnergyPriceConfig& price) {
+  price.kappa = param_double(p, "kappa", price.kappa);
+  price.rho = param_double(p, "rho", price.rho);
+  price.eta = param_double(p, "eta", price.eta);
+  price.queue_delay_target =
+      ms(param_double(p, "delay_target_ms", to_ms(price.queue_delay_target)));
+}
+
+const std::vector<ParamSpec> kPriceParams = {
+    {"kappa", "0.5", "energy-price weight kappa_s (dts-ep)"},
+    {"rho", "0.005", "per-unit-traffic energy cost rho (dts-ep)"},
+    {"eta", "1", "queue-excess indicator weight (dts-ep)"},
+    {"delay_target_ms", "20", "queueing-delay target Q (dts-ep)"},
+};
+
+void append_price_params(std::vector<ParamSpec>& params) {
+  params.insert(params.end(), kPriceParams.begin(), kPriceParams.end());
+}
+
+ResultRow two_path_point(SimContext& ctx, const ParamMap& p) {
+  TwoPathOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.topo.rate[0] = mbps(param_double(p, "rate0_mbps", to_mbps(o.topo.rate[0])));
+  o.topo.rate[1] = mbps(param_double(p, "rate1_mbps", to_mbps(o.topo.rate[1])));
+  o.topo.delay[0] = ms(param_double(p, "delay0_ms", to_ms(o.topo.delay[0])));
+  o.topo.delay[1] = ms(param_double(p, "delay1_ms", to_ms(o.topo.delay[1])));
+  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  apply_price_params(p, o.price);
+
+  const TwoPathResult r = run_two_path(ctx, o);
+  const double b0 = r.subflow_bytes.size() > 0 ? double(r.subflow_bytes[0]) : 0;
+  const double b1 = r.subflow_bytes.size() > 1 ? double(r.subflow_bytes[1]) : 0;
+  ResultRow row;
+  row["energy_j"] = r.run.energy_j;
+  row["avg_power_w"] = r.run.avg_power_w;
+  row["goodput_mbps"] = to_mbps(r.run.goodput());
+  row["joules_per_gb"] = r.run.joules_per_gigabyte();
+  row["retx_rate"] = r.run.retransmit_rate;
+  row["path0_mbytes"] = b0 / 1e6;
+  row["path1_mbytes"] = b1 / 1e6;
+  row["path0_share"] = (b0 + b1) > 0 ? b0 / (b0 + b1) : 0;
+  return row;
+}
+
+ResultRow dumbbell_point(SimContext& ctx, const ParamMap& p) {
+  DumbbellOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.n_users = static_cast<std::size_t>(
+      param_int(p, "n_users", static_cast<std::int64_t>(o.n_users)));
+  o.flow_bytes = static_cast<Bytes>(
+      param_double(p, "flow_mb", double(o.flow_bytes) / 1e6) * 1e6);
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.max_time = seconds(param_double(p, "max_time_s", to_seconds(o.max_time)));
+  o.topo.bottleneck_rate =
+      mbps(param_double(p, "rate_mbps", to_mbps(o.topo.bottleneck_rate)));
+  o.topo.bottleneck_delay =
+      ms(param_double(p, "delay_ms", to_ms(o.topo.bottleneck_delay)));
+
+  const DumbbellResult r = run_dumbbell(ctx, o);
+  double mean_energy = 0;
+  double mean_completion = 0;
+  double max_completion = 0;
+  for (const double e : r.per_flow_energy_j) mean_energy += e;
+  if (!r.per_flow_energy_j.empty()) mean_energy /= double(r.per_flow_energy_j.size());
+  for (const double c : r.completion_s) {
+    mean_completion += c;
+    max_completion = std::max(max_completion, c);
+  }
+  if (!r.completion_s.empty()) mean_completion /= double(r.completion_s.size());
+  ResultRow row;
+  row["total_energy_j"] = r.total_energy_j;
+  row["mean_flow_energy_j"] = mean_energy;
+  row["mean_completion_s"] = mean_completion;
+  row["max_completion_s"] = max_completion;
+  row["incomplete"] = double(r.incomplete);
+  return row;
+}
+
+ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
+  DatacenterOptions o;
+  const std::string topo = param_string(p, "topo", "fattree");
+  if (topo == "fattree") {
+    o.topo = DcTopo::kFatTree;
+  } else if (topo == "vl2") {
+    o.topo = DcTopo::kVl2;
+  } else if (topo == "bcube") {
+    o.topo = DcTopo::kBCube;
+  } else if (topo == "cloud") {
+    o.topo = DcTopo::kVirtualCloud;
+  } else {
+    throw std::invalid_argument("unknown datacenter topo \"" + topo +
+                                "\" (fattree|vl2|bcube|cloud)");
+  }
+  o.cc = param_string(p, "cc", o.cc);
+  o.subflows = static_cast<int>(param_int(p, "subflows", o.subflows));
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.max_flows = static_cast<std::size_t>(
+      param_int(p, "max_flows", static_cast<std::int64_t>(o.max_flows)));
+  o.min_rto = ms(param_double(p, "min_rto_ms", to_ms(o.min_rto)));
+  o.fat_tree.k = static_cast<int>(param_int(p, "fattree_k", o.fat_tree.k));
+  o.bcube.n = static_cast<int>(param_int(p, "bcube_n", o.bcube.n));
+  o.bcube.k = static_cast<int>(param_int(p, "bcube_k", o.bcube.k));
+  o.cloud.num_hosts = static_cast<std::size_t>(param_int(
+      p, "cloud_hosts", static_cast<std::int64_t>(o.cloud.num_hosts)));
+  o.vl2.num_tor = static_cast<std::size_t>(
+      param_int(p, "vl2_tor", static_cast<std::int64_t>(o.vl2.num_tor)));
+  o.vl2.hosts_per_tor = static_cast<std::size_t>(param_int(
+      p, "vl2_hosts_per_tor", static_cast<std::int64_t>(o.vl2.hosts_per_tor)));
+  o.vl2.num_agg = static_cast<std::size_t>(
+      param_int(p, "vl2_agg", static_cast<std::int64_t>(o.vl2.num_agg)));
+  o.vl2.num_int = static_cast<std::size_t>(
+      param_int(p, "vl2_int", static_cast<std::int64_t>(o.vl2.num_int)));
+  o.vl2.host_rate =
+      mbps(param_double(p, "vl2_host_rate_mbps", to_mbps(o.vl2.host_rate)));
+  o.vl2.switch_rate =
+      mbps(param_double(p, "vl2_switch_rate_mbps", to_mbps(o.vl2.switch_rate)));
+  apply_price_params(p, o.price);
+
+  const DatacenterResult r = run_datacenter(ctx, o);
+  ResultRow row;
+  row["total_energy_j"] = r.total_energy_j;
+  row["gbytes_delivered"] = double(r.bytes_delivered) / 1e9;
+  row["joules_per_gb"] = r.joules_per_gigabyte;
+  row["goodput_mbps"] = to_mbps(r.aggregate_goodput);
+  row["flows"] = double(r.flows);
+  row["fabric_drops"] = double(r.fabric_drops);
+  return row;
+}
+
+ResultRow wireless_point(SimContext& ctx, const ParamMap& p) {
+  WirelessOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.topo.wifi.rate =
+      mbps(param_double(p, "wifi_rate_mbps", to_mbps(o.topo.wifi.rate)));
+  o.topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(o.topo.wifi.delay)));
+  o.topo.wifi.loss_rate = param_double(p, "wifi_loss", o.topo.wifi.loss_rate);
+  o.topo.cellular.rate =
+      mbps(param_double(p, "cell_rate_mbps", to_mbps(o.topo.cellular.rate)));
+  o.topo.cellular.delay =
+      ms(param_double(p, "cell_delay_ms", to_ms(o.topo.cellular.delay)));
+  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  apply_price_params(p, o.price);
+
+  const WirelessResult r = run_wireless(ctx, o);
+  const double total = double(r.wifi_bytes + r.cell_bytes);
+  ResultRow row;
+  row["wifi_energy_j"] = r.wifi_energy_j;
+  row["cell_energy_j"] = r.cell_energy_j;
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["joules_per_gb"] = r.joules_per_gigabyte;
+  row["marginal_joules_per_gb"] = r.marginal_joules_per_gigabyte;
+  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
+  return row;
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  static const bool once = [] {
+    ScenarioRegistry& reg = ScenarioRegistry::instance();
+    {
+      ScenarioSpec spec;
+      spec.name = "two_path";
+      spec.help = "bursty two-path traffic shifting (paper Figs 7-9)";
+      spec.params = {
+          {"cc", "lia", "multipath CC algorithm (lia|olia|balia|dts|dts-ep|...)"},
+          {"duration_s", "60", "simulated seconds"},
+          {"rate0_mbps", "100", "path-0 bottleneck rate"},
+          {"rate1_mbps", "100", "path-1 bottleneck rate"},
+          {"delay0_ms", "10", "path-0 one-way delay"},
+          {"delay1_ms", "10", "path-1 one-way delay"},
+          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+      };
+      append_price_params(spec.params);
+      spec.run = two_path_point;
+      reg.add(std::move(spec));
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = "dumbbell";
+      spec.help = "N MPTCP + 2N TCP over two bottlenecks (paper Fig 6)";
+      spec.params = {
+          {"cc", "lia", "multipath CC algorithm"},
+          {"n_users", "10", "MPTCP user count N (TCP users = 2N)"},
+          {"flow_mb", "16", "per-user flow size, megabytes"},
+          {"max_time_s", "600", "give-up horizon, simulated seconds"},
+          {"rate_mbps", "100", "bottleneck rate"},
+          {"delay_ms", "5", "bottleneck one-way delay"},
+      };
+      spec.run = dumbbell_point;
+      reg.add(std::move(spec));
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = "datacenter";
+      spec.help = "permutation traffic over a DC fabric (paper Figs 10, 12-16)";
+      spec.params = {
+          {"topo", "fattree", "fabric: fattree|vl2|bcube|cloud"},
+          {"cc", "lia", "multipath CC, or single-path \"tcp\" / \"dctcp\""},
+          {"subflows", "8", "subflows per MPTCP connection"},
+          {"duration_s", "2", "simulated seconds"},
+          {"max_flows", "0", "cap on concurrent flows (0 = one per host)"},
+          {"min_rto_ms", "10", "datacenter-tuned minimum RTO"},
+          {"fattree_k", "8", "FatTree arity (even)"},
+          {"bcube_n", "5", "BCube switch port count"},
+          {"bcube_k", "2", "BCube levels minus one"},
+          {"cloud_hosts", "40", "virtual-cloud host count"},
+          {"vl2_tor", "32", "VL2 top-of-rack switch count"},
+          {"vl2_hosts_per_tor", "4", "VL2 hosts per ToR"},
+          {"vl2_agg", "32", "VL2 aggregation switch count"},
+          {"vl2_int", "16", "VL2 intermediate switch count"},
+          {"vl2_host_rate_mbps", "100", "VL2 host link rate"},
+          {"vl2_switch_rate_mbps", "1000", "VL2 switch link rate"},
+      };
+      append_price_params(spec.params);
+      spec.run = datacenter_point;
+      reg.add(std::move(spec));
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = "wireless";
+      spec.help = "WiFi + 4G heterogeneous wireless (paper Figs 2, 17)";
+      spec.params = {
+          {"cc", "lia", "multipath CC, or \"tcp-wifi\" / \"tcp-cell\""},
+          {"duration_s", "200", "simulated seconds"},
+          {"recv_buffer", "65536", "receive buffer, bytes"},
+          {"wifi_rate_mbps", "10", "WiFi link rate"},
+          {"wifi_delay_ms", "40", "WiFi one-way delay"},
+          {"wifi_loss", "0", "WiFi random loss rate"},
+          {"cell_rate_mbps", "20", "cellular link rate"},
+          {"cell_delay_ms", "100", "cellular one-way delay"},
+          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+      };
+      append_price_params(spec.params);
+      spec.run = wireless_point;
+      reg.add(std::move(spec));
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+// -------------------------------------------------------------------- plan
+
+std::vector<std::string> parse_axis_values(const std::string& expr) {
+  std::vector<std::string> values;
+  // "lo:hi:step" numeric range (all three parts must parse as numbers).
+  const std::size_t c1 = expr.find(':');
+  if (c1 != std::string::npos) {
+    const std::size_t c2 = expr.find(':', c1 + 1);
+    if (c2 != std::string::npos) {
+      double lo = 0, hi = 0, step = 0;
+      if (parse_double(expr.substr(0, c1), lo) &&
+          parse_double(expr.substr(c1 + 1, c2 - c1 - 1), hi) &&
+          parse_double(expr.substr(c2 + 1), step) && step > 0) {
+        // Tolerance absorbs accumulated fp error at the top end.
+        for (double v = lo; v <= hi + step * 1e-9; v += step) {
+          values.push_back(render_double(v));
+        }
+        return values;
+      }
+    }
+  }
+  // Comma list.
+  std::size_t start = 0;
+  while (start <= expr.size()) {
+    const std::size_t comma = expr.find(',', start);
+    const std::size_t end = comma == std::string::npos ? expr.size() : comma;
+    if (end > start) values.push_back(expr.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+std::vector<ParamMap> SweepPlan::points() const {
+  bool seed_axis = false;
+  for (const SweepAxis& axis : axes) {
+    if (axis.param == "seed") seed_axis = true;
+  }
+
+  std::vector<ParamMap> grid{ParamMap{}};
+  for (const SweepAxis& axis : axes) {
+    std::vector<ParamMap> next;
+    next.reserve(grid.size() * axis.values.size());
+    for (const ParamMap& base : grid) {
+      for (const std::string& value : axis.values) {
+        ParamMap point = base;
+        point[axis.param] = value;
+        next.push_back(std::move(point));
+      }
+    }
+    grid = std::move(next);
+  }
+
+  if (seed_axis) return grid;
+
+  std::vector<ParamMap> out;
+  const int replicates = std::max(1, seeds);
+  out.reserve(grid.size() * std::size_t(replicates));
+  for (const ParamMap& base : grid) {
+    for (int i = 0; i < replicates; ++i) {
+      ParamMap point = base;
+      point["seed"] = std::to_string(seed_base + std::uint64_t(i));
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- parallel
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t workers =
+      std::min<std::size_t>(count, std::size_t(std::max(1, jobs)));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ------------------------------------------------------------------- sweep
+
+namespace {
+
+std::string describe_point(const ParamMap& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out += ' ';
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+// One stderr write per line; safe to interleave across workers.
+void progress_line(const std::string& text) {
+  const std::string line = text + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace
+
+SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
+  register_builtin_scenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::instance().find(plan.scenario);
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown scenario \"" + plan.scenario + "\"");
+  }
+  for (const SweepAxis& axis : plan.axes) {
+    if (!spec->has_param(axis.param)) {
+      throw std::invalid_argument("scenario \"" + plan.scenario +
+                                  "\" has no parameter \"" + axis.param + "\"");
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("axis \"" + axis.param + "\" has no values");
+    }
+  }
+
+  if (!options.out_dir.empty()) {
+    std::filesystem::create_directories(options.out_dir);
+  }
+
+  const std::vector<ParamMap> points = plan.points();
+  SweepReport report;
+  report.scenario = plan.scenario;
+  report.jobs = std::max(1, options.jobs);
+  report.points.resize(points.size());
+
+  std::atomic<std::size_t> done{0};
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  parallel_for(points.size(), options.jobs, [&](std::size_t i) {
+    SweepPointResult& result = report.points[i];
+    result.index = i;
+    result.params = points[i];
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SimContext::Options copt;
+    copt.seed = static_cast<std::uint64_t>(param_int(points[i], "seed", 1));
+    copt.isolate_obs = true;  // each run owns its tracer + metrics
+    SimContext ctx(copt);
+    {
+      SimContext::Scope scope(ctx);
+      if (options.trace_mask != 0) {
+        ctx.tracer().enable(options.trace_mask,
+                            options.trace_capacity != 0
+                                ? options.trace_capacity
+                                : obs::Tracer::kDefaultCapacity);
+      }
+      try {
+        result.values = spec->run(ctx, points[i]);
+        result.ok = true;
+      } catch (const std::exception& e) {
+        result.error = e.what();
+      }
+      if (!options.out_dir.empty()) {
+        const std::string stem =
+            options.out_dir + "/run_" + std::to_string(i);
+        if (options.trace_mask != 0) {
+          obs::write_chrome_trace(ctx.tracer(), stem + "_trace.json");
+        }
+        if (options.per_run_metrics) {
+          ctx.metrics().write_json(stem + "_metrics.json");
+        }
+      }
+    }
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    if (options.progress) {
+      const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      char head[64];
+      std::snprintf(head, sizeof head, "[%zu/%zu] ", n, points.size());
+      progress_line(head + plan.scenario + " " + describe_point(points[i]) +
+                    (result.ok ? "" : "  FAILED: " + result.error) + "  (" +
+                    render_double(result.wall_ms) + " ms)");
+    }
+  });
+
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - sweep_start)
+                      .count();
+  return report;
+}
+
+// ----------------------------------------------------------------- report
+
+std::size_t SweepReport::failed() const {
+  std::size_t n = 0;
+  for (const SweepPointResult& p : points) {
+    if (!p.ok) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Union of keys across all points, in deterministic (map) order.
+template <typename Map>
+std::vector<std::string> column_union(const std::vector<SweepPointResult>& points,
+                                      Map SweepPointResult::* member) {
+  std::map<std::string, bool> seen;
+  for (const SweepPointResult& p : points) {
+    for (const auto& [key, value] : p.*member) seen[key] = true;
+  }
+  std::vector<std::string> out;
+  out.reserve(seen.size());
+  for (const auto& [key, unused] : seen) out.push_back(key);
+  return out;
+}
+
+}  // namespace
+
+Table SweepReport::table() const {
+  const std::vector<std::string> param_cols =
+      column_union(points, &SweepPointResult::params);
+  const std::vector<std::string> value_cols =
+      column_union(points, &SweepPointResult::values);
+
+  std::vector<std::string> header{"run"};
+  header.insert(header.end(), param_cols.begin(), param_cols.end());
+  header.insert(header.end(), value_cols.begin(), value_cols.end());
+  header.push_back("ok");
+  Table t(std::move(header));
+
+  for (const SweepPointResult& p : points) {
+    std::vector<Table::Cell> row;
+    row.reserve(param_cols.size() + value_cols.size() + 2);
+    row.emplace_back(std::int64_t(p.index));
+    for (const std::string& col : param_cols) {
+      const auto it = p.params.find(col);
+      row.emplace_back(it == p.params.end() ? std::string() : it->second);
+    }
+    for (const std::string& col : value_cols) {
+      const auto it = p.values.find(col);
+      row.emplace_back(it == p.values.end() ? 0.0 : it->second);
+    }
+    row.emplace_back(std::int64_t(p.ok ? 1 : 0));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+bool SweepReport::write_csv(const std::string& path) const {
+  table().write_csv(path);
+  return true;
+}
+
+namespace {
+
+// Minimal JSON string escaping (our params/errors are plain ASCII, but a
+// stray quote in an error message must not corrupt the file).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool SweepReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"scenario\": \"" << json_escape(scenario) << "\",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"wall_s\": " << json_double(wall_s) << ",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPointResult& p = points[i];
+    os << "    {\"run\": " << p.index << ", \"ok\": " << (p.ok ? "true" : "false")
+       << ", \"wall_ms\": " << json_double(p.wall_ms) << ",\n      \"params\": {";
+    bool first = true;
+    for (const auto& [key, value] : p.params) {
+      os << (first ? "" : ", ") << '"' << json_escape(key) << "\": \""
+         << json_escape(value) << '"';
+      first = false;
+    }
+    os << "},\n      \"values\": {";
+    first = true;
+    for (const auto& [key, value] : p.values) {
+      os << (first ? "" : ", ") << '"' << json_escape(key)
+         << "\": " << json_double(value);
+      first = false;
+    }
+    os << "}";
+    if (!p.ok) os << ",\n      \"error\": \"" << json_escape(p.error) << '"';
+    os << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return bool(os);
+}
+
+}  // namespace mpcc::harness

@@ -1,0 +1,170 @@
+// Declarative sweep engine: run a scenario over a parameter grid, in
+// parallel, with per-run isolation.
+//
+// The pieces:
+//   - ScenarioSpec: a named, self-describing wrapper around one scenario
+//     runner (two_path, dumbbell, datacenter, wireless). It declares its
+//     parameter schema (names, defaults, help) and maps a flat string
+//     ParamMap to the runner's typed options, returning a flat row of
+//     numeric results.
+//   - SweepPlan: scenario + axes (parameter name -> value list) + seed
+//     replication. points() expands the cartesian product; every point is a
+//     complete ParamMap.
+//   - run_sweep(): executes every point on a pool of `jobs` worker threads.
+//     Each point runs inside its own SimContext with isolated observability
+//     (own Tracer + MetricsRegistry), so runs cannot see each other's
+//     events, metrics, or RNG streams. Results land in a slot indexed by
+//     point order, so the merged report is byte-identical regardless of
+//     jobs count or scheduling.
+//
+// The mpcc_sweep tool is a thin CLI over this; figure benches reuse the
+// same specs (and parallel_for) instead of hand-rolling sweep loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "util/csv.h"
+
+namespace mpcc::harness {
+
+/// Flat string->string parameter assignment for one run. Values are parsed
+/// on demand by the scenario spec (param_double / param_int).
+using ParamMap = std::map<std::string, std::string>;
+
+/// Typed readers with defaults. Malformed numbers warn and fall back.
+double param_double(const ParamMap& params, const std::string& name, double fallback);
+std::int64_t param_int(const ParamMap& params, const std::string& name,
+                       std::int64_t fallback);
+std::string param_string(const ParamMap& params, const std::string& name,
+                         std::string fallback);
+bool param_bool(const ParamMap& params, const std::string& name, bool fallback);
+
+/// One declared parameter of a scenario (for --list and validation).
+struct ParamSpec {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+/// The flat numeric result row of one run, keyed by column name.
+/// std::map keeps column order deterministic.
+using ResultRow = std::map<std::string, double>;
+
+/// A named, sweepable scenario. `run` executes one point inside the given
+/// per-run context (already entered as a SimContext::Scope by the engine).
+struct ScenarioSpec {
+  std::string name;
+  std::string help;
+  std::vector<ParamSpec> params;
+  std::function<ResultRow(SimContext&, const ParamMap&)> run;
+
+  /// True if `param` is declared (seed is always implicitly valid).
+  bool has_param(const std::string& param) const;
+};
+
+/// Process-wide scenario registry. register_builtin_scenarios() populates
+/// it with the four paper scenarios; tests may add their own.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Replaces any existing spec with the same name.
+  void add(ScenarioSpec spec);
+  const ScenarioSpec* find(const std::string& name) const;
+  std::vector<const ScenarioSpec*> all() const;
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+/// Registers two_path / dumbbell / datacenter / wireless. Idempotent.
+void register_builtin_scenarios();
+
+// ------------------------------------------------------------------ plan
+
+/// One sweep dimension: every value of `param` is crossed with every value
+/// of every other axis.
+struct SweepAxis {
+  std::string param;
+  std::vector<std::string> values;
+};
+
+/// Parses an axis value expression: either a comma list ("lia,olia,dts")
+/// or a numeric range "lo:hi:step" (inclusive of hi up to rounding).
+std::vector<std::string> parse_axis_values(const std::string& expr);
+
+struct SweepPlan {
+  std::string scenario;
+  std::vector<SweepAxis> axes;
+  /// Seed replication: each grid point runs `seeds` times with
+  /// seed = seed_base, seed_base+1, ... (unless a "seed" axis is given).
+  int seeds = 1;
+  std::uint64_t seed_base = 1;
+
+  /// The full cartesian expansion, in deterministic order: axes vary
+  /// rightmost-fastest, seed replicate innermost. Every ParamMap contains
+  /// a "seed" entry.
+  std::vector<ParamMap> points() const;
+};
+
+// --------------------------------------------------------------- results
+
+struct SweepPointResult {
+  std::size_t index = 0;  ///< position in SweepPlan::points() order
+  ParamMap params;
+  ResultRow values;
+  double wall_ms = 0;  ///< host wall-clock for this point
+  bool ok = false;
+  std::string error;  ///< set when !ok (unknown cc, runner threw, ...)
+};
+
+struct SweepReport {
+  std::string scenario;
+  std::vector<SweepPointResult> points;  ///< in plan order, independent of jobs
+  int jobs = 1;
+  double wall_s = 0;  ///< host wall-clock for the whole sweep
+
+  std::size_t failed() const;
+
+  /// Merged table: one row per point; param columns (strings) first, then
+  /// the union of result columns (doubles; absent cells are 0).
+  Table table() const;
+
+  bool write_csv(const std::string& path) const;
+  /// {"scenario":..., "jobs":..., "wall_s":..., "points":[{params, values}]}
+  bool write_json(const std::string& path) const;
+};
+
+struct SweepOptions {
+  int jobs = 1;
+  /// When non-empty, per-run artifacts land here as
+  /// <out_dir>/run_<index>_trace.json / _metrics.json.
+  std::string out_dir;
+  /// Trace category mask for per-run tracing (0 = tracing off).
+  std::uint32_t trace_mask = 0;
+  std::size_t trace_capacity = 0;  ///< 0 = tracer default
+  bool per_run_metrics = false;
+  /// Progress lines to stderr ("[12/96] two_path cc=lia seed=3 ... 812 ms").
+  bool progress = false;
+};
+
+/// Runs every point of the plan. Throws std::invalid_argument if the
+/// scenario is unknown or an axis names an undeclared parameter; individual
+/// point failures are recorded in their SweepPointResult instead.
+SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options = {});
+
+// -------------------------------------------------------------- parallel
+
+/// Runs fn(0..count-1) on min(jobs, count) threads pulling indices from a
+/// shared atomic counter. jobs <= 1 (or count <= 1) runs inline on the
+/// caller's thread. fn must be thread-safe for jobs > 1; exceptions thrown
+/// by fn propagate (first one wins) after all workers finish.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mpcc::harness

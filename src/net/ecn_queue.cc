@@ -14,8 +14,10 @@ bool EcnQueue::on_enqueue(Packet& pkt) {
     MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kEcnMark, trace_src_,
                events_.now(), static_cast<double>(queued_bytes()), 0,
                static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
-    static obs::Counter& marks = obs::metrics().counter("net.queue.ecn_marks");
-    marks.inc();
+    if (marks_metric_ == nullptr) {
+      marks_metric_ = &obs::metrics().counter("net.queue.ecn_marks");
+    }
+    marks_metric_->inc();
   }
   return true;
 }

@@ -22,6 +22,7 @@ class EcnQueue final : public Queue {
  private:
   Bytes mark_threshold_;
   std::uint64_t marks_ = 0;
+  obs::Counter* marks_metric_ = nullptr;  // lazily bound to the run's registry
 };
 
 }  // namespace mpcc

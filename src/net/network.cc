@@ -1,14 +1,16 @@
 #include "net/network.h"
 
-#include "util/logging.h"
-
 namespace mpcc {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {
-  log_clock_id_ = install_log_clock([this] { return events_.now(); });
-}
+Network::Network(std::uint64_t seed)
+    : owned_ctx_(std::make_unique<SimContext>(seed)),
+      ctx_(owned_ctx_.get()),
+      log_clock_([this] { return ctx_->now(); }) {}
 
-Network::~Network() { uninstall_log_clock(log_clock_id_); }
+Network::Network(SimContext& ctx)
+    : ctx_(&ctx), log_clock_([this] { return ctx_->now(); }) {}
+
+Network::~Network() = default;
 
 Link Network::make_link(const std::string& name, Rate rate, SimTime delay, Bytes buffer,
                         std::size_t buffer_packets) {

@@ -1,9 +1,14 @@
-// Network: owns the event list, the RNG, and every simulation component.
+// Network: the component factory for one simulation run.
 //
 // Topology builders and experiments create queues/pipes/routes/endpoints
 // through a Network so lifetime is centralised: components hold raw
 // non-owning pointers to each other (routes reference queues, packets
 // reference routes) and everything dies together when the Network does.
+//
+// Simulated time and randomness live in a SimContext (sim/context.h). A
+// Network either borrows an explicit per-run context (the sweep engine and
+// the scenario runners do this) or, for the legacy one-run-per-process
+// style, creates and owns a private one from a seed.
 #pragma once
 
 #include <memory>
@@ -17,7 +22,9 @@
 #include "net/queue.h"
 #include "net/red_queue.h"
 #include "net/route.h"
+#include "sim/context.h"
 #include "sim/event_list.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace mpcc {
@@ -36,18 +43,23 @@ struct Link {
 
 class Network {
  public:
-  /// Also installs this network's event list as the process log clock, so
+  /// Creates and owns a private SimContext seeded with `seed`. Also
+  /// installs the context's event list as this thread's log clock, so
   /// MPCC_LOG lines carry simulated time for the network's lifetime.
   explicit Network(std::uint64_t seed = 1);
+  /// Borrows an explicit per-run context (must outlive the Network).
+  explicit Network(SimContext& ctx);
   ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  EventList& events() { return events_; }
-  const EventList& events() const { return events_; }
-  SimTime now() const { return events_.now(); }
-  Rng& rng() { return rng_; }
+  SimContext& context() { return *ctx_; }
+  const SimContext& context() const { return *ctx_; }
+  EventList& events() { return ctx_->events(); }
+  const EventList& events() const { return ctx_->events(); }
+  SimTime now() const { return ctx_->now(); }
+  Rng& rng() { return ctx_->rng(); }
 
   /// Creates and owns an arbitrary component, forwarding constructor args.
   /// Type-erased shared_ptr<void> keeps heterogeneous ownership in one
@@ -62,22 +74,22 @@ class Network {
 
   Queue* make_queue(std::string name, Rate rate, Bytes capacity,
                     std::size_t capacity_packets = 0) {
-    return emplace<Queue>(events_, std::move(name), rate, capacity, capacity_packets);
+    return emplace<Queue>(events(), std::move(name), rate, capacity, capacity_packets);
   }
 
   EcnQueue* make_ecn_queue(std::string name, Rate rate, Bytes capacity,
                            Bytes mark_threshold) {
-    return emplace<EcnQueue>(events_, std::move(name), rate, capacity, mark_threshold);
+    return emplace<EcnQueue>(events(), std::move(name), rate, capacity, mark_threshold);
   }
 
   Pipe* make_pipe(std::string name, SimTime delay) {
-    return emplace<Pipe>(events_, std::move(name), delay);
+    return emplace<Pipe>(events(), std::move(name), delay);
   }
 
   LossyPipe* make_lossy_pipe(std::string name, SimTime delay, double loss_rate,
                              SimTime max_jitter = 0) {
-    return emplace<LossyPipe>(events_, std::move(name), delay, loss_rate, max_jitter,
-                              rng_.fork(owned_.size()).engine()());
+    return emplace<LossyPipe>(events(), std::move(name), delay, loss_rate, max_jitter,
+                              rng().fork(owned_.size()).engine()());
   }
 
   /// Builds queue+pipe for one direction of a link.
@@ -99,12 +111,12 @@ class Network {
   const std::vector<Queue*>& queues() const { return queues_; }
 
  private:
-  EventList events_;
-  Rng rng_;
+  std::unique_ptr<SimContext> owned_ctx_;  // null when borrowing
+  SimContext* ctx_;
+  LogClock log_clock_;
   std::vector<std::shared_ptr<void>> owned_;
   std::vector<Queue*> queues_;
   std::uint64_t next_flow_id_ = 1;
-  int log_clock_id_ = 0;
 };
 
 }  // namespace mpcc

@@ -29,8 +29,10 @@ void Queue::receive(Packet pkt) {
     MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
                events_.now(), static_cast<double>(queued_bytes_), 0,
                static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
-    static obs::Counter& drop_counter = obs::metrics().counter("net.queue.drops");
-    drop_counter.inc();
+    if (drops_metric_ == nullptr) {
+      drops_metric_ = &obs::metrics().counter("net.queue.drops");
+    }
+    drops_metric_->inc();
     return;  // tail drop
   }
   if (!on_enqueue(pkt)) {
@@ -44,10 +46,12 @@ void Queue::receive(Packet pkt) {
                          static_cast<double>(queued_bytes_), 0,
                          static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
     // Hot-path histogram rides the queue trace bit: free when tracing is off.
-    static obs::Histogram& occupancy = obs::metrics().histogram(
-        "net.queue.occupancy_bytes",
-        {/*min_value=*/1500.0, /*growth=*/2.0, /*num_buckets=*/24});
-    occupancy.record(static_cast<double>(queued_bytes_));
+    if (occupancy_metric_ == nullptr) {
+      occupancy_metric_ = &obs::metrics().histogram(
+          "net.queue.occupancy_bytes",
+          {/*min_value=*/1500.0, /*growth=*/2.0, /*num_buckets=*/24});
+    }
+    occupancy_metric_->record(static_cast<double>(queued_bytes_));
   }
   if (!busy_) {
     start_service(std::move(pkt));

@@ -47,6 +47,12 @@ class Queue : public PacketHandler, public EventSource {
 
   EventList& events_;
   obs::SourceId trace_src_;  // interned name, for MPCC_TRACE call sites
+  // Metric handles resolved lazily against the run's registry. Per-instance
+  // (not function-local statics): each SimContext owns its own registry, so
+  // a cached process-wide address would alias runs and dangle once the
+  // first run's context dies.
+  obs::Counter* drops_metric_ = nullptr;
+  obs::Histogram* occupancy_metric_ = nullptr;
 
  private:
   void start_service(Packet pkt);

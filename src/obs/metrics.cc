@@ -86,7 +86,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   if (Entry* e = find(name, Entry::Type::kCounter)) return *e->counter;
   auto it = entries_.find(name);
   if (it != entries_.end()) {
-    static Counter scratch;
+    static thread_local Counter scratch;
     return scratch;
   }
   Entry entry;
@@ -101,7 +101,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   if (Entry* e = find(name, Entry::Type::kGauge)) return *e->gauge;
   auto it = entries_.find(name);
   if (it != entries_.end()) {
-    static Gauge scratch;
+    static thread_local Gauge scratch;
     return scratch;
   }
   Entry entry;
@@ -117,7 +117,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   if (Entry* e = find(name, Entry::Type::kHistogram)) return *e->histogram;
   auto it = entries_.find(name);
   if (it != entries_.end()) {
-    static Histogram scratch;
+    static thread_local Histogram scratch;
     return scratch;
   }
   Entry entry;
@@ -211,9 +211,20 @@ void MetricsRegistry::write_json(const std::string& path) const {
   os << "\n]}\n";
 }
 
+namespace {
+thread_local MetricsRegistry* t_metrics_override = nullptr;
+}  // namespace
+
 MetricsRegistry& metrics() {
-  static MetricsRegistry registry;
+  if (t_metrics_override != nullptr) return *t_metrics_override;
+  static thread_local MetricsRegistry registry;
   return registry;
+}
+
+MetricsRegistry* detail::exchange_thread_metrics(MetricsRegistry* m) {
+  MetricsRegistry* prev = t_metrics_override;
+  t_metrics_override = m;
+  return prev;
 }
 
 }  // namespace mpcc::obs

@@ -128,7 +128,16 @@ class MetricsRegistry {
   std::map<std::string, Entry, std::less<>> entries_;
 };
 
-/// The process-wide registry (single-threaded, like the tracer).
+/// The calling thread's current registry: the one owned by the active
+/// SimContext scope (sim/context.h) if entered on this thread, else a
+/// per-thread default instance (legacy single-threaded behaviour).
 MetricsRegistry& metrics();
+
+namespace detail {
+/// Installs `m` as this thread's registry override (nullptr restores the
+/// per-thread default) and returns the previous override. SimContext::Scope
+/// uses this; normal code should not.
+MetricsRegistry* exchange_thread_metrics(MetricsRegistry* m);
+}  // namespace detail
 
 }  // namespace mpcc::obs

@@ -134,9 +134,20 @@ std::vector<TraceRecord> Tracer::snapshot() const {
   return out;
 }
 
+namespace {
+thread_local Tracer* t_tracer_override = nullptr;
+}  // namespace
+
 Tracer& tracer() {
-  static Tracer t;
+  if (t_tracer_override != nullptr) return *t_tracer_override;
+  static thread_local Tracer t;
   return t;
+}
+
+Tracer* detail::exchange_thread_tracer(Tracer* t) {
+  Tracer* prev = t_tracer_override;
+  t_tracer_override = t;
+  return prev;
 }
 
 }  // namespace mpcc::obs

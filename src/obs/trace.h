@@ -1,7 +1,11 @@
 // Structured event tracer: a bounded ring buffer of typed trace records.
 //
-// Every instrumented component records TraceRecords through the process-wide
-// Tracer. The design goals, in order:
+// Every instrumented component records TraceRecords through tracer(), which
+// resolves to the calling thread's current Tracer: the one owned by the
+// active SimContext (sim/context.h) when a context scope is entered, else a
+// per-thread default. A Tracer itself is single-threaded; isolation between
+// parallel sweep workers comes from each worker running its own context.
+// The design goals, in order:
 //
 //   1. Zero cost when disabled. Call sites go through the MPCC_TRACE macro,
 //      which compiles away entirely under -DMPCC_TRACE_DISABLED and otherwise
@@ -144,24 +148,34 @@ class Tracer {
   std::unordered_map<std::string, SourceId> name_ids_;
 };
 
-/// The process-wide tracer (the simulator is single-threaded, like the
-/// logger in util/logging.h).
+/// The calling thread's current tracer. Resolution: the tracer of the
+/// active SimContext scope (sim/context.h) if one is entered on this
+/// thread, else a per-thread default instance. The per-thread default makes
+/// legacy single-threaded callers behave exactly as before while keeping
+/// parallel sweep workers isolated even outside an explicit context scope.
 Tracer& tracer();
+
+namespace detail {
+/// Installs `t` as this thread's tracer override (nullptr restores the
+/// per-thread default) and returns the previous override. SimContext::Scope
+/// uses this; normal code should not.
+Tracer* exchange_thread_tracer(Tracer* t);
+}  // namespace detail
 
 // --- event-loop self-profiling switch ------------------------------------
 //
 // When on, EventList measures wall-clock time per dispatched event,
 // aggregates it per EventSource, and flushes totals into the metrics
 // registry on destruction (sim.profiled_events, sim.event_wall_ns,
-// sim.events_per_wall_sec). A plain inline global so the per-dispatch check
-// is a single load.
+// sim.events_per_wall_sec). Thread-local so the per-dispatch check stays a
+// single load and parallel workers profile independently.
 
 namespace detail {
-inline bool g_sim_profiling = false;
+inline thread_local bool t_sim_profiling = false;
 }  // namespace detail
 
-inline bool sim_profiling() { return detail::g_sim_profiling; }
-inline void set_sim_profiling(bool on) { detail::g_sim_profiling = on; }
+inline bool sim_profiling() { return detail::t_sim_profiling; }
+inline void set_sim_profiling(bool on) { detail::t_sim_profiling = on; }
 
 }  // namespace mpcc::obs
 

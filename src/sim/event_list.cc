@@ -9,8 +9,11 @@
 
 namespace mpcc {
 
-EventList::~EventList() {
-  if (prof_.empty()) return;
+EventList::~EventList() { flush_profile(obs::metrics()); }
+
+void EventList::flush_profile(obs::MetricsRegistry& registry) {
+  if (profile_flushed_ || prof_.empty()) return;
+  profile_flushed_ = true;
   // Aggregate self-profile -> metrics, for the per-run snapshot. Per-source
   // rows stay accessible through profile() while the run is live.
   std::uint64_t events = 0;
@@ -19,11 +22,10 @@ EventList::~EventList() {
     events += entry.dispatches;
     wall_ns += entry.wall_ns;
   }
-  obs::metrics().counter("sim.profiled_events").inc(events);
-  obs::metrics().counter("sim.profile_wall_ns").inc(wall_ns);
+  registry.counter("sim.profiled_events").inc(events);
+  registry.counter("sim.profile_wall_ns").inc(wall_ns);
   if (wall_ns > 0) {
-    obs::metrics()
-        .gauge("sim.events_per_wall_sec")
+    registry.gauge("sim.events_per_wall_sec")
         .set(static_cast<double>(events) / (static_cast<double>(wall_ns) / 1e9));
   }
 }
@@ -38,11 +40,12 @@ void EventList::profiled_dispatch(EventSource* src) {
   if (entry.dispatches == 0) entry.name = src->name();
   ++entry.dispatches;
   entry.wall_ns += ns;
-  // Registry addresses are stable for the process lifetime, so resolve once.
-  static obs::Histogram& wall_hist = obs::metrics().histogram(
-      "sim.event_wall_ns", {/*min_value=*/16.0, /*growth=*/2.0,
-                            /*num_buckets=*/32});
-  wall_hist.record(static_cast<double>(ns));
+  if (wall_hist_ == nullptr) {
+    wall_hist_ = &obs::metrics().histogram(
+        "sim.event_wall_ns", {/*min_value=*/16.0, /*growth=*/2.0,
+                              /*num_buckets=*/32});
+  }
+  wall_hist_->record(static_cast<double>(ns));
 }
 
 std::vector<EventList::SourceProfile> EventList::profile() const {

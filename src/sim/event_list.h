@@ -19,6 +19,11 @@
 
 namespace mpcc {
 
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Identifies one pending scheduled event, for cancellation.
 using EventToken = std::uint64_t;
 inline constexpr EventToken kInvalidEventToken = 0;
@@ -70,6 +75,12 @@ class EventList {
   };
   std::vector<SourceProfile> profile() const;
 
+  /// Aggregates the collected self-profile into `registry`
+  /// (sim.profiled_events, sim.profile_wall_ns, sim.events_per_wall_sec).
+  /// Idempotent; the destructor calls it with the ambient obs::metrics() if
+  /// nobody (e.g. the owning SimContext) flushed explicitly first.
+  void flush_profile(obs::MetricsRegistry& registry);
+
  private:
   struct ProfileEntry {
     std::string name;  // copied: sources may die before the EventList
@@ -91,6 +102,11 @@ class EventList {
   SimTime now_ = 0;
   EventToken next_token_ = 1;
   std::uint64_t dispatched_ = 0;
+  bool profile_flushed_ = false;
+  // Resolved against the run's registry on first profiled dispatch; a
+  // per-instance handle (not a function-local static) because each
+  // SimContext owns its own registry.
+  obs::Histogram* wall_hist_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<EventToken> cancelled_;
   std::unordered_map<EventSource*, ProfileEntry> prof_;

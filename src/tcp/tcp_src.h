@@ -196,6 +196,7 @@ class TcpSrc : public PacketHandler, public EventSource {
   TcpConfig config_;
   std::uint64_t flow_id_;
   obs::SourceId trace_src_;
+  obs::Histogram* rtt_metric_ = nullptr;  // lazily bound to the run's registry
   const Route* forward_ = nullptr;
 
   std::unique_ptr<TcpCcHooks> hooks_;

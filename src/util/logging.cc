@@ -1,13 +1,29 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace mpcc {
 
+namespace detail {
+struct LogClockNode {
+  std::function<SimTime()> fn;
+  LogClockNode* prev = nullptr;
+};
+}  // namespace detail
+
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::function<SimTime()> g_clock;
-int g_clock_id = 0;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Top of this thread's clock stack; each LogClock links itself in on
+// construction and unlinks exactly its own node on destruction.
+thread_local detail::LogClockNode* t_clock_top = nullptr;
 
 constexpr const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,25 +42,36 @@ constexpr const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-int install_log_clock(std::function<SimTime()> clock) {
-  g_clock = std::move(clock);
-  return ++g_clock_id;
+LogClock::LogClock(std::function<SimTime()> clock)
+    : node_(new detail::LogClockNode{std::move(clock), t_clock_top}) {
+  t_clock_top = node_;
 }
 
-void uninstall_log_clock(int id) {
-  if (id == g_clock_id) g_clock = nullptr;
+LogClock::~LogClock() {
+  if (t_clock_top == node_) {
+    t_clock_top = node_->prev;
+  } else {
+    // Non-LIFO destruction: unlink this node wherever it sits in the stack.
+    for (detail::LogClockNode* n = t_clock_top; n != nullptr; n = n->prev) {
+      if (n->prev == node_) {
+        n->prev = node_->prev;
+        break;
+      }
+    }
+  }
+  delete node_;
 }
 
 std::string format_log_line(LogLevel level, std::string_view msg) {
   char prefix[64];
   int n;
-  if (g_clock) {
+  if (t_clock_top != nullptr) {
     n = std::snprintf(prefix, sizeof(prefix), "[%s][%8.3fs] ", level_tag(level),
-                      to_seconds(g_clock()));
+                      to_seconds(t_clock_top->fn()));
   } else {
     n = std::snprintf(prefix, sizeof(prefix), "[%s] ", level_tag(level));
   }
@@ -54,8 +81,20 @@ std::string format_log_line(LogLevel level, std::string_view msg) {
 }
 
 void log_line(LogLevel level, std::string_view msg) {
-  const std::string line = format_log_line(level, msg);
-  std::fprintf(stderr, "%s\n", line.c_str());
+  // One formatted buffer, one write(2): parallel sweep workers emit whole
+  // lines, never interleaved fragments.
+  std::string line = format_log_line(level, msg);
+  line.push_back('\n');
+#ifdef _WIN32
+  std::fwrite(line.data(), 1, line.size(), stderr);
+#else
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n <= 0) break;  // stderr gone; drop the rest of the line
+    off += static_cast<std::size_t>(n);
+  }
+#endif
 }
 
 }  // namespace mpcc

@@ -1,8 +1,15 @@
-// Minimal leveled logger.
+// Minimal leveled logger, safe for parallel sweep workers.
 //
-// The simulator is single-threaded; the logger is a process-wide sink with a
-// runtime level. Hot paths guard with `if (log_enabled(...))` so formatting
-// cost is only paid when the level is active.
+// The sink is process-wide stderr with a runtime level (an atomic, shared by
+// all threads). Each line is rendered into one buffer and emitted with a
+// single write(2), so concurrent workers never interleave partial lines.
+// Hot paths guard with `if (log_enabled(...))` so formatting cost is only
+// paid when the level is active.
+//
+// The simulated-clock prefix is per-thread: every SimContext scope (and
+// every Network, for its lifetime) pushes its clock onto a thread-local
+// stack, so worker threads running different simulations each stamp their
+// own sim time and can never clobber one another.
 #pragma once
 
 #include <functional>
@@ -22,22 +29,37 @@ LogLevel log_level();
 
 inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 
-/// Optional simulated-clock hook: when installed, every log line is
-/// prefixed with the current simulated time ("[   1.500s]"). Network
-/// installs its EventList on construction, so experiment and bench logs are
-/// sim-timestamped automatically. Returns an installation id; the matching
-/// uninstall is a no-op if a newer clock has been installed since (e.g. two
-/// Networks alive at once — the most recent wins).
-int install_log_clock(std::function<SimTime()> clock);
-void uninstall_log_clock(int id);
+namespace detail {
+struct LogClockNode;
+}  // namespace detail
+
+/// RAII simulated-clock installation: while alive, log lines on *this
+/// thread* are prefixed with the current simulated time ("[   1.500s]").
+/// Installations nest as a per-thread stack — the most recently constructed
+/// live LogClock wins, and destruction unlinks exactly its own entry, so
+/// non-LIFO lifetimes (two Networks destroyed out of order) and concurrent
+/// simulations on different threads behave correctly. Network installs one
+/// for its EventList on construction, so experiment and bench logs are
+/// sim-timestamped automatically.
+class LogClock {
+ public:
+  explicit LogClock(std::function<SimTime()> clock);
+  ~LogClock();
+
+  LogClock(const LogClock&) = delete;
+  LogClock& operator=(const LogClock&) = delete;
+
+ private:
+  detail::LogClockNode* node_;
+};
 
 /// Renders one log line (level tag, optional sim-time prefix, message)
-/// without emitting it; log_line() writes exactly this to stderr. Split out
-/// so tests can cover the formatting.
+/// without emitting it; log_line() writes exactly this (plus '\n') to
+/// stderr. Split out so tests can cover the formatting.
 std::string format_log_line(LogLevel level, std::string_view msg);
 
-/// Writes one log line to stderr (with level tag). Prefer the MPCC_LOG_*
-/// helpers below.
+/// Writes one log line to stderr as a single write(2) call (atomic per
+/// line). Prefer the MPCC_LOG_* helpers below.
 void log_line(LogLevel level, std::string_view msg);
 
 namespace detail {

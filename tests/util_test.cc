@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "net/network.h"
 #include "util/csv.h"
@@ -183,24 +185,55 @@ TEST(Logging, NoClockMeansLevelTagOnly) {
 }
 
 TEST(Logging, InstalledClockPrefixesSimTime) {
-  const int id = install_log_clock([] { return ms(1500); });
-  const std::string line = format_log_line(LogLevel::kInfo, "hello");
-  uninstall_log_clock(id);
+  std::string line;
+  {
+    LogClock clock([] { return ms(1500); });
+    line = format_log_line(LogLevel::kInfo, "hello");
+  }
   EXPECT_NE(line.find("[INFO ]"), std::string::npos);
   EXPECT_NE(line.find("1.500s]"), std::string::npos);
   EXPECT_NE(line.find("hello"), std::string::npos);
-  // Uninstall restores the bare format.
+  // Destruction restores the bare format.
   EXPECT_EQ(format_log_line(LogLevel::kInfo, "hello"), "[INFO ] hello");
 }
 
-TEST(Logging, StaleUninstallKeepsNewerClock) {
-  const int old_id = install_log_clock([] { return kSecond; });
-  const int new_id = install_log_clock([] { return 2 * kSecond; });
-  uninstall_log_clock(old_id);  // stale id: must not remove the newer clock
+TEST(Logging, ClocksNestMostRecentWins) {
+  LogClock outer([] { return kSecond; });
+  {
+    LogClock inner([] { return 2 * kSecond; });
+    EXPECT_NE(format_log_line(LogLevel::kDebug, "x").find("2.000s]"),
+              std::string::npos);
+  }
+  // Inner clock gone: the outer one is visible again.
+  EXPECT_NE(format_log_line(LogLevel::kDebug, "x").find("1.000s]"),
+            std::string::npos);
+}
+
+TEST(Logging, NonLifoClockDestructionUnlinksTheRightEntry) {
+  // Two clocks destroyed out of construction order: destroying the OLDER
+  // one must keep the newer one active (the per-context replacement for the
+  // removed id-fallback scheme).
+  auto older = std::make_unique<LogClock>([] { return kSecond; });
+  auto newer = std::make_unique<LogClock>([] { return 2 * kSecond; });
+  older.reset();
   EXPECT_NE(format_log_line(LogLevel::kDebug, "x").find("2.000s]"),
             std::string::npos);
-  uninstall_log_clock(new_id);
+  newer.reset();
   EXPECT_EQ(format_log_line(LogLevel::kDebug, "x"), "[DEBUG] x");
+}
+
+TEST(Logging, ClockIsPerThread) {
+  // A clock installed on this thread must not prefix lines on another
+  // thread, and vice versa — workers running concurrent simulations keep
+  // their own sim-time prefixes.
+  LogClock clock([] { return ms(1500); });
+  std::string other_thread_line;
+  std::thread([&] {
+    other_thread_line = format_log_line(LogLevel::kInfo, "t");
+  }).join();
+  EXPECT_EQ(other_thread_line, "[INFO ] t");
+  EXPECT_NE(format_log_line(LogLevel::kInfo, "t").find("1.500s]"),
+            std::string::npos);
 }
 
 TEST(Logging, NetworkInstallsItsEventListAsClock) {

@@ -1,0 +1,228 @@
+// mpcc_sweep: declarative parameter sweeps over the paper's scenarios,
+// executed in parallel with fully isolated per-run simulation contexts.
+//
+//   mpcc_sweep --list
+//   mpcc_sweep --scenario=two_path --cc=lia,olia,dts --seeds=8 --jobs=8
+//   mpcc_sweep --scenario=wireless --wifi_rate_mbps=5:30:5 --cc=lia,dts-ep \
+//              --csv=wifi.csv --json=wifi.json
+//   mpcc_sweep --scenario=datacenter --topo=fattree,vl2 --subflows=1:8:1 \
+//              --jobs=8 --out=dc_runs --trace-categories=queue,cwnd
+//
+// Any flag whose name matches a scenario parameter becomes a sweep axis;
+// its value is a comma list ("lia,olia") or a numeric range "lo:hi:step".
+// Grid points are crossed with --seeds replicates (seed-base, seed-base+1,
+// ...). Engine flags:
+//
+//   --scenario=NAME        which scenario (see --list)
+//   --list                 print scenarios + parameters and exit
+//   --seeds=N              replicates per grid point            (default 1)
+//   --seed-base=S          first seed                           (default 1)
+//   --jobs=N               worker threads                       (default 1)
+//   --out=DIR              per-run artifact directory
+//   --trace-categories=... per-run Chrome traces (needs --out)
+//   --trace-capacity=N     per-run tracer ring capacity
+//   --run-metrics          per-run metric snapshots (needs --out)
+//   --csv=FILE / --json=FILE   merged results
+//   --bench=FILE           also run a --jobs=1 baseline and write a
+//                          BENCH_sweep.json-style wall-clock summary
+//   --quiet                suppress the per-run progress lines
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "obs/trace.h"
+
+namespace {
+
+using mpcc::harness::ParamSpec;
+using mpcc::harness::ScenarioRegistry;
+using mpcc::harness::ScenarioSpec;
+using mpcc::harness::SweepAxis;
+using mpcc::harness::SweepOptions;
+using mpcc::harness::SweepPlan;
+using mpcc::harness::SweepReport;
+
+// Engine flags; everything else of the form --name=value is a sweep axis.
+const char* const kEngineFlags[] = {
+    "--scenario", "--list",           "--seeds",          "--seed-base",
+    "--jobs",     "--out",            "--trace-categories", "--trace-capacity",
+    "--run-metrics", "--csv",         "--json",           "--bench",
+    "--quiet",    "--help",
+};
+
+bool is_engine_flag(const std::string& name) {
+  for (const char* flag : kEngineFlags) {
+    if (name == flag) return true;
+  }
+  return false;
+}
+
+void print_scenarios() {
+  mpcc::harness::register_builtin_scenarios();
+  std::printf("scenarios:\n");
+  for (const ScenarioSpec* spec : ScenarioRegistry::instance().all()) {
+    std::printf("\n  %s — %s\n", spec->name.c_str(), spec->help.c_str());
+    for (const ParamSpec& p : spec->params) {
+      std::printf("    --%-18s %-10s %s\n", p.name.c_str(),
+                  ("[" + p.default_value + "]").c_str(), p.help.c_str());
+    }
+  }
+  std::printf(
+      "\naxis values: comma list (lia,olia,dts) or numeric range lo:hi:step\n");
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s --scenario=NAME [--param=v1,v2 ...] [--seeds=N] [--jobs=N]\n"
+      "          [--csv=FILE] [--json=FILE] [--out=DIR] [--bench=FILE]\n"
+      "       %s --list\n",
+      argv0, argv0);
+  return 2;
+}
+
+// Writes the BENCH_sweep.json wall-clock summary: parallel points/sec and
+// speedup over the measured --jobs=1 baseline.
+bool write_bench_summary(const std::string& path, const SweepReport& parallel,
+                         const SweepReport& baseline) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const double pts = double(parallel.points.size());
+  const double par_pps = parallel.wall_s > 0 ? pts / parallel.wall_s : 0;
+  const double base_pps = baseline.wall_s > 0 ? pts / baseline.wall_s : 0;
+  const double speedup =
+      parallel.wall_s > 0 ? baseline.wall_s / parallel.wall_s : 0;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"scenario\": \"%s\",\n"
+                "  \"points\": %zu,\n"
+                "  \"jobs\": %d,\n"
+                "  \"hardware_threads\": %u,\n"
+                "  \"wall_s\": %.3f,\n"
+                "  \"points_per_sec\": %.3f,\n"
+                "  \"baseline_jobs\": 1,\n"
+                "  \"baseline_wall_s\": %.3f,\n"
+                "  \"baseline_points_per_sec\": %.3f,\n"
+                "  \"speedup\": %.2f\n"
+                "}\n",
+                parallel.scenario.c_str(), parallel.points.size(), parallel.jobs,
+                std::thread::hardware_concurrency(), parallel.wall_s, par_pps,
+                baseline.wall_s, base_pps, speedup);
+  os << buf;
+  return bool(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcc::harness;
+
+  if (has_flag(argc, argv, "--help")) return usage(argv[0]);
+  if (has_flag(argc, argv, "--list")) {
+    print_scenarios();
+    return 0;
+  }
+
+  SweepPlan plan;
+  plan.scenario = arg_string(argc, argv, "--scenario", "");
+  if (plan.scenario.empty()) return usage(argv[0]);
+  plan.seeds = int(arg_int(argc, argv, "--seeds", 1));
+  plan.seed_base = std::uint64_t(arg_int(argc, argv, "--seed-base", 1));
+
+  SweepOptions options;
+  options.jobs = int(arg_int(argc, argv, "--jobs", 1));
+  options.out_dir = arg_string(argc, argv, "--out", "");
+  options.per_run_metrics = has_flag(argc, argv, "--run-metrics");
+  options.progress = !has_flag(argc, argv, "--quiet");
+  const std::string categories = arg_string(argc, argv, "--trace-categories", "");
+  if (!categories.empty()) {
+    options.trace_mask = mpcc::obs::parse_trace_categories(categories);
+    options.trace_capacity =
+        std::size_t(arg_int(argc, argv, "--trace-capacity", 0));
+    if (options.out_dir.empty()) {
+      std::fprintf(stderr, "--trace-categories needs --out=DIR\n");
+      return 2;
+    }
+  }
+
+  // Remaining --name=value flags become sweep axes.
+  register_builtin_scenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::instance().find(plan.scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario \"%s\" (try --list)\n",
+                 plan.scenario.c_str());
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    const char* eq = std::strchr(arg, '=');
+    const std::string name = eq ? std::string(arg, eq - arg) : std::string(arg);
+    if (is_engine_flag(name)) continue;
+    if (!eq) {
+      std::fprintf(stderr, "flag %s needs a value (%s=v1,v2 or lo:hi:step)\n",
+                   arg, arg);
+      return 2;
+    }
+    const std::string param = name.substr(2);
+    if (!spec->has_param(param)) {
+      std::fprintf(stderr, "scenario \"%s\" has no parameter \"%s\" (try --list)\n",
+                   plan.scenario.c_str(), param.c_str());
+      return 2;
+    }
+    plan.axes.push_back(SweepAxis{param, parse_axis_values(eq + 1)});
+  }
+
+  try {
+    SweepReport report = run_sweep(plan, options);
+
+    const std::string bench_path = arg_string(argc, argv, "--bench", "");
+    if (!bench_path.empty()) {
+      std::fprintf(stderr, "bench: re-running with --jobs=1 for the baseline\n");
+      SweepOptions base_options = options;
+      base_options.jobs = 1;
+      base_options.progress = false;
+      base_options.out_dir.clear();  // don't overwrite per-run artifacts
+      base_options.trace_mask = 0;
+      base_options.per_run_metrics = false;
+      const SweepReport baseline = run_sweep(plan, base_options);
+      if (!write_bench_summary(bench_path, report, baseline)) {
+        std::fprintf(stderr, "cannot write %s\n", bench_path.c_str());
+        return 1;
+      }
+      std::printf("bench: %zu points, jobs=%d %.2fs vs jobs=1 %.2fs (%.2fx)\n",
+                  report.points.size(), report.jobs, report.wall_s,
+                  baseline.wall_s,
+                  report.wall_s > 0 ? baseline.wall_s / report.wall_s : 0.0);
+    }
+
+    report.table().print(std::cout);
+    std::printf("\n%zu points, jobs=%d, %.2fs (%.1f points/sec)%s\n",
+                report.points.size(), report.jobs, report.wall_s,
+                report.wall_s > 0 ? double(report.points.size()) / report.wall_s
+                                  : 0.0,
+                report.failed() ? "  [FAILURES]" : "");
+
+    const std::string csv = arg_string(argc, argv, "--csv", "");
+    if (!csv.empty() && !report.write_csv(csv)) {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+      return 1;
+    }
+    const std::string json = arg_string(argc, argv, "--json", "");
+    if (!json.empty() && !report.write_json(json)) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    return report.failed() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpcc_sweep: %s\n", e.what());
+    return 2;
+  }
+}
