@@ -1,0 +1,227 @@
+#include "dyn/driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "net/lossy_pipe.h"
+#include "net/pipe.h"
+#include "net/queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mpcc::dyn {
+
+DynDriver::DynDriver(EventList& events)
+    : EventSource("dyn"), events_(events), trace_id_(obs::tracer().intern("dyn")) {}
+
+void DynDriver::add_link(const std::string& name, LinkHandle handle) {
+  assert(!armed_ && "add_link before arm()");
+  for (const std::string& existing : link_names_) {
+    if (existing == name) {
+      throw std::invalid_argument("dyn: duplicate link \"" + name + "\"");
+    }
+  }
+  link_names_.push_back(name);
+  links_.push_back(handle);
+  link_up_.push_back(true);
+  saved_loss_.push_back(0);
+}
+
+void DynDriver::add_listener(DynListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+std::size_t DynDriver::link_index(const std::string& name, const DynEvent& ev) const {
+  for (std::size_t i = 0; i < link_names_.size(); ++i) {
+    if (link_names_[i] == name) return i;
+  }
+  std::string known;
+  for (const std::string& n : link_names_) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("dyn: event \"" + std::string(dyn_event_kind_name(ev.kind)) +
+                              "\" names unknown link \"" + name + "\" (known: " +
+                              (known.empty() ? "<none>" : known) + ")");
+}
+
+void DynDriver::expand(const DynEvent& ev, std::vector<Action>& out) const {
+  const std::size_t link = link_index(ev.target, ev);
+
+  Action a;
+  a.at = ev.at;
+  a.link = link;
+  a.value = ev.value;
+
+  switch (ev.kind) {
+    case DynEvent::Kind::kLinkDown:
+      a.op = Action::Op::kDown;
+      out.push_back(a);
+      return;
+    case DynEvent::Kind::kLinkUp:
+      a.op = Action::Op::kUp;
+      out.push_back(a);
+      return;
+    case DynEvent::Kind::kHandover:
+      a.op = Action::Op::kHandover;
+      a.link2 = link_index(ev.target2, ev);
+      out.push_back(a);
+      return;
+    case DynEvent::Kind::kLossBurst: {
+      const LinkHandle& h = links_[link];
+      if (h.fwd_lossy == nullptr && h.rev_lossy == nullptr) {
+        throw std::invalid_argument("dyn: burst event targets link \"" + ev.target +
+                                    "\" which has no LossyPipe");
+      }
+      // On/off toggle pairs cycling until ev.until; a cycle cut short by the
+      // end time still gets its off-toggle, exactly at the end time.
+      for (SimTime t = ev.at; t < ev.until; t += ev.burst_on + ev.burst_off) {
+        Action on = a;
+        on.at = t;
+        on.op = Action::Op::kBurstOn;
+        out.push_back(on);
+        Action off = a;
+        off.at = std::min(t + ev.burst_on, ev.until);
+        off.op = Action::Op::kBurstOff;
+        out.push_back(off);
+      }
+      return;
+    }
+    case DynEvent::Kind::kSetRate:
+    case DynEvent::Kind::kSetDelay:
+    case DynEvent::Kind::kSetLoss:
+      break;
+  }
+
+  // Step-or-ramp events.
+  a.op = ev.kind == DynEvent::Kind::kSetRate    ? Action::Op::kRate
+         : ev.kind == DynEvent::Kind::kSetDelay ? Action::Op::kDelay
+                                                : Action::Op::kLoss;
+  if (a.op == Action::Op::kLoss) {
+    const LinkHandle& h = links_[link];
+    if (h.fwd_lossy == nullptr && h.rev_lossy == nullptr) {
+      throw std::invalid_argument("dyn: loss event targets link \"" + ev.target +
+                                  "\" which has no LossyPipe");
+    }
+  }
+  if (ev.ramp <= 0) {
+    out.push_back(a);  // plain step
+    return;
+  }
+  // Ramp: an initial step to ramp_from, then n interpolated steps whose last
+  // one lands exactly on the target value at exactly at+ramp. Each step's
+  // time and value are computed from the endpoints (no accumulation), so the
+  // expansion is bit-stable.
+  const auto n = static_cast<std::int64_t>(
+      (ev.ramp + kRampStepInterval - 1) / kRampStepInterval);
+  a.value = ev.ramp_from;
+  out.push_back(a);
+  for (std::int64_t i = 1; i <= n; ++i) {
+    Action step = a;
+    step.at = ev.at + ev.ramp * i / n;
+    step.value = ev.ramp_from +
+                 (ev.value - ev.ramp_from) * static_cast<double>(i) / static_cast<double>(n);
+    out.push_back(step);
+  }
+}
+
+void DynDriver::arm(const DynScript& script) {
+  assert(!armed_ && "DynDriver::arm may be called once");
+  armed_ = true;
+
+  for (const DynEvent& ev : script.events()) expand(ev, actions_);
+
+  // Stable sort: simultaneous actions keep script order, which keeps the
+  // expansion deterministic and makes e.g. "down" + "up" at the same instant
+  // behave as written.
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const Action& a, const Action& b) { return a.at < b.at; });
+
+  if (!actions_.empty()) events_.schedule_at(this, std::max(actions_[0].at, events_.now()));
+}
+
+void DynDriver::do_next_event() {
+  const SimTime now = events_.now();
+  while (next_ < actions_.size() && actions_[next_].at <= now) {
+    apply(actions_[next_]);
+    ++next_;
+  }
+  if (next_ < actions_.size()) events_.schedule_at(this, actions_[next_].at);
+}
+
+void DynDriver::set_link_down(std::size_t link, bool down) {
+  LinkHandle& h = links_[link];
+  if (h.fwd_queue != nullptr) h.fwd_queue->set_down(down);
+  if (h.rev_queue != nullptr) h.rev_queue->set_down(down);
+  if (h.fwd_pipe != nullptr) h.fwd_pipe->set_down(down);
+  if (h.rev_pipe != nullptr) h.rev_pipe->set_down(down);
+  if (down) {
+    // A failed link loses what it carried: queues flushed by set_down,
+    // propagation in-flight dropped here.
+    if (h.fwd_pipe != nullptr) h.fwd_pipe->drop_in_flight();
+    if (h.rev_pipe != nullptr) h.rev_pipe->drop_in_flight();
+  }
+  link_up_[link] = !down;
+  for (DynListener* l : listeners_) l->on_link_state(link_names_[link], !down);
+}
+
+void DynDriver::apply(const Action& action) {
+  LinkHandle& h = links_[action.link];
+  switch (action.op) {
+    case Action::Op::kDown:
+      set_link_down(action.link, true);
+      obs::metrics().counter("dyn.link_down").inc();
+      break;
+    case Action::Op::kUp:
+      set_link_down(action.link, false);
+      obs::metrics().counter("dyn.link_up").inc();
+      break;
+    case Action::Op::kRate:
+      if (h.fwd_queue != nullptr) h.fwd_queue->set_rate(action.value);
+      if (h.rev_queue != nullptr) h.rev_queue->set_rate(action.value);
+      break;
+    case Action::Op::kDelay:
+      if (h.fwd_pipe != nullptr) h.fwd_pipe->set_delay(static_cast<SimTime>(action.value));
+      if (h.rev_pipe != nullptr) h.rev_pipe->set_delay(static_cast<SimTime>(action.value));
+      break;
+    case Action::Op::kLoss:
+      if (h.fwd_lossy != nullptr) h.fwd_lossy->set_loss_rate(action.value);
+      if (h.rev_lossy != nullptr) h.rev_lossy->set_loss_rate(action.value);
+      break;
+    case Action::Op::kBurstOn:
+      // Remember the baseline so the off-toggle restores it (a burst layered
+      // over a nonzero ambient loss rate returns to that ambient rate).
+      saved_loss_[action.link] =
+          h.fwd_lossy != nullptr ? h.fwd_lossy->loss_rate() : h.rev_lossy->loss_rate();
+      if (h.fwd_lossy != nullptr) h.fwd_lossy->set_loss_rate(action.value);
+      if (h.rev_lossy != nullptr) h.rev_lossy->set_loss_rate(action.value);
+      break;
+    case Action::Op::kBurstOff:
+      if (h.fwd_lossy != nullptr) h.fwd_lossy->set_loss_rate(saved_loss_[action.link]);
+      if (h.rev_lossy != nullptr) h.rev_lossy->set_loss_rate(saved_loss_[action.link]);
+      break;
+    case Action::Op::kHandover:
+      for (DynListener* l : listeners_) {
+        l->on_handover(link_names_[action.link], link_names_[action.link2]);
+      }
+      obs::metrics().counter("dyn.handover").inc();
+      break;
+  }
+  ++actions_applied_;
+  obs::metrics().counter("dyn.actions_applied").inc();
+  MPCC_TRACE(obs::TraceCategory::kDyn, obs::TraceEvent::kDynEvent, trace_id_,
+             events_.now(), action.value, 0,
+             static_cast<std::int64_t>(action.op),
+             static_cast<std::int64_t>(action.link));
+}
+
+bool DynDriver::link_up(const std::string& name) const {
+  for (std::size_t i = 0; i < link_names_.size(); ++i) {
+    if (link_names_[i] == name) return link_up_[i];
+  }
+  throw std::invalid_argument("dyn: unknown link \"" + name + "\"");
+}
+
+}  // namespace mpcc::dyn

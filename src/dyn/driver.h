@@ -1,0 +1,133 @@
+// DynDriver: executes a DynScript against live network components.
+//
+// The driver is the bridge between the pure-data timeline (dyn/script.h) and
+// the run's mutable simulation state. At arm() time it *statically expands*
+// the script into a flat, time-sorted list of primitive actions:
+//
+//   - ramps become discrete interpolated steps on a fixed cadence
+//     (kRampStepInterval, final step lands exactly on the target value), and
+//   - loss bursts become on/off toggle pairs cycling until their end time,
+//
+// so execution involves no randomness and no floating-point accumulation
+// across events — the same script produces the same action list, and runs
+// are bit-identical regardless of how many sweep workers share the process
+// (the driver schedules only against its own run's EventList).
+//
+// Links are registered by name as LinkHandle bundles of the forward/reverse
+// Queue and Pipe (plus the LossyPipes when the pipes are lossy). Primitive
+// actions mutate those components through the runtime mutators added for
+// this subsystem (Queue::set_rate/set_down, Pipe::set_delay/set_down/
+// drop_in_flight, LossyPipe::set_loss_rate). Reactive components (path
+// managers, meters) subscribe as DynListeners and are told about link
+// up/down transitions and handover directives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dyn/script.h"
+#include "sim/event_list.h"
+
+namespace mpcc {
+class Queue;
+class Pipe;
+class LossyPipe;
+}  // namespace mpcc
+
+namespace mpcc::dyn {
+
+/// The simulation components making up one named bidirectional link.
+/// Queue/Pipe pointers may be null when a direction has no such component;
+/// the lossy pointers are set only when the pipes are LossyPipes (required
+/// for loss/burst events on that link).
+struct LinkHandle {
+  Queue* fwd_queue = nullptr;
+  Pipe* fwd_pipe = nullptr;
+  Queue* rev_queue = nullptr;
+  Pipe* rev_pipe = nullptr;
+  LossyPipe* fwd_lossy = nullptr;
+  LossyPipe* rev_lossy = nullptr;
+};
+
+/// Subscriber interface for reactive behaviour (path managers, meters).
+class DynListener {
+ public:
+  virtual ~DynListener() = default;
+  /// A link went administratively down (`up == false`) or recovered.
+  virtual void on_link_state(const std::string& link, bool up) {
+    (void)link;
+    (void)up;
+  }
+  /// A handover directive: traffic should move from `from` to `to`.
+  virtual void on_handover(const std::string& from, const std::string& to) {
+    (void)from;
+    (void)to;
+  }
+};
+
+class DynDriver final : public EventSource {
+ public:
+  /// Cadence at which ramps are discretised into steps.
+  static constexpr SimTime kRampStepInterval = 100 * kMillisecond;
+
+  explicit DynDriver(EventList& events);
+
+  /// Registers the components for a named link. Must happen before arm().
+  void add_link(const std::string& name, LinkHandle handle);
+
+  /// Subscribes a listener (not owned; must outlive the driver).
+  void add_listener(DynListener* listener);
+
+  /// Expands `script` into primitive actions and schedules execution.
+  /// Throws std::invalid_argument if an event names an unknown link or a
+  /// loss event targets a link without LossyPipes. May be called once.
+  void arm(const DynScript& script);
+
+  void do_next_event() override;
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t actions_applied() const { return actions_applied_; }
+  std::size_t actions_total() const { return actions_.size(); }
+  /// Current administrative state of a registered link (true = up).
+  bool link_up(const std::string& name) const;
+
+ private:
+  struct Action {
+    enum class Op : std::uint8_t {
+      kDown,
+      kUp,
+      kRate,
+      kDelay,
+      kLoss,
+      kBurstOn,
+      kBurstOff,
+      kHandover,
+    };
+    SimTime at = 0;
+    Op op = Op::kDown;
+    std::size_t link = 0;   ///< index into links_ (handover: source)
+    std::size_t link2 = 0;  ///< handover destination
+    double value = 0;       ///< rate bps / delay ns / loss probability
+  };
+
+  std::size_t link_index(const std::string& name, const DynEvent& ev) const;
+  void expand(const DynEvent& ev, std::vector<Action>& out) const;
+  void apply(const Action& action);
+  void set_link_down(std::size_t link, bool down);
+
+  EventList& events_;
+  std::vector<std::string> link_names_;
+  std::vector<LinkHandle> links_;
+  std::vector<bool> link_up_;
+  std::vector<double> saved_loss_;  ///< pre-burst loss rate, per link
+  std::vector<DynListener*> listeners_;
+
+  std::vector<Action> actions_;  ///< time-sorted, stable on ties
+  std::size_t next_ = 0;
+  std::uint64_t actions_applied_ = 0;
+  bool armed_ = false;
+  std::uint32_t trace_id_ = 0;
+};
+
+}  // namespace mpcc::dyn

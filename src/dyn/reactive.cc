@@ -1,0 +1,50 @@
+#include "dyn/reactive.h"
+
+#include <cassert>
+
+#include "mptcp/connection.h"
+#include "obs/metrics.h"
+
+namespace mpcc::dyn {
+
+void ReactivePathManager::map_link(const std::string& link, std::size_t subflow_index) {
+  assert(subflow_index < conn_.num_subflows());
+  for (const Mapping& m : mappings_) {
+    assert(m.subflow != subflow_index && "a subflow maps to at most one link");
+    (void)m;
+  }
+  mappings_.push_back(Mapping{link, subflow_index});
+}
+
+void ReactivePathManager::set_link_subflows(const std::string& link, bool down) {
+  for (const Mapping& m : mappings_) {
+    if (m.link != link) continue;
+    Subflow& sf = conn_.subflow(m.subflow);
+    if (sf.admin_down() == down) continue;
+    sf.set_admin_down(down);
+    if (down) {
+      ++closes_;
+      obs::metrics().counter("dyn.subflow_closed").inc();
+    } else {
+      ++reopens_;
+      obs::metrics().counter("dyn.subflow_reopened").inc();
+      // Kick the pull loop: the revived subflow should refill immediately
+      // rather than wait for the next ACK-clocked opportunity.
+      sf.notify_data_available();
+    }
+  }
+}
+
+void ReactivePathManager::on_link_state(const std::string& link, bool up) {
+  set_link_subflows(link, /*down=*/!up);
+}
+
+void ReactivePathManager::on_handover(const std::string& from, const std::string& to) {
+  ++handovers_;
+  // Make-before-break: bring the destination up first so the connection is
+  // never without a schedulable subflow, then quiesce the source.
+  set_link_subflows(to, /*down=*/false);
+  set_link_subflows(from, /*down=*/true);
+}
+
+}  // namespace mpcc::dyn

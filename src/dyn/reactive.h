@@ -1,0 +1,71 @@
+// ReactivePathManager: persistent path management reacting to dyn events.
+//
+// The static PathManager helpers (mptcp/path_manager.h) choose paths once,
+// at connection setup. Under network dynamics that is not enough: when the
+// WiFi link fails mid-transfer, its subflows must stop competing for the
+// connection window, and when it recovers (or a handover directive arrives)
+// traffic has to move back. ReactivePathManager is the persistent object
+// that closes and reopens subflows in response to DynDriver notifications:
+//
+//   - link down  -> every subflow mapped to that link is administratively
+//                   quiesced (TcpSrc::set_admin_down(true)): timers stop,
+//                   nothing is sent, the MPTCP scheduler skips it.
+//   - link up    -> mapped subflows are revived; the TCP layer restarts them
+//                   conservatively (slow start from one MSS, go-back-N from
+//                   the last cumulative ACK) and the manager kicks the pull
+//                   loop so they immediately refill.
+//   - handover   -> subflows on the source link are quiesced and subflows on
+//                   the destination link revived in one step, modelling the
+//                   make-before-break radio switch of a WiFi<->LTE handover.
+//
+// One manager serves one MptcpConnection; register one per connection and
+// subscribe it to the run's DynDriver. All state lives inside the run's
+// SimContext — nothing is shared across sweep workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dyn/driver.h"
+
+namespace mpcc {
+class MptcpConnection;
+}  // namespace mpcc
+
+namespace mpcc::dyn {
+
+class ReactivePathManager final : public DynListener {
+ public:
+  explicit ReactivePathManager(MptcpConnection& conn) : conn_(conn) {}
+
+  /// Declares that subflow `subflow_index` of the connection rides on
+  /// `link`. A link may carry several subflows and a subflow may be mapped
+  /// to at most one link (unmapped subflows are never touched).
+  void map_link(const std::string& link, std::size_t subflow_index);
+
+  // --- DynListener ---
+  void on_link_state(const std::string& link, bool up) override;
+  void on_handover(const std::string& from, const std::string& to) override;
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t closes() const { return closes_; }
+  std::uint64_t reopens() const { return reopens_; }
+  std::uint64_t handovers() const { return handovers_; }
+
+ private:
+  void set_link_subflows(const std::string& link, bool down);
+
+  struct Mapping {
+    std::string link;
+    std::size_t subflow;
+  };
+
+  MptcpConnection& conn_;
+  std::vector<Mapping> mappings_;
+  std::uint64_t closes_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::uint64_t handovers_ = 0;
+};
+
+}  // namespace mpcc::dyn

@@ -1,0 +1,398 @@
+#include "dyn/script.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcc::dyn {
+
+const char* dyn_event_kind_name(DynEvent::Kind kind) {
+  switch (kind) {
+    case DynEvent::Kind::kLinkDown:
+      return "down";
+    case DynEvent::Kind::kLinkUp:
+      return "up";
+    case DynEvent::Kind::kSetRate:
+      return "rate";
+    case DynEvent::Kind::kSetDelay:
+      return "delay";
+    case DynEvent::Kind::kSetLoss:
+      return "loss";
+    case DynEvent::Kind::kLossBurst:
+      return "burst";
+    case DynEvent::Kind::kHandover:
+      return "handover";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& event_text, const std::string& why) {
+  throw std::invalid_argument("dyn script: bad event \"" + event_text + "\": " +
+                              why);
+}
+
+/// "<number><suffix>" with the number consuming the longest valid prefix.
+bool split_number(const std::string& token, double& number, std::string& suffix) {
+  std::size_t consumed = 0;
+  try {
+    number = std::stod(token, &consumed);
+  } catch (...) {
+    return false;
+  }
+  if (consumed == 0) return false;
+  suffix = token.substr(consumed);
+  return true;
+}
+
+bool parse_time(const std::string& token, SimTime& out) {
+  double v = 0;
+  std::string unit;
+  if (!split_number(token, v, unit)) return false;
+  if (unit == "s") {
+    out = seconds(v);
+  } else if (unit == "ms") {
+    out = ms(v);
+  } else if (unit == "us") {
+    out = us(v);
+  } else if (unit == "ns") {
+    out = ns(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_rate(const std::string& token, Rate& out) {
+  double v = 0;
+  std::string unit;
+  if (!split_number(token, v, unit)) return false;
+  if (unit == "bps") {
+    out = bps(v);
+  } else if (unit == "kbps") {
+    out = kbps(v);
+  } else if (unit == "mbps") {
+    out = mbps(v);
+  } else if (unit == "gbps") {
+    out = gbps(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_probability(const std::string& token, double& out) {
+  std::string rest;
+  if (!split_number(token, out, rest) || !rest.empty()) return false;
+  return out >= 0.0 && out <= 1.0;
+}
+
+std::vector<std::string> tokenize(const std::string& event_text) {
+  std::vector<std::string> tokens;
+  std::istringstream is(event_text);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string render_time(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%gms", to_ms(t));
+  return buf;
+}
+
+std::string render_rate(Rate r) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%gmbps", to_mbps(r));
+  return buf;
+}
+
+std::string render_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+// Parses the "value [from-value] [over DUR]" tail shared by rate/delay/loss.
+// `parse_one` converts one value token into the Kind's native double.
+template <typename ParseOne>
+void parse_step_or_ramp(const std::vector<std::string>& tokens,
+                        const std::string& text, const ParseOne& parse_one,
+                        DynEvent& ev) {
+  double first = 0;
+  if (tokens.size() < 4 || !parse_one(tokens[3], first)) {
+    fail(text, "expected a value after the link name");
+  }
+  if (tokens.size() == 4) {
+    ev.value = first;
+    return;
+  }
+  double to = 0;
+  SimTime duration = 0;
+  if (tokens.size() != 7 || tokens[5] != "over" || !parse_one(tokens[4], to) ||
+      !parse_time(tokens[6], duration) || duration <= 0) {
+    fail(text, "ramp form is: <t> " + std::string(dyn_event_kind_name(ev.kind)) +
+                   " <link> <from> <to> over <duration>");
+  }
+  ev.ramp_from = first;
+  ev.value = to;
+  ev.ramp = duration;
+}
+
+}  // namespace
+
+DynScript DynScript::parse(const std::string& text) {
+  DynScript script;
+
+  // Strip comments, then split on ';'.
+  std::string clean;
+  clean.reserve(text.size());
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    clean.push_back(in_comment || c == '\n' ? ' ' : c);
+  }
+
+  std::size_t start = 0;
+  while (start <= clean.size()) {
+    const std::size_t semi = std::min(clean.find(';', start), clean.size());
+    const std::string event_text = clean.substr(start, semi - start);
+    start = semi + 1;
+
+    const std::vector<std::string> tokens = tokenize(event_text);
+    if (tokens.empty()) {
+      if (semi == clean.size()) break;
+      continue;  // empty segment (trailing ';')
+    }
+
+    DynEvent ev;
+    if (!parse_time(tokens[0], ev.at) || ev.at < 0) {
+      fail(event_text, "events start with a time like 5s or 200ms");
+    }
+    if (tokens.size() < 3) fail(event_text, "expected: <time> <verb> <link> ...");
+    const std::string& verb = tokens[1];
+    ev.target = tokens[2];
+
+    if (verb == "down" || verb == "up") {
+      if (tokens.size() != 3) fail(event_text, verb + " takes only a link name");
+      ev.kind = verb == "down" ? DynEvent::Kind::kLinkDown : DynEvent::Kind::kLinkUp;
+    } else if (verb == "rate") {
+      ev.kind = DynEvent::Kind::kSetRate;
+      parse_step_or_ramp(tokens, event_text,
+                         [](const std::string& t, double& v) {
+                           Rate r;
+                           if (!parse_rate(t, r) || r <= 0) return false;
+                           v = r;
+                           return true;
+                         },
+                         ev);
+    } else if (verb == "delay") {
+      ev.kind = DynEvent::Kind::kSetDelay;
+      parse_step_or_ramp(tokens, event_text,
+                         [](const std::string& t, double& v) {
+                           SimTime d;
+                           if (!parse_time(t, d) || d < 0) return false;
+                           v = static_cast<double>(d);
+                           return true;
+                         },
+                         ev);
+    } else if (verb == "loss") {
+      ev.kind = DynEvent::Kind::kSetLoss;
+      parse_step_or_ramp(tokens, event_text,
+                         [](const std::string& t, double& v) {
+                           return parse_probability(t, v);
+                         },
+                         ev);
+    } else if (verb == "burst") {
+      ev.kind = DynEvent::Kind::kLossBurst;
+      if (tokens.size() != 8 || tokens[6] != "until" ||
+          !parse_probability(tokens[3], ev.value) ||
+          !parse_time(tokens[4], ev.burst_on) || ev.burst_on <= 0 ||
+          !parse_time(tokens[5], ev.burst_off) || ev.burst_off <= 0 ||
+          !parse_time(tokens[7], ev.until) || ev.until <= ev.at) {
+        fail(event_text, "burst form is: <t> burst <link> <loss> <on> <off> until <end>");
+      }
+    } else if (verb == "handover") {
+      ev.kind = DynEvent::Kind::kHandover;
+      if (tokens.size() != 4) {
+        fail(event_text, "handover form is: <t> handover <from-link> <to-link>");
+      }
+      ev.target2 = tokens[3];
+    } else {
+      fail(event_text, "unknown verb \"" + verb +
+                           "\" (down|up|rate|delay|loss|burst|handover)");
+    }
+    script.add(std::move(ev));
+  }
+  return script;
+}
+
+DynScript DynScript::parse_or_load(const std::string& spec) {
+  if (spec.empty() || spec[0] != '@') return parse(spec);
+  const std::string path = spec.substr(1);
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("dyn script: cannot read file \"" + path + "\"");
+  }
+  std::ostringstream text;
+  text << is.rdbuf();
+  return parse(text.str());
+}
+
+DynScript& DynScript::add(DynEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+DynScript& DynScript::down(SimTime at, std::string link) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kLinkDown;
+  ev.target = std::move(link);
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::up(SimTime at, std::string link) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kLinkUp;
+  ev.target = std::move(link);
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::set_rate(SimTime at, std::string link, Rate rate) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetRate;
+  ev.target = std::move(link);
+  ev.value = rate;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::ramp_rate(SimTime at, std::string link, Rate from, Rate to,
+                                SimTime duration) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetRate;
+  ev.target = std::move(link);
+  ev.ramp_from = from;
+  ev.value = to;
+  ev.ramp = duration;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::set_delay(SimTime at, std::string link, SimTime delay) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetDelay;
+  ev.target = std::move(link);
+  ev.value = static_cast<double>(delay);
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::ramp_delay(SimTime at, std::string link, SimTime from,
+                                 SimTime to, SimTime duration) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetDelay;
+  ev.target = std::move(link);
+  ev.ramp_from = static_cast<double>(from);
+  ev.value = static_cast<double>(to);
+  ev.ramp = duration;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::set_loss(SimTime at, std::string link, double loss) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetLoss;
+  ev.target = std::move(link);
+  ev.value = loss;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::ramp_loss(SimTime at, std::string link, double from,
+                                double to, SimTime duration) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kSetLoss;
+  ev.target = std::move(link);
+  ev.ramp_from = from;
+  ev.value = to;
+  ev.ramp = duration;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::loss_burst(SimTime at, std::string link, double loss,
+                                 SimTime on, SimTime off, SimTime until) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kLossBurst;
+  ev.target = std::move(link);
+  ev.value = loss;
+  ev.burst_on = on;
+  ev.burst_off = off;
+  ev.until = until;
+  return add(std::move(ev));
+}
+
+DynScript& DynScript::handover(SimTime at, std::string from, std::string to) {
+  DynEvent ev;
+  ev.at = at;
+  ev.kind = DynEvent::Kind::kHandover;
+  ev.target = std::move(from);
+  ev.target2 = std::move(to);
+  return add(std::move(ev));
+}
+
+std::string DynScript::to_string() const {
+  std::string out;
+  for (const DynEvent& ev : events_) {
+    if (!out.empty()) out += "; ";
+    out += render_time(ev.at) + " " + dyn_event_kind_name(ev.kind) + " " + ev.target;
+    switch (ev.kind) {
+      case DynEvent::Kind::kLinkDown:
+      case DynEvent::Kind::kLinkUp:
+        break;
+      case DynEvent::Kind::kSetRate:
+        if (ev.ramp > 0) {
+          out += " " + render_rate(ev.ramp_from) + " " + render_rate(ev.value) +
+                 " over " + render_time(ev.ramp);
+        } else {
+          out += " " + render_rate(ev.value);
+        }
+        break;
+      case DynEvent::Kind::kSetDelay:
+        if (ev.ramp > 0) {
+          out += " " + render_time(static_cast<SimTime>(ev.ramp_from)) + " " +
+                 render_time(static_cast<SimTime>(ev.value)) + " over " +
+                 render_time(ev.ramp);
+        } else {
+          out += " " + render_time(static_cast<SimTime>(ev.value));
+        }
+        break;
+      case DynEvent::Kind::kSetLoss:
+        if (ev.ramp > 0) {
+          out += " " + render_value(ev.ramp_from) + " " + render_value(ev.value) +
+                 " over " + render_time(ev.ramp);
+        } else {
+          out += " " + render_value(ev.value);
+        }
+        break;
+      case DynEvent::Kind::kLossBurst:
+        out += " " + render_value(ev.value) + " " + render_time(ev.burst_on) +
+               " " + render_time(ev.burst_off) + " until " + render_time(ev.until);
+        break;
+      case DynEvent::Kind::kHandover:
+        out += " " + ev.target2;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcc::dyn

@@ -1,0 +1,112 @@
+// DynScript: a deterministic timeline of network-dynamics events.
+//
+// The dynamics subsystem (src/dyn/) reproduces the *changing* conditions the
+// paper's energy story depends on: links that degrade, fail and recover,
+// WiFi<->LTE handover, and mobility-style drift of bandwidth and delay. A
+// DynScript is pure data — typed events on a simulated-time axis — so the
+// same script replays bit-identically in every run, and the sweep engine can
+// cross a `dyn` axis with CC algorithms and seeds like any other parameter.
+//
+// Scripts compose programmatically (the builder methods) or parse from a
+// compact text syntax designed to survive as a CLI flag value (no commas, so
+// it cannot collide with sweep-axis value lists):
+//
+//   events  := event (';' event)*
+//   event   := TIME VERB ARGS
+//   TIME    := <number>(s|ms|us|ns)
+//
+//   10s down wifi                      link fails (drops in-flight packets)
+//   14s up wifi                        link recovers
+//   5s rate wifi 2mbps                 step the link rate
+//   5s rate wifi 10mbps 2mbps over 4s  linear ramp from->to across 4 s
+//   5s delay wifi 120ms                step the propagation delay
+//   5s delay wifi 40ms 120ms over 4s   linear delay ramp (RTT drift)
+//   5s loss wifi 0.05                  step the random loss rate
+//   5s loss wifi 0 0.05 over 4s        linear loss ramp
+//   10s burst wifi 0.3 500ms 1500ms until 30s
+//                                      Gilbert-style on/off loss: 0.3 for
+//                                      500 ms, then off for 1500 ms, cycling
+//                                      until t=30s
+//   20s handover wifi cell             move traffic from one link's subflows
+//                                      to the other's (reactive managers act)
+//
+// '#' starts a comment through end-of-line. A script argument of the form
+// "@path/to/file.dyn" is read from that file (see parse_or_load).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpcc::dyn {
+
+struct DynEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown = 0,
+    kLinkUp,
+    kSetRate,    ///< value = bits/s; ramp_from/ramp used when ramp > 0
+    kSetDelay,   ///< value = SimTime ns
+    kSetLoss,    ///< value = probability
+    kLossBurst,  ///< value = burst loss rate, on/off durations, until
+    kHandover,   ///< target -> target2
+  };
+
+  SimTime at = 0;
+  Kind kind = Kind::kLinkDown;
+  std::string target;   ///< link name (or handover source link)
+  std::string target2;  ///< handover destination link
+
+  double value = 0;      ///< step/ramp-to value (units per Kind)
+  double ramp_from = 0;  ///< ramp start value (only when ramp > 0)
+  SimTime ramp = 0;      ///< ramp duration; 0 = step change
+
+  SimTime burst_on = 0;   ///< kLossBurst: loss-on duration
+  SimTime burst_off = 0;  ///< kLossBurst: loss-off duration
+  SimTime until = 0;      ///< kLossBurst: cycling stops at this time
+};
+
+const char* dyn_event_kind_name(DynEvent::Kind kind);
+
+class DynScript {
+ public:
+  DynScript() = default;
+
+  /// Parses the text syntax above. Throws std::invalid_argument with a
+  /// message naming the offending event on any syntax error.
+  static DynScript parse(const std::string& text);
+
+  /// Like parse(), but a spec starting with '@' is read from the named
+  /// file first (throws std::invalid_argument if unreadable).
+  static DynScript parse_or_load(const std::string& spec);
+
+  // --- programmatic builders (return *this for chaining) ---
+  DynScript& down(SimTime at, std::string link);
+  DynScript& up(SimTime at, std::string link);
+  DynScript& set_rate(SimTime at, std::string link, Rate rate);
+  DynScript& ramp_rate(SimTime at, std::string link, Rate from, Rate to,
+                       SimTime duration);
+  DynScript& set_delay(SimTime at, std::string link, SimTime delay);
+  DynScript& ramp_delay(SimTime at, std::string link, SimTime from, SimTime to,
+                        SimTime duration);
+  DynScript& set_loss(SimTime at, std::string link, double loss);
+  DynScript& ramp_loss(SimTime at, std::string link, double from, double to,
+                       SimTime duration);
+  DynScript& loss_burst(SimTime at, std::string link, double loss, SimTime on,
+                        SimTime off, SimTime until);
+  DynScript& handover(SimTime at, std::string from, std::string to);
+
+  DynScript& add(DynEvent event);
+
+  const std::vector<DynEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Renders back to the text syntax (stable round-trip for tests/docs).
+  std::string to_string() const;
+
+ private:
+  std::vector<DynEvent> events_;
+};
+
+}  // namespace mpcc::dyn

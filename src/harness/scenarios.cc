@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "cc/registry.h"
+#include "dyn/driver.h"
+#include "dyn/reactive.h"
 #include "energy/path_selector.h"
 #include "energy/radio_power.h"
 #include "mptcp/path_manager.h"
@@ -331,6 +333,204 @@ WirelessResult run_wireless(SimContext& ctx, const WirelessOptions& options) {
     result.joules_per_gigabyte = result.radio_energy_j / gb;
     result.marginal_joules_per_gigabyte = result.marginal_energy_j / gb;
   }
+  return result;
+}
+
+// ---------------------------------------------------------------- handover
+
+namespace {
+
+dyn::LinkHandle wireless_link_handle(WirelessHetero& topo, std::size_t p) {
+  dyn::LinkHandle h;
+  h.fwd_queue = topo.forward_queue(p);
+  h.rev_queue = topo.reverse_queue(p);
+  h.fwd_lossy = topo.forward_pipe(p);
+  h.rev_lossy = topo.reverse_pipe(p);
+  h.fwd_pipe = h.fwd_lossy;
+  h.rev_pipe = h.rev_lossy;
+  return h;
+}
+
+/// Builds the wireless MPTCP connection + dyn plumbing shared by the
+/// handover and flaky-wifi scenarios.
+struct WirelessDynRig {
+  WirelessDynRig(Network& net, WirelessHetero& topo, const std::string& cc,
+                 Bytes recv_buffer, int dead_after_timeouts,
+                 const core::EnergyPriceConfig& price, const std::string& script)
+      : wifi_model(wifi_radio_config()),
+        cell_model(lte_radio_config()),
+        wifi_meter(net, "wifi", wifi_model, 20 * kMillisecond),
+        cell_meter(net, "cell", cell_model, 20 * kMillisecond),
+        driver(net.events()) {
+    MptcpConfig cfg = make_mptcp_config(-1, 200 * kMillisecond, recv_buffer);
+    cfg.subflow.dead_after_timeouts = dead_after_timeouts;
+    conn = net.emplace<MptcpConnection>(net, "mp", cfg, make_multipath_cc(cc, price));
+    conn->set_scheduler(std::make_unique<MinRttScheduler>(1 << 20));
+    const std::vector<PathSpec> paths = topo.paths();
+    conn->add_subflow(paths[0]);
+    conn->add_subflow(paths[1]);
+    wifi_meter.probe().add_flow(&conn->subflow(0));
+    cell_meter.probe().add_flow(&conn->subflow(1));
+
+    driver.add_link("wifi", wireless_link_handle(topo, 0));
+    driver.add_link("cell", wireless_link_handle(topo, 1));
+    manager = std::make_unique<dyn::ReactivePathManager>(*conn);
+    manager->map_link("wifi", 0);
+    manager->map_link("cell", 1);
+    driver.add_listener(manager.get());
+    script_text = script;
+  }
+
+  /// arm() after any extra listeners are registered.
+  void arm() {
+    if (!script_text.empty()) driver.arm(dyn::DynScript::parse_or_load(script_text));
+  }
+
+  RadioPower wifi_model;
+  RadioPower cell_model;
+  HostMeter wifi_meter;
+  HostMeter cell_meter;
+  dyn::DynDriver driver;
+  std::unique_ptr<dyn::ReactivePathManager> manager;
+  MptcpConnection* conn = nullptr;
+  std::string script_text;
+};
+
+}  // namespace
+
+HandoverResult run_handover(const HandoverOptions& options) {
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_handover(ctx, options);
+}
+
+HandoverResult run_handover(SimContext& ctx, const HandoverOptions& options) {
+  Network net(ctx);
+  WirelessHetero topo(net, options.topo);
+  WirelessDynRig rig(net, topo, options.cc, options.recv_buffer,
+                     options.dead_after_timeouts, options.price, options.dyn);
+  rig.wifi_meter.meter().enable_trace();
+
+  HandoverResult result;
+
+  // Captures the subflow byte counters at the first handover directive
+  // (listeners run before any quiescing changes behaviour, and byte
+  // counters are unaffected by set_admin_down either way).
+  struct Snapshot final : dyn::DynListener {
+    MptcpConnection& conn;
+    Network& net;
+    HandoverResult& result;
+    Snapshot(MptcpConnection& c, Network& n, HandoverResult& r)
+        : conn(c), net(n), result(r) {}
+    void on_handover(const std::string&, const std::string&) override {
+      if (result.handover_time >= 0) return;
+      result.handover_time = net.now();
+      result.wifi_bytes_at_handover = conn.subflow(0).bytes_acked_total();
+      result.cell_bytes_at_handover = conn.subflow(1).bytes_acked_total();
+    }
+  } snapshot(*rig.conn, net, result);
+  rig.driver.add_listener(&snapshot);
+  rig.arm();
+
+  rig.wifi_meter.start();
+  rig.cell_meter.start();
+  topo.start_cross_traffic(0);
+  rig.conn->start(100 * kMillisecond);
+  net.events().run_until(options.duration);
+
+  result.wifi_bytes = rig.conn->subflow(0).bytes_acked_total();
+  result.cell_bytes = rig.conn->subflow(1).bytes_acked_total();
+  result.bytes_delivered = rig.conn->bytes_delivered();
+  result.goodput = throughput(result.bytes_delivered, options.duration);
+  result.wifi_energy_j = rig.wifi_meter.energy_j();
+  result.cell_energy_j = rig.cell_meter.energy_j();
+  result.radio_energy_j = result.wifi_energy_j + result.cell_energy_j;
+  result.handovers = rig.manager->handovers();
+  result.subflow_closes = rig.manager->closes();
+  result.subflow_reopens = rig.manager->reopens();
+  result.dyn_actions = rig.driver.actions_applied();
+
+  // Radio-state evidence: after the handover the WiFi radio drains its
+  // in-flight ACKs, lingers at tail power for tail_duration, then idles.
+  // Anchor the windows on the last ACTIVE sample (power >= active base)
+  // instead of the handover instant, so the ~1 RTT of post-handover ACK
+  // activity does not blur the boundaries.
+  if (result.handover_time >= 0) {
+    const auto& trace = rig.wifi_meter.meter().trace();
+    const RadioPowerConfig& rc = rig.wifi_model.config();
+    SimTime last_active = result.handover_time;
+    for (const auto& [t, w] : trace) {
+      if (t > result.handover_time && w >= rc.active_base_watts) last_active = t;
+    }
+    double tail_sum = 0, idle_sum = 0;
+    int tail_n = 0, idle_n = 0;
+    const SimTime tail_end = last_active + rc.tail_duration;
+    for (const auto& [t, w] : trace) {
+      if (t > last_active && t <= tail_end - 20 * kMillisecond) {
+        tail_sum += w;
+        ++tail_n;
+      } else if (t > tail_end + 40 * kMillisecond &&
+                 t <= tail_end + 1040 * kMillisecond) {
+        idle_sum += w;
+        ++idle_n;
+      }
+    }
+    if (tail_n > 0) result.wifi_tail_power_w = tail_sum / tail_n;
+    if (idle_n > 0) result.wifi_idle_power_w = idle_sum / idle_n;
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- flaky wifi
+
+FlakyWifiResult run_flaky_wifi(const FlakyWifiOptions& options) {
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_flaky_wifi(ctx, options);
+}
+
+FlakyWifiResult run_flaky_wifi(SimContext& ctx, const FlakyWifiOptions& options) {
+  Network net(ctx);
+  WirelessHetero topo(net, options.topo);
+  WirelessDynRig rig(net, topo, options.cc, options.recv_buffer,
+                     options.dead_after_timeouts, options.price, options.dyn);
+  rig.arm();
+
+  // Split the run's traffic at degrade_at to measure how decisively the CC
+  // evacuates the degrading path.
+  Bytes wifi_at = 0, cell_at = 0;
+  Timer split(net.events(), "flaky:split", [&] {
+    wifi_at = rig.conn->subflow(0).bytes_acked_total();
+    cell_at = rig.conn->subflow(1).bytes_acked_total();
+  });
+  split.arm_at(options.degrade_at);
+
+  rig.wifi_meter.start();
+  rig.cell_meter.start();
+  topo.start_cross_traffic(0);
+  rig.conn->start(100 * kMillisecond);
+  net.events().run_until(options.duration);
+
+  FlakyWifiResult result;
+  result.wifi_bytes = rig.conn->subflow(0).bytes_acked_total();
+  result.cell_bytes = rig.conn->subflow(1).bytes_acked_total();
+  result.bytes_delivered = rig.conn->bytes_delivered();
+  result.goodput = throughput(result.bytes_delivered, options.duration);
+  result.wifi_energy_j = rig.wifi_meter.energy_j();
+  result.cell_energy_j = rig.cell_meter.energy_j();
+  result.radio_energy_j = result.wifi_energy_j + result.cell_energy_j;
+  result.wifi_losses = topo.forward_pipe(0)->losses() + topo.reverse_pipe(0)->losses();
+  result.dyn_actions = rig.driver.actions_applied();
+
+  const auto share = [](Bytes wifi, Bytes cell) {
+    return wifi + cell > 0
+               ? static_cast<double>(wifi) / static_cast<double>(wifi + cell)
+               : 0.0;
+  };
+  result.wifi_share = share(result.wifi_bytes, result.cell_bytes);
+  result.wifi_share_before = share(wifi_at, cell_at);
+  result.wifi_share_after =
+      share(result.wifi_bytes - wifi_at, result.cell_bytes - cell_at);
   return result;
 }
 

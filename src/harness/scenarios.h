@@ -142,4 +142,92 @@ struct WirelessResult {
 WirelessResult run_wireless(SimContext& ctx, const WirelessOptions& options);
 WirelessResult run_wireless(const WirelessOptions& options);
 
+// ------------------------------------------------------------- handover
+//
+// The wireless heterogeneous topology under network dynamics (src/dyn/): a
+// DynScript drives link churn / WiFi<->LTE handover while a
+// ReactivePathManager closes and reopens the mapped subflows. Demonstrates
+// the energy consequence of mobility: the WiFi radio's post-handover tail
+// ramp is visible in the meter trace, and DTS-style CCs move traffic off a
+// degrading path earlier than LIA/OLIA.
+
+struct HandoverOptions {
+  std::string cc = "lia";
+  SimTime duration = seconds(30);
+  std::uint64_t seed = 1;
+  WirelessHeteroConfig topo;
+  Bytes recv_buffer = 64 * 1024;
+  core::EnergyPriceConfig price;
+  /// Dynamics script (dyn/script.h syntax, or "@file"); empty = static run.
+  std::string dyn = "10s handover wifi cell";
+  /// Consecutive RTOs before a subflow is declared dead (0 = never).
+  int dead_after_timeouts = 6;
+};
+
+struct HandoverResult {
+  Bytes wifi_bytes = 0;
+  Bytes cell_bytes = 0;
+  Bytes bytes_delivered = 0;
+  Rate goodput = 0;
+  double wifi_energy_j = 0;
+  double cell_energy_j = 0;
+  double radio_energy_j = 0;
+  /// Byte counters captured at the moment of the first handover directive.
+  SimTime handover_time = -1;  ///< -1 = the script had no handover
+  Bytes wifi_bytes_at_handover = 0;
+  Bytes cell_bytes_at_handover = 0;
+  /// Radio-state evidence from the WiFi meter trace after the handover: the
+  /// mean power right after the last active sample (expect ~tail_watts)
+  /// and once the power-save tail has expired (expect ~idle_watts).
+  double wifi_tail_power_w = 0;
+  double wifi_idle_power_w = 0;
+  std::uint64_t handovers = 0;
+  std::uint64_t subflow_closes = 0;
+  std::uint64_t subflow_reopens = 0;
+  std::uint64_t dyn_actions = 0;
+};
+
+HandoverResult run_handover(SimContext& ctx, const HandoverOptions& options);
+HandoverResult run_handover(const HandoverOptions& options);
+
+// ----------------------------------------------------------- flaky wifi
+//
+// The WiFi path degrades mid-run (rate ramp + rising loss by default) with
+// no explicit handover: the congestion controller alone decides how much
+// traffic to move to cellular. The before/after traffic shares quantify how
+// decisively each CC evacuates the degrading path.
+
+struct FlakyWifiOptions {
+  std::string cc = "dts";
+  SimTime duration = seconds(40);
+  std::uint64_t seed = 1;
+  WirelessHeteroConfig topo;
+  Bytes recv_buffer = 64 * 1024;
+  core::EnergyPriceConfig price;
+  /// Degradation timeline; wifi_share_before/after split at degrade_at.
+  std::string dyn = "10s rate wifi 10mbps 2mbps over 8s; 10s loss wifi 0 0.03 over 8s";
+  SimTime degrade_at = seconds(10);
+  int dead_after_timeouts = 6;
+};
+
+struct FlakyWifiResult {
+  Bytes wifi_bytes = 0;
+  Bytes cell_bytes = 0;
+  Bytes bytes_delivered = 0;
+  Rate goodput = 0;
+  double wifi_energy_j = 0;
+  double cell_energy_j = 0;
+  double radio_energy_j = 0;
+  /// WiFi's share of subflow bytes over the whole run, before degrade_at,
+  /// and from degrade_at to the end.
+  double wifi_share = 0;
+  double wifi_share_before = 0;
+  double wifi_share_after = 0;
+  std::uint64_t wifi_losses = 0;
+  std::uint64_t dyn_actions = 0;
+};
+
+FlakyWifiResult run_flaky_wifi(SimContext& ctx, const FlakyWifiOptions& options);
+FlakyWifiResult run_flaky_wifi(const FlakyWifiOptions& options);
+
 }  // namespace mpcc::harness

@@ -117,7 +117,19 @@ const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
   for (const ScenarioSpec& spec : specs_) {
     if (spec.name == name) return &spec;
   }
+  // The runner functions are named run_<scenario>; accept that spelling too
+  // ("run_handover" finds "handover").
+  if (name.rfind("run_", 0) == 0) return find(name.substr(4));
   return nullptr;
+}
+
+std::string ScenarioRegistry::names() const {
+  std::string out;
+  for (const ScenarioSpec& spec : specs_) {
+    if (!out.empty()) out += ", ";
+    out += spec.name;
+  }
+  return out;
 }
 
 std::vector<const ScenarioSpec*> ScenarioRegistry::all() const {
@@ -294,6 +306,79 @@ ResultRow wireless_point(SimContext& ctx, const ParamMap& p) {
   return row;
 }
 
+// Shared wireless-topology parameters for the dyn scenarios.
+void apply_wireless_topo_params(const ParamMap& p, WirelessHeteroConfig& topo) {
+  topo.wifi.rate = mbps(param_double(p, "wifi_rate_mbps", to_mbps(topo.wifi.rate)));
+  topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(topo.wifi.delay)));
+  topo.wifi.loss_rate = param_double(p, "wifi_loss", topo.wifi.loss_rate);
+  topo.cellular.rate =
+      mbps(param_double(p, "cell_rate_mbps", to_mbps(topo.cellular.rate)));
+  topo.cellular.delay =
+      ms(param_double(p, "cell_delay_ms", to_ms(topo.cellular.delay)));
+  topo.cross_traffic = param_bool(p, "cross_traffic", topo.cross_traffic);
+}
+
+ResultRow handover_point(SimContext& ctx, const ParamMap& p) {
+  HandoverOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.dyn = param_string(p, "dyn", o.dyn);
+  o.dead_after_timeouts = static_cast<int>(
+      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
+  apply_wireless_topo_params(p, o.topo);
+  apply_price_params(p, o.price);
+
+  const HandoverResult r = run_handover(ctx, o);
+  const double total = double(r.wifi_bytes + r.cell_bytes);
+  ResultRow row;
+  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
+  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
+  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["wifi_energy_j"] = r.wifi_energy_j;
+  row["cell_energy_j"] = r.cell_energy_j;
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["handover_s"] = r.handover_time >= 0 ? to_seconds(r.handover_time) : -1;
+  row["wifi_tail_power_w"] = r.wifi_tail_power_w;
+  row["wifi_idle_power_w"] = r.wifi_idle_power_w;
+  row["handovers"] = double(r.handovers);
+  row["subflow_closes"] = double(r.subflow_closes);
+  row["subflow_reopens"] = double(r.subflow_reopens);
+  row["dyn_actions"] = double(r.dyn_actions);
+  return row;
+}
+
+ResultRow flaky_wifi_point(SimContext& ctx, const ParamMap& p) {
+  FlakyWifiOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.dyn = param_string(p, "dyn", o.dyn);
+  o.degrade_at = seconds(param_double(p, "degrade_at_s", to_seconds(o.degrade_at)));
+  o.dead_after_timeouts = static_cast<int>(
+      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
+  apply_wireless_topo_params(p, o.topo);
+  apply_price_params(p, o.price);
+
+  const FlakyWifiResult r = run_flaky_wifi(ctx, o);
+  ResultRow row;
+  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
+  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
+  row["wifi_share"] = r.wifi_share;
+  row["wifi_share_before"] = r.wifi_share_before;
+  row["wifi_share_after"] = r.wifi_share_after;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["wifi_losses"] = double(r.wifi_losses);
+  row["dyn_actions"] = double(r.dyn_actions);
+  return row;
+}
+
 }  // namespace
 
 void register_builtin_scenarios() {
@@ -374,6 +459,53 @@ void register_builtin_scenarios() {
       };
       append_price_params(spec.params);
       spec.run = wireless_point;
+      reg.add(std::move(spec));
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = "handover";
+      spec.help = "wireless hetero under scripted dynamics + WiFi<->LTE handover";
+      spec.params = {
+          {"cc", "lia", "multipath CC algorithm"},
+          {"duration_s", "30", "simulated seconds"},
+          {"recv_buffer", "65536", "receive buffer, bytes"},
+          {"dyn", "10s handover wifi cell",
+           "dynamics script (dyn/script.h syntax, or @file)"},
+          {"dead_after_timeouts", "6",
+           "consecutive RTOs before a subflow is dead (0 = never)"},
+          {"wifi_rate_mbps", "10", "WiFi link rate"},
+          {"wifi_delay_ms", "40", "WiFi one-way delay"},
+          {"wifi_loss", "0", "WiFi random loss rate"},
+          {"cell_rate_mbps", "20", "cellular link rate"},
+          {"cell_delay_ms", "100", "cellular one-way delay"},
+          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+      };
+      append_price_params(spec.params);
+      spec.run = handover_point;
+      reg.add(std::move(spec));
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = "flaky_wifi";
+      spec.help = "WiFi path degrades mid-run; the CC alone shifts traffic";
+      spec.params = {
+          {"cc", "dts", "multipath CC algorithm"},
+          {"duration_s", "40", "simulated seconds"},
+          {"recv_buffer", "65536", "receive buffer, bytes"},
+          {"dyn", "10s rate wifi 10mbps 2mbps over 8s; 10s loss wifi 0 0.03 over 8s",
+           "degradation script (dyn/script.h syntax, or @file)"},
+          {"degrade_at_s", "10", "share-split instant for before/after stats"},
+          {"dead_after_timeouts", "6",
+           "consecutive RTOs before a subflow is dead (0 = never)"},
+          {"wifi_rate_mbps", "10", "WiFi link rate"},
+          {"wifi_delay_ms", "40", "WiFi one-way delay"},
+          {"wifi_loss", "0", "WiFi random loss rate"},
+          {"cell_rate_mbps", "20", "cellular link rate"},
+          {"cell_delay_ms", "100", "cellular one-way delay"},
+          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+      };
+      append_price_params(spec.params);
+      spec.run = flaky_wifi_point;
       reg.add(std::move(spec));
     }
     return true;
@@ -509,7 +641,9 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   register_builtin_scenarios();
   const ScenarioSpec* spec = ScenarioRegistry::instance().find(plan.scenario);
   if (spec == nullptr) {
-    throw std::invalid_argument("unknown scenario \"" + plan.scenario + "\"");
+    throw std::invalid_argument("unknown scenario \"" + plan.scenario +
+                                "\" (valid: " +
+                                ScenarioRegistry::instance().names() + ")");
   }
   for (const SweepAxis& axis : plan.axes) {
     if (!spec->has_param(axis.param)) {

@@ -75,8 +75,12 @@ class ScenarioRegistry {
 
   /// Replaces any existing spec with the same name.
   void add(ScenarioSpec spec);
+  /// Looks a scenario up by name; a "run_" prefix is accepted and stripped
+  /// ("run_handover" finds "handover"). Returns nullptr when unknown.
   const ScenarioSpec* find(const std::string& name) const;
   std::vector<const ScenarioSpec*> all() const;
+  /// Comma-joined registered names, for error messages.
+  std::string names() const;
 
  private:
   std::vector<ScenarioSpec> specs_;

@@ -75,6 +75,11 @@ void MptcpConnection::start(SimTime at) {
 
 bool MptcpConnection::allocate_chunk(Subflow& sf, Bytes mss, Bytes& len,
                                      std::int64_t& data_seq) {
+  // A dead subflow (consecutive-RTO detection, see TcpConfig) gets no new
+  // work: its RTO probes retransmit already-mapped segments, and fresh
+  // chunks would head-of-line block the connection window.
+  if (sf.dead()) return false;
+
   // Reinjections take priority over fresh data and bypass the window (the
   // data-sequence space is already allocated; this is a duplicate copy).
   for (auto it = reinject_queue_.begin(); it != reinject_queue_.end(); ++it) {

@@ -17,6 +17,7 @@ bool MinRttScheduler::may_allocate(const MptcpConnection& conn, const Subflow& s
   SimTime best = kSimTimeMax;
   const Subflow* best_sf = nullptr;
   for (const Subflow* other : conn.subflows()) {
+    if (other->dead() || other->admin_down()) continue;  // dyn: not schedulable
     if (other->inflight() + other->mss() > static_cast<Bytes>(other->cwnd())) continue;
     const SimTime rtt = other->rtt().has_sample() ? other->rtt().srtt() : 0;
     if (rtt < best) {

@@ -10,6 +10,10 @@ Pipe::Pipe(EventList& events, std::string name, SimTime delay)
 bool Pipe::on_ingress(Packet&, SimTime&) { return true; }
 
 void Pipe::receive(Packet pkt) {
+  if (down_) {
+    ++down_drops_;
+    return;
+  }
   SimTime extra = 0;
   if (!on_ingress(pkt, extra)) return;  // dropped (lossy subclass)
   // Keep deliveries monotone even with jitter so the deque stays sorted.
@@ -24,8 +28,10 @@ void Pipe::receive(Packet pkt) {
 }
 
 void Pipe::do_next_event() {
-  assert(!in_flight_.empty());
   event_pending_ = false;
+  // drop_in_flight() may have emptied the deque after this event was
+  // scheduled; the stale wakeup is a no-op.
+  if (in_flight_.empty()) return;
   // Deliver everything due now (simultaneous arrivals collapse into one
   // event when they share a timestamp).
   while (!in_flight_.empty() && in_flight_.front().deliver_at <= events_.now()) {
@@ -38,6 +44,13 @@ void Pipe::do_next_event() {
     event_pending_ = true;
     events_.schedule_at(this, in_flight_.front().deliver_at);
   }
+}
+
+std::size_t Pipe::drop_in_flight() {
+  const std::size_t dropped = in_flight_.size();
+  down_drops_ += dropped;
+  in_flight_.clear();
+  return dropped;
 }
 
 }  // namespace mpcc

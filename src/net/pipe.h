@@ -1,8 +1,15 @@
 // Pipe: fixed propagation delay.
 //
-// A pipe delays every packet by `delay` and forwards it. Because the delay
-// is constant, deliveries stay FIFO and a simple deque suffices; the pipe
-// keeps at most one pending event (for its earliest delivery).
+// A pipe delays every packet by `delay` and forwards it. Deliveries are kept
+// monotone (a packet never overtakes the one before it) by clamping each
+// release time to the last scheduled egress, so a simple deque suffices and
+// the pipe keeps at most one pending event (for its earliest delivery).
+//
+// For the dynamics subsystem (src/dyn/) a pipe is runtime-mutable: its delay
+// can change mid-run (mobility-style RTT drift; the monotone clamp prevents
+// reordering when the delay shrinks) and it can be taken administratively
+// down, which drops arrivals at ingress and optionally flushes the packets
+// already in flight (a radio that loses association loses its airframes).
 #pragma once
 
 #include <deque>
@@ -22,6 +29,24 @@ class Pipe : public PacketHandler, public EventSource {
   SimTime delay() const { return delay_; }
   std::uint64_t forwarded() const { return forwarded_; }
 
+  /// Changes the propagation delay for packets received from now on.
+  /// Packets already in flight keep their original delivery time; the
+  /// monotone-release clamp keeps ordering intact when the delay decreases.
+  void set_delay(SimTime delay) { delay_ = delay; }
+
+  /// Administrative link state. While down, every arriving packet is
+  /// dropped at ingress (counted in down_drops()).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// Drops every packet currently in flight (used by dyn LinkDown so a
+  /// failed link loses its airframes instead of delivering them later).
+  /// Returns the number of packets dropped.
+  std::size_t drop_in_flight();
+
+  /// Packets dropped because the pipe was administratively down.
+  std::uint64_t down_drops() const { return down_drops_; }
+
  protected:
   /// Subclass hook: return false to drop the packet at ingress (loss), and
   /// optionally perturb `extra_delay` (jitter).
@@ -38,8 +63,10 @@ class Pipe : public PacketHandler, public EventSource {
   SimTime delay_;
   std::deque<InFlight> in_flight_;
   bool event_pending_ = false;
+  bool down_ = false;
   SimTime last_delivery_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t down_drops_ = 0;
 };
 
 }  // namespace mpcc

@@ -19,7 +19,27 @@ Queue::Queue(EventList& events, std::string name, Rate rate, Bytes capacity_byte
 
 bool Queue::on_enqueue(Packet&) { return true; }
 
+void Queue::set_rate(Rate rate) {
+  assert(rate > 0);
+  rate_ = rate;
+}
+
+void Queue::set_down(bool down) {
+  down_ = down;
+  if (!down) return;
+  // Flush everything waiting behind the (doomed) packet in service.
+  for (const Packet& pkt : fifo_) {
+    queued_bytes_ -= pkt.wire_size();
+    ++down_drops_;
+  }
+  fifo_.clear();
+}
+
 void Queue::receive(Packet pkt) {
+  if (down_) {
+    ++down_drops_;
+    return;
+  }
   const bool over_bytes = queued_bytes_ + pkt.wire_size() > capacity_bytes_;
   const bool over_packets =
       capacity_packets_ != 0 && queued_packets() + 1 > capacity_packets_;
@@ -71,8 +91,14 @@ void Queue::do_next_event() {
   assert(busy_);
   busy_time_ += events_.now() - service_started_;
   queued_bytes_ -= in_service_.wire_size();
-  ++forwarded_;
-  bytes_forwarded_ += in_service_.wire_size();
+  // A link that went down mid-serialisation loses the frame on the wire.
+  const bool deliver = !down_;
+  if (deliver) {
+    ++forwarded_;
+    bytes_forwarded_ += in_service_.wire_size();
+  } else {
+    ++down_drops_;
+  }
   Packet done = std::move(in_service_);
   if (!fifo_.empty()) {
     Packet next = std::move(fifo_.front());
@@ -81,7 +107,7 @@ void Queue::do_next_event() {
   } else {
     busy_ = false;
   }
-  Route::forward(std::move(done));
+  if (deliver) Route::forward(std::move(done));
 }
 
 double Queue::utilization(SimTime now) const {

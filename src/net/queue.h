@@ -33,9 +33,24 @@ class Queue : public PacketHandler, public EventSource {
   std::size_t queued_packets() const { return fifo_.size() + (busy_ ? 1 : 0); }
   Bytes capacity_bytes() const { return capacity_bytes_; }
 
+  /// Changes the serialisation rate for packets whose service starts from
+  /// now on; the packet currently on the wire finishes at the old rate
+  /// (its completion event is already scheduled). Used by dyn SetRate for
+  /// mobility-style bandwidth drift.
+  void set_rate(Rate rate);
+
+  /// Administrative link state. While down, arrivals are dropped; the
+  /// packet in service (if any) is discarded at service completion instead
+  /// of being forwarded. Going down flushes the waiting FIFO.
+  void set_down(bool down);
+  bool down() const { return down_; }
+
   std::uint64_t drops() const { return drops_; }
   std::uint64_t forwarded() const { return forwarded_; }
   Bytes bytes_forwarded() const { return bytes_forwarded_; }
+
+  /// Packets dropped because the queue was administratively down.
+  std::uint64_t down_drops() const { return down_drops_; }
 
   /// Mean utilisation since creation: busy time / elapsed time.
   double utilization(SimTime now) const;
@@ -64,8 +79,10 @@ class Queue : public PacketHandler, public EventSource {
   std::deque<Packet> fifo_;
   Bytes queued_bytes_ = 0;  // includes the packet in service
   bool busy_ = false;
+  bool down_ = false;
   Packet in_service_;
 
+  std::uint64_t down_drops_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t forwarded_ = 0;
   Bytes bytes_forwarded_ = 0;

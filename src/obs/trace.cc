@@ -20,6 +20,8 @@ const char* trace_category_name(TraceCategory c) {
       return "energy";
     case TraceCategory::kSim:
       return "sim";
+    case TraceCategory::kDyn:
+      return "dyn";
     case TraceCategory::kCount:
       break;
   }
@@ -46,7 +48,7 @@ std::uint32_t parse_trace_categories(std::string_view spec) {
     }
     if (!known) {
       MPCC_WARN << "unknown trace category '" << std::string(token)
-                << "' (known: queue,cwnd,subflow,cc,energy,sim,all)";
+                << "' (known: queue,cwnd,subflow,cc,energy,sim,dyn,all)";
     }
   }
   return mask;
@@ -76,6 +78,8 @@ const char* trace_event_name(TraceEvent e) {
       return "price";
     case TraceEvent::kMeterSample:
       return "power";
+    case TraceEvent::kDynEvent:
+      return "dyn";
   }
   return "?";
 }

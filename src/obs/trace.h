@@ -41,6 +41,7 @@ enum class TraceCategory : std::uint8_t {
   kCc,          ///< CC internals: DTS eps_r/psi_r, energy-price terms
   kEnergy,      ///< energy-meter samples
   kSim,         ///< event-loop self-profiling
+  kDyn,         ///< network-dynamics events: link churn, handover, ramps
   kCount,
 };
 
@@ -75,6 +76,7 @@ enum class TraceEvent : std::uint8_t {
   kEpsilon,         ///< kCc: v0=eps_r, v1=psi_r = c*eps_r
   kEnergyPrice,     ///< kCc: v0=price dU_ep/dx_r, v1=increase divisor
   kMeterSample,     ///< kEnergy: v0=watts, v1=cumulative joules
+  kDynEvent,        ///< kDyn: v0=applied value, i0=dyn::DynEvent::Kind
 };
 
 /// Short name ("enqueue", "cwnd", ...), used as the exported event name.

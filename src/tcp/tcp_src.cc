@@ -94,8 +94,30 @@ void TcpSrc::set_cwnd(double cwnd) {
 
 Bytes TcpSrc::effective_cwnd() const { return static_cast<Bytes>(cwnd_); }
 
-void TcpSrc::send_available() {
+void TcpSrc::set_admin_down(bool down) {
+  if (admin_down_ == down) return;
+  admin_down_ = down;
+  if (down) {
+    rto_timer_.cancel();
+    MPCC_DEBUG << name() << " admin down at " << to_ms(net_.now()) << "ms";
+    return;
+  }
+  MPCC_DEBUG << name() << " admin up at " << to_ms(net_.now()) << "ms";
   if (!started_ || completed_) return;
+  // Re-establish like a timeout would: anything in flight when the path
+  // went down is presumed lost, so restart from one segment and resend
+  // from the cumulative ACK point.
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  rto_backoff_ = 1;
+  recover_ = highest_sent_;
+  set_cwnd(static_cast<double>(mss()));
+  next_send_ = last_acked_;  // go-back-N
+  send_available();
+}
+
+void TcpSrc::send_available() {
+  if (!started_ || completed_ || admin_down_) return;
   // RFC 2861: a cwnd unused across an idle period says nothing about the
   // current network; restart from the initial window.
   if (config_.cwnd_restart_after_idle && inflight() == 0 && last_send_time_ > 0 &&
@@ -149,7 +171,7 @@ void TcpSrc::retransmit_one(std::int64_t seq) {
 
 void TcpSrc::receive(Packet pkt) {
   assert(pkt.type == PacketType::kAck);
-  if (completed_) return;
+  if (completed_ || admin_down_) return;  // stale ACKs while quiesced
   if (pkt.seq > last_acked_) {
     handle_new_ack(pkt);
   } else if (pkt.seq == last_acked_ && inflight() > 0) {
@@ -164,6 +186,12 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
   if (next_send_ < last_acked_) next_send_ = last_acked_;
   segments_.erase(segments_.begin(), segments_.lower_bound(last_acked_));
   rto_backoff_ = 1;
+  consecutive_timeouts_ = 0;
+  if (dead_) {
+    dead_ = false;
+    MPCC_DEBUG << name() << " revived at " << to_ms(net_.now()) << "ms";
+    obs::metrics().counter("tcp.subflow_revived").inc();
+  }
 
   const SimTime rtt_sample = net_.now() - ack.ts_echo;
   rtt_.add_sample(rtt_sample);
@@ -260,8 +288,16 @@ void TcpSrc::handle_dup_ack() {
 }
 
 void TcpSrc::on_rto() {
-  if (completed_ || inflight() == 0) return;
+  if (completed_ || admin_down_ || inflight() == 0) return;
   ++timeout_events_;
+  ++consecutive_timeouts_;
+  if (config_.dead_after_timeouts > 0 && !dead_ &&
+      consecutive_timeouts_ >= config_.dead_after_timeouts) {
+    dead_ = true;
+    MPCC_DEBUG << name() << " dead after " << consecutive_timeouts_
+               << " consecutive RTOs at " << to_ms(net_.now()) << "ms";
+    obs::metrics().counter("tcp.subflow_dead").inc();
+  }
   MPCC_DEBUG << name() << " RTO at " << to_ms(net_.now()) << "ms, cwnd=" << cwnd_;
   MPCC_TRACE(obs::TraceCategory::kSubflow, obs::TraceEvent::kTimeout, trace_src_,
              net_.now(), cwnd_, static_cast<double>(ssthresh_));

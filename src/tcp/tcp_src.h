@@ -52,6 +52,13 @@ struct TcpConfig {
   /// than the RTO, restart from the initial window instead of blasting a
   /// stale cwnd into an unknown network state.
   bool cwnd_restart_after_idle = true;
+  /// Dead-path detection for the dynamics subsystem (src/dyn/): after this
+  /// many *consecutive* RTOs the flow is flagged dead() so schedulers and
+  /// reactive path managers stop allocating fresh data to it. The flow
+  /// keeps probing via the normal RTO-backoff go-back-N retransmissions
+  /// and revives on the first new ACK. 0 = never flag (the default; plain
+  /// TCP behaviour is unchanged).
+  int dead_after_timeouts = 0;
 };
 
 /// Supplies payload for new segments. `len` (<= mss) and `data_seq` are
@@ -129,6 +136,19 @@ class TcpSrc : public PacketHandler, public EventSource {
 
   /// The provider gained data (MPTCP window opened): try to send.
   void notify_data_available() { send_available(); }
+
+  /// Administrative quiesce (dyn handover / reactive path management).
+  /// While down, the flow neither transmits nor processes ACKs and its RTO
+  /// timer is parked. Bringing it back up restarts from a one-segment
+  /// window and go-back-N resends from the cumulative ACK point, the same
+  /// re-establishment an RTO performs.
+  void set_admin_down(bool down);
+  bool admin_down() const { return admin_down_; }
+
+  /// True once `dead_after_timeouts` consecutive RTOs fired with no
+  /// intervening new ACK (see TcpConfig). Cleared by the next new ACK.
+  bool dead() const { return dead_; }
+  int consecutive_timeouts() const { return consecutive_timeouts_; }
 
   // --- PacketHandler (ACK arrival) & EventSource (start event) ---
   void receive(Packet pkt) override;
@@ -219,6 +239,9 @@ class TcpSrc : public PacketHandler, public EventSource {
   RttEstimator rtt_;
   Timer rto_timer_;
   int rto_backoff_ = 1;
+  int consecutive_timeouts_ = 0;
+  bool dead_ = false;
+  bool admin_down_ = false;
 
   std::function<void(TcpSrc&)> on_complete_;
   SimTime last_send_time_ = 0;

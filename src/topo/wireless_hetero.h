@@ -42,6 +42,11 @@ class WirelessHetero final : public Topology {
   const Queue* bottleneck_queue(std::size_t p) const { return fwd_queue_[p]; }
   LossyPipe* forward_pipe(std::size_t p) { return fwd_pipe_[p]; }
 
+  /// Mutable component access for the dynamics subsystem (dyn::LinkHandle).
+  Queue* forward_queue(std::size_t p) { return fwd_queue_[p]; }
+  Queue* reverse_queue(std::size_t p) { return rev_queue_[p]; }
+  LossyPipe* reverse_pipe(std::size_t p) { return rev_pipe_[p]; }
+
   void start_cross_traffic(SimTime at);
 
  private:

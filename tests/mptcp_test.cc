@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cc/registry.h"
 #include "cc/uncoupled.h"
 #include "mptcp/path_manager.h"
@@ -190,6 +192,64 @@ TEST_F(MptcpTest, PathManagerRandomKSamplesWithoutReplacement) {
   Rng rng(9);
   PathManager::random_k(*conn, topo.paths(), 5, rng);  // only 2 paths exist
   EXPECT_EQ(conn->num_subflows(), 2u);
+}
+
+TEST_F(MptcpTest, PathManagerRandomKWithReuseWrapsAround) {
+  Network net(8);
+  TwoPath topo(net, quiet_topo());
+  // Tag the two paths so each subflow's path is identifiable afterwards.
+  std::vector<PathSpec> paths = topo.paths();
+  paths[0].energy_cost = 1.0;
+  paths[1].energy_cost = 2.0;
+  MptcpConfig cfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("lia"));
+  Rng rng(9);
+  PathManager::random_k_with_reuse(*conn, paths, 5, rng);  // k > #paths
+  ASSERT_EQ(conn->num_subflows(), 5u);
+  // Round-robin over the shuffled order: 5 subflows over 2 paths must split
+  // 3 + 2, never 4 + 1 or 5 + 0.
+  int on_path[2] = {0, 0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    on_path[conn->subflow(i).path_energy_cost() > 1.5 ? 1 : 0]++;
+  }
+  EXPECT_EQ(std::max(on_path[0], on_path[1]), 3);
+  EXPECT_EQ(std::min(on_path[0], on_path[1]), 2);
+}
+
+TEST_F(MptcpTest, PathManagerRandomKWithReuseExactFitUsesEachPathOnce) {
+  Network net(8);
+  TwoPath topo(net, quiet_topo());
+  std::vector<PathSpec> paths = topo.paths();
+  paths[0].energy_cost = 1.0;
+  paths[1].energy_cost = 2.0;
+  MptcpConfig cfg;
+  auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("lia"));
+  Rng rng(3);
+  PathManager::random_k_with_reuse(*conn, paths, 2, rng);
+  ASSERT_EQ(conn->num_subflows(), 2u);
+  EXPECT_NE(conn->subflow(0).path_energy_cost(), conn->subflow(1).path_energy_cost());
+}
+
+TEST_F(MptcpTest, PathManagerRandomKWithReuseDeterministicUnderSeed) {
+  const auto assignment = [this](std::uint64_t seed) {
+    Network net(seed);
+    TwoPath topo(net, quiet_topo());
+    std::vector<PathSpec> paths = topo.paths();
+    paths[0].energy_cost = 1.0;
+    paths[1].energy_cost = 2.0;
+    MptcpConfig cfg;
+    auto* conn = net.emplace<MptcpConnection>(net, "c", cfg, make_multipath_cc("lia"));
+    Rng rng(seed);
+    PathManager::random_k_with_reuse(*conn, paths, 7, rng);
+    std::vector<double> costs;
+    for (std::size_t i = 0; i < conn->num_subflows(); ++i) {
+      costs.push_back(conn->subflow(i).path_energy_cost());
+    }
+    return costs;
+  };
+  const std::vector<double> a = assignment(42);
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_EQ(a, assignment(42));  // same seed, same wrap-around assignment
 }
 
 TEST_F(MptcpTest, SubflowsCarryInterSwitchMetadata) {

@@ -13,8 +13,13 @@
 // Grid points are crossed with --seeds replicates (seed-base, seed-base+1,
 // ...). Engine flags:
 //
-//   --scenario=NAME        which scenario (see --list)
+//   mpcc_sweep --scenario=run_handover --cc=lia,dts \
+//              "--dyn=10s handover wifi cell" --jobs=4
+//
+//   --scenario=NAME        which scenario (see --list); the runner spelling
+//                          run_<name> is accepted too
 //   --list                 print scenarios + parameters and exit
+//   --list-scenarios       alias for --list
 //   --seeds=N              replicates per grid point            (default 1)
 //   --seed-base=S          first seed                           (default 1)
 //   --jobs=N               worker threads                       (default 1)
@@ -51,10 +56,10 @@ using mpcc::harness::SweepReport;
 
 // Engine flags; everything else of the form --name=value is a sweep axis.
 const char* const kEngineFlags[] = {
-    "--scenario", "--list",           "--seeds",          "--seed-base",
-    "--jobs",     "--out",            "--trace-categories", "--trace-capacity",
-    "--run-metrics", "--csv",         "--json",           "--bench",
-    "--quiet",    "--help",
+    "--scenario", "--list",           "--list-scenarios", "--seeds",
+    "--seed-base", "--jobs",          "--out",            "--trace-categories",
+    "--trace-capacity", "--run-metrics", "--csv",         "--json",
+    "--bench",    "--quiet",          "--help",
 };
 
 bool is_engine_flag(const std::string& name) {
@@ -125,7 +130,7 @@ int main(int argc, char** argv) {
   using namespace mpcc::harness;
 
   if (has_flag(argc, argv, "--help")) return usage(argv[0]);
-  if (has_flag(argc, argv, "--list")) {
+  if (has_flag(argc, argv, "--list") || has_flag(argc, argv, "--list-scenarios")) {
     print_scenarios();
     return 0;
   }
@@ -156,8 +161,9 @@ int main(int argc, char** argv) {
   register_builtin_scenarios();
   const ScenarioSpec* spec = ScenarioRegistry::instance().find(plan.scenario);
   if (spec == nullptr) {
-    std::fprintf(stderr, "unknown scenario \"%s\" (try --list)\n",
-                 plan.scenario.c_str());
+    std::fprintf(stderr, "unknown scenario \"%s\"; valid scenarios: %s\n",
+                 plan.scenario.c_str(),
+                 ScenarioRegistry::instance().names().c_str());
     return 2;
   }
   for (int i = 1; i < argc; ++i) {
