@@ -70,4 +70,12 @@ ParetoProbeResult pareto_probe(const FluidModel& model, double slack_tolerance) 
   return result;
 }
 
+bool condition1_decrease_ok(double w_before_mss, double w_after_mss,
+                            double min_window_mss, double tolerance_mss) {
+  if (w_before_mss < min_window_mss) return true;
+  // Every compliant CC lands at ssthresh = w/2 then inflates by 3 MSS on
+  // entering fast recovery (RFC 6582); allow that inflation plus tolerance.
+  return w_after_mss <= w_before_mss / 2.0 + 3.0 + tolerance_mss;
+}
+
 }  // namespace mpcc::core

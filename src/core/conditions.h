@@ -45,4 +45,13 @@ struct ParetoProbeResult {
 /// `slack_tolerance` is the relative gain below which we call it optimal.
 ParetoProbeResult pareto_probe(const FluidModel& model, double slack_tolerance = 0.05);
 
+/// Runtime (packet-level) probe of Condition 1's decrease requirement: on
+/// the best path a loss must cut the window at least as hard as TCP's
+/// halving (beta_h >= 1/2, phi_h = 0). Windows are in MSS. Returns true
+/// when `w_after <= w_before/2 + fast-recovery inflation`; windows below
+/// `min_window` are ignored (the 2-MSS ssthresh floor and 3-dupack
+/// inflation dominate there, so small windows say nothing about beta).
+bool condition1_decrease_ok(double w_before_mss, double w_after_mss,
+                            double min_window_mss = 8.0, double tolerance_mss = 0.5);
+
 }  // namespace mpcc::core

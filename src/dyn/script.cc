@@ -1,5 +1,7 @@
 #include "dyn/script.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -30,12 +32,41 @@ const char* dyn_event_kind_name(DynEvent::Kind kind) {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& event_text, const std::string& why) {
-  throw std::invalid_argument("dyn script: bad event \"" + event_text + "\": " +
-                              why);
+/// One whitespace-delimited token plus its byte offset in the original
+/// script text (comment stripping is length-preserving, so offsets into the
+/// cleaned text are offsets into the source).
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+/// The error-reporting context of the event being parsed: the full source
+/// (for line/col computation), the normalized event text (for the message),
+/// and the source offset of the event's first token.
+struct EventCtx {
+  const std::string& source;
+  std::string event_text;
+  std::size_t offset = 0;
+};
+
+[[noreturn]] void fail(const EventCtx& ctx, const std::string& why) {
+  std::size_t line = 1, col = 1;
+  for (std::size_t i = 0; i < ctx.offset && i < ctx.source.size(); ++i) {
+    if (ctx.source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  throw std::invalid_argument("dyn script line " + std::to_string(line) +
+                              ", col " + std::to_string(col) +
+                              ": bad event \"" + ctx.event_text + "\": " + why);
 }
 
 /// "<number><suffix>" with the number consuming the longest valid prefix.
+/// Non-finite numbers ("nan", "inf" — which std::stod happily accepts) are
+/// rejected: every DynEvent field must stay arithmetically usable.
 bool split_number(const std::string& token, double& number, std::string& suffix) {
   std::size_t consumed = 0;
   try {
@@ -43,7 +74,7 @@ bool split_number(const std::string& token, double& number, std::string& suffix)
   } catch (...) {
     return false;
   }
-  if (consumed == 0) return false;
+  if (consumed == 0 || !std::isfinite(number)) return false;
   suffix = token.substr(consumed);
   return true;
 }
@@ -84,17 +115,24 @@ bool parse_rate(const std::string& token, Rate& out) {
   return true;
 }
 
-bool parse_probability(const std::string& token, double& out) {
+/// Splits a probability from its token; range is checked by the caller so
+/// "loss wifi 1.5" can say "out of range" rather than "not a number".
+bool parse_number(const std::string& token, double& out) {
   std::string rest;
-  if (!split_number(token, out, rest) || !rest.empty()) return false;
-  return out >= 0.0 && out <= 1.0;
+  return split_number(token, out, rest) && rest.empty();
 }
 
-std::vector<std::string> tokenize(const std::string& event_text) {
-  std::vector<std::string> tokens;
-  std::istringstream is(event_text);
-  std::string token;
-  while (is >> token) tokens.push_back(token);
+std::vector<Token> tokenize(const std::string& clean, std::size_t begin,
+                            std::size_t end) {
+  std::vector<Token> tokens;
+  std::size_t i = begin;
+  while (i < end) {
+    while (i < end && std::isspace(static_cast<unsigned char>(clean[i]))) ++i;
+    if (i >= end) break;
+    const std::size_t token_start = i;
+    while (i < end && !std::isspace(static_cast<unsigned char>(clean[i]))) ++i;
+    tokens.push_back(Token{clean.substr(token_start, i - token_start), token_start});
+  }
   return tokens;
 }
 
@@ -117,25 +155,31 @@ std::string render_value(double v) {
 }
 
 // Parses the "value [from-value] [over DUR]" tail shared by rate/delay/loss.
-// `parse_one` converts one value token into the Kind's native double.
+// `parse_one` converts one value token into the Kind's native double; on
+// failure it fills `err` with a precise reason (not-a-number vs out of range).
 template <typename ParseOne>
-void parse_step_or_ramp(const std::vector<std::string>& tokens,
-                        const std::string& text, const ParseOne& parse_one,
-                        DynEvent& ev) {
+void parse_step_or_ramp(const std::vector<Token>& tokens, const EventCtx& ctx,
+                        const ParseOne& parse_one, DynEvent& ev) {
+  std::string err;
   double first = 0;
-  if (tokens.size() < 4 || !parse_one(tokens[3], first)) {
-    fail(text, "expected a value after the link name");
-  }
+  if (tokens.size() < 4) fail(ctx, "expected a value after the link name");
+  if (!parse_one(tokens[3].text, first, err)) fail(ctx, err);
   if (tokens.size() == 4) {
     ev.value = first;
     return;
   }
+  if (tokens.size() != 7 || tokens[5].text != "over") {
+    fail(ctx, "ramp form is: <t> " + std::string(dyn_event_kind_name(ev.kind)) +
+                  " <link> <from> <to> over <duration>");
+  }
   double to = 0;
+  if (!parse_one(tokens[4].text, to, err)) fail(ctx, err);
   SimTime duration = 0;
-  if (tokens.size() != 7 || tokens[5] != "over" || !parse_one(tokens[4], to) ||
-      !parse_time(tokens[6], duration) || duration <= 0) {
-    fail(text, "ramp form is: <t> " + std::string(dyn_event_kind_name(ev.kind)) +
-                   " <link> <from> <to> over <duration>");
+  if (!parse_time(tokens[6].text, duration)) {
+    fail(ctx, "\"" + tokens[6].text + "\" is not a duration (e.g. 4s, 200ms)");
+  }
+  if (duration <= 0) {
+    fail(ctx, "ramp duration must be > 0, got \"" + tokens[6].text + "\"");
   }
   ev.ramp_from = first;
   ev.value = to;
@@ -147,7 +191,9 @@ void parse_step_or_ramp(const std::vector<std::string>& tokens,
 DynScript DynScript::parse(const std::string& text) {
   DynScript script;
 
-  // Strip comments, then split on ';'.
+  // Strip comments length-preservingly (comment bytes and newlines become
+  // spaces), so token offsets into `clean` are offsets into `text` and every
+  // error can carry an exact line:col. Then split on ';'.
   std::string clean;
   clean.reserve(text.size());
   bool in_comment = false;
@@ -157,74 +203,120 @@ DynScript DynScript::parse(const std::string& text) {
     clean.push_back(in_comment || c == '\n' ? ' ' : c);
   }
 
+  // Shared value parsers: fill `err` with the precise reason on failure.
+  const auto parse_rate_value = [](const std::string& t, double& v,
+                                   std::string& err) {
+    Rate r;
+    if (!parse_rate(t, r)) {
+      err = "\"" + t + "\" is not a rate (e.g. 2mbps, 500kbps)";
+      return false;
+    }
+    if (r <= 0) {
+      err = "rate must be > 0, got \"" + t + "\"";
+      return false;
+    }
+    v = r;
+    return true;
+  };
+  const auto parse_delay_value = [](const std::string& t, double& v,
+                                    std::string& err) {
+    SimTime d;
+    if (!parse_time(t, d)) {
+      err = "\"" + t + "\" is not a delay (e.g. 40ms, 1s)";
+      return false;
+    }
+    if (d < 0) {
+      err = "delay must be >= 0, got \"" + t + "\"";
+      return false;
+    }
+    v = static_cast<double>(d);
+    return true;
+  };
+  const auto parse_loss_value = [](const std::string& t, double& v,
+                                   std::string& err) {
+    if (!parse_number(t, v)) {
+      err = "\"" + t + "\" is not a loss probability";
+      return false;
+    }
+    if (v < 0 || v > 1) {
+      err = "loss probability must be in [0,1], got \"" + t + "\"";
+      return false;
+    }
+    return true;
+  };
+
   std::size_t start = 0;
   while (start <= clean.size()) {
     const std::size_t semi = std::min(clean.find(';', start), clean.size());
-    const std::string event_text = clean.substr(start, semi - start);
+    const std::vector<Token> tokens = tokenize(clean, start, semi);
+    const bool last_segment = semi == clean.size();
     start = semi + 1;
 
-    const std::vector<std::string> tokens = tokenize(event_text);
     if (tokens.empty()) {
-      if (semi == clean.size()) break;
+      if (last_segment) break;
       continue;  // empty segment (trailing ';')
     }
 
-    DynEvent ev;
-    if (!parse_time(tokens[0], ev.at) || ev.at < 0) {
-      fail(event_text, "events start with a time like 5s or 200ms");
+    EventCtx ctx{text, std::string(), tokens[0].offset};
+    for (const Token& t : tokens) {
+      if (!ctx.event_text.empty()) ctx.event_text += ' ';
+      ctx.event_text += t.text;
     }
-    if (tokens.size() < 3) fail(event_text, "expected: <time> <verb> <link> ...");
-    const std::string& verb = tokens[1];
-    ev.target = tokens[2];
+
+    DynEvent ev;
+    if (!parse_time(tokens[0].text, ev.at)) {
+      fail(ctx, "events start with a time like 5s or 200ms");
+    }
+    if (ev.at < 0) {
+      fail(ctx, "event time must be >= 0, got \"" + tokens[0].text + "\"");
+    }
+    if (tokens.size() < 3) fail(ctx, "expected: <time> <verb> <link> ...");
+    const std::string& verb = tokens[1].text;
+    ev.target = tokens[2].text;
 
     if (verb == "down" || verb == "up") {
-      if (tokens.size() != 3) fail(event_text, verb + " takes only a link name");
+      if (tokens.size() != 3) fail(ctx, verb + " takes only a link name");
       ev.kind = verb == "down" ? DynEvent::Kind::kLinkDown : DynEvent::Kind::kLinkUp;
     } else if (verb == "rate") {
       ev.kind = DynEvent::Kind::kSetRate;
-      parse_step_or_ramp(tokens, event_text,
-                         [](const std::string& t, double& v) {
-                           Rate r;
-                           if (!parse_rate(t, r) || r <= 0) return false;
-                           v = r;
-                           return true;
-                         },
-                         ev);
+      parse_step_or_ramp(tokens, ctx, parse_rate_value, ev);
     } else if (verb == "delay") {
       ev.kind = DynEvent::Kind::kSetDelay;
-      parse_step_or_ramp(tokens, event_text,
-                         [](const std::string& t, double& v) {
-                           SimTime d;
-                           if (!parse_time(t, d) || d < 0) return false;
-                           v = static_cast<double>(d);
-                           return true;
-                         },
-                         ev);
+      parse_step_or_ramp(tokens, ctx, parse_delay_value, ev);
     } else if (verb == "loss") {
       ev.kind = DynEvent::Kind::kSetLoss;
-      parse_step_or_ramp(tokens, event_text,
-                         [](const std::string& t, double& v) {
-                           return parse_probability(t, v);
-                         },
-                         ev);
+      parse_step_or_ramp(tokens, ctx, parse_loss_value, ev);
     } else if (verb == "burst") {
       ev.kind = DynEvent::Kind::kLossBurst;
-      if (tokens.size() != 8 || tokens[6] != "until" ||
-          !parse_probability(tokens[3], ev.value) ||
-          !parse_time(tokens[4], ev.burst_on) || ev.burst_on <= 0 ||
-          !parse_time(tokens[5], ev.burst_off) || ev.burst_off <= 0 ||
-          !parse_time(tokens[7], ev.until) || ev.until <= ev.at) {
-        fail(event_text, "burst form is: <t> burst <link> <loss> <on> <off> until <end>");
+      if (tokens.size() != 8 || tokens[6].text != "until") {
+        fail(ctx, "burst form is: <t> burst <link> <loss> <on> <off> until <end>");
+      }
+      std::string err;
+      if (!parse_loss_value(tokens[3].text, ev.value, err)) fail(ctx, err);
+      if (!parse_time(tokens[4].text, ev.burst_on) || ev.burst_on <= 0) {
+        fail(ctx, "burst on-duration must be a time > 0, got \"" +
+                      tokens[4].text + "\"");
+      }
+      if (!parse_time(tokens[5].text, ev.burst_off) || ev.burst_off <= 0) {
+        fail(ctx, "burst off-duration must be a time > 0, got \"" +
+                      tokens[5].text + "\"");
+      }
+      if (!parse_time(tokens[7].text, ev.until)) {
+        fail(ctx, "\"" + tokens[7].text + "\" is not a time (e.g. 30s)");
+      }
+      if (ev.until <= ev.at) {
+        fail(ctx, "burst must end after it starts (until \"" + tokens[7].text +
+                      "\" <= start \"" + tokens[0].text + "\")");
       }
     } else if (verb == "handover") {
       ev.kind = DynEvent::Kind::kHandover;
       if (tokens.size() != 4) {
-        fail(event_text, "handover form is: <t> handover <from-link> <to-link>");
+        fail(ctx, "handover form is: <t> handover <from-link> <to-link>");
       }
-      ev.target2 = tokens[3];
+      ev.target2 = tokens[3].text;
     } else {
-      fail(event_text, "unknown verb \"" + verb +
-                           "\" (down|up|rate|delay|loss|burst|handover)");
+      fail(ctx, "unknown verb \"" + verb +
+                    "\" (down|up|rate|delay|loss|burst|handover)");
     }
     script.add(std::move(ev));
   }

@@ -72,8 +72,11 @@ class DynScript {
  public:
   DynScript() = default;
 
-  /// Parses the text syntax above. Throws std::invalid_argument with a
-  /// message naming the offending event on any syntax error.
+  /// Parses the text syntax above. Throws std::invalid_argument on any
+  /// syntax error with a message carrying the source line:col, the
+  /// offending event text, and the precise reason (malformed number,
+  /// negative duration, out-of-range rate/loss, ...). Non-finite numbers
+  /// ("nan"/"inf") are rejected everywhere.
   static DynScript parse(const std::string& text);
 
   /// Like parse(), but a spec starting with '@' is read from the named

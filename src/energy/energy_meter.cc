@@ -1,6 +1,9 @@
 #include "energy/energy_meter.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/invariants.h"
 
 namespace mpcc {
 
@@ -64,7 +67,14 @@ void EnergyMeter::take_sample() {
   const SimTime interval = timer_.period();
   const HostActivity activity = probe_.sample(interval);
   const double watts = model_.power_watts(activity);
+  // Eq. 2 integrates power over time; a negative or non-finite sample from
+  // a power model would silently corrupt the whole energy figure.
+  MPCC_CHECK_INVARIANT(std::isfinite(watts) && watts >= 0, "energy.power",
+                       timer_.name() << ": power model returned " << watts << " W");
   energy_joules_ += watts * to_seconds(interval);
+  MPCC_CHECK_INVARIANT(std::isfinite(energy_joules_) && energy_joules_ >= 0,
+                       "energy.accounting",
+                       timer_.name() << ": accumulated energy " << energy_joules_ << " J");
   peak_watts_ = std::max(peak_watts_, watts);
   metered_time_ += interval;
   if (trace_enabled_) trace_.emplace_back(net_.now(), watts);

@@ -1,0 +1,306 @@
+#include "harness/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpcc::harness {
+
+namespace {
+
+// -- writing ---------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// %.17g: shortest form guaranteed to round-trip an IEEE double exactly, so
+// restored values are bit-identical to computed ones.
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// -- parsing ---------------------------------------------------------------
+//
+// A deliberately minimal parser for the subset of JSON this file's own
+// writer emits: flat objects whose values are strings, numbers, booleans,
+// or one level of nested flat object. Not a general JSON parser.
+
+class Cursor {
+ public:
+  Cursor(const std::string& text, std::size_t line_no)
+      : text_(text), line_no_(line_no) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc;  // \" and anything else: literal
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true/false");
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("checkpoint line " + std::to_string(line_no_) +
+                                ", col " + std::to_string(pos_ + 1) + ": " + why);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+ParamMap parse_string_object(Cursor& cur) {
+  ParamMap out;
+  cur.expect('{');
+  if (cur.consume('}')) return out;
+  do {
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    out[key] = cur.parse_string();
+  } while (cur.consume(','));
+  cur.expect('}');
+  return out;
+}
+
+ResultRow parse_number_object(Cursor& cur) {
+  ResultRow out;
+  cur.expect('{');
+  if (cur.consume('}')) return out;
+  do {
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    out[key] = cur.parse_number();
+  } while (cur.consume(','));
+  cur.expect('}');
+  return out;
+}
+
+// Parses one run line into an entry. Returns false (without throwing) when
+// the line is torn — i.e. parsing ran off the end — so a checkpoint whose
+// writer was killed mid-line loses only that line.
+bool parse_entry_line(const std::string& line, std::size_t line_no,
+                      CheckpointEntry& entry) {
+  try {
+    Cursor cur(line, line_no);
+    cur.expect('{');
+    bool first = true;
+    while (!cur.consume('}')) {
+      if (!first) cur.expect(',');
+      first = false;
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "index") {
+        entry.index = static_cast<std::size_t>(cur.parse_number());
+      } else if (key == "ok") {
+        entry.ok = cur.parse_bool();
+      } else if (key == "kind") {
+        entry.kind = run_error_kind_from_name(cur.parse_string());
+      } else if (key == "wall_ms") {
+        entry.wall_ms = cur.parse_number();
+      } else if (key == "sim_time_ns") {
+        entry.sim_time = static_cast<SimTime>(cur.parse_number());
+      } else if (key == "error") {
+        entry.error = cur.parse_string();
+      } else if (key == "domain") {
+        entry.domain = cur.parse_string();
+      } else if (key == "params") {
+        entry.params = parse_string_object(cur);
+      } else if (key == "values") {
+        entry.values = parse_number_object(cur);
+      } else if (cur.peek() == '{') {
+        parse_string_object(cur);  // unknown nested field: skip
+      } else if (cur.peek() == '"') {
+        cur.parse_string();
+      } else if (cur.peek() == 't' || cur.peek() == 'f') {
+        cur.parse_bool();
+      } else {
+        cur.parse_number();
+      }
+    }
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string& path, const std::string& scenario,
+                                   std::size_t total_points, bool append_mode) {
+  os_.open(path, append_mode ? std::ios::app : std::ios::trunc);
+  if (!os_) {
+    throw std::runtime_error("cannot open checkpoint file \"" + path + "\"");
+  }
+  if (!append_mode) {
+    os_ << "{\"mpcc_sweep_checkpoint\":1,\"scenario\":\"" << json_escape(scenario)
+        << "\",\"points\":" << total_points << "}\n";
+    os_.flush();
+  }
+}
+
+void CheckpointWriter::append(const CheckpointEntry& entry) {
+  std::ostringstream line;
+  line << "{\"index\":" << entry.index << ",\"ok\":" << (entry.ok ? "true" : "false")
+       << ",\"kind\":\"" << run_error_kind_name(entry.kind) << "\",\"wall_ms\":"
+       << json_double(entry.wall_ms) << ",\"sim_time_ns\":" << entry.sim_time
+       << ",\"error\":\"" << json_escape(entry.error) << "\",\"domain\":\""
+       << json_escape(entry.domain) << "\",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : entry.params) {
+    line << (first ? "" : ",") << '"' << json_escape(key) << "\":\""
+         << json_escape(value) << '"';
+    first = false;
+  }
+  line << "},\"values\":{";
+  first = true;
+  for (const auto& [key, value] : entry.values) {
+    line << (first ? "" : ",") << '"' << json_escape(key)
+         << "\":" << json_double(value);
+    first = false;
+  }
+  line << "}}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_ << line.str();
+  os_.flush();  // at most one line lost on a kill
+}
+
+CheckpointData load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("cannot read checkpoint file \"" + path + "\"");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("checkpoint file \"" + path + "\" is empty");
+  }
+
+  CheckpointData data;
+  {
+    Cursor cur(line, 1);
+    cur.expect('{');
+    bool versioned = false;
+    bool first = true;
+    while (!cur.consume('}')) {
+      if (!first) cur.expect(',');
+      first = false;
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "mpcc_sweep_checkpoint") {
+        versioned = static_cast<int>(cur.parse_number()) == 1;
+      } else if (key == "scenario") {
+        data.scenario = cur.parse_string();
+      } else if (key == "points") {
+        data.total_points = static_cast<std::size_t>(cur.parse_number());
+      } else if (cur.peek() == '"') {
+        cur.parse_string();
+      } else {
+        cur.parse_number();
+      }
+    }
+    if (!versioned) {
+      throw std::invalid_argument("\"" + path +
+                                  "\" is not an mpcc sweep checkpoint (bad header)");
+    }
+  }
+
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    CheckpointEntry entry;
+    if (parse_entry_line(line, line_no, entry)) {
+      data.entries[entry.index] = std::move(entry);  // last occurrence wins
+    }
+    // Torn line: ignore. Only the final line can be torn (writes are
+    // line-buffered + flushed), so nothing after it is lost.
+  }
+  return data;
+}
+
+}  // namespace mpcc::harness

@@ -1,0 +1,98 @@
+#include "harness/guard.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "sim/invariants.h"
+
+namespace mpcc::harness {
+
+const char* run_error_kind_name(RunErrorKind kind) {
+  switch (kind) {
+    case RunErrorKind::kNone: return "none";
+    case RunErrorKind::kInvariantViolation: return "invariant";
+    case RunErrorKind::kTimedOut: return "timeout";
+    case RunErrorKind::kInvalidArgument: return "invalid_argument";
+    case RunErrorKind::kRuntimeError: return "runtime_error";
+    case RunErrorKind::kUnknownException: return "unknown";
+  }
+  return "unknown";
+}
+
+RunErrorKind run_error_kind_from_name(const std::string& name) {
+  if (name == "none") return RunErrorKind::kNone;
+  if (name == "invariant") return RunErrorKind::kInvariantViolation;
+  if (name == "timeout") return RunErrorKind::kTimedOut;
+  if (name == "invalid_argument") return RunErrorKind::kInvalidArgument;
+  if (name == "unknown") return RunErrorKind::kUnknownException;
+  return RunErrorKind::kRuntimeError;
+}
+
+namespace {
+
+// Disarms the watchdog on every exit path, including exceptional ones:
+// the EventList outlives the run body (it belongs to the SimContext), so a
+// leftover deadline would fire in teardown code.
+class WatchdogScope {
+ public:
+  WatchdogScope(EventList& events, const GuardOptions& options) : events_(events) {
+    if (options.event_budget > 0) {
+      events_.set_event_budget(events_.dispatched() + options.event_budget);
+    }
+    if (options.run_timeout_s > 0) {
+      events_.set_wall_deadline(
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options.run_timeout_s)));
+    }
+  }
+  ~WatchdogScope() {
+    events_.set_event_budget(0);
+    events_.clear_wall_deadline();
+  }
+
+ private:
+  EventList& events_;
+};
+
+}  // namespace
+
+RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
+                      const std::function<void()>& body) {
+  RunReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    WatchdogScope watchdog(ctx.events(), options);
+    try {
+      body();
+      report.ok = true;
+    } catch (const InvariantViolation& e) {
+      report.kind = RunErrorKind::kInvariantViolation;
+      report.message = e.what();
+      report.domain = e.domain();
+      report.sim_time = e.sim_time();
+    } catch (const RunTimeout& e) {
+      report.kind = RunErrorKind::kTimedOut;
+      report.message = e.what();
+      report.sim_time = e.sim_time();
+    } catch (const std::invalid_argument& e) {
+      report.kind = RunErrorKind::kInvalidArgument;
+      report.message = e.what();
+      report.sim_time = ctx.now();
+    } catch (const std::exception& e) {
+      report.kind = RunErrorKind::kRuntimeError;
+      report.message = e.what();
+      report.sim_time = ctx.now();
+    } catch (...) {
+      report.kind = RunErrorKind::kUnknownException;
+      report.message = "non-std::exception thrown by scenario";
+      report.sim_time = ctx.now();
+    }
+  }
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace mpcc::harness

@@ -1,0 +1,65 @@
+// RunGuard: failure containment for one sweep run.
+//
+// A sweep over thousands of axis points must survive any single run
+// throwing, violating a simulation invariant, or scheduling events forever.
+// RunGuard::execute runs one point's body inside a typed catch fence and an
+// armed EventList watchdog, and reduces whatever happened to a RunReport —
+// a value, never an exception — so the sweep engine completes every other
+// run and the failure is reported with its kind, message, and sim-time of
+// failure attached to the axis point that caused it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/context.h"
+#include "util/units.h"
+
+namespace mpcc::harness {
+
+/// What ended a guarded run. Order matters only for reporting; kNone means
+/// the body returned normally.
+enum class RunErrorKind {
+  kNone = 0,
+  kInvariantViolation,  ///< MPCC_CHECK* tripped (sim/invariants.h)
+  kTimedOut,            ///< watchdog: wall deadline or event budget
+  kInvalidArgument,     ///< bad parameters (std::invalid_argument)
+  kRuntimeError,        ///< any other std::exception
+  kUnknownException,    ///< non-std::exception object thrown
+};
+
+/// Stable short name ("invariant", "timeout", ...), for reports and the
+/// checkpoint file.
+const char* run_error_kind_name(RunErrorKind kind);
+/// Inverse of run_error_kind_name; unrecognised names map to
+/// kRuntimeError (forward-compatible checkpoint loading).
+RunErrorKind run_error_kind_from_name(const std::string& name);
+
+/// The structured outcome of one guarded run.
+struct RunReport {
+  bool ok = false;
+  RunErrorKind kind = RunErrorKind::kNone;
+  std::string message;      ///< exception what(); empty when ok
+  std::string domain;       ///< invariant domain ("net.queue.conservation"); else empty
+  SimTime sim_time = -1;    ///< simulated time of failure; -1 = unknown/ok
+  double wall_ms = 0;       ///< host wall-clock spent in the body
+};
+
+struct GuardOptions {
+  /// Wall-clock budget for one run, seconds. 0 = unlimited. Enforced
+  /// cooperatively by the run's EventList between event dispatches.
+  double run_timeout_s = 0;
+  /// Backstop cap on events dispatched by one run. 0 = unlimited.
+  std::uint64_t event_budget = 0;
+};
+
+/// Executes `body` under the watchdog and catch fence described above. The
+/// watchdog is armed on `ctx.events()` for the duration of the call and
+/// disarmed on every exit path. Never throws (a throwing RunGuard would
+/// defeat its purpose); an exception escaping the catch fence would have to
+/// come from RunReport's own string assignment (OOM).
+RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
+                      const std::function<void()>& body);
+
+}  // namespace mpcc::harness

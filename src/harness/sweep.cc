@@ -3,20 +3,24 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "harness/checkpoint.h"
 #include "harness/scenarios.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace mpcc::harness {
@@ -379,6 +383,66 @@ ResultRow flaky_wifi_point(SimContext& ctx, const ParamMap& p) {
   return row;
 }
 
+// Harness self-test: a millisecond ticker whose mode makes the run finish,
+// throw, trip an invariant, or schedule forever. Exists so the failure
+// containment machinery (RunGuard, watchdog, checkpoint/resume) can be
+// exercised end-to-end through the real sweep path, in tests and in CI.
+class SelftestTicker : public EventSource {
+ public:
+  SelftestTicker(SimContext& ctx, std::string mode, SimTime fail_at, SimTime stop_at)
+      : EventSource("selftest_ticker"),
+        ctx_(ctx),
+        mode_(std::move(mode)),
+        fail_at_(fail_at),
+        stop_at_(stop_at) {}
+
+  void do_next_event() override {
+    ++ticks_;
+    const SimTime now = ctx_.now();
+    if (now >= fail_at_) {
+      if (mode_ == "throw") {
+        throw std::runtime_error("selftest: injected scenario failure");
+      }
+      if (mode_ == "invariant") {
+        MPCC_CHECK_INVARIANT(false, "selftest", "injected invariant violation");
+      }
+    }
+    // mode=hang reschedules forever; only the watchdog can end the run.
+    if (mode_ == "hang" || now + kMillisecond <= stop_at_) {
+      ctx_.events().schedule_in(this, kMillisecond);
+    }
+  }
+
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  SimContext& ctx_;
+  std::string mode_;
+  SimTime fail_at_;
+  SimTime stop_at_;
+  std::uint64_t ticks_ = 0;
+};
+
+ResultRow selftest_point(SimContext& ctx, const ParamMap& p) {
+  const std::string mode = param_string(p, "mode", "ok");
+  if (mode != "ok" && mode != "throw" && mode != "invariant" && mode != "hang") {
+    throw std::invalid_argument("selftest mode \"" + mode +
+                                "\" (valid: ok|throw|invariant|hang)");
+  }
+  const SimTime duration = seconds(param_double(p, "duration_s", 1.0));
+  const SimTime fail_at = seconds(param_double(p, "fail_at_s", 0.5));
+  SelftestTicker ticker(ctx, mode, fail_at, duration);
+  ctx.events().schedule_in(&ticker, kMillisecond);
+  ctx.events().run_all();
+  ResultRow row;
+  row["ticks"] = double(ticker.ticks());
+  row["sim_s"] = to_seconds(ctx.now());
+  // Seed-keyed irrational signature: resume tests assert restored values
+  // are bit-identical to freshly computed ones.
+  row["signature"] = std::sin(double(param_int(p, "seed", 1)) * 12.9898) * 43758.5453;
+  return row;
+}
+
 }  // namespace
 
 void register_builtin_scenarios() {
@@ -508,6 +572,20 @@ void register_builtin_scenarios() {
       spec.run = flaky_wifi_point;
       reg.add(std::move(spec));
     }
+    {
+      ScenarioSpec spec;
+      spec.name = "selftest";
+      spec.help = "harness self-test ticker (not a paper scenario)";
+      spec.params = {
+          {"mode", "ok",
+           "ok: run to duration | throw/invariant: fail at fail_at_s | "
+           "hang: schedule forever (needs a watchdog)"},
+          {"duration_s", "1", "simulated seconds (mode=ok)"},
+          {"fail_at_s", "0.5", "sim-time of the injected failure"},
+      };
+      spec.run = selftest_point;
+      reg.add(std::move(spec));
+    }
     return true;
   }();
   (void)once;
@@ -583,12 +661,38 @@ std::vector<ParamMap> SweepPlan::points() const {
 
 // ---------------------------------------------------------------- parallel
 
+namespace {
+
+// Wraps whatever task `i` threw into a runtime_error that names the task
+// and preserves the original message. A blind current_exception() capture
+// would surface as a bare what() with no hint of *which* task died —
+// useless in a 10k-point sweep.
+std::exception_ptr describe_task_error(std::size_t i) {
+  try {
+    throw;  // rethrow the in-flight exception to inspect it
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(std::runtime_error(
+        "parallel_for: task " + std::to_string(i) + " failed: " + e.what()));
+  } catch (...) {
+    return std::make_exception_ptr(std::runtime_error(
+        "parallel_for: task " + std::to_string(i) + " threw a non-std::exception"));
+  }
+}
+
+}  // namespace
+
 void parallel_for(std::size_t count, int jobs,
                   const std::function<void(std::size_t)>& fn) {
   const std::size_t workers =
       std::min<std::size_t>(count, std::size_t(std::max(1, jobs)));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::rethrow_exception(describe_task_error(i));
+      }
+    }
     return;
   }
 
@@ -603,8 +707,9 @@ void parallel_for(std::size_t count, int jobs,
       try {
         fn(i);
       } catch (...) {
+        std::exception_ptr described = describe_task_error(i);
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) first_error = described;
       }
     }
   };
@@ -655,6 +760,10 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
     }
   }
 
+  if (options.resume && options.checkpoint_path.empty()) {
+    throw std::invalid_argument("resume requires a checkpoint path");
+  }
+
   if (!options.out_dir.empty()) {
     std::filesystem::create_directories(options.out_dir);
   }
@@ -665,13 +774,77 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   report.jobs = std::max(1, options.jobs);
   report.points.resize(points.size());
 
+  // Resume: restore ok runs from the checkpoint; everything else (failed,
+  // timed out, never written) lands on the todo list. Restored results are
+  // bit-identical to fresh ones because values round-trip through %.17g and
+  // each run's RNG is keyed by its axis point, not by run order.
+  std::vector<std::size_t> todo;
+  todo.reserve(points.size());
+  if (options.resume) {
+    const CheckpointData ck = load_checkpoint(options.checkpoint_path);
+    if (ck.scenario != plan.scenario) {
+      throw std::invalid_argument("checkpoint \"" + options.checkpoint_path +
+                                  "\" is for scenario \"" + ck.scenario +
+                                  "\", not \"" + plan.scenario + "\"");
+    }
+    if (ck.total_points != points.size()) {
+      throw std::invalid_argument(
+          "checkpoint \"" + options.checkpoint_path + "\" covers " +
+          std::to_string(ck.total_points) + " points but this plan expands to " +
+          std::to_string(points.size()) + " (different axes or seeds?)");
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = ck.entries.find(i);
+      if (it == ck.entries.end() || !it->second.ok) {
+        todo.push_back(i);
+        continue;
+      }
+      const CheckpointEntry& entry = it->second;
+      if (entry.params != points[i]) {
+        throw std::invalid_argument(
+            "checkpoint entry " + std::to_string(i) +
+            " was run with different parameters (" + describe_point(entry.params) +
+            " vs " + describe_point(points[i]) + "); refusing to resume");
+      }
+      SweepPointResult& result = report.points[i];
+      result.index = i;
+      result.params = entry.params;
+      result.values = entry.values;
+      result.wall_ms = entry.wall_ms;
+      result.ok = true;
+      result.restored = true;
+    }
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) todo.push_back(i);
+  }
+
+  std::unique_ptr<CheckpointWriter> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, plan.scenario, points.size(),
+        /*append_mode=*/options.resume);
+  }
+
+  GuardOptions guard;
+  guard.run_timeout_s = options.run_timeout_s;
+  guard.event_budget = options.event_budget;
+
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> abort{false};
   const auto sweep_start = std::chrono::steady_clock::now();
 
-  parallel_for(points.size(), options.jobs, [&](std::size_t i) {
+  parallel_for(todo.size(), options.jobs, [&](std::size_t t) {
+    const std::size_t i = todo[t];
     SweepPointResult& result = report.points[i];
     result.index = i;
     result.params = points[i];
+
+    if (abort.load(std::memory_order_relaxed)) {
+      // fail-fast tripped on another worker; record, don't run.
+      result.skipped = true;
+      result.error = "not run (fail-fast after an earlier failure)";
+      return;
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     SimContext::Options copt;
@@ -686,12 +859,14 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
                                 ? options.trace_capacity
                                 : obs::Tracer::kDefaultCapacity);
       }
-      try {
-        result.values = spec->run(ctx, points[i]);
-        result.ok = true;
-      } catch (const std::exception& e) {
-        result.error = e.what();
-      }
+      const RunReport run = guarded_run(
+          ctx, guard, [&] { result.values = spec->run(ctx, points[i]); });
+      result.ok = run.ok;
+      result.error = run.message;
+      result.error_kind = run.kind;
+      result.error_domain = run.domain;
+      result.fail_sim_time = run.sim_time;
+      if (!run.ok) result.values.clear();  // partial rows from a dead run lie
       if (!options.out_dir.empty()) {
         const std::string stem =
             options.out_dir + "/run_" + std::to_string(i);
@@ -707,19 +882,48 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
                          std::chrono::steady_clock::now() - t0)
                          .count();
 
+    if (!result.ok && options.fail_fast) {
+      abort.store(true, std::memory_order_relaxed);
+    }
+    if (checkpoint != nullptr) {
+      CheckpointEntry entry;
+      entry.index = i;
+      entry.ok = result.ok;
+      entry.kind = result.error_kind;
+      entry.wall_ms = result.wall_ms;
+      entry.sim_time = result.fail_sim_time;
+      entry.error = result.error;
+      entry.domain = result.error_domain;
+      entry.params = result.params;
+      entry.values = result.values;
+      checkpoint->append(entry);
+    }
+
     if (options.progress) {
       const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
       char head[64];
-      std::snprintf(head, sizeof head, "[%zu/%zu] ", n, points.size());
-      progress_line(head + plan.scenario + " " + describe_point(points[i]) +
-                    (result.ok ? "" : "  FAILED: " + result.error) + "  (" +
-                    render_double(result.wall_ms) + " ms)");
+      std::snprintf(head, sizeof head, "[%zu/%zu] ", n, todo.size());
+      std::string tail;
+      if (!result.ok) {
+        tail = "  FAILED[" + std::string(run_error_kind_name(result.error_kind)) +
+               "]: " + result.error;
+      }
+      progress_line(head + plan.scenario + " " + describe_point(points[i]) + tail +
+                    "  (" + render_double(result.wall_ms) + " ms)");
     }
   });
 
   report.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - sweep_start)
                       .count();
+
+  // Outcome counters land in the *caller's* (ambient) registry — worker
+  // runs used isolated per-run registries, so this is the one place sweep-
+  // level failure stats are visible to exporters.
+  obs::metrics().counter("sweep.runs").inc(report.points.size());
+  obs::metrics().counter("sweep.failed").inc(report.failed());
+  obs::metrics().counter("sweep.timed_out").inc(report.timed_out());
+  obs::metrics().counter("sweep.restored").inc(report.restored());
   return report;
 }
 
@@ -731,6 +935,39 @@ std::size_t SweepReport::failed() const {
     if (!p.ok) ++n;
   }
   return n;
+}
+
+std::size_t SweepReport::timed_out() const {
+  std::size_t n = 0;
+  for (const SweepPointResult& p : points) {
+    if (!p.ok && p.error_kind == RunErrorKind::kTimedOut) ++n;
+  }
+  return n;
+}
+
+std::size_t SweepReport::restored() const {
+  std::size_t n = 0;
+  for (const SweepPointResult& p : points) {
+    if (p.restored) ++n;
+  }
+  return n;
+}
+
+std::string SweepReport::failure_summary() const {
+  const std::size_t n_failed = failed();
+  if (n_failed == 0) return std::string();
+  std::ostringstream os;
+  os << "sweep failures (" << n_failed << "/" << points.size() << "):\n";
+  for (const SweepPointResult& p : points) {
+    if (p.ok) continue;
+    os << "  run " << p.index << " ["
+       << (p.skipped ? "skipped" : run_error_kind_name(p.error_kind)) << "] "
+       << describe_point(p.params);
+    if (p.fail_sim_time >= 0) os << " at sim t=" << to_seconds(p.fail_sim_time) << "s";
+    if (!p.error.empty()) os << ": " << p.error;
+    os << "\n";
+  }
+  return os.str();
 }
 
 namespace {
@@ -838,7 +1075,15 @@ bool SweepReport::write_json(const std::string& path) const {
       first = false;
     }
     os << "}";
-    if (!p.ok) os << ",\n      \"error\": \"" << json_escape(p.error) << '"';
+    if (!p.ok) {
+      os << ",\n      \"error\": \"" << json_escape(p.error) << "\", \"error_kind\": \""
+         << run_error_kind_name(p.error_kind) << '"';
+      if (!p.error_domain.empty()) {
+        os << ", \"error_domain\": \"" << json_escape(p.error_domain) << '"';
+      }
+      if (p.fail_sim_time >= 0) os << ", \"fail_sim_time_ns\": " << p.fail_sim_time;
+    }
+    if (p.restored) os << ",\n      \"restored\": true";
     os << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

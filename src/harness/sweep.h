@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/guard.h"
 #include "sim/context.h"
 #include "util/csv.h"
 
@@ -86,7 +87,11 @@ class ScenarioRegistry {
   std::vector<ScenarioSpec> specs_;
 };
 
-/// Registers two_path / dumbbell / datacenter / wireless. Idempotent.
+/// Registers the paper scenarios (two_path / dumbbell / datacenter /
+/// wireless / handover / flaky_wifi) plus "selftest", a tiny synthetic
+/// scenario whose mode parameter can make a run succeed, throw, trip an
+/// invariant, or hang — used to exercise the harness's own failure
+/// containment. Idempotent.
 void register_builtin_scenarios();
 
 // ------------------------------------------------------------------ plan
@@ -125,6 +130,12 @@ struct SweepPointResult {
   double wall_ms = 0;  ///< host wall-clock for this point
   bool ok = false;
   std::string error;  ///< set when !ok (unknown cc, runner threw, ...)
+  /// Typed failure classification from the RunGuard (guard.h).
+  RunErrorKind error_kind = RunErrorKind::kNone;
+  std::string error_domain;  ///< invariant domain when error_kind is invariant
+  SimTime fail_sim_time = -1;  ///< simulated time of failure; -1 = n/a
+  bool restored = false;  ///< true if restored from a checkpoint, not re-run
+  bool skipped = false;   ///< true if never run (--fail-fast aborted the sweep)
 };
 
 struct SweepReport {
@@ -134,6 +145,14 @@ struct SweepReport {
   double wall_s = 0;  ///< host wall-clock for the whole sweep
 
   std::size_t failed() const;
+  /// Failed points whose error_kind is kTimedOut.
+  std::size_t timed_out() const;
+  /// Points restored from a checkpoint instead of re-run.
+  std::size_t restored() const;
+
+  /// Human-readable multi-line summary of every failed point (kind, axis
+  /// point, sim-time, message). Empty string when nothing failed.
+  std::string failure_summary() const;
 
   /// Merged table: one row per point; param columns (strings) first, then
   /// the union of result columns (doubles; absent cells are 0).
@@ -155,11 +174,31 @@ struct SweepOptions {
   bool per_run_metrics = false;
   /// Progress lines to stderr ("[12/96] two_path cc=lia seed=3 ... 812 ms").
   bool progress = false;
+
+  // ---- robustness (see docs/ROBUSTNESS.md) ----
+  /// Per-run wall-clock deadline, seconds; 0 = unlimited. A run past its
+  /// deadline is cancelled cooperatively and marked kTimedOut.
+  double run_timeout_s = 0;
+  /// Per-run cap on dispatched sim events; 0 = unlimited. Backstop against
+  /// runaway runs when wall clock is not trustworthy (e.g. under sanitizers).
+  std::uint64_t event_budget = 0;
+  /// Stop scheduling new runs after the first failure. Runs already in
+  /// flight on other workers still finish; never-started points are marked
+  /// skipped. Without this the sweep always completes every run.
+  bool fail_fast = false;
+  /// When non-empty, append each completed run to this JSONL checkpoint
+  /// (harness/checkpoint.h).
+  std::string checkpoint_path;
+  /// Restore ok runs from checkpoint_path instead of re-running them;
+  /// failed/timed-out/missing points are (re-)run. Requires checkpoint_path.
+  bool resume = false;
 };
 
 /// Runs every point of the plan. Throws std::invalid_argument if the
-/// scenario is unknown or an axis names an undeclared parameter; individual
-/// point failures are recorded in their SweepPointResult instead.
+/// scenario is unknown, an axis names an undeclared parameter, or a resume
+/// checkpoint does not match the plan; individual point failures (thrown
+/// exceptions, invariant violations, watchdog timeouts) are contained by a
+/// RunGuard and recorded in their SweepPointResult instead.
 SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options = {});
 
 // -------------------------------------------------------------- parallel
@@ -167,7 +206,8 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options = {});
 /// Runs fn(0..count-1) on min(jobs, count) threads pulling indices from a
 /// shared atomic counter. jobs <= 1 (or count <= 1) runs inline on the
 /// caller's thread. fn must be thread-safe for jobs > 1; exceptions thrown
-/// by fn propagate (first one wins) after all workers finish.
+/// by fn propagate after all workers finish (first one wins), re-thrown as
+/// std::runtime_error carrying the failing task index and original message.
 void parallel_for(std::size_t count, int jobs,
                   const std::function<void(std::size_t)>& fn);
 

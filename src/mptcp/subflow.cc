@@ -1,6 +1,9 @@
 #include "mptcp/subflow.h"
 
+#include "cc/multipath_cc.h"
+#include "core/conditions.h"
 #include "mptcp/connection.h"
+#include "sim/invariants.h"
 
 namespace mpcc {
 
@@ -30,7 +33,21 @@ void Subflow::Hooks::on_ca_increase(TcpSrc&, Bytes newly_acked) {
 }
 
 void Subflow::Hooks::on_fast_retransmit(TcpSrc&) {
+  // Condition 1 probe (paper Section V.A): on the best path h = argmax_k x_k
+  // a loss must cut the window at least as hard as plain TCP (beta_h = 1/2,
+  // phi_h = 0), or the coupled CC steals throughput from single-path TCP on
+  // that path. Checked live on every fast retransmit of the best subflow.
+  const double w_before = window_mss(sf_);
+  const bool best_path =
+      rate_mss_per_sec(sf_) >= max_rate(sf_.conn_) * (1.0 - 1e-9);
   sf_.conn_.cc().on_loss(sf_.conn_, sf_);
+  if (best_path) {
+    MPCC_CHECK_INVARIANT(
+        core::condition1_decrease_ok(w_before, window_mss(sf_)), "core.condition1",
+        sf_.conn_.cc().name() << " on " << sf_.name() << ": best-path window "
+                              << w_before << " -> " << window_mss(sf_)
+                              << " MSS violates beta_h >= 1/2");
+  }
 }
 
 void Subflow::Hooks::on_timeout(TcpSrc&) { sf_.conn_.cc().on_timeout(sf_.conn_, sf_); }

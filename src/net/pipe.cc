@@ -1,13 +1,22 @@
 #include "net/pipe.h"
 
-#include <cassert>
+#include "sim/invariants.h"
 
 namespace mpcc {
 
 Pipe::Pipe(EventList& events, std::string name, SimTime delay)
-    : EventSource(std::move(name)), events_(events), delay_(delay) {}
+    : EventSource(std::move(name)), events_(events), delay_(delay) {
+  MPCC_CHECK_INVARIANT(delay_ >= 0, "net.pipe.delay",
+                       this->name() << ": delay=" << delay_);
+}
 
 bool Pipe::on_ingress(Packet&, SimTime&) { return true; }
+
+void Pipe::set_delay(SimTime delay) {
+  MPCC_CHECK_INVARIANT(delay >= 0, "net.pipe.delay",
+                       name() << ": set_delay(" << delay << ")");
+  delay_ = delay;
+}
 
 void Pipe::receive(Packet pkt) {
   if (down_) {
@@ -20,6 +29,7 @@ void Pipe::receive(Packet pkt) {
   SimTime deliver_at = events_.now() + delay_ + extra;
   if (deliver_at < last_delivery_) deliver_at = last_delivery_;
   last_delivery_ = deliver_at;
+  ++accepted_;
   in_flight_.push_back(InFlight{deliver_at, std::move(pkt)});
   if (!event_pending_) {
     event_pending_ = true;
@@ -44,11 +54,19 @@ void Pipe::do_next_event() {
     event_pending_ = true;
     events_.schedule_at(this, in_flight_.front().deliver_at);
   }
+  // Packet conservation across delivery + dyn flushes: admitted = forwarded
+  // + flushed + still in flight.
+  MPCC_CHECK_INVARIANT(
+      accepted_ == forwarded_ + flight_drops_ + in_flight_.size(),
+      "net.pipe.conservation",
+      name() << ": accepted=" << accepted_ << " forwarded=" << forwarded_
+             << " flight_drops=" << flight_drops_ << " in_flight=" << in_flight_.size());
 }
 
 std::size_t Pipe::drop_in_flight() {
   const std::size_t dropped = in_flight_.size();
   down_drops_ += dropped;
+  flight_drops_ += dropped;
   in_flight_.clear();
   return dropped;
 }

@@ -32,7 +32,8 @@ class Pipe : public PacketHandler, public EventSource {
   /// Changes the propagation delay for packets received from now on.
   /// Packets already in flight keep their original delivery time; the
   /// monotone-release clamp keeps ordering intact when the delay decreases.
-  void set_delay(SimTime delay) { delay_ = delay; }
+  /// Negative delays are an invariant violation.
+  void set_delay(SimTime delay);
 
   /// Administrative link state. While down, every arriving packet is
   /// dropped at ingress (counted in down_drops()).
@@ -46,6 +47,12 @@ class Pipe : public PacketHandler, public EventSource {
 
   /// Packets dropped because the pipe was administratively down.
   std::uint64_t down_drops() const { return down_drops_; }
+
+  /// Packet-conservation ledger: every packet admitted into flight is
+  /// eventually forwarded, flushed by drop_in_flight(), or still airborne.
+  /// Checked as an invariant at each delivery (sim/invariants.h).
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t flight_drops() const { return flight_drops_; }
 
  protected:
   /// Subclass hook: return false to drop the packet at ingress (loss), and
@@ -67,6 +74,8 @@ class Pipe : public PacketHandler, public EventSource {
   SimTime last_delivery_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t down_drops_ = 0;
+  std::uint64_t accepted_ = 0;      // packets admitted into flight
+  std::uint64_t flight_drops_ = 0;  // admitted packets flushed mid-flight
 };
 
 }  // namespace mpcc

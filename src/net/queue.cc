@@ -1,7 +1,6 @@
 #include "net/queue.h"
 
-#include <cassert>
-
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace mpcc {
@@ -14,13 +13,13 @@ Queue::Queue(EventList& events, std::string name, Rate rate, Bytes capacity_byte
       rate_(rate),
       capacity_bytes_(capacity_bytes),
       capacity_packets_(capacity_packets) {
-  assert(rate_ > 0);
+  MPCC_CHECK_INVARIANT(rate_ > 0, "net.queue.rate", this->name() << ": rate=" << rate_);
 }
 
 bool Queue::on_enqueue(Packet&) { return true; }
 
 void Queue::set_rate(Rate rate) {
-  assert(rate > 0);
+  MPCC_CHECK_INVARIANT(rate > 0, "net.queue.rate", name() << ": set_rate(" << rate << ")");
   rate_ = rate;
 }
 
@@ -30,6 +29,7 @@ void Queue::set_down(bool down) {
   // Flush everything waiting behind the (doomed) packet in service.
   for (const Packet& pkt : fifo_) {
     queued_bytes_ -= pkt.wire_size();
+    bytes_down_dropped_ += pkt.wire_size();
     ++down_drops_;
   }
   fifo_.clear();
@@ -60,6 +60,7 @@ void Queue::receive(Packet pkt) {
     return;
   }
   queued_bytes_ += pkt.wire_size();
+  bytes_accepted_ += pkt.wire_size();
   if (obs::tracer().enabled(obs::TraceCategory::kQueue)) {
     obs::tracer().record(obs::TraceCategory::kQueue, obs::TraceEvent::kEnqueue,
                          trace_src_, events_.now(),
@@ -88,7 +89,7 @@ void Queue::start_service(Packet pkt) {
 }
 
 void Queue::do_next_event() {
-  assert(busy_);
+  MPCC_CHECK(busy_, "net.queue.service");
   busy_time_ += events_.now() - service_started_;
   queued_bytes_ -= in_service_.wire_size();
   // A link that went down mid-serialisation loses the frame on the wire.
@@ -98,7 +99,17 @@ void Queue::do_next_event() {
     bytes_forwarded_ += in_service_.wire_size();
   } else {
     ++down_drops_;
+    bytes_down_dropped_ += in_service_.wire_size();
   }
+  // Eq.-style byte conservation: accepted = forwarded + down-dropped +
+  // still queued. Catches double-counted wire sizes and negative occupancy
+  // from any future mutator (dyn set_down/set_rate paths included).
+  MPCC_CHECK_INVARIANT(
+      queued_bytes_ >= 0 &&
+          bytes_accepted_ == bytes_forwarded_ + bytes_down_dropped_ + queued_bytes_,
+      "net.queue.conservation",
+      name() << ": accepted=" << bytes_accepted_ << " forwarded=" << bytes_forwarded_
+             << " down_dropped=" << bytes_down_dropped_ << " queued=" << queued_bytes_);
   Packet done = std::move(in_service_);
   if (!fifo_.empty()) {
     Packet next = std::move(fifo_.front());

@@ -52,6 +52,12 @@ class Queue : public PacketHandler, public EventSource {
   /// Packets dropped because the queue was administratively down.
   std::uint64_t down_drops() const { return down_drops_; }
 
+  /// Byte-conservation ledger: every byte accepted into the buffer is
+  /// eventually forwarded, dropped while down, or still queued. Checked as
+  /// an invariant at each service completion (sim/invariants.h).
+  Bytes bytes_accepted() const { return bytes_accepted_; }
+  Bytes bytes_down_dropped() const { return bytes_down_dropped_; }
+
   /// Mean utilisation since creation: busy time / elapsed time.
   double utilization(SimTime now) const;
 
@@ -86,6 +92,8 @@ class Queue : public PacketHandler, public EventSource {
   std::uint64_t drops_ = 0;
   std::uint64_t forwarded_ = 0;
   Bytes bytes_forwarded_ = 0;
+  Bytes bytes_accepted_ = 0;      // bytes that entered the buffer
+  Bytes bytes_down_dropped_ = 0;  // accepted bytes lost to link-down
   SimTime busy_time_ = 0;
   SimTime service_started_ = 0;
 };

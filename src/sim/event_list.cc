@@ -1,11 +1,11 @@
 #include "sim/event_list.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/invariants.h"
 
 namespace mpcc {
 
@@ -60,9 +60,27 @@ std::vector<EventList::SourceProfile> EventList::profile() const {
   return out;
 }
 
+void EventList::check_watchdog() {
+  if (event_budget_ != 0 && dispatched_ >= event_budget_) {
+    std::ostringstream os;
+    os << "run exceeded event budget of " << event_budget_ << " dispatches at sim t="
+       << to_seconds(now_) << "s";
+    throw RunTimeout(now_, os.str());
+  }
+  if (wall_deadline_armed_ && (dispatched_ % kDeadlineStride) == 0 &&
+      std::chrono::steady_clock::now() > wall_deadline_) {
+    std::ostringstream os;
+    os << "run exceeded wall-clock deadline at sim t=" << to_seconds(now_) << "s ("
+       << dispatched_ << " events dispatched)";
+    throw RunTimeout(now_, os.str());
+  }
+}
+
 EventToken EventList::schedule_at(EventSource* src, SimTime t) {
-  assert(src != nullptr);
-  assert(t >= now_ && "cannot schedule into the past");
+  MPCC_CHECK(src != nullptr, "sim.event_list.schedule");
+  MPCC_CHECK_INVARIANT(t >= now_, "sim.event_list.monotone",
+                       "cannot schedule into the past: t=" << to_seconds(t) << "s < now="
+                                                           << to_seconds(now_) << "s");
   EventToken token = next_token_++;
   heap_.push(Entry{t, token, src});
   return token;
@@ -80,7 +98,10 @@ bool EventList::run_next() {
       cancelled_.erase(it);
       continue;
     }
-    assert(e.time >= now_);
+    MPCC_CHECK_INVARIANT(e.time >= now_, "sim.event_list.monotone",
+                         "popped event at t=" << to_seconds(e.time) << "s behind now="
+                                              << to_seconds(now_) << "s");
+    if (event_budget_ != 0 || wall_deadline_armed_) check_watchdog();
     now_ = e.time;
     ++dispatched_;
     if (obs::sim_profiling()) {

@@ -7,6 +7,7 @@
 // with no heap surgery (the htsim approach).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <queue>
 #include <string>
@@ -64,6 +65,27 @@ class EventList {
   /// Total events dispatched so far (for perf reporting).
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Watchdog: caps total dispatched events at `max_dispatched` (0 clears
+  /// the cap). run_next() throws RunTimeout once the cap is reached — a
+  /// backstop against runaway runs that schedule forever. Cooperative, so
+  /// teardown unwinds normally and sweep workers are never leaked.
+  void set_event_budget(std::uint64_t max_dispatched) { event_budget_ = max_dispatched; }
+  std::uint64_t event_budget() const { return event_budget_; }
+
+  /// Watchdog: wall-clock deadline for this run. Checked every
+  /// kDeadlineStride dispatches (steady_clock::now() is too dear per
+  /// event); run_next() throws RunTimeout once passed.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    wall_deadline_armed_ = true;
+  }
+  void clear_wall_deadline() { wall_deadline_armed_ = false; }
+
+  /// Dispatches between wall-deadline checks. A hanging run is detected at
+  /// worst this many (cheap) events late; a run wedged *inside* one event
+  /// handler cannot be caught cooperatively.
+  static constexpr std::uint64_t kDeadlineStride = 4096;
+
   /// Per-EventSource wall-clock self-profile, collected while
   /// obs::sim_profiling() is on. Sorted by wall_ns descending. Only valid
   /// while the profiled sources are alive (names are copied at first
@@ -99,9 +121,14 @@ class EventList {
     }
   };
 
+  void check_watchdog();
+
   SimTime now_ = 0;
   EventToken next_token_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t event_budget_ = 0;  // 0 = unlimited
+  bool wall_deadline_armed_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_{};
   bool profile_flushed_ = false;
   // Resolved against the run's registry on first profiled dispatch; a
   // per-instance handle (not a function-local static) because each

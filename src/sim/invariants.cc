@@ -1,0 +1,40 @@
+#include "sim/invariants.h"
+
+#include <cstdlib>
+
+#include "sim/context.h"
+
+namespace mpcc {
+
+namespace {
+
+bool initial_enabled() {
+  const char* env = std::getenv("MPCC_NO_INVARIANTS");
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
+}
+
+// Plain bool, not atomic: the toggle is a pre-fork benchmarking aid and the
+// steady state (all workers reading a never-written bool) is race-free.
+bool g_enabled = initial_enabled();
+
+}  // namespace
+
+bool invariants_enabled() { return g_enabled; }
+
+void set_invariants_enabled(bool enabled) { g_enabled = enabled; }
+
+SimTime current_sim_time_or(SimTime fallback) {
+  SimContext* ctx = SimContext::current();
+  return ctx != nullptr ? ctx->now() : fallback;
+}
+
+void invariant_failed(const char* domain, const char* expr, const std::string& detail) {
+  const SimTime t = current_sim_time_or(-1);
+  std::ostringstream os;
+  os << "invariant violated [" << domain << "] (" << expr << ")";
+  if (!detail.empty()) os << ": " << detail;
+  if (t >= 0) os << " at sim t=" << to_seconds(t) << "s";
+  throw InvariantViolation(domain, t, os.str());
+}
+
+}  // namespace mpcc

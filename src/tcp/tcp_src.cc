@@ -1,9 +1,10 @@
 #include "tcp/tcp_src.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 
 #include "obs/metrics.h"
+#include "sim/invariants.h"
 #include "util/logging.h"
 
 namespace mpcc {
@@ -62,7 +63,7 @@ TcpSrc::TcpSrc(Network& net, std::string name, TcpConfig config)
 }
 
 void TcpSrc::connect(const Route* forward, TcpSink* sink) {
-  assert(forward != nullptr && sink != nullptr);
+  MPCC_CHECK(forward != nullptr && sink != nullptr, "tcp.connect");
   forward_ = forward;
   (void)sink;  // the sink is reached through `forward`; kept for clarity
 }
@@ -73,7 +74,8 @@ void TcpSrc::set_flow_size(Bytes total) {
 }
 
 void TcpSrc::start(SimTime at) {
-  assert(forward_ != nullptr && "connect() before start()");
+  MPCC_CHECK_INVARIANT(forward_ != nullptr, "tcp.start",
+                       name() << ": connect() before start()");
   start_time_ = at;
   net_.events().schedule_at(this, at);
 }
@@ -84,6 +86,10 @@ void TcpSrc::do_next_event() {
 }
 
 void TcpSrc::set_cwnd(double cwnd) {
+  // A NaN here poisons std::clamp (UB) and then every rate computed from
+  // the window; catch the broken CC at the source.
+  MPCC_CHECK_INVARIANT(std::isfinite(cwnd), "tcp.cwnd",
+                       name() << ": set_cwnd(" << cwnd << ")");
   const double floor = static_cast<double>(config_.mss);
   double cap = config_.max_cwnd > 0 ? static_cast<double>(config_.max_cwnd)
                                     : static_cast<double>(giga_bytes(1));
@@ -132,14 +138,18 @@ void TcpSrc::send_available() {
     if (next_send_ < highest_sent_) {
       // Go-back-N resend of an already-mapped segment.
       auto it = segments_.find(next_send_);
-      assert(it != segments_.end() && "resend point must be segment-aligned");
+      MPCC_CHECK_INVARIANT(it != segments_.end(), "tcp.resend",
+                           name() << ": resend point " << next_send_
+                                  << " not segment-aligned");
       send_segment(next_send_, it->second, /*retransmit=*/true);
       next_send_ += it->second.len;
     } else {
       Bytes len = 0;
       std::int64_t data_seq = -1;
       if (!provider_->next_segment(config_.mss, len, data_seq)) break;
-      assert(len > 0 && len <= config_.mss);
+      MPCC_CHECK_INVARIANT(len > 0 && len <= config_.mss, "tcp.segment",
+                           name() << ": provider returned len=" << len
+                                  << " (mss=" << config_.mss << ")");
       SegmentMeta meta{len, data_seq};
       segments_.emplace(highest_sent_, meta);
       send_segment(highest_sent_, meta, /*retransmit=*/false);
@@ -170,7 +180,8 @@ void TcpSrc::retransmit_one(std::int64_t seq) {
 }
 
 void TcpSrc::receive(Packet pkt) {
-  assert(pkt.type == PacketType::kAck);
+  MPCC_CHECK_INVARIANT(pkt.type == PacketType::kAck, "tcp.ack",
+                       name() << ": non-ACK packet delivered to source");
   if (completed_ || admin_down_) return;  // stale ACKs while quiesced
   if (pkt.seq > last_acked_) {
     handle_new_ack(pkt);
@@ -181,6 +192,9 @@ void TcpSrc::receive(Packet pkt) {
 }
 
 void TcpSrc::handle_new_ack(const Packet& ack) {
+  MPCC_CHECK_INVARIANT(ack.seq <= highest_sent_, "tcp.ack.bounds",
+                       name() << ": ACK " << ack.seq << " beyond highest_sent "
+                              << highest_sent_);
   const Bytes newly = ack.seq - last_acked_;
   last_acked_ = ack.seq;
   if (next_send_ < last_acked_) next_send_ = last_acked_;

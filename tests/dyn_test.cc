@@ -96,6 +96,75 @@ TEST(DynScript, ParseErrorsNameTheOffendingEvent) {
   EXPECT_THROW(DynScript::parse("5s handover wifi"), std::invalid_argument);
 }
 
+// Table-driven malformed-input coverage: every rejected script names the
+// precise reason in its error message.
+TEST(DynScript, RejectsMalformedInputWithPreciseReasons) {
+  struct Case {
+    const char* script;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      // malformed / non-finite numbers
+      {"xs down wifi", "events start with a time"},
+      {"5s rate wifi fastmbps", "is not a rate"},
+      {"5s rate wifi 10", "is not a rate"},  // missing unit
+      {"5s rate wifi nanmbps", "is not a rate"},
+      {"5s delay wifi infms", "is not a delay"},
+      {"5s loss wifi abc", "is not a loss probability"},
+      {"5s loss wifi nan", "is not a loss probability"},
+      // negative durations / times
+      {"-5s down wifi", "event time must be >= 0"},
+      {"5s delay wifi -40ms", "delay must be >= 0"},
+      {"5s rate wifi 10mbps 2mbps over -4s", "ramp duration must be > 0"},
+      {"5s rate wifi 10mbps 2mbps over 0s", "ramp duration must be > 0"},
+      {"5s burst wifi 0.3 -500ms 1500ms until 30s",
+       "burst on-duration must be a time > 0"},
+      {"5s burst wifi 0.3 500ms 0ms until 30s",
+       "burst off-duration must be a time > 0"},
+      // out-of-range values
+      {"5s rate wifi -2mbps", "rate must be > 0"},
+      {"5s rate wifi 0mbps", "rate must be > 0"},
+      {"5s loss wifi 1.5", "loss probability must be in [0,1]"},
+      {"5s loss wifi -0.1", "loss probability must be in [0,1]"},
+      {"5s burst wifi 2 500ms 1500ms until 30s",
+       "loss probability must be in [0,1]"},
+      {"5s burst wifi 0.3 500ms 1500ms until 2s", "burst must end after"},
+      // structural errors
+      {"5s rate wifi 10mbps 2mbps above 4s", "ramp form is"},
+      {"5s down wifi extra", "down takes only a link name"},
+      {"5s warp wifi", "unknown verb"},
+  };
+  for (const Case& c : cases) {
+    try {
+      DynScript::parse(c.script);
+      FAIL() << "expected std::invalid_argument for: " << c.script;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << "script: " << c.script << "\nmessage: " << e.what();
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << "missing line:col in: " << e.what();
+    }
+  }
+}
+
+// Errors point at the offending event's line and column in the source, even
+// with comments (stripped length-preservingly) and multi-line scripts.
+TEST(DynScript, ParseErrorsCarryLineAndColumn) {
+  const std::string script =
+      "# mobility trace\n"
+      "10s down wifi;\n"
+      "   5s warp wifi\n";
+  try {
+    DynScript::parse(script);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3, col 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5s warp wifi"), std::string::npos) << msg;
+  }
+}
+
 TEST(DynScript, RoundTripsThroughToString) {
   const std::string text =
       "10s down wifi; 5s rate wifi 10mbps 2mbps over 4s; "

@@ -31,6 +31,15 @@
 //   --bench=FILE           also run a --jobs=1 baseline and write a
 //                          BENCH_sweep.json-style wall-clock summary
 //   --quiet                suppress the per-run progress lines
+//
+// Robustness flags (docs/ROBUSTNESS.md): each run executes under a
+// RunGuard, so one crashing/hanging run cannot take the sweep down.
+//
+//   --run-timeout=S        per-run wall-clock deadline, seconds
+//   --event-budget=N       per-run cap on dispatched sim events
+//   --fail-fast            stop scheduling new runs after the first failure
+//   --checkpoint=FILE      append each completed run to a JSONL checkpoint
+//   --resume               restore ok runs from --checkpoint, re-run the rest
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,7 +68,8 @@ const char* const kEngineFlags[] = {
     "--scenario", "--list",           "--list-scenarios", "--seeds",
     "--seed-base", "--jobs",          "--out",            "--trace-categories",
     "--trace-capacity", "--run-metrics", "--csv",         "--json",
-    "--bench",    "--quiet",          "--help",
+    "--bench",    "--quiet",          "--help",           "--run-timeout",
+    "--event-budget", "--fail-fast",  "--checkpoint",     "--resume",
 };
 
 bool is_engine_flag(const std::string& name) {
@@ -146,6 +156,16 @@ int main(int argc, char** argv) {
   options.out_dir = arg_string(argc, argv, "--out", "");
   options.per_run_metrics = has_flag(argc, argv, "--run-metrics");
   options.progress = !has_flag(argc, argv, "--quiet");
+  options.run_timeout_s = arg_double(argc, argv, "--run-timeout", 0.0);
+  options.event_budget =
+      std::uint64_t(arg_int(argc, argv, "--event-budget", 0));
+  options.fail_fast = has_flag(argc, argv, "--fail-fast");
+  options.checkpoint_path = arg_string(argc, argv, "--checkpoint", "");
+  options.resume = has_flag(argc, argv, "--resume");
+  if (options.resume && options.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint=FILE\n");
+    return 2;
+  }
   const std::string categories = arg_string(argc, argv, "--trace-categories", "");
   if (!categories.empty()) {
     options.trace_mask = mpcc::obs::parse_trace_categories(categories);
@@ -210,11 +230,18 @@ int main(int argc, char** argv) {
     }
 
     report.table().print(std::cout);
+    std::string extras;
+    if (report.restored() > 0) {
+      extras += "  [" + std::to_string(report.restored()) + " restored]";
+    }
+    if (report.failed() > 0) extras += "  [FAILURES]";
     std::printf("\n%zu points, jobs=%d, %.2fs (%.1f points/sec)%s\n",
                 report.points.size(), report.jobs, report.wall_s,
                 report.wall_s > 0 ? double(report.points.size()) / report.wall_s
                                   : 0.0,
-                report.failed() ? "  [FAILURES]" : "");
+                extras.c_str());
+    const std::string summary = report.failure_summary();
+    if (!summary.empty()) std::fputs(summary.c_str(), stderr);
 
     const std::string csv = arg_string(argc, argv, "--csv", "");
     if (!csv.empty() && !report.write_csv(csv)) {
