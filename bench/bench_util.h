@@ -10,10 +10,17 @@
 #include "harness/experiment.h"
 #include "harness/scenarios.h"
 #include "harness/sweep.h"
+#include "obs/perf.h"
 #include "stats/summary.h"
 #include "util/csv.h"
 
 namespace mpcc::bench {
+
+/// Build/host provenance object every BENCH_*.json emitter embeds under
+/// "env": git SHA (configure-time), compiler, build type, flags,
+/// hardware_threads. One shared spelling so BENCH trajectories are
+/// comparable across PRs — see docs/BENCHMARKS.md.
+inline std::string bench_env_json() { return obs::bench_env_json(); }
 
 /// Prints the standard bench banner: which figure, what the paper reports,
 /// and what this harness regenerates.

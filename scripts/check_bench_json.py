@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_core.json emitted by tools/mpcc_bench.
+
+Usage: check_bench_json.py FILE [--no-ab]
+
+Exit codes:
+  0  well-formed and (unless --no-ab) the perf-counter overhead gate passed
+  1  well-formed but the measured MPCC_NO_PERF overhead reached the target
+     (a retryable failure: the A/B measures a ~1% effect and a noisy host
+     can push one attempt over the gate)
+  2  malformed output (missing keys, too few benchmarks, zero counters) —
+     a real bug, not worth retrying
+
+Checked shape: schema tag, env provenance (git_sha/compiler/build_type/
+hardware_threads), >= 6 named benchmarks each with ops/wall_s/perf, nonzero
+events_dispatched on every benchmark that drives a simulation, and a
+perf_overhead block with overhead_pct below target_pct.
+"""
+import json
+import sys
+
+# Benchmarks that only exercise non-sim code paths (no event loop).
+NO_EVENTS_OK = {"psi_eval"}
+
+ENV_KEYS = ("git_sha", "compiler", "build_type", "hardware_threads")
+BENCH_KEYS = ("name", "ops", "wall_s", "ns_per_op", "perf")
+PERF_KEYS = (
+    "events_dispatched", "timers_fired", "packets_enqueued",
+    "packets_forwarded", "packets_dropped", "allocs", "wall_s", "cpu_s",
+)
+
+
+def malformed(msg):
+    print("check_bench_json: MALFORMED: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    check_ab = "--no-ab" not in sys.argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        doc = json.load(open(args[0]))
+    except (OSError, ValueError) as e:
+        malformed("cannot parse %s: %s" % (args[0], e))
+
+    if doc.get("mpcc_bench") != 1:
+        malformed("missing schema tag mpcc_bench=1")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        malformed("missing env provenance object")
+    for k in ENV_KEYS:
+        if k not in env:
+            malformed("env lacks %r" % k)
+
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or len(benches) < 6:
+        malformed("expected >= 6 benchmarks, found %s"
+                  % (len(benches) if isinstance(benches, list) else "none"))
+    for b in benches:
+        for k in BENCH_KEYS:
+            if k not in b:
+                malformed("benchmark %r lacks %r" % (b.get("name", "?"), k))
+        if b["ops"] <= 0 or b["wall_s"] <= 0:
+            malformed("benchmark %r has no measured work" % b["name"])
+        perf = b["perf"]
+        for k in PERF_KEYS:
+            if k not in perf:
+                malformed("benchmark %r perf lacks %r" % (b["name"], k))
+        if b["name"] not in NO_EVENTS_OK and perf["events_dispatched"] <= 0:
+            malformed("benchmark %r dispatched no events" % b["name"])
+
+    print("check_bench_json: %d benchmarks ok (%s, %s)"
+          % (len(benches), env["compiler"], env["build_type"]))
+
+    if check_ab:
+        ab = doc.get("perf_overhead")
+        if not isinstance(ab, dict) or "overhead_pct" not in ab:
+            malformed("missing perf_overhead block (was --no-ab used?)")
+        pct, target = ab["overhead_pct"], ab.get("target_pct", 2.0)
+        print("check_bench_json: MPCC_NO_PERF overhead %.2f%% (target < %g%%)"
+              % (pct, target))
+        if pct >= target:
+            sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

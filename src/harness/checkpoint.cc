@@ -192,6 +192,27 @@ bool parse_entry_line(const std::string& line, std::size_t line_no,
         entry.params = parse_string_object(cur);
       } else if (key == "values") {
         entry.values = parse_number_object(cur);
+      } else if (key == "perf") {
+        const ResultRow pf = parse_number_object(cur);
+        const auto u64 = [&pf](const char* name) {
+          const auto it = pf.find(name);
+          return it != pf.end() ? static_cast<std::uint64_t>(it->second)
+                                : std::uint64_t{0};
+        };
+        const auto f64 = [&pf](const char* name) {
+          const auto it = pf.find(name);
+          return it != pf.end() ? it->second : 0.0;
+        };
+        entry.perf.events_dispatched = u64("events_dispatched");
+        entry.perf.timers_fired = u64("timers_fired");
+        entry.perf.packets_enqueued = u64("packets_enqueued");
+        entry.perf.packets_forwarded = u64("packets_forwarded");
+        entry.perf.packets_dropped = u64("packets_dropped");
+        entry.perf.allocs = u64("allocs");
+        entry.perf.alloc_bytes = u64("alloc_bytes");
+        entry.perf.wall_s = f64("wall_s");
+        entry.perf.cpu_s = f64("cpu_s");
+        entry.perf.peak_rss = u64("peak_rss");
       } else if (cur.peek() == '{') {
         parse_string_object(cur);  // unknown nested field: skip
       } else if (cur.peek() == '"') {
@@ -243,7 +264,18 @@ void CheckpointWriter::append(const CheckpointEntry& entry) {
          << "\":" << json_double(value);
     first = false;
   }
-  line << "}}\n";
+  // Flat number object so the minimal parser below reads it with the same
+  // machinery as "values". Field order matches obs::PerfStats.
+  const obs::PerfStats& pf = entry.perf;
+  line << "},\"perf\":{\"events_dispatched\":" << pf.events_dispatched
+       << ",\"timers_fired\":" << pf.timers_fired
+       << ",\"packets_enqueued\":" << pf.packets_enqueued
+       << ",\"packets_forwarded\":" << pf.packets_forwarded
+       << ",\"packets_dropped\":" << pf.packets_dropped
+       << ",\"allocs\":" << pf.allocs << ",\"alloc_bytes\":" << pf.alloc_bytes
+       << ",\"wall_s\":" << json_double(pf.wall_s)
+       << ",\"cpu_s\":" << json_double(pf.cpu_s)
+       << ",\"peak_rss\":" << pf.peak_rss << "}}\n";
 
   std::lock_guard<std::mutex> lock(mutex_);
   os_ << line.str();

@@ -35,6 +35,9 @@ struct CheckpointEntry {
   std::string domain;
   ParamMap params;
   ResultRow values;
+  /// Perf ledger of the run (obs/perf.h). Counter values stay exact through
+  /// the %.17g round-trip (every uint64 a sim run can reach is < 2^53).
+  obs::PerfStats perf;
 };
 
 /// Thread-safe append-only writer. Workers call append() concurrently; each

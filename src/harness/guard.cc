@@ -61,6 +61,7 @@ RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
                       const std::function<void()>& body) {
   RunReport report;
   const auto t0 = std::chrono::steady_clock::now();
+  const obs::PerfStatsCollector collector(ctx.perf());
   {
     WatchdogScope watchdog(ctx.events(), options);
     try {
@@ -92,6 +93,7 @@ RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
   report.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
           .count();
+  report.perf = collector.finish();
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/perf.h"
 #include "sim/context.h"
 #include "util/units.h"
 
@@ -44,6 +45,10 @@ struct RunReport {
   std::string domain;       ///< invariant domain ("net.queue.conservation"); else empty
   SimTime sim_time = -1;    ///< simulated time of failure; -1 = unknown/ok
   double wall_ms = 0;       ///< host wall-clock spent in the body
+  /// Performance ledger of the body: deltas of ctx.perf() plus thread
+  /// allocation/CPU costs (obs/perf.h). Populated even for failed runs —
+  /// the cost of a run that timed out is exactly what you want to see.
+  obs::PerfStats perf;
 };
 
 struct GuardOptions {

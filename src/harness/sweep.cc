@@ -19,6 +19,7 @@
 #include "harness/scenarios.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "sim/invariants.h"
 #include "util/logging.h"
@@ -813,6 +814,7 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       result.wall_ms = entry.wall_ms;
       result.ok = true;
       result.restored = true;
+      result.perf = entry.perf;
     }
   } else {
     for (std::size_t i = 0; i < points.size(); ++i) todo.push_back(i);
@@ -866,6 +868,7 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       result.error_kind = run.kind;
       result.error_domain = run.domain;
       result.fail_sim_time = run.sim_time;
+      result.perf = run.perf;
       if (!run.ok) result.values.clear();  // partial rows from a dead run lie
       if (!options.out_dir.empty()) {
         const std::string stem =
@@ -896,20 +899,36 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       entry.domain = result.error_domain;
       entry.params = result.params;
       entry.values = result.values;
+      entry.perf = result.perf;
       checkpoint->append(entry);
     }
 
     if (options.progress) {
       const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      char head[64];
+      // Live throughput + ETA from the sweep's own elapsed wall clock; the
+      // ETA assumes the remaining points cost what the finished ones did.
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sweep_start)
+                                 .count();
+      const double pps = elapsed > 0 ? double(n) / elapsed : 0.0;
+      char head[96];
       std::snprintf(head, sizeof head, "[%zu/%zu] ", n, todo.size());
+      char pace[96];
+      if (pps > 0 && n < todo.size()) {
+        std::snprintf(pace, sizeof pace, "  | %.1f pts/s ETA %.0fs", pps,
+                      double(todo.size() - n) / pps);
+      } else if (pps > 0) {
+        std::snprintf(pace, sizeof pace, "  | %.1f pts/s", pps);
+      } else {
+        pace[0] = '\0';
+      }
       std::string tail;
       if (!result.ok) {
         tail = "  FAILED[" + std::string(run_error_kind_name(result.error_kind)) +
                "]: " + result.error;
       }
       progress_line(head + plan.scenario + " " + describe_point(points[i]) + tail +
-                    "  (" + render_double(result.wall_ms) + " ms)");
+                    "  (" + render_double(result.wall_ms) + " ms)" + pace);
     }
   });
 
@@ -951,6 +970,53 @@ std::size_t SweepReport::restored() const {
     if (p.restored) ++n;
   }
   return n;
+}
+
+std::size_t SweepReport::skipped() const {
+  std::size_t n = 0;
+  for (const SweepPointResult& p : points) {
+    if (p.skipped) ++n;
+  }
+  return n;
+}
+
+obs::PerfStats SweepReport::perf_total() const {
+  obs::PerfStats total;
+  for (const SweepPointResult& p : points) total.accumulate(p.perf);
+  return total;
+}
+
+std::string SweepReport::summary() const {
+  const obs::PerfStats perf = perf_total();
+  const std::size_t n_failed = failed();
+  const std::size_t n_timeout = timed_out();
+  const std::size_t n_skipped = skipped();
+  const std::size_t n_ok = points.size() - n_failed;
+  std::ostringstream os;
+  os << "sweep summary: " << scenario << "\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  runs       %zu ok, %zu failed (%zu timed out, %zu skipped)",
+                n_ok, n_failed, n_timeout, n_skipped);
+  os << buf;
+  if (restored() > 0) os << ", " << restored() << " restored";
+  os << "\n";
+  std::snprintf(buf, sizeof buf, "  wall       %.2fs total, jobs=%d, %.2f points/sec\n",
+                wall_s, jobs, wall_s > 0 ? double(points.size()) / wall_s : 0.0);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  sim        %.3g events (%.3g/sec aggregate), %.3g packets fwd, "
+                "%.3g dropped\n",
+                double(perf.events_dispatched),
+                wall_s > 0 ? double(perf.events_dispatched) / wall_s : 0.0,
+                double(perf.packets_forwarded), double(perf.packets_dropped));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  host       %.3g allocs (%.2f/event), cpu %.2fs, peak rss %.1f MB\n",
+                double(perf.allocs), perf.allocs_per_event(), perf.cpu_s,
+                double(perf.peak_rss) / (1024.0 * 1024.0));
+  os << buf;
+  return os.str();
 }
 
 std::string SweepReport::failure_summary() const {
@@ -1056,6 +1122,8 @@ bool SweepReport::write_json(const std::string& path) const {
   os << "{\n  \"scenario\": \"" << json_escape(scenario) << "\",\n"
      << "  \"jobs\": " << jobs << ",\n"
      << "  \"wall_s\": " << json_double(wall_s) << ",\n"
+     << "  \"env\": " << obs::bench_env_json() << ",\n"
+     << "  \"perf_total\": " << perf_total().to_json() << ",\n"
      << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPointResult& p = points[i];
@@ -1074,7 +1142,7 @@ bool SweepReport::write_json(const std::string& path) const {
          << "\": " << json_double(value);
       first = false;
     }
-    os << "}";
+    os << "},\n      \"perf\": " << p.perf.to_json();
     if (!p.ok) {
       os << ",\n      \"error\": \"" << json_escape(p.error) << "\", \"error_kind\": \""
          << run_error_kind_name(p.error_kind) << '"';

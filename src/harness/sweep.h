@@ -136,6 +136,10 @@ struct SweepPointResult {
   SimTime fail_sim_time = -1;  ///< simulated time of failure; -1 = n/a
   bool restored = false;  ///< true if restored from a checkpoint, not re-run
   bool skipped = false;   ///< true if never run (--fail-fast aborted the sweep)
+  /// Per-run performance ledger from the RunGuard (obs/perf.h). The five
+  /// sim counters are bit-identical across --jobs for the same point; the
+  /// host costs (allocs, wall, cpu, rss) are whatever this execution paid.
+  obs::PerfStats perf;
 };
 
 struct SweepReport {
@@ -149,6 +153,16 @@ struct SweepReport {
   std::size_t timed_out() const;
   /// Points restored from a checkpoint instead of re-run.
   std::size_t restored() const;
+  /// Points never run because --fail-fast aborted the sweep.
+  std::size_t skipped() const;
+
+  /// Aggregate perf over every point: counters/costs summed, peak RSS maxed.
+  /// Restored points contribute their checkpointed stats.
+  obs::PerfStats perf_total() const;
+
+  /// Multi-line per-scenario summary (runs ok/failed/timed-out/skipped,
+  /// total wall, points/sec, aggregate events/sec, peak RSS) for stderr.
+  std::string summary() const;
 
   /// Human-readable multi-line summary of every failed point (kind, axis
   /// point, sim-time, message). Empty string when nothing failed.

@@ -1,5 +1,6 @@
 #include "net/pipe.h"
 
+#include "obs/perf.h"
 #include "sim/invariants.h"
 
 namespace mpcc {
@@ -21,10 +22,14 @@ void Pipe::set_delay(SimTime delay) {
 void Pipe::receive(Packet pkt) {
   if (down_) {
     ++down_drops_;
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     return;
   }
   SimTime extra = 0;
-  if (!on_ingress(pkt, extra)) return;  // dropped (lossy subclass)
+  if (!on_ingress(pkt, extra)) {  // dropped (lossy subclass)
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
+    return;
+  }
   // Keep deliveries monotone even with jitter so the deque stays sorted.
   SimTime deliver_at = events_.now() + delay_ + extra;
   if (deliver_at < last_delivery_) deliver_at = last_delivery_;
@@ -67,6 +72,13 @@ std::size_t Pipe::drop_in_flight() {
   const std::size_t dropped = in_flight_.size();
   down_drops_ += dropped;
   flight_drops_ += dropped;
+  // Bulk variant of MPCC_PERF_COUNT: one branch for the whole flush.
+  // Pipes contribute only *drops* to the perf ledger; forwards are counted
+  // at queues alone so packets_forwarded means "link-service completions"
+  // and a queue+pipe hop is not double-counted.
+  if (obs::perf_enabled() && dropped > 0) {
+    obs::bound_perf(perf_ctrs_).packets_dropped += dropped;
+  }
   in_flight_.clear();
   return dropped;
 }

@@ -76,6 +76,8 @@ class Pipe : public PacketHandler, public EventSource {
   std::uint64_t down_drops_ = 0;
   std::uint64_t accepted_ = 0;      // packets admitted into flight
   std::uint64_t flight_drops_ = 0;  // admitted packets flushed mid-flight
+  // Cached perf ledger (obs::bound_perf), lazy per-instance binding.
+  obs::PerfCounters* perf_ctrs_ = nullptr;
 };
 
 }  // namespace mpcc

@@ -1,5 +1,6 @@
 #include "net/queue.h"
 
+#include "obs/perf.h"
 #include "sim/invariants.h"
 #include "util/logging.h"
 
@@ -31,6 +32,7 @@ void Queue::set_down(bool down) {
     queued_bytes_ -= pkt.wire_size();
     bytes_down_dropped_ += pkt.wire_size();
     ++down_drops_;
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
   }
   fifo_.clear();
 }
@@ -38,6 +40,7 @@ void Queue::set_down(bool down) {
 void Queue::receive(Packet pkt) {
   if (down_) {
     ++down_drops_;
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     return;
   }
   const bool over_bytes = queued_bytes_ + pkt.wire_size() > capacity_bytes_;
@@ -45,6 +48,7 @@ void Queue::receive(Packet pkt) {
       capacity_packets_ != 0 && queued_packets() + 1 > capacity_packets_;
   if (over_bytes || over_packets) {
     ++drops_;
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     MPCC_DEBUG << name() << " drop flow=" << pkt.flow_id << " seq=" << pkt.seq;
     MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
                events_.now(), static_cast<double>(queued_bytes_), 0,
@@ -57,6 +61,7 @@ void Queue::receive(Packet pkt) {
   }
   if (!on_enqueue(pkt)) {
     ++drops_;
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     return;
   }
   queued_bytes_ += pkt.wire_size();
@@ -79,6 +84,15 @@ void Queue::receive(Packet pkt) {
   } else {
     fifo_.push_back(std::move(pkt));
   }
+  // Post-enqueue depth in packets (service slot included), sampled 1-in-32
+  // on the enqueue count — both the sample set and the depths are
+  // sim-determined, so the histogram stays bit-identical across --jobs.
+  if (obs::perf_enabled()) [[likely]] {
+    obs::PerfCounters& pc = obs::bound_perf(perf_ctrs_);
+    if ((++pc.packets_enqueued & 31) == 0) {
+      pc.queue_depth_pkts.record(queued_packets());
+    }
+  }
 }
 
 void Queue::start_service(Packet pkt) {
@@ -97,9 +111,11 @@ void Queue::do_next_event() {
   if (deliver) {
     ++forwarded_;
     bytes_forwarded_ += in_service_.wire_size();
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_forwarded);
   } else {
     ++down_drops_;
     bytes_down_dropped_ += in_service_.wire_size();
+    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
   }
   // Eq.-style byte conservation: accepted = forwarded + down-dropped +
   // still queued. Catches double-counted wire sizes and negative occupancy

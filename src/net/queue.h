@@ -74,6 +74,8 @@ class Queue : public PacketHandler, public EventSource {
   // first run's context dies.
   obs::Counter* drops_metric_ = nullptr;
   obs::Histogram* occupancy_metric_ = nullptr;
+  // Cached perf ledger (obs::bound_perf), same lazy per-instance pattern.
+  obs::PerfCounters* perf_ctrs_ = nullptr;
 
  private:
   void start_service(Packet pkt);

@@ -89,7 +89,15 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
   for (const TraceRecord& r : records) {
     const std::string src = json_escape(tracer.source_name(r.source));
     os << ",\n{";
-    if (is_counter_event(r.event)) {
+    if (r.event == TraceEvent::kPhaseBegin || r.event == TraceEvent::kPhaseEnd) {
+      // PhaseTimer scopes render as duration slices: a matched B/E pair on
+      // the phase's own track, named after the interned "phase/<name>".
+      os << "\"name\":\"" << src << "\",\"ph\":\""
+         << (r.event == TraceEvent::kPhaseBegin ? 'B' : 'E')
+         << "\",\"pid\":1,\"tid\":" << (r.source + 1)
+         << ",\"ts\":" << to_trace_us(r.time) << ",\"cat\":\""
+         << trace_category_name(r.category) << "\"}";
+    } else if (is_counter_event(r.event)) {
       const CounterSpec spec = counter_spec(r.event);
       os << "\"name\":\"" << src << "/" << spec.series
          << "\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << to_trace_us(r.time)

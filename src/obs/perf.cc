@@ -1,0 +1,440 @@
+#include "obs/perf.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#include <time.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/invariants.h"
+
+// ------------------------------------------------------------ alloc hook
+//
+// Thread-local allocation tally fed by the global operator new replacement
+// below. File-scope (not in a namespace) because the operators live at
+// global scope; trivially constructed/destructed, so touching them is safe
+// at any point in a thread's lifetime.
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+
+inline void count_alloc(std::size_t size) {
+  // Plain-global-bool gate: zero-initialised false before static init, so
+  // allocations made while constructing static objects are simply skipped.
+  if (mpcc::obs::detail::g_perf_enabled) [[likely]] {
+    ++t_alloc_count;
+    t_alloc_bytes += size;
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  // operator new contract: retry through the new-handler until the
+  // allocation succeeds or no handler is installed.
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* checked_aligned_alloc(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = nullptr;
+#ifdef _WIN32
+    p = _aligned_malloc(size, alignment);
+#else
+    if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                       size) != 0) {
+      p = nullptr;
+    }
+#endif
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+inline void aligned_free(void* p) {
+#ifdef _WIN32
+  _aligned_free(p);
+#else
+  std::free(p);
+#endif
+}
+}  // namespace
+
+// Global operator new/delete replacement: the standard set of variants, all
+// funneled through the counting tally above. Replacing these process-wide
+// is what makes PerfStats.allocs meaningful — the simulator's own heap
+// traffic (packet pools, event queue growth, std::string churn) is counted
+// without touching any call site. Sanitizers still intercept the underlying
+// malloc/free, so ASan/LSan coverage is unaffected.
+void* operator new(std::size_t size) {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+void* operator new[](std::size_t size) {
+  count_alloc(size);
+  return checked_malloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  count_alloc(size);
+  return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  count_alloc(size);
+  return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  try {
+    return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  count_alloc(size);
+  try {
+    return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { aligned_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { aligned_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  aligned_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  aligned_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  aligned_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  aligned_free(p);
+}
+
+namespace mpcc::obs {
+
+// ------------------------------------------------ kill switch + TLS access
+
+namespace detail {
+
+namespace {
+bool read_perf_env() {
+  const char* v = std::getenv("MPCC_NO_PERF");
+  return !(v != nullptr && v[0] == '1' && v[1] == '\0');
+}
+}  // namespace
+
+// Dynamic-initialised from the environment; zero-initialised (= disabled)
+// before that, so the alloc hook stays inert during static init.
+bool g_perf_enabled = read_perf_env();
+
+PerfCounters& thread_default_perf_counters() {
+  static thread_local PerfCounters instance;
+  return instance;
+}
+
+PerfCounters* exchange_thread_perf(PerfCounters* p) {
+  PerfCounters* prev = t_perf_override;
+  t_perf_override = p;
+  return prev;
+}
+
+}  // namespace detail
+
+void set_perf_enabled(bool enabled) { detail::g_perf_enabled = enabled; }
+
+std::uint64_t thread_alloc_count() { return t_alloc_count; }
+std::uint64_t thread_alloc_bytes() { return t_alloc_bytes; }
+
+// -------------------------------------------------- host-cost primitives
+
+double thread_cpu_seconds() {
+#ifdef _WIN32
+  return 0.0;
+#else
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+#endif
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef _WIN32
+  return 0;
+#else
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (bytes on macOS, where RUSAGE ru_maxrss
+  // is documented in bytes — accept the 1024x there, this is a diagnostic).
+  return std::uint64_t(ru.ru_maxrss) * 1024;
+#endif
+}
+
+// ------------------------------------------------------------ HdrHistogram
+
+double HdrHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return double(min());
+  if (p >= 1.0) return double(max());
+  const double target = p * double(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i];
+    if (double(cum) >= target) {
+      const std::uint64_t lo = bucket_lower(i);
+      const std::uint64_t hi = bucket_upper(i);
+      double v = double(lo) + double(hi - lo) / 2.0;
+      if (v < double(min())) v = double(min());
+      if (v > double(max())) v = double(max());
+      return v;
+    }
+  }
+  return double(max());  // unreachable: cum == count_ by the last bucket
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void HdrHistogram::reset() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+// ------------------------------------------------------------ PerfCounters
+
+void PerfCounters::reset() {
+  events_dispatched = 0;
+  timers_fired = 0;
+  packets_enqueued = 0;
+  packets_forwarded = 0;
+  packets_dropped = 0;
+  dispatch_ns.reset();
+  queue_depth_pkts.reset();
+  rtt_us.reset();
+}
+
+namespace {
+void flush_hdr(MetricsRegistry& registry, const char* prefix,
+               const HdrHistogram& h) {
+  if (h.count() == 0) return;
+  const std::string base(prefix);
+  registry.gauge(base + ".count").set(double(h.count()));
+  registry.gauge(base + ".mean").set(h.mean());
+  registry.gauge(base + ".p50").set(h.percentile(0.50));
+  registry.gauge(base + ".p90").set(h.percentile(0.90));
+  registry.gauge(base + ".p99").set(h.percentile(0.99));
+  registry.gauge(base + ".p999").set(h.percentile(0.999));
+  registry.gauge(base + ".max").set(double(h.max()));
+}
+}  // namespace
+
+void PerfCounters::flush_to_metrics(MetricsRegistry& registry) const {
+  const bool any = events_dispatched != 0 || timers_fired != 0 ||
+                   packets_enqueued != 0 || packets_forwarded != 0 ||
+                   packets_dropped != 0 || dispatch_ns.count() != 0 ||
+                   queue_depth_pkts.count() != 0 || rtt_us.count() != 0;
+  if (!any) return;
+  registry.counter("perf.events_dispatched").inc(events_dispatched);
+  registry.counter("perf.timers_fired").inc(timers_fired);
+  registry.counter("perf.packets_enqueued").inc(packets_enqueued);
+  registry.counter("perf.packets_forwarded").inc(packets_forwarded);
+  registry.counter("perf.packets_dropped").inc(packets_dropped);
+  flush_hdr(registry, "perf.dispatch_ns", dispatch_ns);
+  flush_hdr(registry, "perf.queue_depth_pkts", queue_depth_pkts);
+  flush_hdr(registry, "perf.rtt_us", rtt_us);
+}
+
+// -------------------------------------------------------------- PerfStats
+
+void PerfStats::accumulate(const PerfStats& other) {
+  events_dispatched += other.events_dispatched;
+  timers_fired += other.timers_fired;
+  packets_enqueued += other.packets_enqueued;
+  packets_forwarded += other.packets_forwarded;
+  packets_dropped += other.packets_dropped;
+  allocs += other.allocs;
+  alloc_bytes += other.alloc_bytes;
+  wall_s += other.wall_s;
+  cpu_s += other.cpu_s;
+  if (other.peak_rss > peak_rss) peak_rss = other.peak_rss;
+}
+
+std::string PerfStats::to_json() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"events_dispatched\": %llu, \"timers_fired\": %llu, "
+      "\"packets_enqueued\": %llu, \"packets_forwarded\": %llu, "
+      "\"packets_dropped\": %llu, \"allocs\": %llu, \"alloc_bytes\": %llu, "
+      "\"wall_s\": %.6f, \"cpu_s\": %.6f, \"peak_rss\": %llu, "
+      "\"events_per_sec\": %.1f, \"packets_per_sec\": %.1f, "
+      "\"allocs_per_event\": %.4f}",
+      static_cast<unsigned long long>(events_dispatched),
+      static_cast<unsigned long long>(timers_fired),
+      static_cast<unsigned long long>(packets_enqueued),
+      static_cast<unsigned long long>(packets_forwarded),
+      static_cast<unsigned long long>(packets_dropped),
+      static_cast<unsigned long long>(allocs),
+      static_cast<unsigned long long>(alloc_bytes), wall_s, cpu_s,
+      static_cast<unsigned long long>(peak_rss), events_per_sec(),
+      packets_per_sec(), allocs_per_event());
+  return buf;
+}
+
+PerfStatsCollector::PerfStatsCollector(const PerfCounters& counters)
+    : counters_(&counters),
+      base_events_(counters.events_dispatched),
+      base_timers_(counters.timers_fired),
+      base_enq_(counters.packets_enqueued),
+      base_fwd_(counters.packets_forwarded),
+      base_drop_(counters.packets_dropped),
+      base_allocs_(thread_alloc_count()),
+      base_alloc_bytes_(thread_alloc_bytes()),
+      base_cpu_(thread_cpu_seconds()),
+      base_wall_(std::chrono::steady_clock::now()) {}
+
+PerfStats PerfStatsCollector::finish() const {
+  PerfStats s;
+  s.events_dispatched = counters_->events_dispatched - base_events_;
+  s.timers_fired = counters_->timers_fired - base_timers_;
+  s.packets_enqueued = counters_->packets_enqueued - base_enq_;
+  s.packets_forwarded = counters_->packets_forwarded - base_fwd_;
+  s.packets_dropped = counters_->packets_dropped - base_drop_;
+  s.allocs = thread_alloc_count() - base_allocs_;
+  s.alloc_bytes = thread_alloc_bytes() - base_alloc_bytes_;
+  s.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           base_wall_)
+                 .count();
+  s.cpu_s = thread_cpu_seconds() - base_cpu_;
+  s.peak_rss = peak_rss_bytes();
+  return s;
+}
+
+// -------------------------------------------------------------- PhaseTimer
+
+PhaseTimer::PhaseTimer(std::string_view phase)
+    : phase_(phase),
+      trace_src_(tracer().intern("phase/" + phase_)),
+      wall_begin_(std::chrono::steady_clock::now()) {
+  MPCC_TRACE(TraceCategory::kSim, TraceEvent::kPhaseBegin, trace_src_,
+             current_sim_time_or(0));
+}
+
+PhaseTimer::~PhaseTimer() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wall_begin_)
+                      .count();
+  metrics().counter("perf.phase." + phase_ + "_wall_ns").inc(std::uint64_t(ns));
+  MPCC_TRACE(TraceCategory::kSim, TraceEvent::kPhaseEnd, trace_src_,
+             current_sim_time_or(0), double(ns));
+}
+
+// --------------------------------------------------------- build/env stamp
+
+#ifndef MPCC_GIT_SHA
+#define MPCC_GIT_SHA "unknown"
+#endif
+#ifndef MPCC_BUILD_TYPE
+#define MPCC_BUILD_TYPE "unknown"
+#endif
+#ifndef MPCC_CXX_FLAGS
+#define MPCC_CXX_FLAGS ""
+#endif
+
+namespace {
+const char* compiler_id() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Minimal JSON string escape (quotes and backslashes; flags strings never
+// contain control characters in practice).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{MPCC_GIT_SHA, compiler_id(), MPCC_BUILD_TYPE,
+                              MPCC_CXX_FLAGS};
+  return info;
+}
+
+std::string bench_env_json() {
+  const BuildInfo& info = build_info();
+  std::string out = "{\"git_sha\": \"";
+  out += json_escape(info.git_sha);
+  out += "\", \"compiler\": \"";
+  out += json_escape(info.compiler);
+  out += "\", \"build_type\": \"";
+  out += json_escape(info.build_type);
+  out += "\", \"cxx_flags\": \"";
+  out += json_escape(info.cxx_flags);
+  out += "\", \"hardware_threads\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += "}";
+  return out;
+}
+
+}  // namespace mpcc::obs

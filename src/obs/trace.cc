@@ -80,6 +80,10 @@ const char* trace_event_name(TraceEvent e) {
       return "power";
     case TraceEvent::kDynEvent:
       return "dyn";
+    case TraceEvent::kPhaseBegin:
+      return "phase_begin";
+    case TraceEvent::kPhaseEnd:
+      return "phase_end";
   }
   return "?";
 }

@@ -77,6 +77,8 @@ enum class TraceEvent : std::uint8_t {
   kEnergyPrice,     ///< kCc: v0=price dU_ep/dx_r, v1=increase divisor
   kMeterSample,     ///< kEnergy: v0=watts, v1=cumulative joules
   kDynEvent,        ///< kDyn: v0=applied value, i0=dyn::DynEvent::Kind
+  kPhaseBegin,      ///< kSim: start of a PhaseTimer scope (obs/perf.h)
+  kPhaseEnd,        ///< kSim: end of a PhaseTimer scope, v0=wall ns elapsed
 };
 
 /// Short name ("enqueue", "cwnd", ...), used as the exported event name.

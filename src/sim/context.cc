@@ -30,6 +30,9 @@ SimContext::~SimContext() {
   // it is still alive; ~EventList would otherwise flush into whatever
   // registry is ambient at destruction time.
   events_.flush_profile(*metrics_);
+  // Same for the perf ledger: perf.* counters/percentiles land in this
+  // run's registry (no-op when nothing was counted).
+  perf_.flush_to_metrics(*metrics_);
 }
 
 SimContext* SimContext::current() { return t_current_context; }
@@ -39,6 +42,7 @@ SimContext::Scope::Scope(SimContext& ctx)
       prev_current_(t_current_context),
       prev_tracer_(obs::detail::exchange_thread_tracer(&ctx.tracer())),
       prev_metrics_(obs::detail::exchange_thread_metrics(&ctx.metrics())),
+      prev_perf_(obs::detail::exchange_thread_perf(&ctx.perf())),
       prev_profiling_(obs::sim_profiling()) {
   t_current_context = ctx_;
   if (ctx.profile_sim()) obs::set_sim_profiling(true);
@@ -49,6 +53,7 @@ SimContext::Scope::~Scope() {
   assert(t_current_context == ctx_ && "SimContext scopes must nest (LIFO)");
   log_clock_.reset();
   obs::set_sim_profiling(prev_profiling_);
+  obs::detail::exchange_thread_perf(prev_perf_);
   obs::detail::exchange_thread_metrics(prev_metrics_);
   obs::detail::exchange_thread_tracer(prev_tracer_);
   t_current_context = prev_current_;

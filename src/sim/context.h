@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "sim/event_list.h"
 #include "util/logging.h"
@@ -64,6 +65,11 @@ class SimContext {
 
   obs::Tracer& tracer() { return *tracer_; }
   obs::MetricsRegistry& metrics() { return *metrics_; }
+  /// Per-run performance ledger; always owned (cheap, fixed-size). The
+  /// active Scope installs it as obs::perf_counters() on the thread, so a
+  /// sweep worker's counts attribute to its own run.
+  obs::PerfCounters& perf() { return perf_; }
+  const obs::PerfCounters& perf() const { return perf_; }
   /// True when this context owns its observability instances (isolate_obs).
   bool owns_obs() const { return owned_tracer_ != nullptr; }
   bool profile_sim() const { return profile_sim_; }
@@ -90,6 +96,7 @@ class SimContext {
     SimContext* prev_current_;
     obs::Tracer* prev_tracer_;
     obs::MetricsRegistry* prev_metrics_;
+    obs::PerfCounters* prev_perf_;
     bool prev_profiling_;
     std::optional<LogClock> log_clock_;
   };
@@ -102,6 +109,7 @@ class SimContext {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::Tracer* tracer_;
   obs::MetricsRegistry* metrics_;
+  obs::PerfCounters perf_;
   bool profile_sim_;
 };
 

@@ -23,6 +23,7 @@ namespace mpcc {
 namespace obs {
 class Histogram;
 class MetricsRegistry;
+struct PerfCounters;
 }  // namespace obs
 
 /// Identifies one pending scheduled event, for cancellation.
@@ -50,7 +51,7 @@ class EventList {
 
   /// Pops and dispatches the earliest pending event. Returns false when the
   /// queue is empty.
-  bool run_next();
+  bool run_next() { return run_next_impl(/*count_into_ledger=*/true); }
 
   /// Runs every event with time <= `t`, then sets now() = t.
   void run_until(SimTime t);
@@ -111,6 +112,24 @@ class EventList {
   };
 
   void profiled_dispatch(EventSource* src);
+
+  /// The dispatch body behind run_next(). With count_into_ledger false the
+  /// per-event events_dispatched increment is skipped — the batching loops
+  /// (run_until / run_all) count via BatchedEventCount instead, turning
+  /// ~N ledger increments into one add of the dispatched_ delta.
+  bool run_next_impl(bool count_into_ledger);
+
+  /// RAII delta-counter for the batching loops: snapshots dispatched_ and,
+  /// on destruction (normal exit or unwind through RunTimeout/invariant
+  /// throws), adds the delta to the bound ledger in one shot.
+  struct BatchedEventCount {
+    explicit BatchedEventCount(EventList& el)
+        : list(el), before(el.dispatched_) {}
+    ~BatchedEventCount();
+    EventList& list;
+    std::uint64_t before;
+  };
+
   struct Entry {
     SimTime time;
     EventToken token;
@@ -134,6 +153,12 @@ class EventList {
   // per-instance handle (not a function-local static) because each
   // SimContext owns its own registry.
   obs::Histogram* wall_hist_ = nullptr;
+  // Cached perf ledger (lazy obs::bound_perf, resolved against the
+  // thread-current ledger at the first counted dispatch — same convention
+  // as every other counting component): one member load per dispatch
+  // instead of a thread-local resolution. A privately-owned context's loop
+  // (Network(seed)) therefore still attributes to the enclosing Scope.
+  obs::PerfCounters* perf_ctrs_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<EventToken> cancelled_;
   std::unordered_map<EventSource*, ProfileEntry> prof_;

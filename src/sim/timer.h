@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "obs/perf.h"
 #include "sim/event_list.h"
 
 namespace mpcc {
@@ -41,6 +42,7 @@ class Timer final : public EventSource {
   SimTime expiry() const { return expiry_; }
 
   void do_next_event() override {
+    MPCC_PERF_COUNT_AT(perf_ctrs_, timers_fired);
     token_ = kInvalidEventToken;
     callback_();
   }
@@ -50,6 +52,7 @@ class Timer final : public EventSource {
   std::function<void()> callback_;
   EventToken token_ = kInvalidEventToken;
   SimTime expiry_ = 0;
+  obs::PerfCounters* perf_ctrs_ = nullptr;  // cached ledger (obs::bound_perf)
 };
 
 /// Fires a callback every `period` until stopped. Used by energy meters and
@@ -79,6 +82,7 @@ class PeriodicTimer final : public EventSource {
   SimTime period() const { return period_; }
 
   void do_next_event() override {
+    MPCC_PERF_COUNT_AT(perf_ctrs_, timers_fired);
     token_ = events_.schedule_in(this, period_);
     callback_();
   }
@@ -88,6 +92,7 @@ class PeriodicTimer final : public EventSource {
   SimTime period_;
   std::function<void()> callback_;
   EventToken token_ = kInvalidEventToken;
+  obs::PerfCounters* perf_ctrs_ = nullptr;  // cached ledger (obs::bound_perf)
 };
 
 }  // namespace mpcc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "sim/invariants.h"
 #include "util/logging.h"
 
@@ -209,6 +210,14 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
 
   const SimTime rtt_sample = net_.now() - ack.ts_echo;
   rtt_.add_sample(rtt_sample);
+  // Unlike the trace-gated histogram below, the perf ledger samples RTTs
+  // without tracing enabled — 1-in-8 keyed on the ACK count, so the sample
+  // set is sim-deterministic (a saturated flow still yields thousands of
+  // samples per simulated second).
+  if ((++new_acks_ & 7) == 0) {
+    MPCC_PERF_RECORD_AT(perf_ctrs_, rtt_us,
+                        static_cast<std::uint64_t>(rtt_sample / kMicrosecond));
+  }
   if (obs::tracer().enabled(obs::TraceCategory::kCwnd)) {
     obs::tracer().record(obs::TraceCategory::kCwnd, obs::TraceEvent::kRttSample,
                          trace_src_, net_.now(),

@@ -5,10 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "harness/checkpoint.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
+#include "sim/context.h"
 #include "sim/timer.h"
 #include "util/units.h"
 
@@ -387,6 +391,199 @@ TEST_F(ObsTest, ObsSessionEndToEnd) {
   EXPECT_NE(metrics_json.find("\"name\":\"test.obs.session\""),
             std::string::npos);
   EXPECT_NE(metrics_json.find("\"type\":\"counter\""), std::string::npos);
+}
+
+// ------------------------------------------------- perf counters (perf.h)
+
+TEST_F(ObsTest, HdrHistogramEmptyPercentilesAreZero) {
+  obs::HdrHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 0.0);
+}
+
+TEST_F(ObsTest, HdrHistogramSingleSampleIsEveryPercentile) {
+  obs::HdrHistogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  // Every percentile of a single sample is that sample (the bucket midpoint
+  // is clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST_F(ObsTest, HdrHistogramLinearRangeIsExact) {
+  obs::HdrHistogram h;
+  for (std::uint64_t v = 0; v < obs::HdrHistogram::kLinearMax; ++v) {
+    EXPECT_EQ(obs::HdrHistogram::bucket_index(v), v) << "v=" << v;
+  }
+  // Above the linear range resolution is ~6%, monotone non-decreasing.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 40); v = v * 2 + 1) {
+    const std::size_t idx = obs::HdrHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, obs::HdrHistogram::kNumBuckets);
+    EXPECT_LE(obs::HdrHistogram::bucket_lower(idx), v);
+    prev = idx;
+  }
+}
+
+TEST_F(ObsTest, HdrHistogramOverflowClampsToLastBucket) {
+  obs::HdrHistogram h;
+  const std::uint64_t huge = ~std::uint64_t{0};  // 2^64 - 1
+  h.record(huge);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_EQ(obs::HdrHistogram::bucket_index(huge),
+            obs::HdrHistogram::kNumBuckets - 1);
+  // Percentile stays finite and clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), static_cast<double>(huge));
+}
+
+TEST_F(ObsTest, HdrHistogramMergeIsAssociativeAndExact) {
+  obs::HdrHistogram a, b, c;
+  for (std::uint64_t v = 0; v < 100; ++v) a.record(v * 3);
+  for (std::uint64_t v = 0; v < 50; ++v) b.record(v * v);
+  c.record(7);
+  c.record(1'000'000);
+
+  obs::HdrHistogram left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  obs::HdrHistogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  obs::HdrHistogram right = a;
+  right.merge(bc);
+
+  EXPECT_TRUE(left == right);
+  EXPECT_EQ(left.count(), a.count() + b.count() + c.count());
+  EXPECT_EQ(left.sum(), a.sum() + b.sum() + c.sum());
+  EXPECT_EQ(left.min(), 0u);
+  EXPECT_EQ(left.max(), 1'000'000u);
+  // Merging an empty histogram is the identity.
+  obs::HdrHistogram empty;
+  obs::HdrHistogram copy = left;
+  copy.merge(empty);
+  EXPECT_TRUE(copy == left);
+}
+
+TEST_F(ObsTest, PerfKillSwitchStopsCounting) {
+  SimContext ctx;
+  SimContext::Scope scope(ctx);
+  const bool was_enabled = obs::perf_enabled();
+  obs::set_perf_enabled(false);
+  MPCC_PERF_COUNT(events_dispatched);
+  MPCC_PERF_RECORD(rtt_us, 123);
+  obs::set_perf_enabled(true);
+  MPCC_PERF_COUNT(events_dispatched);
+  MPCC_PERF_RECORD(rtt_us, 123);
+  obs::set_perf_enabled(was_enabled);
+  EXPECT_EQ(ctx.perf().events_dispatched, 1u);
+  EXPECT_EQ(ctx.perf().rtt_us.count(), 1u);
+}
+
+TEST_F(ObsTest, PerfCountersAttributeToScopedContext) {
+  SimContext ctx;
+  {
+    SimContext::Scope scope(ctx);
+    MPCC_PERF_COUNT(packets_enqueued);
+    MPCC_PERF_COUNT(packets_enqueued);
+    MPCC_PERF_RECORD(queue_depth_pkts, 5);
+  }
+  EXPECT_EQ(ctx.perf().packets_enqueued, 2u);
+  EXPECT_EQ(ctx.perf().queue_depth_pkts.count(), 1u);
+  // Outside the scope, counts go to the thread default, not this context.
+  MPCC_PERF_COUNT(packets_enqueued);
+  EXPECT_EQ(ctx.perf().packets_enqueued, 2u);
+}
+
+// The five sim counters of every sweep point must be bit-identical no
+// matter how many worker threads executed the sweep — that's the isolation
+// contract SimContext exists to provide (host costs like wall/allocs are
+// explicitly exempt).
+TEST_F(ObsTest, SweepPerfCountersIdenticalAcrossJobs) {
+  harness::SweepPlan plan;
+  plan.scenario = "two_path";
+  plan.axes.push_back({"cc", {"lia", "dts"}});
+  plan.axes.push_back({"duration_s", {"1"}});
+  plan.axes.push_back({"cross_traffic", {"0"}});
+  plan.seeds = 2;
+
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  const harness::SweepReport r1 = harness::run_sweep(plan, serial);
+  harness::SweepOptions parallel;
+  parallel.jobs = 8;
+  const harness::SweepReport r8 = harness::run_sweep(plan, parallel);
+
+  ASSERT_EQ(r1.points.size(), 4u);
+  ASSERT_EQ(r8.points.size(), r1.points.size());
+  for (std::size_t i = 0; i < r1.points.size(); ++i) {
+    const obs::PerfStats& a = r1.points[i].perf;
+    const obs::PerfStats& b = r8.points[i].perf;
+    ASSERT_TRUE(r1.points[i].ok) << r1.points[i].error;
+    ASSERT_TRUE(r8.points[i].ok) << r8.points[i].error;
+    EXPECT_EQ(a.events_dispatched, b.events_dispatched) << "point " << i;
+    EXPECT_EQ(a.timers_fired, b.timers_fired) << "point " << i;
+    EXPECT_EQ(a.packets_enqueued, b.packets_enqueued) << "point " << i;
+    EXPECT_EQ(a.packets_forwarded, b.packets_forwarded) << "point " << i;
+    EXPECT_EQ(a.packets_dropped, b.packets_dropped) << "point " << i;
+    // A real run does real work; zero everywhere would mean the counters
+    // are not wired, not that the run was identical.
+    EXPECT_GT(a.events_dispatched, 0u) << "point " << i;
+    EXPECT_GT(a.packets_forwarded, 0u) << "point " << i;
+  }
+}
+
+TEST_F(ObsTest, PerfStatsJsonRoundTripsThroughCheckpoint) {
+  harness::CheckpointEntry entry;
+  entry.index = 3;
+  entry.ok = true;
+  entry.perf.events_dispatched = 123'456'789;
+  entry.perf.timers_fired = 42;
+  entry.perf.packets_enqueued = 1'000'000;
+  entry.perf.packets_forwarded = 999'999;
+  entry.perf.packets_dropped = 1;
+  entry.perf.allocs = 77;
+  entry.perf.alloc_bytes = 4096;
+  entry.perf.wall_s = 1.25;
+  entry.perf.cpu_s = 1.125;
+  entry.perf.peak_rss = 64 << 20;
+
+  const std::string path = ::testing::TempDir() + "/mpcc_perf_ckpt.jsonl";
+  {
+    harness::CheckpointWriter writer(path, "two_path", 4, false);
+    writer.append(entry);
+  }
+  const harness::CheckpointData data = harness::load_checkpoint(path);
+  ASSERT_EQ(data.entries.count(3), 1u);
+  const obs::PerfStats& pf = data.entries.at(3).perf;
+  EXPECT_EQ(pf.events_dispatched, 123'456'789u);
+  EXPECT_EQ(pf.timers_fired, 42u);
+  EXPECT_EQ(pf.packets_enqueued, 1'000'000u);
+  EXPECT_EQ(pf.packets_forwarded, 999'999u);
+  EXPECT_EQ(pf.packets_dropped, 1u);
+  EXPECT_EQ(pf.allocs, 77u);
+  EXPECT_EQ(pf.alloc_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(pf.wall_s, 1.25);
+  EXPECT_DOUBLE_EQ(pf.cpu_s, 1.125);
+  EXPECT_EQ(pf.peak_rss, std::uint64_t{64} << 20);
+}
+
+TEST_F(ObsTest, BenchEnvJsonHasProvenanceFields) {
+  const std::string env = obs::bench_env_json();
+  EXPECT_NE(env.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(env.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(env.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(env.find("\"hardware_threads\""), std::string::npos);
 }
 
 }  // namespace

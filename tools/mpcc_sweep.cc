@@ -51,6 +51,7 @@
 
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 
 namespace {
@@ -103,7 +104,8 @@ int usage(const char* argv0) {
 }
 
 // Writes the BENCH_sweep.json wall-clock summary: parallel points/sec and
-// speedup over the measured --jobs=1 baseline.
+// speedup over the measured --jobs=1 baseline, stamped with the shared
+// build/env provenance (bench/bench_util.h) and the aggregate perf ledger.
 bool write_bench_summary(const std::string& path, const SweepReport& parallel,
                          const SweepReport& baseline) {
   std::ofstream os(path);
@@ -125,12 +127,13 @@ bool write_bench_summary(const std::string& path, const SweepReport& parallel,
                 "  \"baseline_jobs\": 1,\n"
                 "  \"baseline_wall_s\": %.3f,\n"
                 "  \"baseline_points_per_sec\": %.3f,\n"
-                "  \"speedup\": %.2f\n"
-                "}\n",
+                "  \"speedup\": %.2f,\n",
                 parallel.scenario.c_str(), parallel.points.size(), parallel.jobs,
                 std::thread::hardware_concurrency(), parallel.wall_s, par_pps,
                 baseline.wall_s, base_pps, speedup);
   os << buf;
+  os << "  \"perf_total\": " << parallel.perf_total().to_json() << ",\n"
+     << "  \"env\": " << mpcc::obs::bench_env_json() << "\n}\n";
   return bool(os);
 }
 
@@ -230,6 +233,7 @@ int main(int argc, char** argv) {
     }
 
     report.table().print(std::cout);
+    std::fputs(report.summary().c_str(), stderr);
     std::string extras;
     if (report.restored() > 0) {
       extras += "  [" + std::to_string(report.restored()) + " restored]";
