@@ -15,7 +15,8 @@ MptcpConnection::MptcpConnection(Network& net, std::string name, MptcpConfig con
       config_(config),
       cc_(std::move(cc)),
       scheduler_(std::make_unique<AnySubflowScheduler>()),
-      recv_buffer_(config.recv_buffer) {
+      recv_buffer_(config.recv_buffer, &net.context().pool()),
+      outstanding_(OutstandingMap::allocator_type(&net.context().pool())) {
   assert(cc_ != nullptr);
   cc_->attach(*this);
 }

@@ -7,13 +7,13 @@
 // Scheduler policy.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/pool.h"
 #include "sim/timer.h"
 
 #include "cc/multipath_cc.h"
@@ -132,14 +132,21 @@ class MptcpConnection final : public DataConsumer {
   ReceiveBuffer recv_buffer_;
   std::int64_t allocated_ = 0;
 
-  // Reinjection state (only maintained when enabled).
-  std::map<std::int64_t, OutstandingChunk> outstanding_;  // data_seq -> chunk
+  // Reinjection state (only maintained when enabled). The outstanding-chunk
+  // map sees one insert per allocated chunk, so its nodes recycle through
+  // the run's pool.
+  using OutstandingMap =
+      std::map<std::int64_t, OutstandingChunk, std::less<std::int64_t>,
+               PoolAllocator<std::pair<const std::int64_t, OutstandingChunk>>>;
+  OutstandingMap outstanding_;  // data_seq -> chunk
   struct ReinjectEntry {
     std::int64_t data_seq;
     Bytes len;
     std::size_t exclude_owner;
   };
-  std::deque<ReinjectEntry> reinject_queue_;
+  // Rarely more than a handful of entries, erased mid-scan: a plain vector
+  // (capacity retained) beats a chunk-churning deque here.
+  std::vector<ReinjectEntry> reinject_queue_;
   std::unique_ptr<PeriodicTimer> reinject_timer_;
   std::int64_t last_in_order_ = 0;
   SimTime stall_since_ = 0;

@@ -11,14 +11,18 @@
 #include <cstdint>
 #include <map>
 
+#include "sim/pool.h"
 #include "util/units.h"
 
 namespace mpcc {
 
 class ReceiveBuffer {
  public:
-  /// `capacity` = 0 means unlimited.
-  explicit ReceiveBuffer(Bytes capacity = 0) : capacity_(capacity) {}
+  /// `capacity` = 0 means unlimited. With an `arena`, reorder-map nodes
+  /// recycle through the run's pool instead of the global heap (a null
+  /// arena keeps the plain-heap behaviour for standalone use).
+  explicit ReceiveBuffer(Bytes capacity = 0, PoolArena* arena = nullptr)
+      : capacity_(capacity), pending_(PendingMap::allocator_type(arena)) {}
 
   /// A chunk [data_seq, data_seq+len) arrived in-order on some subflow.
   /// Duplicate/overlapping chunks (from spurious retransmits) are ignored.
@@ -43,11 +47,14 @@ class ReceiveBuffer {
   std::size_t pending_chunks() const { return pending_.size(); }
 
  private:
+  using PendingMap = std::map<std::int64_t, Bytes, std::less<std::int64_t>,
+                              PoolAllocator<std::pair<const std::int64_t, Bytes>>>;
+
   Bytes capacity_;
   std::int64_t in_order_ = 0;
   Bytes buffered_ = 0;
   Bytes max_buffered_ = 0;
-  std::map<std::int64_t, Bytes> pending_;  // data_seq -> len, above in_order_
+  PendingMap pending_;  // data_seq -> len, above in_order_
 };
 
 }  // namespace mpcc

@@ -9,6 +9,16 @@ Pipe::Pipe(EventList& events, std::string name, SimTime delay)
     : EventSource(std::move(name)), events_(events), delay_(delay) {
   MPCC_CHECK_INVARIANT(delay_ >= 0, "net.pipe.delay",
                        this->name() << ": delay=" << delay_);
+  events_.register_perf_flush(this);
+}
+
+Pipe::~Pipe() { events_.unregister_perf_flush(this); }
+
+void Pipe::flush_perf() {
+  if (obs::perf_enabled()) {
+    obs::bound_perf(perf_ctrs_).packets_dropped += perf_drops_ - perf_drops_flushed_;
+  }
+  perf_drops_flushed_ = perf_drops_;
 }
 
 bool Pipe::on_ingress(Packet&, SimTime&) { return true; }
@@ -22,12 +32,12 @@ void Pipe::set_delay(SimTime delay) {
 void Pipe::receive(Packet pkt) {
   if (down_) {
     ++down_drops_;
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
+    ++perf_drops_;
     return;
   }
   SimTime extra = 0;
   if (!on_ingress(pkt, extra)) {  // dropped (lossy subclass)
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
+    ++perf_drops_;
     return;
   }
   // Keep deliveries monotone even with jitter so the deque stays sorted.
@@ -72,13 +82,7 @@ std::size_t Pipe::drop_in_flight() {
   const std::size_t dropped = in_flight_.size();
   down_drops_ += dropped;
   flight_drops_ += dropped;
-  // Bulk variant of MPCC_PERF_COUNT: one branch for the whole flush.
-  // Pipes contribute only *drops* to the perf ledger; forwards are counted
-  // at queues alone so packets_forwarded means "link-service completions"
-  // and a queue+pipe hop is not double-counted.
-  if (obs::perf_enabled() && dropped > 0) {
-    obs::bound_perf(perf_ctrs_).packets_dropped += dropped;
-  }
+  perf_drops_ += dropped;
   in_flight_.clear();
   return dropped;
 }

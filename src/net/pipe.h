@@ -12,19 +12,24 @@
 // already in flight (a radio that loses association loses its airframes).
 #pragma once
 
-#include <deque>
-
 #include "net/route.h"
 #include "sim/event_list.h"
+#include "util/ring_buffer.h"
 
 namespace mpcc {
 
-class Pipe : public PacketHandler, public EventSource {
+class Pipe : public PacketHandler, public EventSource, public PerfFlushable {
  public:
   Pipe(EventList& events, std::string name, SimTime delay);
+  ~Pipe() override;
 
   void receive(Packet pkt) override;
   void do_next_event() override;
+  /// Batched perf-ledger update: adds the drop delta since the last flush
+  /// (driven per run_until/run_all by the EventList). Pipes contribute only
+  /// drops; forwards are counted at queues alone so a queue+pipe hop is not
+  /// double-counted.
+  void flush_perf() override;
 
   SimTime delay() const { return delay_; }
   std::uint64_t forwarded() const { return forwarded_; }
@@ -68,7 +73,7 @@ class Pipe : public PacketHandler, public EventSource {
   };
 
   SimTime delay_;
-  std::deque<InFlight> in_flight_;
+  RingBuffer<InFlight> in_flight_;
   bool event_pending_ = false;
   bool down_ = false;
   SimTime last_delivery_ = 0;
@@ -76,6 +81,8 @@ class Pipe : public PacketHandler, public EventSource {
   std::uint64_t down_drops_ = 0;
   std::uint64_t accepted_ = 0;      // packets admitted into flight
   std::uint64_t flight_drops_ = 0;  // admitted packets flushed mid-flight
+  std::uint64_t perf_drops_ = 0;    // all drop kinds, for flush_perf()
+  std::uint64_t perf_drops_flushed_ = 0;
   // Cached perf ledger (obs::bound_perf), lazy per-instance binding.
   obs::PerfCounters* perf_ctrs_ = nullptr;
 };

@@ -15,6 +15,21 @@ Queue::Queue(EventList& events, std::string name, Rate rate, Bytes capacity_byte
       capacity_bytes_(capacity_bytes),
       capacity_packets_(capacity_packets) {
   MPCC_CHECK_INVARIANT(rate_ > 0, "net.queue.rate", this->name() << ": rate=" << rate_);
+  events_.register_perf_flush(this);
+}
+
+Queue::~Queue() { events_.unregister_perf_flush(this); }
+
+void Queue::flush_perf() {
+  if (obs::perf_enabled()) {
+    obs::PerfCounters& pc = obs::bound_perf(perf_ctrs_);
+    pc.packets_enqueued += accepted_packets_ - perf_enq_flushed_;
+    pc.packets_forwarded += forwarded_ - perf_fwd_flushed_;
+    pc.packets_dropped += (drops_ + down_drops_) - perf_drop_flushed_;
+  }
+  perf_enq_flushed_ = accepted_packets_;
+  perf_fwd_flushed_ = forwarded_;
+  perf_drop_flushed_ = drops_ + down_drops_;
 }
 
 bool Queue::on_enqueue(Packet&) { return true; }
@@ -22,25 +37,27 @@ bool Queue::on_enqueue(Packet&) { return true; }
 void Queue::set_rate(Rate rate) {
   MPCC_CHECK_INVARIANT(rate > 0, "net.queue.rate", name() << ": set_rate(" << rate << ")");
   rate_ = rate;
+  tx_cached_size_ = -1;
 }
 
 void Queue::set_down(bool down) {
   down_ = down;
   if (!down) return;
   // Flush everything waiting behind the (doomed) packet in service.
-  for (const Packet& pkt : fifo_) {
+  for (std::size_t i = 0; i < fifo_.size(); ++i) {
+    const Packet& pkt = fifo_[i];
     queued_bytes_ -= pkt.wire_size();
     bytes_down_dropped_ += pkt.wire_size();
     ++down_drops_;
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
   }
   fifo_.clear();
 }
 
 void Queue::receive(Packet pkt) {
+  // Drops and enqueues feed the perf ledger in batches (flush_perf), not
+  // per packet: the member counters below already carry the totals.
   if (down_) {
     ++down_drops_;
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     return;
   }
   const bool over_bytes = queued_bytes_ + pkt.wire_size() > capacity_bytes_;
@@ -48,7 +65,6 @@ void Queue::receive(Packet pkt) {
       capacity_packets_ != 0 && queued_packets() + 1 > capacity_packets_;
   if (over_bytes || over_packets) {
     ++drops_;
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     MPCC_DEBUG << name() << " drop flow=" << pkt.flow_id << " seq=" << pkt.seq;
     MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
                events_.now(), static_cast<double>(queued_bytes_), 0,
@@ -61,16 +77,15 @@ void Queue::receive(Packet pkt) {
   }
   if (!on_enqueue(pkt)) {
     ++drops_;
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
     return;
   }
   queued_bytes_ += pkt.wire_size();
   bytes_accepted_ += pkt.wire_size();
-  if (obs::tracer().enabled(obs::TraceCategory::kQueue)) {
-    obs::tracer().record(obs::TraceCategory::kQueue, obs::TraceEvent::kEnqueue,
-                         trace_src_, events_.now(),
-                         static_cast<double>(queued_bytes_), 0,
-                         static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
+  if (obs::Tracer& tr = obs::tracer(); tr.enabled(obs::TraceCategory::kQueue)) [[unlikely]] {
+    tr.record(obs::TraceCategory::kQueue, obs::TraceEvent::kEnqueue,
+              trace_src_, events_.now(),
+              static_cast<double>(queued_bytes_), 0,
+              static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
     // Hot-path histogram rides the queue trace bit: free when tracing is off.
     if (occupancy_metric_ == nullptr) {
       occupancy_metric_ = &obs::metrics().histogram(
@@ -85,13 +100,10 @@ void Queue::receive(Packet pkt) {
     fifo_.push_back(std::move(pkt));
   }
   // Post-enqueue depth in packets (service slot included), sampled 1-in-32
-  // on the enqueue count — both the sample set and the depths are
+  // on this queue's accept count — both the sample set and the depths are
   // sim-determined, so the histogram stays bit-identical across --jobs.
-  if (obs::perf_enabled()) [[likely]] {
-    obs::PerfCounters& pc = obs::bound_perf(perf_ctrs_);
-    if ((++pc.packets_enqueued & 31) == 0) {
-      pc.queue_depth_pkts.record(queued_packets());
-    }
+  if ((++accepted_packets_ & 31) == 0) [[unlikely]] {
+    MPCC_PERF_RECORD_AT(perf_ctrs_, queue_depth_pkts, queued_packets());
   }
 }
 
@@ -99,7 +111,7 @@ void Queue::start_service(Packet pkt) {
   busy_ = true;
   service_started_ = events_.now();
   in_service_ = std::move(pkt);
-  events_.schedule_in(this, transmission_time(in_service_.wire_size(), rate_));
+  events_.schedule_in(this, service_time(in_service_.wire_size()));
 }
 
 void Queue::do_next_event() {
@@ -111,11 +123,9 @@ void Queue::do_next_event() {
   if (deliver) {
     ++forwarded_;
     bytes_forwarded_ += in_service_.wire_size();
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_forwarded);
   } else {
     ++down_drops_;
     bytes_down_dropped_ += in_service_.wire_size();
-    MPCC_PERF_COUNT_AT(perf_ctrs_, packets_dropped);
   }
   // Eq.-style byte conservation: accepted = forwarded + down-dropped +
   // still queued. Catches double-counted wire sizes and negative occupancy
@@ -128,9 +138,12 @@ void Queue::do_next_event() {
              << " down_dropped=" << bytes_down_dropped_ << " queued=" << queued_bytes_);
   Packet done = std::move(in_service_);
   if (!fifo_.empty()) {
-    Packet next = std::move(fifo_.front());
+    // Next packet moves straight from the ring into the service slot
+    // (start_service would cost an extra Packet move; busy_ is already set).
+    service_started_ = events_.now();
+    in_service_ = std::move(fifo_.front());
     fifo_.pop_front();
-    start_service(std::move(next));
+    events_.schedule_in(this, service_time(in_service_.wire_size()));
   } else {
     busy_ = false;
   }

@@ -7,26 +7,30 @@
 // 50-*packet* DropTail queue).
 #pragma once
 
-#include <deque>
 #include <limits>
 
 #include "net/route.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_list.h"
+#include "util/ring_buffer.h"
 #include "util/units.h"
 
 namespace mpcc {
 
-class Queue : public PacketHandler, public EventSource {
+class Queue : public PacketHandler, public EventSource, public PerfFlushable {
  public:
   /// Buffer limit: `capacity_bytes` caps queued bytes; `capacity_packets`
   /// (if non-zero) caps queued packet count instead.
   Queue(EventList& events, std::string name, Rate rate, Bytes capacity_bytes,
         std::size_t capacity_packets = 0);
+  ~Queue() override;
 
   void receive(Packet pkt) override;
   void do_next_event() override;
+  /// Batched perf-ledger update: adds the enqueue/forward/drop deltas since
+  /// the last flush (driven per run_until/run_all by the EventList).
+  void flush_perf() override;
 
   Rate rate() const { return rate_; }
   Bytes queued_bytes() const { return queued_bytes_; }
@@ -80,11 +84,23 @@ class Queue : public PacketHandler, public EventSource {
  private:
   void start_service(Packet pkt);
 
+  /// transmission_time(size, rate_) with a one-entry memo. Traffic is
+  /// dominated by a single MSS (plus a single ACK size on reverse paths),
+  /// so this hits almost always and skips the fp divide. Exact: a hit
+  /// returns the very value the formula produced for that size.
+  SimTime service_time(Bytes size) {
+    if (size != tx_cached_size_) {
+      tx_cached_size_ = size;
+      tx_cached_time_ = transmission_time(size, rate_);
+    }
+    return tx_cached_time_;
+  }
+
   Rate rate_;
   Bytes capacity_bytes_;
   std::size_t capacity_packets_;
 
-  std::deque<Packet> fifo_;
+  RingBuffer<Packet> fifo_;
   Bytes queued_bytes_ = 0;  // includes the packet in service
   bool busy_ = false;
   bool down_ = false;
@@ -93,11 +109,18 @@ class Queue : public PacketHandler, public EventSource {
   std::uint64_t down_drops_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t accepted_packets_ = 0;  // drives the 1-in-32 depth sampling
+  // flush_perf() bookmarks: ledger contributions already made.
+  std::uint64_t perf_enq_flushed_ = 0;
+  std::uint64_t perf_fwd_flushed_ = 0;
+  std::uint64_t perf_drop_flushed_ = 0;
   Bytes bytes_forwarded_ = 0;
   Bytes bytes_accepted_ = 0;      // bytes that entered the buffer
   Bytes bytes_down_dropped_ = 0;  // accepted bytes lost to link-down
   SimTime busy_time_ = 0;
   SimTime service_started_ = 0;
+  Bytes tx_cached_size_ = -1;  // service_time memo (invalidated by set_rate)
+  SimTime tx_cached_time_ = 0;
 };
 
 }  // namespace mpcc

@@ -4,7 +4,7 @@
 
 namespace mpcc {
 
-void Route::forward(Packet pkt) {
+void Route::forward(Packet&& pkt) {
   assert(pkt.route != nullptr);
   assert(pkt.next_hop < pkt.route->size() && "packet ran off the end of its route");
   PacketHandler* next = pkt.route->hop(pkt.next_hop);

@@ -37,8 +37,9 @@ class Route {
   PacketHandler* hop(std::size_t i) const { return hops_[i]; }
 
   /// Delivers `pkt` to its next hop, advancing the hop index. The packet
-  /// must still have hops remaining.
-  static void forward(Packet pkt);
+  /// must still have hops remaining. Takes an rvalue so the hop advance
+  /// happens in the caller's packet — the only copy is into receive().
+  static void forward(Packet&& pkt);
 
   /// Injects `pkt` at the first hop of this route.
   void inject(Packet pkt) const;

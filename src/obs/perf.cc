@@ -381,8 +381,17 @@ PhaseTimer::~PhaseTimer() {
 
 // --------------------------------------------------------- build/env stamp
 
+// The git SHA + dirty flag come from a header generated at *build* time
+// (cmake/git_stamp.cmake); MPCC_GIT_STAMP_HEADER carries its path. Builds
+// outside CMake (or outside a git checkout) fall back to "unknown"/clean.
+#ifdef MPCC_GIT_STAMP_HEADER
+#include MPCC_GIT_STAMP_HEADER
+#endif
 #ifndef MPCC_GIT_SHA
 #define MPCC_GIT_SHA "unknown"
+#endif
+#ifndef MPCC_GIT_DIRTY
+#define MPCC_GIT_DIRTY 0
 #endif
 #ifndef MPCC_BUILD_TYPE
 #define MPCC_BUILD_TYPE "unknown"
@@ -416,8 +425,8 @@ std::string json_escape(std::string_view s) {
 }  // namespace
 
 const BuildInfo& build_info() {
-  static const BuildInfo info{MPCC_GIT_SHA, compiler_id(), MPCC_BUILD_TYPE,
-                              MPCC_CXX_FLAGS};
+  static const BuildInfo info{MPCC_GIT_SHA, MPCC_GIT_DIRTY != 0, compiler_id(),
+                              MPCC_BUILD_TYPE, MPCC_CXX_FLAGS};
   return info;
 }
 
@@ -425,7 +434,9 @@ std::string bench_env_json() {
   const BuildInfo& info = build_info();
   std::string out = "{\"git_sha\": \"";
   out += json_escape(info.git_sha);
-  out += "\", \"compiler\": \"";
+  out += "\", \"git_dirty\": ";
+  out += info.git_dirty ? "true" : "false";
+  out += ", \"compiler\": \"";
   out += json_escape(info.compiler);
   out += "\", \"build_type\": \"";
   out += json_escape(info.build_type);

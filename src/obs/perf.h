@@ -307,20 +307,23 @@ class PhaseTimer {
 
 // --------------------------------------------------------- build/env stamp
 
-/// Build provenance compiled into the library: git SHA (configure-time),
-/// compiler id+version, CMake build type, and the compile flags. Used to
-/// stamp BENCH_*.json so trajectories are comparable across PRs.
+/// Build provenance compiled into the library: git SHA + dirty flag
+/// (stamped at *build* time by cmake/git_stamp.cmake, so it tracks HEAD
+/// across incremental builds), compiler id+version, CMake build type, and
+/// the compile flags. Used to stamp BENCH_*.json so trajectories are
+/// comparable across PRs.
 struct BuildInfo {
   const char* git_sha;
+  bool git_dirty;  ///< tracked-file modifications present at build time
   const char* compiler;
   const char* build_type;
   const char* cxx_flags;
 };
 const BuildInfo& build_info();
 
-/// {"git_sha":...,"compiler":...,"build_type":...,"cxx_flags":...,
-///  "hardware_threads":N} — the shared provenance object every BENCH_*.json
-/// emitter embeds under "env" (see bench/bench_util.h).
+/// {"git_sha":...,"git_dirty":...,"compiler":...,"build_type":...,
+///  "cxx_flags":...,"hardware_threads":N} — the shared provenance object
+/// every BENCH_*.json emitter embeds under "env" (see bench/bench_util.h).
 std::string bench_env_json();
 
 }  // namespace mpcc::obs

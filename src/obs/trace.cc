@@ -142,19 +142,14 @@ std::vector<TraceRecord> Tracer::snapshot() const {
   return out;
 }
 
-namespace {
-thread_local Tracer* t_tracer_override = nullptr;
-}  // namespace
-
-Tracer& tracer() {
-  if (t_tracer_override != nullptr) return *t_tracer_override;
+Tracer& detail::thread_default_tracer() {
   static thread_local Tracer t;
   return t;
 }
 
 Tracer* detail::exchange_thread_tracer(Tracer* t) {
-  Tracer* prev = t_tracer_override;
-  t_tracer_override = t;
+  Tracer* prev = detail::t_tracer_override;
+  detail::t_tracer_override = t;
   return prev;
 }
 

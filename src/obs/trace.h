@@ -152,19 +152,33 @@ class Tracer {
   std::unordered_map<std::string, SourceId> name_ids_;
 };
 
-/// The calling thread's current tracer. Resolution: the tracer of the
-/// active SimContext scope (sim/context.h) if one is entered on this
-/// thread, else a per-thread default instance. The per-thread default makes
-/// legacy single-threaded callers behave exactly as before while keeping
-/// parallel sweep workers isolated even outside an explicit context scope.
-Tracer& tracer();
-
 namespace detail {
+/// The per-thread override installed by SimContext::Scope; nullptr while no
+/// scope is active on this thread.
+inline thread_local Tracer* t_tracer_override = nullptr;
+
+/// The lazily constructed per-thread fallback instance (out of line: it
+/// carries a construction guard, and threads that always run inside a scope
+/// never pay for it).
+Tracer& thread_default_tracer();
+
 /// Installs `t` as this thread's tracer override (nullptr restores the
 /// per-thread default) and returns the previous override. SimContext::Scope
 /// uses this; normal code should not.
 Tracer* exchange_thread_tracer(Tracer* t);
 }  // namespace detail
+
+/// The calling thread's current tracer. Resolution: the tracer of the
+/// active SimContext scope (sim/context.h) if one is entered on this
+/// thread, else a per-thread default instance. The per-thread default makes
+/// legacy single-threaded callers behave exactly as before while keeping
+/// parallel sweep workers isolated even outside an explicit context scope.
+/// Inline so per-packet enabled() checks cost a thread-local load and a
+/// branch, not an out-of-line call.
+inline Tracer& tracer() {
+  Tracer* t = detail::t_tracer_override;
+  return t != nullptr ? *t : detail::thread_default_tracer();
+}
 
 // --- event-loop self-profiling switch ------------------------------------
 //

@@ -33,6 +33,7 @@
 #include "obs/perf.h"
 #include "obs/trace.h"
 #include "sim/event_list.h"
+#include "sim/pool.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -70,6 +71,12 @@ class SimContext {
   /// sweep worker's counts attribute to its own run.
   obs::PerfCounters& perf() { return perf_; }
   const obs::PerfCounters& perf() const { return perf_; }
+  /// Per-run node pool for hot-path containers (reassembly maps, the MPTCP
+  /// outstanding-chunk map). Owned by the context so pooled memory is never
+  /// shared across runs; components holding pooled containers must not
+  /// outlive their context (Network guarantees this by declaring its owned
+  /// context before its components).
+  PoolArena& pool() { return pool_; }
   /// True when this context owns its observability instances (isolate_obs).
   bool owns_obs() const { return owned_tracer_ != nullptr; }
   bool profile_sim() const { return profile_sim_; }
@@ -103,6 +110,9 @@ class SimContext {
 
  private:
   std::uint64_t seed_;
+  // The arena precedes (and therefore outlives) everything else in the
+  // context, since any member could in principle hold pooled nodes.
+  PoolArena pool_;
   EventList events_;
   Rng rng_;
   std::unique_ptr<obs::Tracer> owned_tracer_;

@@ -1,0 +1,152 @@
+// PoolArena: a per-SimContext size-class free-list allocator.
+//
+// The TCP/MPTCP send paths keep per-segment bookkeeping in node-based
+// containers (out-of-order reassembly maps, the MPTCP outstanding-chunk
+// map). Every node is a single malloc/free on the global heap, and those
+// nodes dominate the simulator's steady-state allocation rate. PoolArena
+// recycles them: freed nodes go onto a size-class free list owned by the
+// run's SimContext, so after the first round trip a node allocation is a
+// pointer pop with no global-heap traffic and no cross-thread contention
+// (each sweep worker run has its own arena).
+//
+// Lifetime rules (documented in DESIGN.md §11):
+//   - The arena lives in the SimContext and dies with it; pooled memory is
+//     never reused across runs. Network declares its owned context first so
+//     the arena outlives every component that holds pooled containers.
+//   - deallocate() does not return memory to the OS; backing blocks are
+//     freed only by the arena destructor. This is the right trade for
+//     bounded-footprint simulation runs.
+//   - Requests larger than kMaxPooled bytes fall through to operator new.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mpcc {
+
+class PoolArena {
+ public:
+  PoolArena() = default;
+
+  PoolArena(const PoolArena&) = delete;
+  PoolArena& operator=(const PoolArena&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kNumClasses) return ::operator new(bytes);
+    ++allocs_;
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      ++reused_;
+      return node;
+    }
+    return carve((cls + 1) * kGranule);
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kNumClasses) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+
+  /// Pooled allocations served (excludes the >kMaxPooled fallback).
+  std::uint64_t allocs() const { return allocs_; }
+  /// Of those, how many were free-list reuses (no fresh carve).
+  std::uint64_t reused() const { return reused_; }
+  /// Bytes of backing blocks acquired from the global heap.
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  static constexpr std::size_t kMaxPooled = 512;
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  // Size classes are kGranule-wide; kGranule also serves as the alignment
+  // of every carved node, so any pooled object is max_align_t-aligned.
+  static constexpr std::size_t kGranule = alignof(std::max_align_t);
+  static constexpr std::size_t kNumClasses = kMaxPooled / kGranule;
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+
+  static std::size_t size_class(std::size_t bytes) {
+    // Class for rounded size (cls+1)*kGranule >= max(bytes, sizeof(FreeNode)).
+    if (bytes < sizeof(FreeNode)) bytes = sizeof(FreeNode);
+    return (bytes - 1) / kGranule;
+  }
+
+  void* carve(std::size_t rounded) {
+    if (bump_left_ < rounded) {
+      blocks_.push_back(std::make_unique<char[]>(kBlockBytes));
+      block_bytes_ += kBlockBytes;
+      bump_ = blocks_.back().get();
+      bump_left_ = kBlockBytes;
+    }
+    void* p = bump_;
+    bump_ += rounded;
+    bump_left_ -= rounded;
+    return p;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  FreeNode* free_[kNumClasses] = {};
+  char* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reused_ = 0;
+  std::size_t block_bytes_ = 0;
+};
+
+/// std-compatible allocator view over a PoolArena, for node containers
+/// whose elements should recycle through the run's pool. A null arena is
+/// valid and falls back to the global heap, so default-constructed
+/// components (tests, tools) need no arena plumbing.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  explicit PoolAllocator(PoolArena* arena) : arena_(arena) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr && n == 1) {
+      return static_cast<T*>(arena_->allocate(sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (arena_ != nullptr && n == 1) {
+      arena_->deallocate(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  PoolArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& o) const {
+    return arena_ != o.arena();
+  }
+
+ private:
+  PoolArena* arena_ = nullptr;
+};
+
+}  // namespace mpcc

@@ -10,6 +10,13 @@ namespace mpcc {
 
 /// A restartable one-shot timer invoking a callback at expiry. Used for TCP
 /// retransmission timeouts and traffic on/off transitions.
+///
+/// Rearming to a *later* expiry is lazy: the pending event is left in place
+/// and only the target deadline moves. When the stale event fires early the
+/// timer silently reschedules itself at the real deadline. The RTO pattern
+/// (rearm on every ACK, fire almost never) therefore costs two plain stores
+/// per ACK instead of a cancel plus a far-future schedule, and the callback
+/// still runs at exactly the time an eager implementation would run it.
 class Timer final : public EventSource {
  public:
   Timer(EventList& events, std::string name, std::function<void()> callback)
@@ -17,18 +24,17 @@ class Timer final : public EventSource {
 
   ~Timer() override { cancel(); }
 
-  /// (Re)arms the timer to fire `delay` from now; any pending expiry is
-  /// cancelled first.
-  void arm(SimTime delay) {
-    cancel();
-    token_ = events_.schedule_in(this, delay);
-    expiry_ = events_.now() + delay;
-  }
+  /// (Re)arms the timer to fire `delay` from now.
+  void arm(SimTime delay) { arm_at(events_.now() + delay); }
 
   void arm_at(SimTime when) {
+    expiry_ = when;
+    // Deadline moved later (or stayed): keep the pending event; its early
+    // firing re-schedules at expiry_. Deadline moved earlier: reschedule.
+    if (token_ != kInvalidEventToken && scheduled_for_ <= when) return;
     cancel();
     token_ = events_.schedule_at(this, when);
-    expiry_ = when;
+    scheduled_for_ = when;
   }
 
   void cancel() {
@@ -42,6 +48,12 @@ class Timer final : public EventSource {
   SimTime expiry() const { return expiry_; }
 
   void do_next_event() override {
+    if (events_.now() < expiry_) {
+      // Lazily deferred deadline: this wakeup is stale, push to the real one.
+      token_ = events_.schedule_at(this, expiry_);
+      scheduled_for_ = expiry_;
+      return;
+    }
     MPCC_PERF_COUNT_AT(perf_ctrs_, timers_fired);
     token_ = kInvalidEventToken;
     callback_();
@@ -52,6 +64,7 @@ class Timer final : public EventSource {
   std::function<void()> callback_;
   EventToken token_ = kInvalidEventToken;
   SimTime expiry_ = 0;
+  SimTime scheduled_for_ = 0;  // fire time of the pending event, if any
   obs::PerfCounters* perf_ctrs_ = nullptr;  // cached ledger (obs::bound_perf)
 };
 

@@ -5,7 +5,10 @@
 namespace mpcc {
 
 TcpSink::TcpSink(Network& net, std::string name, const Route* reverse_route)
-    : net_(net), name_(std::move(name)), reverse_route_(reverse_route) {
+    : net_(net),
+      name_(std::move(name)),
+      reverse_route_(reverse_route),
+      pending_(PendingMap::allocator_type(&net.context().pool())) {
   assert(reverse_route_ != nullptr && !reverse_route_->empty());
 }
 

@@ -15,6 +15,7 @@
 
 #include "net/network.h"
 #include "net/route.h"
+#include "sim/pool.h"
 #include "sim/timer.h"
 
 namespace mpcc {
@@ -77,7 +78,12 @@ class TcpSink final : public PacketHandler {
   std::uint64_t delayed_acks_ = 0;
 
   std::int64_t cum_ack_ = 0;  // next expected byte
-  std::map<std::int64_t, PendingSegment> pending_;  // seq -> segment, above cum_ack_
+  /// Out-of-order reassembly map; nodes recycle through the run's pool so
+  /// loss-recovery episodes stop churning the global heap.
+  using PendingMap =
+      std::map<std::int64_t, PendingSegment, std::less<std::int64_t>,
+               PoolAllocator<std::pair<const std::int64_t, PendingSegment>>>;
+  PendingMap pending_;  // seq -> segment, above cum_ack_
   Bytes bytes_received_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t out_of_order_ = 0;

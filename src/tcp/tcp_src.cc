@@ -138,12 +138,12 @@ void TcpSrc::send_available() {
     if (pipe + config_.mss > effective_cwnd() && pipe > 0) break;
     if (next_send_ < highest_sent_) {
       // Go-back-N resend of an already-mapped segment.
-      auto it = segments_.find(next_send_);
-      MPCC_CHECK_INVARIANT(it != segments_.end(), "tcp.resend",
+      const SentSegment* seg = find_segment(next_send_);
+      MPCC_CHECK_INVARIANT(seg != nullptr, "tcp.resend",
                            name() << ": resend point " << next_send_
                                   << " not segment-aligned");
-      send_segment(next_send_, it->second, /*retransmit=*/true);
-      next_send_ += it->second.len;
+      send_segment(next_send_, seg->meta, /*retransmit=*/true);
+      next_send_ += seg->meta.len;
     } else {
       Bytes len = 0;
       std::int64_t data_seq = -1;
@@ -152,7 +152,7 @@ void TcpSrc::send_available() {
                            name() << ": provider returned len=" << len
                                   << " (mss=" << config_.mss << ")");
       SegmentMeta meta{len, data_seq};
-      segments_.emplace(highest_sent_, meta);
+      segments_.push_back(SentSegment{highest_sent_, meta});
       send_segment(highest_sent_, meta, /*retransmit=*/false);
       highest_sent_ += len;
       next_send_ = highest_sent_;
@@ -175,9 +175,24 @@ void TcpSrc::send_segment(std::int64_t seq, const SegmentMeta& meta, bool retran
 }
 
 void TcpSrc::retransmit_one(std::int64_t seq) {
-  auto it = segments_.find(seq);
-  if (it == segments_.end()) return;  // already acked by a racing ACK
-  send_segment(seq, it->second, /*retransmit=*/true);
+  const SentSegment* seg = find_segment(seq);
+  if (seg == nullptr) return;  // already acked by a racing ACK
+  send_segment(seq, seg->meta, /*retransmit=*/true);
+}
+
+const TcpSrc::SentSegment* TcpSrc::find_segment(std::int64_t seq) const {
+  std::size_t lo = 0;
+  std::size_t hi = segments_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (segments_[mid].seq < seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < segments_.size() && segments_[lo].seq == seq) return &segments_[lo];
+  return nullptr;
 }
 
 void TcpSrc::receive(Packet pkt) {
@@ -199,7 +214,7 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
   const Bytes newly = ack.seq - last_acked_;
   last_acked_ = ack.seq;
   if (next_send_ < last_acked_) next_send_ = last_acked_;
-  segments_.erase(segments_.begin(), segments_.lower_bound(last_acked_));
+  while (!segments_.empty() && segments_.front().seq < last_acked_) segments_.pop_front();
   rto_backoff_ = 1;
   consecutive_timeouts_ = 0;
   if (dead_) {
@@ -218,11 +233,11 @@ void TcpSrc::handle_new_ack(const Packet& ack) {
     MPCC_PERF_RECORD_AT(perf_ctrs_, rtt_us,
                         static_cast<std::uint64_t>(rtt_sample / kMicrosecond));
   }
-  if (obs::tracer().enabled(obs::TraceCategory::kCwnd)) {
-    obs::tracer().record(obs::TraceCategory::kCwnd, obs::TraceEvent::kRttSample,
-                         trace_src_, net_.now(),
-                         static_cast<double>(rtt_sample) / kMicrosecond,
-                         static_cast<double>(rtt_.srtt()) / kMicrosecond);
+  if (obs::Tracer& tr = obs::tracer(); tr.enabled(obs::TraceCategory::kCwnd)) [[unlikely]] {
+    tr.record(obs::TraceCategory::kCwnd, obs::TraceEvent::kRttSample,
+              trace_src_, net_.now(),
+              static_cast<double>(rtt_sample) / kMicrosecond,
+              static_cast<double>(rtt_.srtt()) / kMicrosecond);
     // Hot-path histogram rides the cwnd trace bit (see queue occupancy).
     // Per-instance handle: each SimContext owns its own registry.
     if (rtt_metric_ == nullptr) {

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "net/network.h"
@@ -26,6 +25,7 @@
 #include "sim/timer.h"
 #include "tcp/rtt_estimator.h"
 #include "tcp/tcp_sink.h"
+#include "util/ring_buffer.h"
 
 namespace mpcc {
 
@@ -201,6 +201,19 @@ class TcpSrc : public PacketHandler, public EventSource {
     Bytes len;
     std::int64_t data_seq;
   };
+  /// One sent-but-not-cumulatively-acked segment. The window is kept in a
+  /// ring: sends append at strictly increasing `seq`, cumulative ACKs pop
+  /// the acked prefix, and point lookups binary-search on `seq` — the exact
+  /// access pattern of the std::map this replaces, minus the per-node heap
+  /// allocation.
+  struct SentSegment {
+    std::int64_t seq;
+    SegmentMeta meta;
+  };
+
+  /// Binary search by sequence number; nullptr when `seq` is not a segment
+  /// boundary in the window (e.g. already acked by a racing ACK).
+  const SentSegment* find_segment(std::int64_t seq) const;
 
   Bytes effective_cwnd() const;
   void send_available();
@@ -236,7 +249,7 @@ class TcpSrc : public PacketHandler, public EventSource {
   bool rto_rearmed_in_recovery_ = false;  // RFC 6582 "impatient" variant
   std::int64_t recover_ = 0;
 
-  std::map<std::int64_t, SegmentMeta> segments_;  // sent, not yet cumulatively acked
+  RingBuffer<SentSegment> segments_;  // sent, not yet cumulatively acked; seq ascending
 
   RttEstimator rtt_;
   Timer rto_timer_;

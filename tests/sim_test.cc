@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include "sim/event_list.h"
@@ -170,6 +173,151 @@ TEST(PeriodicTimer, FiresEveryPeriodUntilStopped) {
   t.stop();
   events.run_until(200);
   EXPECT_EQ(fired, 5);
+}
+
+TEST(Timer, RearmEarlierMovesFireTime) {
+  EventList events;
+  std::vector<SimTime> fires;
+  Timer t(events, "t", [&] { fires.push_back(events.now()); });
+  t.arm(200);
+  t.arm(100);  // earlier deadline must win
+  events.run_all();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 100);
+}
+
+TEST(Timer, CancelAfterLazyExtendPreventsFiring) {
+  // arm(100) then arm(200) leaves the 100-tick event pending (lazy rearm);
+  // cancel() must still kill the timer — neither the stale wakeup nor the
+  // deferred deadline may reach the callback.
+  EventList events;
+  int fired = 0;
+  Timer t(events, "t", [&] { ++fired; });
+  t.arm(100);
+  t.arm(200);
+  t.cancel();
+  events.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, LazyExtendFiresOnceAtDeferredDeadline) {
+  // The stale wakeup at 100 must be silent: time advances past it with no
+  // callback, and the single real fire lands exactly at the extended expiry.
+  EventList events;
+  std::vector<SimTime> fires;
+  Timer t(events, "t", [&] { fires.push_back(events.now()); });
+  t.arm(100);
+  t.arm(250);
+  events.run_until(150);
+  EXPECT_TRUE(fires.empty());
+  EXPECT_TRUE(t.armed());
+  events.run_all();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 250);
+}
+
+// ------------------------------------------------------------------------
+// Randomized order-equivalence: the calendar queue must dispatch exactly
+// the sequence the old binary-heap implementation dispatched. The heap's
+// contract was: lowest (time, schedule-seq) first, cancelled entries
+// skipped. A reference model enforcing exactly that rule is driven in
+// lockstep with the real EventList through a random schedule/cancel/
+// dispatch trace that crosses every internal regime — same-tick staging,
+// wheel buckets, the far-future overflow heap, spill-back, and cancels in
+// each of them.
+
+/// Logs its integer id on every fire, so ties are attributable.
+class IdRecorder final : public EventSource {
+ public:
+  IdRecorder(std::vector<int>& log, int id)
+      : EventSource("rec"), log_(log), id_(id) {}
+  void do_next_event() override { log_.push_back(id_); }
+
+ private:
+  std::vector<int>& log_;
+  int id_;
+};
+
+TEST(EventList, RandomizedTraceMatchesHeapOrderingRules) {
+  struct ModelEntry {
+    SimTime time;
+    std::uint64_t seq;  // global schedule order: the tie-break key
+    int id;
+    EventToken token;
+  };
+
+  std::mt19937 rng(20260808u);
+  EventList events;
+  std::vector<int> actual;
+  std::vector<int> expected;
+  std::vector<std::unique_ptr<IdRecorder>> recorders;
+  std::vector<ModelEntry> pending;  // reference model: live entries only
+  std::uint64_t next_seq = 0;
+  int next_id = 0;
+
+  // Delta classes chosen to land in each queue regime: 0 = same tick as
+  // now, small = near wheel buckets, medium = far wheel buckets, large =
+  // overflow heap (beyond the ~33 ms initial horizon).
+  const SimTime deltas[] = {0,        1,        100,       5'000,
+                            500'000,  5'000'000, 40'000'000, 2'000'000'000};
+
+  const auto schedule_one = [&](SimTime at) {
+    recorders.push_back(std::make_unique<IdRecorder>(actual, next_id));
+    const EventToken tok = events.schedule_at(recorders.back().get(), at);
+    pending.push_back({at, next_seq++, next_id++, tok});
+  };
+
+  const auto model_pop_min = [&]() -> std::size_t {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      if (pending[i].time < pending[best].time ||
+          (pending[i].time == pending[best].time &&
+           pending[i].seq < pending[best].seq)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    // Burst of schedules, biased so ties on an existing absolute time occur.
+    const int n_sched = 1 + int(rng() % 8);
+    for (int i = 0; i < n_sched; ++i) {
+      if (!pending.empty() && (rng() % 4) == 0) {
+        schedule_one(pending[rng() % pending.size()].time);  // exact tie
+      } else {
+        schedule_one(events.now() + deltas[rng() % std::size(deltas)]);
+      }
+    }
+    // A few cancels: mostly live tokens, occasionally a stale one (no-op).
+    const int n_cancel = int(rng() % 3);
+    for (int i = 0; i < n_cancel && !pending.empty(); ++i) {
+      const std::size_t victim = rng() % pending.size();
+      events.cancel(pending[victim].token);
+      pending.erase(pending.begin() + long(victim));
+    }
+    if ((rng() % 8) == 0) events.cancel(EventToken(rng()));  // garbage token
+    // Dispatch a random slice and check the sequences stayed identical.
+    const int n_fire = int(rng() % 6);
+    for (int i = 0; i < n_fire && !pending.empty(); ++i) {
+      ASSERT_TRUE(events.run_next());
+      const std::size_t m = model_pop_min();
+      expected.push_back(pending[m].id);
+      pending.erase(pending.begin() + long(m));
+    }
+    ASSERT_EQ(actual, expected) << "diverged in round " << round;
+  }
+
+  // Drain everything left and compare the full trace.
+  while (!pending.empty()) {
+    ASSERT_TRUE(events.run_next());
+    const std::size_t m = model_pop_min();
+    expected.push_back(pending[m].id);
+    pending.erase(pending.begin() + long(m));
+  }
+  EXPECT_FALSE(events.run_next());
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(PeriodicTimer, StartIsIdempotent) {

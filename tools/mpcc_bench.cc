@@ -40,6 +40,7 @@
 #include "net/network.h"
 #include "obs/perf.h"
 #include "sim/context.h"
+#include "sim/pool.h"
 #include "topo/two_path.h"
 #include "traffic/bulk_flow.h"
 
@@ -141,6 +142,52 @@ BenchRun bench_event_deep_heap(bool smoke) {
     events.schedule_at(&noop, t += 1);
     events.run_next();
   }
+  return {iters, std::nullopt};
+}
+
+BenchRun bench_event_cancel(bool smoke) {
+  // RTO-style churn: every iteration arms a far-future event (lands in the
+  // overflow heap), cancels it, and fires a near-term event. Exercises the
+  // token/generation cancel path, dead-entry pruning, and the amortized
+  // overflow compaction — the raw cost the lazy Timer rearm avoids paying
+  // per ACK.
+  const std::uint64_t iters = smoke ? 100'000 : 1'000'000;
+  EventList events;
+  Noop noop;
+  SimTime t = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const EventToken rto = events.schedule_at(&noop, t + 200 * kMillisecond);
+    events.schedule_at(&noop, t += 10);
+    events.cancel(rto);
+    events.run_next();
+  }
+  return {iters, std::nullopt};
+}
+
+BenchRun bench_pool_churn(bool smoke) {
+  // Steady-state PoolArena recycling across the size classes the TCP/MPTCP
+  // node containers actually hit (map nodes of in-flight records and
+  // reassembly entries, 48-160B). Holds a sliding window of live nodes so
+  // frees interleave with allocations like a real run; after warmup every
+  // allocate is a free-list pop. Dispatches no events by design (listed in
+  // scripts/check_bench_json.py NO_EVENTS_OK).
+  const std::uint64_t iters = smoke ? 500'000 : 5'000'000;
+  PoolArena arena;
+  constexpr std::size_t kSizes[] = {48, 72, 96, 160};
+  constexpr std::size_t kWindow = 1024;  // live nodes held at any moment
+  void* live[kWindow] = {};
+  std::size_t live_size[kWindow] = {};
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::size_t slot = i % kWindow;
+    if (live[slot] != nullptr) arena.deallocate(live[slot], live_size[slot]);
+    const std::size_t bytes = kSizes[i & 3];
+    live[slot] = arena.allocate(bytes);
+    live_size[slot] = bytes;
+  }
+  for (std::size_t s = 0; s < kWindow; ++s) {
+    if (live[s] != nullptr) arena.deallocate(live[s], live_size[s]);
+  }
+  if (arena.reused() == 0) std::fputs("pool_churn: no reuse?\n", stderr);
   return {iters, std::nullopt};
 }
 
@@ -252,6 +299,10 @@ const std::vector<BenchSpec>& all_benches() {
        bench_event_schedule_dispatch},
       {"event_deep_heap", "schedule + dispatch against a 10k-event heap",
        bench_event_deep_heap},
+      {"event_cancel", "far-future schedule + cancel + near dispatch (RTO churn)",
+       bench_event_cancel},
+      {"pool_churn", "PoolArena allocate/free cycling, 1k-node live window",
+       bench_pool_churn},
       {"queue_pipe_packet", "one 1460B packet through a 10G queue+pipe link",
        bench_queue_pipe_packet},
       {"psi_eval", "core::psi dispatcher over all 8 algorithms, 4 paths",
