@@ -1,27 +1,43 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_core.json emitted by tools/mpcc_bench.
+"""Validate a BENCH_*.json emitted by the mpcc tools.
 
 Usage: check_bench_json.py FILE [--no-ab] [--baseline PREV.json]
+
+The document flavor is auto-detected:
+  core      mpcc_bench=1 schema from tools/mpcc_bench (BENCH_core.json)
+  sweep     flat scaling doc with points_per_sec (BENCH_sweep.json)
+  results   env provenance + nested "results" dict of numeric leaves
+            (BENCH_guard.json, BENCH_handover.json)
 
 Exit codes:
   0  well-formed and every enabled gate passed
   1  well-formed but a measured gate failed: the MPCC_NO_PERF overhead
-     reached its target, or (with --baseline) a benchmark regressed more
-     than 10% against the previous BENCH_core.json. Retryable failures:
-     both gates measure noisy wall-clock effects and a loaded host can
-     push one attempt over the line.
-  2  malformed output (missing keys, too few benchmarks, zero counters) —
-     a real bug, not worth retrying
+     reached its target, or (with --baseline) a metric regressed more
+     than 10% against the previous file of the same flavor. Retryable
+     failures: the gated quantities measure noisy wall-clock effects and
+     a loaded host can push one attempt over the line.
+  2  malformed output (missing keys, too few benchmarks, zero counters,
+     or a baseline of a different flavor) — a real bug, not worth
+     retrying
 
-Checked shape: schema tag, env provenance (git_sha/compiler/build_type/
-hardware_threads), >= 6 named benchmarks each with ops/wall_s/perf, nonzero
-events_dispatched on every benchmark that drives a simulation, and a
-perf_overhead block with overhead_pct below target_pct.
+core shape: schema tag, env provenance (git_sha/compiler/build_type/
+hardware_threads), >= 6 named benchmarks each with ops/wall_s/perf,
+nonzero events_dispatched on every benchmark that drives a simulation,
+and a perf_overhead block with overhead_pct below target_pct.
+--baseline compares per-benchmark perf.events_per_sec (must not drop
+>10%) and perf.allocs_per_event (must not rise >10%, with a small
+absolute grace so 0-vs-0.001 jitter does not gate).
 
---baseline PREV.json compares per-benchmark perf.events_per_sec (must not
-drop >10%) and perf.allocs_per_event (must not rise >10%, with a small
-absolute grace so 0-vs-0.001 jitter does not gate) for every benchmark
-present in both files; benchmarks only on one side are reported, not gated.
+sweep shape: scenario, points > 0, jobs >= 1, wall_s > 0,
+points_per_sec > 0. --baseline gates points_per_sec (must not drop
+>10%).
+
+results shape: env provenance plus a non-empty "results" dict whose
+(possibly one-level-nested) leaves are all numbers. --baseline compares
+every leaf present in both files: drift beyond
+max(0.01, 10% * |old|) gates, except leaves whose name contains
+"wall_s" (host timing, reported but never gated). Leaves only on one
+side are reported, not gated.
 """
 import json
 import sys
@@ -29,6 +45,7 @@ import sys
 # --baseline gate thresholds.
 REGRESSION_TOLERANCE = 0.10   # fractional change allowed before gating
 ALLOC_ABS_GRACE = 0.01        # allocs/event floor: below this, never gate
+LEAF_ABS_GRACE = 0.01         # results-leaf floor: drift below this never gates
 
 # Benchmarks that only exercise non-sim code paths (no event loop).
 NO_EVENTS_OK = {"psi_eval", "pool_churn"}
@@ -46,16 +63,37 @@ def malformed(msg):
     sys.exit(2)
 
 
-def check_baseline(doc, baseline_path):
+def load_json(path):
+    try:
+        return json.load(open(path))
+    except (OSError, ValueError) as e:
+        malformed("cannot parse %s: %s" % (path, e))
+
+
+def detect_flavor(doc, path):
+    if not isinstance(doc, dict):
+        malformed("%s is not a JSON object" % path)
+    if doc.get("mpcc_bench") == 1:
+        return "core"
+    if "points_per_sec" in doc:
+        return "sweep"
+    if isinstance(doc.get("results"), dict):
+        return "results"
+    malformed("%s matches no known flavor (core/sweep/results)" % path)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+# ------------------------------------------------------------------ core
+
+def check_core_baseline(doc, prev, baseline_path):
     """Gates the new benchmarks against a previous BENCH_core.json.
 
     Returns the number of >10% regressions (events_per_sec drop or
     allocs_per_event rise) across benchmarks present in both files.
     """
-    try:
-        prev = json.load(open(baseline_path))
-    except (OSError, ValueError) as e:
-        malformed("cannot parse baseline %s: %s" % (baseline_path, e))
     prev_by_name = {b["name"]: b for b in prev.get("benchmarks", [])}
     regressions = 0
     compared = 0
@@ -91,28 +129,7 @@ def check_baseline(doc, baseline_path):
     return regressions
 
 
-def main():
-    argv = list(sys.argv[1:])
-    baseline = None
-    if "--baseline" in argv:
-        i = argv.index("--baseline")
-        if i + 1 >= len(argv):
-            print(__doc__, file=sys.stderr)
-            sys.exit(2)
-        baseline = argv[i + 1]
-        del argv[i:i + 2]
-    args = [a for a in argv if not a.startswith("--")]
-    check_ab = "--no-ab" not in argv
-    if len(args) != 1:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-    try:
-        doc = json.load(open(args[0]))
-    except (OSError, ValueError) as e:
-        malformed("cannot parse %s: %s" % (args[0], e))
-
-    if doc.get("mpcc_bench") != 1:
-        malformed("missing schema tag mpcc_bench=1")
+def check_core(doc, baseline, check_ab):
     env = doc.get("env")
     if not isinstance(env, dict):
         malformed("missing env provenance object")
@@ -142,7 +159,7 @@ def main():
 
     failed = False
     if baseline is not None:
-        failed = check_baseline(doc, baseline) > 0
+        failed = check_core_baseline(doc, baseline, None) > 0
 
     if check_ab:
         ab = doc.get("perf_overhead")
@@ -153,6 +170,136 @@ def main():
               % (pct, target))
         if pct >= target:
             failed = True
+    return failed
+
+
+# ----------------------------------------------------------------- sweep
+
+def check_sweep(doc, baseline):
+    for k in ("scenario", "points", "jobs", "wall_s", "points_per_sec"):
+        if k not in doc:
+            malformed("sweep doc lacks %r" % k)
+    if not is_number(doc["points"]) or doc["points"] <= 0:
+        malformed("sweep doc has no points")
+    if not is_number(doc["jobs"]) or doc["jobs"] < 1:
+        malformed("sweep doc has jobs < 1")
+    if not is_number(doc["wall_s"]) or doc["wall_s"] <= 0:
+        malformed("sweep doc measured no wall time")
+    if not is_number(doc["points_per_sec"]) or doc["points_per_sec"] <= 0:
+        malformed("sweep doc has points_per_sec <= 0")
+    print("check_bench_json: sweep doc ok (%s, %d points, %.3f points/s)"
+          % (doc["scenario"], doc["points"], doc["points_per_sec"]))
+
+    if baseline is None:
+        return False
+    old = baseline.get("points_per_sec", 0.0)
+    new = doc["points_per_sec"]
+    if is_number(old) and old > 0 and new < old * (1.0 - REGRESSION_TOLERANCE):
+        print("check_bench_json: REGRESSION points_per_sec %.3f -> %.3f "
+              "(%.1f%%)" % (old, new, (new / old - 1.0) * 100.0),
+              file=sys.stderr)
+        print("check_bench_json: baseline gate compared 1 metric, "
+              "1 regression(s)")
+        return True
+    print("check_bench_json: baseline gate compared 1 metric, "
+          "0 regression(s)")
+    return False
+
+
+# --------------------------------------------------------------- results
+
+def flatten_leaves(results, prefix=""):
+    """Flattens a (possibly nested) results dict to {dotted.name: number}.
+
+    Anything that is neither a number nor a dict of such is malformed.
+    """
+    leaves = {}
+    for key, value in sorted(results.items()):
+        name = prefix + key
+        if is_number(value):
+            leaves[name] = float(value)
+        elif isinstance(value, dict):
+            leaves.update(flatten_leaves(value, name + "."))
+        else:
+            malformed("results leaf %r is not a number or group" % name)
+    return leaves
+
+
+def check_results(doc, baseline):
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        malformed("missing env provenance object")
+    for k in ENV_KEYS:
+        if k not in env:
+            malformed("env lacks %r" % k)
+    leaves = flatten_leaves(doc["results"])
+    if not leaves:
+        malformed("results dict is empty")
+    print("check_bench_json: results doc ok (%d leaves, %s, %s)"
+          % (len(leaves), env["compiler"], env["build_type"]))
+
+    if baseline is None:
+        return False
+    old_leaves = flatten_leaves(baseline.get("results", {}))
+    regressions = 0
+    compared = 0
+    for name, new in sorted(leaves.items()):
+        if name not in old_leaves:
+            print("check_bench_json: baseline lacks leaf %r (new metric, "
+                  "not gated)" % name, file=sys.stderr)
+            continue
+        old = old_leaves[name]
+        if "wall_s" in name:
+            # Host timing: too noisy across machines to gate.
+            continue
+        compared += 1
+        allowed = max(LEAF_ABS_GRACE, REGRESSION_TOLERANCE * abs(old))
+        if abs(new - old) > allowed:
+            print("check_bench_json: REGRESSION %s %.6g -> %.6g "
+                  "(allowed drift %.6g)" % (name, old, new, allowed),
+                  file=sys.stderr)
+            regressions += 1
+    for name in old_leaves:
+        if name not in leaves:
+            print("check_bench_json: leaf %r vanished vs baseline" % name,
+                  file=sys.stderr)
+    print("check_bench_json: baseline gate compared %d leaves, "
+          "%d regression(s)" % (compared, regressions))
+    return regressions > 0
+
+
+def main():
+    argv = list(sys.argv[1:])
+    baseline_path = None
+    if "--baseline" in argv:
+        i = argv.index("--baseline")
+        if i + 1 >= len(argv):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        baseline_path = argv[i + 1]
+        del argv[i:i + 2]
+    args = [a for a in argv if not a.startswith("--")]
+    check_ab = "--no-ab" not in argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    doc = load_json(args[0])
+    flavor = detect_flavor(doc, args[0])
+
+    baseline = None
+    if baseline_path is not None:
+        baseline = load_json(baseline_path)
+        if detect_flavor(baseline, baseline_path) != flavor:
+            malformed("baseline %s is flavor %r, document is %r"
+                      % (baseline_path,
+                         detect_flavor(baseline, baseline_path), flavor))
+
+    if flavor == "core":
+        failed = check_core(doc, baseline, check_ab)
+    elif flavor == "sweep":
+        failed = check_sweep(doc, baseline)
+    else:
+        failed = check_results(doc, baseline)
     sys.exit(1 if failed else 0)
 
 

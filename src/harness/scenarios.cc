@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "cc/registry.h"
 #include "dyn/driver.h"
@@ -191,8 +192,15 @@ DatacenterResult run_datacenter(SimContext& ctx, const DatacenterOptions& option
   Topology& topo = *owned;
 
   Rng rng = net.rng().fork(11);
-  std::vector<FlowAssignment> assignments =
-      permutation_traffic(topo.num_hosts(), rng, 50 * kMillisecond);
+  std::vector<FlowAssignment> assignments;
+  if (options.pattern == "permutation") {
+    assignments = permutation_traffic(topo.num_hosts(), rng, 50 * kMillisecond);
+  } else if (options.pattern == "incast") {
+    assignments = incast_traffic(topo.num_hosts(), rng, 50 * kMillisecond);
+  } else {
+    throw std::invalid_argument("unknown traffic pattern \"" + options.pattern +
+                                "\" (permutation|incast)");
+  }
   if (options.max_flows > 0 && assignments.size() > options.max_flows) {
     assignments.resize(options.max_flows);
   }

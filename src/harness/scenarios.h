@@ -92,6 +92,9 @@ struct DatacenterOptions {
   Vl2Config vl2;
   BCubeConfig bcube;
   VirtualCloudConfig cloud;
+  /// Traffic matrix: "permutation" (each host to a random distinct host,
+  /// the paper's Section VI.C workload) or "incast" (every host to host 0).
+  std::string pattern = "permutation";
   /// Cap on concurrent flows (0 = one per host, the paper's permutation).
   std::size_t max_flows = 0;
   core::EnergyPriceConfig price;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -16,7 +17,7 @@
 #include <utility>
 
 #include "harness/checkpoint.h"
-#include "harness/scenarios.h"
+#include "scenario/builder.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
@@ -109,18 +110,20 @@ ScenarioRegistry& ScenarioRegistry::instance() {
 }
 
 void ScenarioRegistry::add(ScenarioSpec spec) {
-  for (ScenarioSpec& existing : specs_) {
-    if (existing.name == spec.name) {
-      existing = std::move(spec);
+  // Replace in place so outstanding find() pointers keep seeing the
+  // current spec instead of dangling.
+  for (const std::unique_ptr<ScenarioSpec>& existing : specs_) {
+    if (existing->name == spec.name) {
+      *existing = std::move(spec);
       return;
     }
   }
-  specs_.push_back(std::move(spec));
+  specs_.push_back(std::make_unique<ScenarioSpec>(std::move(spec)));
 }
 
 const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
-  for (const ScenarioSpec& spec : specs_) {
-    if (spec.name == name) return &spec;
+  for (const std::unique_ptr<ScenarioSpec>& spec : specs_) {
+    if (spec->name == name) return spec.get();
   }
   // The runner functions are named run_<scenario>; accept that spelling too
   // ("run_handover" finds "handover").
@@ -130,9 +133,9 @@ const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
 
 std::string ScenarioRegistry::names() const {
   std::string out;
-  for (const ScenarioSpec& spec : specs_) {
+  for (const std::unique_ptr<ScenarioSpec>& spec : specs_) {
     if (!out.empty()) out += ", ";
-    out += spec.name;
+    out += spec->name;
   }
   return out;
 }
@@ -140,459 +143,34 @@ std::string ScenarioRegistry::names() const {
 std::vector<const ScenarioSpec*> ScenarioRegistry::all() const {
   std::vector<const ScenarioSpec*> out;
   out.reserve(specs_.size());
-  for (const ScenarioSpec& spec : specs_) out.push_back(&spec);
+  for (const std::unique_ptr<ScenarioSpec>& spec : specs_) {
+    out.push_back(spec.get());
+  }
   return out;
 }
 
 // ------------------------------------------------------- builtin scenarios
+//
+// The point functions and their parameter tables live in the scenario layer
+// now (src/scenario/family.cc); registration goes through the shared
+// ExperimentBuilder so built-in and file-loaded scenarios are
+// indistinguishable to the registry.
+
+void register_builtin_scenarios() { scenario::register_builtin_experiments(); }
+
+// -------------------------------------------------------------------- plan
 
 namespace {
 
-void apply_price_params(const ParamMap& p, core::EnergyPriceConfig& price) {
-  price.kappa = param_double(p, "kappa", price.kappa);
-  price.rho = param_double(p, "rho", price.rho);
-  price.eta = param_double(p, "eta", price.eta);
-  price.queue_delay_target =
-      ms(param_double(p, "delay_target_ms", to_ms(price.queue_delay_target)));
-}
-
-const std::vector<ParamSpec> kPriceParams = {
-    {"kappa", "0.5", "energy-price weight kappa_s (dts-ep)"},
-    {"rho", "0.005", "per-unit-traffic energy cost rho (dts-ep)"},
-    {"eta", "1", "queue-excess indicator weight (dts-ep)"},
-    {"delay_target_ms", "20", "queueing-delay target Q (dts-ep)"},
-};
-
-void append_price_params(std::vector<ParamSpec>& params) {
-  params.insert(params.end(), kPriceParams.begin(), kPriceParams.end());
-}
-
-ResultRow two_path_point(SimContext& ctx, const ParamMap& p) {
-  TwoPathOptions o;
-  o.cc = param_string(p, "cc", o.cc);
-  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.topo.rate[0] = mbps(param_double(p, "rate0_mbps", to_mbps(o.topo.rate[0])));
-  o.topo.rate[1] = mbps(param_double(p, "rate1_mbps", to_mbps(o.topo.rate[1])));
-  o.topo.delay[0] = ms(param_double(p, "delay0_ms", to_ms(o.topo.delay[0])));
-  o.topo.delay[1] = ms(param_double(p, "delay1_ms", to_ms(o.topo.delay[1])));
-  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
-  apply_price_params(p, o.price);
-
-  const TwoPathResult r = run_two_path(ctx, o);
-  const double b0 = r.subflow_bytes.size() > 0 ? double(r.subflow_bytes[0]) : 0;
-  const double b1 = r.subflow_bytes.size() > 1 ? double(r.subflow_bytes[1]) : 0;
-  ResultRow row;
-  row["energy_j"] = r.run.energy_j;
-  row["avg_power_w"] = r.run.avg_power_w;
-  row["goodput_mbps"] = to_mbps(r.run.goodput());
-  row["joules_per_gb"] = r.run.joules_per_gigabyte();
-  row["retx_rate"] = r.run.retransmit_rate;
-  row["path0_mbytes"] = b0 / 1e6;
-  row["path1_mbytes"] = b1 / 1e6;
-  row["path0_share"] = (b0 + b1) > 0 ? b0 / (b0 + b1) : 0;
-  return row;
-}
-
-ResultRow dumbbell_point(SimContext& ctx, const ParamMap& p) {
-  DumbbellOptions o;
-  o.cc = param_string(p, "cc", o.cc);
-  o.n_users = static_cast<std::size_t>(
-      param_int(p, "n_users", static_cast<std::int64_t>(o.n_users)));
-  o.flow_bytes = static_cast<Bytes>(
-      param_double(p, "flow_mb", double(o.flow_bytes) / 1e6) * 1e6);
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.max_time = seconds(param_double(p, "max_time_s", to_seconds(o.max_time)));
-  o.topo.bottleneck_rate =
-      mbps(param_double(p, "rate_mbps", to_mbps(o.topo.bottleneck_rate)));
-  o.topo.bottleneck_delay =
-      ms(param_double(p, "delay_ms", to_ms(o.topo.bottleneck_delay)));
-
-  const DumbbellResult r = run_dumbbell(ctx, o);
-  double mean_energy = 0;
-  double mean_completion = 0;
-  double max_completion = 0;
-  for (const double e : r.per_flow_energy_j) mean_energy += e;
-  if (!r.per_flow_energy_j.empty()) mean_energy /= double(r.per_flow_energy_j.size());
-  for (const double c : r.completion_s) {
-    mean_completion += c;
-    max_completion = std::max(max_completion, c);
-  }
-  if (!r.completion_s.empty()) mean_completion /= double(r.completion_s.size());
-  ResultRow row;
-  row["total_energy_j"] = r.total_energy_j;
-  row["mean_flow_energy_j"] = mean_energy;
-  row["mean_completion_s"] = mean_completion;
-  row["max_completion_s"] = max_completion;
-  row["incomplete"] = double(r.incomplete);
-  return row;
-}
-
-ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
-  DatacenterOptions o;
-  const std::string topo = param_string(p, "topo", "fattree");
-  if (topo == "fattree") {
-    o.topo = DcTopo::kFatTree;
-  } else if (topo == "vl2") {
-    o.topo = DcTopo::kVl2;
-  } else if (topo == "bcube") {
-    o.topo = DcTopo::kBCube;
-  } else if (topo == "cloud") {
-    o.topo = DcTopo::kVirtualCloud;
-  } else {
-    throw std::invalid_argument("unknown datacenter topo \"" + topo +
-                                "\" (fattree|vl2|bcube|cloud)");
-  }
-  o.cc = param_string(p, "cc", o.cc);
-  o.subflows = static_cast<int>(param_int(p, "subflows", o.subflows));
-  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.max_flows = static_cast<std::size_t>(
-      param_int(p, "max_flows", static_cast<std::int64_t>(o.max_flows)));
-  o.min_rto = ms(param_double(p, "min_rto_ms", to_ms(o.min_rto)));
-  o.fat_tree.k = static_cast<int>(param_int(p, "fattree_k", o.fat_tree.k));
-  o.bcube.n = static_cast<int>(param_int(p, "bcube_n", o.bcube.n));
-  o.bcube.k = static_cast<int>(param_int(p, "bcube_k", o.bcube.k));
-  o.cloud.num_hosts = static_cast<std::size_t>(param_int(
-      p, "cloud_hosts", static_cast<std::int64_t>(o.cloud.num_hosts)));
-  o.vl2.num_tor = static_cast<std::size_t>(
-      param_int(p, "vl2_tor", static_cast<std::int64_t>(o.vl2.num_tor)));
-  o.vl2.hosts_per_tor = static_cast<std::size_t>(param_int(
-      p, "vl2_hosts_per_tor", static_cast<std::int64_t>(o.vl2.hosts_per_tor)));
-  o.vl2.num_agg = static_cast<std::size_t>(
-      param_int(p, "vl2_agg", static_cast<std::int64_t>(o.vl2.num_agg)));
-  o.vl2.num_int = static_cast<std::size_t>(
-      param_int(p, "vl2_int", static_cast<std::int64_t>(o.vl2.num_int)));
-  o.vl2.host_rate =
-      mbps(param_double(p, "vl2_host_rate_mbps", to_mbps(o.vl2.host_rate)));
-  o.vl2.switch_rate =
-      mbps(param_double(p, "vl2_switch_rate_mbps", to_mbps(o.vl2.switch_rate)));
-  apply_price_params(p, o.price);
-
-  const DatacenterResult r = run_datacenter(ctx, o);
-  ResultRow row;
-  row["total_energy_j"] = r.total_energy_j;
-  row["gbytes_delivered"] = double(r.bytes_delivered) / 1e9;
-  row["joules_per_gb"] = r.joules_per_gigabyte;
-  row["goodput_mbps"] = to_mbps(r.aggregate_goodput);
-  row["flows"] = double(r.flows);
-  row["fabric_drops"] = double(r.fabric_drops);
-  return row;
-}
-
-ResultRow wireless_point(SimContext& ctx, const ParamMap& p) {
-  WirelessOptions o;
-  o.cc = param_string(p, "cc", o.cc);
-  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.recv_buffer = static_cast<Bytes>(
-      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
-  o.topo.wifi.rate =
-      mbps(param_double(p, "wifi_rate_mbps", to_mbps(o.topo.wifi.rate)));
-  o.topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(o.topo.wifi.delay)));
-  o.topo.wifi.loss_rate = param_double(p, "wifi_loss", o.topo.wifi.loss_rate);
-  o.topo.cellular.rate =
-      mbps(param_double(p, "cell_rate_mbps", to_mbps(o.topo.cellular.rate)));
-  o.topo.cellular.delay =
-      ms(param_double(p, "cell_delay_ms", to_ms(o.topo.cellular.delay)));
-  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
-  apply_price_params(p, o.price);
-
-  const WirelessResult r = run_wireless(ctx, o);
-  const double total = double(r.wifi_bytes + r.cell_bytes);
-  ResultRow row;
-  row["wifi_energy_j"] = r.wifi_energy_j;
-  row["cell_energy_j"] = r.cell_energy_j;
-  row["radio_energy_j"] = r.radio_energy_j;
-  row["goodput_mbps"] = to_mbps(r.goodput);
-  row["joules_per_gb"] = r.joules_per_gigabyte;
-  row["marginal_joules_per_gb"] = r.marginal_joules_per_gigabyte;
-  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
-  return row;
-}
-
-// Shared wireless-topology parameters for the dyn scenarios.
-void apply_wireless_topo_params(const ParamMap& p, WirelessHeteroConfig& topo) {
-  topo.wifi.rate = mbps(param_double(p, "wifi_rate_mbps", to_mbps(topo.wifi.rate)));
-  topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(topo.wifi.delay)));
-  topo.wifi.loss_rate = param_double(p, "wifi_loss", topo.wifi.loss_rate);
-  topo.cellular.rate =
-      mbps(param_double(p, "cell_rate_mbps", to_mbps(topo.cellular.rate)));
-  topo.cellular.delay =
-      ms(param_double(p, "cell_delay_ms", to_ms(topo.cellular.delay)));
-  topo.cross_traffic = param_bool(p, "cross_traffic", topo.cross_traffic);
-}
-
-ResultRow handover_point(SimContext& ctx, const ParamMap& p) {
-  HandoverOptions o;
-  o.cc = param_string(p, "cc", o.cc);
-  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.recv_buffer = static_cast<Bytes>(
-      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
-  o.dyn = param_string(p, "dyn", o.dyn);
-  o.dead_after_timeouts = static_cast<int>(
-      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
-  apply_wireless_topo_params(p, o.topo);
-  apply_price_params(p, o.price);
-
-  const HandoverResult r = run_handover(ctx, o);
-  const double total = double(r.wifi_bytes + r.cell_bytes);
-  ResultRow row;
-  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
-  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
-  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
-  row["goodput_mbps"] = to_mbps(r.goodput);
-  row["wifi_energy_j"] = r.wifi_energy_j;
-  row["cell_energy_j"] = r.cell_energy_j;
-  row["radio_energy_j"] = r.radio_energy_j;
-  row["handover_s"] = r.handover_time >= 0 ? to_seconds(r.handover_time) : -1;
-  row["wifi_tail_power_w"] = r.wifi_tail_power_w;
-  row["wifi_idle_power_w"] = r.wifi_idle_power_w;
-  row["handovers"] = double(r.handovers);
-  row["subflow_closes"] = double(r.subflow_closes);
-  row["subflow_reopens"] = double(r.subflow_reopens);
-  row["dyn_actions"] = double(r.dyn_actions);
-  return row;
-}
-
-ResultRow flaky_wifi_point(SimContext& ctx, const ParamMap& p) {
-  FlakyWifiOptions o;
-  o.cc = param_string(p, "cc", o.cc);
-  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
-  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
-  o.recv_buffer = static_cast<Bytes>(
-      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
-  o.dyn = param_string(p, "dyn", o.dyn);
-  o.degrade_at = seconds(param_double(p, "degrade_at_s", to_seconds(o.degrade_at)));
-  o.dead_after_timeouts = static_cast<int>(
-      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
-  apply_wireless_topo_params(p, o.topo);
-  apply_price_params(p, o.price);
-
-  const FlakyWifiResult r = run_flaky_wifi(ctx, o);
-  ResultRow row;
-  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
-  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
-  row["wifi_share"] = r.wifi_share;
-  row["wifi_share_before"] = r.wifi_share_before;
-  row["wifi_share_after"] = r.wifi_share_after;
-  row["goodput_mbps"] = to_mbps(r.goodput);
-  row["radio_energy_j"] = r.radio_energy_j;
-  row["wifi_losses"] = double(r.wifi_losses);
-  row["dyn_actions"] = double(r.dyn_actions);
-  return row;
-}
-
-// Harness self-test: a millisecond ticker whose mode makes the run finish,
-// throw, trip an invariant, or schedule forever. Exists so the failure
-// containment machinery (RunGuard, watchdog, checkpoint/resume) can be
-// exercised end-to-end through the real sweep path, in tests and in CI.
-class SelftestTicker : public EventSource {
- public:
-  SelftestTicker(SimContext& ctx, std::string mode, SimTime fail_at, SimTime stop_at)
-      : EventSource("selftest_ticker"),
-        ctx_(ctx),
-        mode_(std::move(mode)),
-        fail_at_(fail_at),
-        stop_at_(stop_at) {}
-
-  void do_next_event() override {
-    ++ticks_;
-    const SimTime now = ctx_.now();
-    if (now >= fail_at_) {
-      if (mode_ == "throw") {
-        throw std::runtime_error("selftest: injected scenario failure");
-      }
-      if (mode_ == "invariant") {
-        MPCC_CHECK_INVARIANT(false, "selftest", "injected invariant violation");
-      }
-    }
-    // mode=hang reschedules forever; only the watchdog can end the run.
-    if (mode_ == "hang" || now + kMillisecond <= stop_at_) {
-      ctx_.events().schedule_in(this, kMillisecond);
-    }
-  }
-
-  std::uint64_t ticks() const { return ticks_; }
-
- private:
-  SimContext& ctx_;
-  std::string mode_;
-  SimTime fail_at_;
-  SimTime stop_at_;
-  std::uint64_t ticks_ = 0;
-};
-
-ResultRow selftest_point(SimContext& ctx, const ParamMap& p) {
-  const std::string mode = param_string(p, "mode", "ok");
-  if (mode != "ok" && mode != "throw" && mode != "invariant" && mode != "hang") {
-    throw std::invalid_argument("selftest mode \"" + mode +
-                                "\" (valid: ok|throw|invariant|hang)");
-  }
-  const SimTime duration = seconds(param_double(p, "duration_s", 1.0));
-  const SimTime fail_at = seconds(param_double(p, "fail_at_s", 0.5));
-  SelftestTicker ticker(ctx, mode, fail_at, duration);
-  ctx.events().schedule_in(&ticker, kMillisecond);
-  ctx.events().run_all();
-  ResultRow row;
-  row["ticks"] = double(ticker.ticks());
-  row["sim_s"] = to_seconds(ctx.now());
-  // Seed-keyed irrational signature: resume tests assert restored values
-  // are bit-identical to freshly computed ones.
-  row["signature"] = std::sin(double(param_int(p, "seed", 1)) * 12.9898) * 43758.5453;
-  return row;
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
 }
 
 }  // namespace
-
-void register_builtin_scenarios() {
-  static const bool once = [] {
-    ScenarioRegistry& reg = ScenarioRegistry::instance();
-    {
-      ScenarioSpec spec;
-      spec.name = "two_path";
-      spec.help = "bursty two-path traffic shifting (paper Figs 7-9)";
-      spec.params = {
-          {"cc", "lia", "multipath CC algorithm (lia|olia|balia|dts|dts-ep|...)"},
-          {"duration_s", "60", "simulated seconds"},
-          {"rate0_mbps", "100", "path-0 bottleneck rate"},
-          {"rate1_mbps", "100", "path-1 bottleneck rate"},
-          {"delay0_ms", "10", "path-0 one-way delay"},
-          {"delay1_ms", "10", "path-1 one-way delay"},
-          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
-      };
-      append_price_params(spec.params);
-      spec.run = two_path_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "dumbbell";
-      spec.help = "N MPTCP + 2N TCP over two bottlenecks (paper Fig 6)";
-      spec.params = {
-          {"cc", "lia", "multipath CC algorithm"},
-          {"n_users", "10", "MPTCP user count N (TCP users = 2N)"},
-          {"flow_mb", "16", "per-user flow size, megabytes"},
-          {"max_time_s", "600", "give-up horizon, simulated seconds"},
-          {"rate_mbps", "100", "bottleneck rate"},
-          {"delay_ms", "5", "bottleneck one-way delay"},
-      };
-      spec.run = dumbbell_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "datacenter";
-      spec.help = "permutation traffic over a DC fabric (paper Figs 10, 12-16)";
-      spec.params = {
-          {"topo", "fattree", "fabric: fattree|vl2|bcube|cloud"},
-          {"cc", "lia", "multipath CC, or single-path \"tcp\" / \"dctcp\""},
-          {"subflows", "8", "subflows per MPTCP connection"},
-          {"duration_s", "2", "simulated seconds"},
-          {"max_flows", "0", "cap on concurrent flows (0 = one per host)"},
-          {"min_rto_ms", "10", "datacenter-tuned minimum RTO"},
-          {"fattree_k", "8", "FatTree arity (even)"},
-          {"bcube_n", "5", "BCube switch port count"},
-          {"bcube_k", "2", "BCube levels minus one"},
-          {"cloud_hosts", "40", "virtual-cloud host count"},
-          {"vl2_tor", "32", "VL2 top-of-rack switch count"},
-          {"vl2_hosts_per_tor", "4", "VL2 hosts per ToR"},
-          {"vl2_agg", "32", "VL2 aggregation switch count"},
-          {"vl2_int", "16", "VL2 intermediate switch count"},
-          {"vl2_host_rate_mbps", "100", "VL2 host link rate"},
-          {"vl2_switch_rate_mbps", "1000", "VL2 switch link rate"},
-      };
-      append_price_params(spec.params);
-      spec.run = datacenter_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "wireless";
-      spec.help = "WiFi + 4G heterogeneous wireless (paper Figs 2, 17)";
-      spec.params = {
-          {"cc", "lia", "multipath CC, or \"tcp-wifi\" / \"tcp-cell\""},
-          {"duration_s", "200", "simulated seconds"},
-          {"recv_buffer", "65536", "receive buffer, bytes"},
-          {"wifi_rate_mbps", "10", "WiFi link rate"},
-          {"wifi_delay_ms", "40", "WiFi one-way delay"},
-          {"wifi_loss", "0", "WiFi random loss rate"},
-          {"cell_rate_mbps", "20", "cellular link rate"},
-          {"cell_delay_ms", "100", "cellular one-way delay"},
-          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
-      };
-      append_price_params(spec.params);
-      spec.run = wireless_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "handover";
-      spec.help = "wireless hetero under scripted dynamics + WiFi<->LTE handover";
-      spec.params = {
-          {"cc", "lia", "multipath CC algorithm"},
-          {"duration_s", "30", "simulated seconds"},
-          {"recv_buffer", "65536", "receive buffer, bytes"},
-          {"dyn", "10s handover wifi cell",
-           "dynamics script (dyn/script.h syntax, or @file)"},
-          {"dead_after_timeouts", "6",
-           "consecutive RTOs before a subflow is dead (0 = never)"},
-          {"wifi_rate_mbps", "10", "WiFi link rate"},
-          {"wifi_delay_ms", "40", "WiFi one-way delay"},
-          {"wifi_loss", "0", "WiFi random loss rate"},
-          {"cell_rate_mbps", "20", "cellular link rate"},
-          {"cell_delay_ms", "100", "cellular one-way delay"},
-          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
-      };
-      append_price_params(spec.params);
-      spec.run = handover_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "flaky_wifi";
-      spec.help = "WiFi path degrades mid-run; the CC alone shifts traffic";
-      spec.params = {
-          {"cc", "dts", "multipath CC algorithm"},
-          {"duration_s", "40", "simulated seconds"},
-          {"recv_buffer", "65536", "receive buffer, bytes"},
-          {"dyn", "10s rate wifi 10mbps 2mbps over 8s; 10s loss wifi 0 0.03 over 8s",
-           "degradation script (dyn/script.h syntax, or @file)"},
-          {"degrade_at_s", "10", "share-split instant for before/after stats"},
-          {"dead_after_timeouts", "6",
-           "consecutive RTOs before a subflow is dead (0 = never)"},
-          {"wifi_rate_mbps", "10", "WiFi link rate"},
-          {"wifi_delay_ms", "40", "WiFi one-way delay"},
-          {"wifi_loss", "0", "WiFi random loss rate"},
-          {"cell_rate_mbps", "20", "cellular link rate"},
-          {"cell_delay_ms", "100", "cellular one-way delay"},
-          {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
-      };
-      append_price_params(spec.params);
-      spec.run = flaky_wifi_point;
-      reg.add(std::move(spec));
-    }
-    {
-      ScenarioSpec spec;
-      spec.name = "selftest";
-      spec.help = "harness self-test ticker (not a paper scenario)";
-      spec.params = {
-          {"mode", "ok",
-           "ok: run to duration | throw/invariant: fail at fail_at_s | "
-           "hang: schedule forever (needs a watchdog)"},
-          {"duration_s", "1", "simulated seconds (mode=ok)"},
-          {"fail_at_s", "0.5", "sim-time of the injected failure"},
-      };
-      spec.run = selftest_point;
-      reg.add(std::move(spec));
-    }
-    return true;
-  }();
-  (void)once;
-}
-
-// -------------------------------------------------------------------- plan
 
 std::vector<std::string> parse_axis_values(const std::string& expr) {
   std::vector<std::string> values;
@@ -602,25 +180,35 @@ std::vector<std::string> parse_axis_values(const std::string& expr) {
     const std::size_t c2 = expr.find(':', c1 + 1);
     if (c2 != std::string::npos) {
       double lo = 0, hi = 0, step = 0;
-      if (parse_double(expr.substr(0, c1), lo) &&
-          parse_double(expr.substr(c1 + 1, c2 - c1 - 1), hi) &&
-          parse_double(expr.substr(c2 + 1), step) && step > 0) {
+      if (parse_double(trim(expr.substr(0, c1)), lo) &&
+          parse_double(trim(expr.substr(c1 + 1, c2 - c1 - 1)), hi) &&
+          parse_double(trim(expr.substr(c2 + 1)), step) && step > 0) {
         // Tolerance absorbs accumulated fp error at the top end.
         for (double v = lo; v <= hi + step * 1e-9; v += step) {
           values.push_back(render_double(v));
+        }
+        if (values.empty()) {
+          throw std::invalid_argument("axis range \"" + expr +
+                                      "\" is empty (lo > hi?)");
         }
         return values;
       }
     }
   }
-  // Comma list.
+  // Comma list; whitespace around items is trimmed, empty items dropped.
   std::size_t start = 0;
   while (start <= expr.size()) {
     const std::size_t comma = expr.find(',', start);
     const std::size_t end = comma == std::string::npos ? expr.size() : comma;
-    if (end > start) values.push_back(expr.substr(start, end - start));
+    const std::string item = trim(expr.substr(start, end - start));
+    if (!item.empty()) values.push_back(item);
     if (comma == std::string::npos) break;
     start = comma + 1;
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("axis value expression \"" + expr +
+                                "\" has no values (expected v1,v2,... or "
+                                "lo:hi:step)");
   }
   return values;
 }

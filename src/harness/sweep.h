@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ struct ParamSpec {
 /// std::map keeps column order deterministic.
 using ResultRow = std::map<std::string, double>;
 
+/// One golden-tracked metric column. rel_tol 0 means exact double equality
+/// (stored values round-trip bit-exactly through %.17g); otherwise the
+/// check is |got - want| <= rel_tol * max(1, |got|, |want|).
+struct MetricSpec {
+  std::string column;
+  double rel_tol = 0;
+};
+
 /// A named, sweepable scenario. `run` executes one point inside the given
 /// per-run context (already entered as a SimContext::Scope by the engine).
 struct ScenarioSpec {
@@ -63,6 +72,16 @@ struct ScenarioSpec {
   std::string help;
   std::vector<ParamSpec> params;
   std::function<ResultRow(SimContext&, const ParamMap&)> run;
+
+  /// Golden-bank metadata (scenario/golden.h). Empty metrics = no golden;
+  /// the golden plan is `golden_seeds` replicates starting at
+  /// `golden_seed_base`, no axes.
+  std::vector<MetricSpec> metrics;
+  int golden_seeds = 1;
+  std::uint64_t golden_seed_base = 1;
+  /// Provenance: the .mpcc file this spec was loaded from, or empty for a
+  /// built-in C++ registration.
+  std::string source;
 
   /// True if `param` is declared (seed is always implicitly valid).
   bool has_param(const std::string& param) const;
@@ -78,13 +97,17 @@ class ScenarioRegistry {
   void add(ScenarioSpec spec);
   /// Looks a scenario up by name; a "run_" prefix is accepted and stripped
   /// ("run_handover" finds "handover"). Returns nullptr when unknown.
+  /// The pointer stays valid across later add() calls (specs are stored
+  /// behind stable allocations; a same-named add replaces the spec's
+  /// *contents* in place) — run_sweep may register builtins lazily, so
+  /// callers routinely hold a spec across it.
   const ScenarioSpec* find(const std::string& name) const;
   std::vector<const ScenarioSpec*> all() const;
   /// Comma-joined registered names, for error messages.
   std::string names() const;
 
  private:
-  std::vector<ScenarioSpec> specs_;
+  std::vector<std::unique_ptr<ScenarioSpec>> specs_;
 };
 
 /// Registers the paper scenarios (two_path / dumbbell / datacenter /
@@ -105,6 +128,9 @@ struct SweepAxis {
 
 /// Parses an axis value expression: either a comma list ("lia,olia,dts")
 /// or a numeric range "lo:hi:step" (inclusive of hi up to rounding).
+/// Whitespace around list items (and range parts) is trimmed; empty items
+/// are dropped. Throws std::invalid_argument when the expression yields no
+/// values at all ("", ",,", "  ").
 std::vector<std::string> parse_axis_values(const std::string& expr);
 
 struct SweepPlan {

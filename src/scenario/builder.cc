@@ -1,0 +1,95 @@
+#include "scenario/builder.h"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/family.h"
+#include "scenario/parser.h"
+
+namespace mpcc::scenario {
+
+harness::ScenarioSpec build_scenario(const ExperimentSpec& spec) {
+  const FamilySpec* family = find_family(spec.family);
+  if (family == nullptr) {
+    throw std::invalid_argument("experiment \"" + spec.name +
+                                "\" names unknown family \"" + spec.family +
+                                "\" (valid: " + family_names() + ")");
+  }
+
+  harness::ScenarioSpec out;
+  out.name = spec.name;
+  out.help = spec.help.empty() ? family->help : spec.help;
+  out.metrics = spec.metrics;
+  out.golden_seeds = spec.seeds;
+  out.golden_seed_base = spec.seed_base;
+  out.source = spec.source;
+
+  // The base ParamMap every run starts from: file overrides, declared-param
+  // defaults, and the dyn timeline. Point params overlay this at run time,
+  // so a sweep axis always wins over the file.
+  harness::ParamMap base;
+  for (const auto& [param, value] : spec.overrides) base[param] = value;
+  for (const harness::ParamSpec& p : spec.params) base[p.name] = p.default_value;
+  if (!spec.dyn.empty()) base[family->dyn_param] = spec.dyn;
+
+  // Visible schema: declared params first (the experiment's own defaults +
+  // help), then the rest of the family schema — with file overrides shown
+  // as the effective default — so --list tells the truth and every family
+  // parameter stays sweepable.
+  std::set<std::string> declared;
+  for (const harness::ParamSpec& p : spec.params) {
+    declared.insert(p.name);
+    out.params.push_back(p);
+  }
+  for (const harness::ParamSpec& p : family->params) {
+    if (declared.count(p.name)) continue;
+    harness::ParamSpec shown = p;
+    const auto it = base.find(p.name);
+    if (it != base.end()) shown.default_value = it->second;
+    out.params.push_back(std::move(shown));
+  }
+
+  if (base.empty()) {
+    // No overrides: run the family point function directly. This is the
+    // built-in path; rows are bit-identical to a pre-builder registration
+    // because the ParamMap reaches the point function untouched.
+    out.run = family->run;
+  } else {
+    out.run = [base, run = family->run](SimContext& ctx,
+                                        const harness::ParamMap& point) {
+      harness::ParamMap merged = base;
+      for (const auto& [k, v] : point) merged[k] = v;
+      return run(ctx, merged);
+    };
+  }
+  return out;
+}
+
+void register_experiment(const ExperimentSpec& spec) {
+  harness::ScenarioRegistry::instance().add(build_scenario(spec));
+}
+
+void register_builtin_experiments() {
+  static const bool once = [] {
+    for (const FamilySpec* family : all_families()) {
+      ExperimentSpec spec;
+      spec.name = family->name;
+      spec.family = family->name;
+      register_experiment(spec);
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+std::vector<std::string> register_scenario_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const ExperimentSpec& spec : load_experiment_dir(dir)) {
+    register_experiment(spec);
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace mpcc::scenario

@@ -1,0 +1,36 @@
+// ExperimentBuilder: compiles experiment descriptions into registrable
+// ScenarioSpecs. Built-in scenarios and .mpcc files meet here — a built-in
+// is just a family registered with no overrides (its run function is the
+// family's point function, untouched, so built-in rows are bit-identical to
+// the pre-DSL registrations), while a file experiment wraps the same point
+// function so its overrides apply *under* incoming point params: a sweep
+// axis or --flag always beats the file, the file always beats the family
+// default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+#include "scenario/spec.h"
+
+namespace mpcc::scenario {
+
+/// Compiles a spec against its family. Declared params (file defaults +
+/// help) lead the visible schema; the remaining family params follow, with
+/// any file override shown as the effective default. Throws
+/// std::invalid_argument on an unknown family.
+harness::ScenarioSpec build_scenario(const ExperimentSpec& spec);
+
+/// build_scenario + ScenarioRegistry::add (replaces any same-named spec).
+void register_experiment(const ExperimentSpec& spec);
+
+/// Registers every family under its own name — the built-in scenario set.
+/// Idempotent; harness::register_builtin_scenarios() delegates here.
+void register_builtin_experiments();
+
+/// Loads every *.mpcc in the directory (parser.h) and registers each.
+/// Returns the scenario names registered, in filename order.
+std::vector<std::string> register_scenario_dir(const std::string& dir);
+
+}  // namespace mpcc::scenario

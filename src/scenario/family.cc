@@ -1,0 +1,642 @@
+#include "scenario/family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/scenarios.h"
+#include "sim/invariants.h"
+
+namespace mpcc::scenario {
+
+namespace {
+
+using namespace mpcc::harness;
+
+// --------------------------------------------------------- point functions
+//
+// Each maps the flat ParamMap onto one runner's typed options and flattens
+// the result into a ResultRow. Moved verbatim from harness/sweep.cc; the
+// rows they produce are part of the golden-bank contract, so behavior
+// changes here invalidate scenarios/golden/.
+
+void apply_price_params(const ParamMap& p, core::EnergyPriceConfig& price) {
+  price.kappa = param_double(p, "kappa", price.kappa);
+  price.rho = param_double(p, "rho", price.rho);
+  price.eta = param_double(p, "eta", price.eta);
+  price.queue_delay_target =
+      ms(param_double(p, "delay_target_ms", to_ms(price.queue_delay_target)));
+}
+
+const std::vector<ParamSpec> kPriceParams = {
+    {"kappa", "0.5", "energy-price weight kappa_s (dts-ep)"},
+    {"rho", "0.005", "per-unit-traffic energy cost rho (dts-ep)"},
+    {"eta", "1", "queue-excess indicator weight (dts-ep)"},
+    {"delay_target_ms", "20", "queueing-delay target Q (dts-ep)"},
+};
+
+void append_price_params(std::vector<ParamSpec>& params) {
+  params.insert(params.end(), kPriceParams.begin(), kPriceParams.end());
+}
+
+// The dts-ep price knobs share one DSL spelling across families.
+const std::vector<DslKey> kPriceKeys = {
+    {"kappa", "kappa", UnitKind::kNumber},
+    {"rho", "rho", UnitKind::kNumber},
+    {"eta", "eta", UnitKind::kNumber},
+    {"delay_target", "delay_target_ms", UnitKind::kTimeMs},
+};
+
+void append_price_keys(std::vector<DslKey>& keys) {
+  keys.insert(keys.end(), kPriceKeys.begin(), kPriceKeys.end());
+}
+
+ResultRow two_path_point(SimContext& ctx, const ParamMap& p) {
+  TwoPathOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.topo.rate[0] = mbps(param_double(p, "rate0_mbps", to_mbps(o.topo.rate[0])));
+  o.topo.rate[1] = mbps(param_double(p, "rate1_mbps", to_mbps(o.topo.rate[1])));
+  o.topo.delay[0] = ms(param_double(p, "delay0_ms", to_ms(o.topo.delay[0])));
+  o.topo.delay[1] = ms(param_double(p, "delay1_ms", to_ms(o.topo.delay[1])));
+  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  apply_price_params(p, o.price);
+
+  const TwoPathResult r = run_two_path(ctx, o);
+  const double b0 = r.subflow_bytes.size() > 0 ? double(r.subflow_bytes[0]) : 0;
+  const double b1 = r.subflow_bytes.size() > 1 ? double(r.subflow_bytes[1]) : 0;
+  ResultRow row;
+  row["energy_j"] = r.run.energy_j;
+  row["avg_power_w"] = r.run.avg_power_w;
+  row["goodput_mbps"] = to_mbps(r.run.goodput());
+  row["joules_per_gb"] = r.run.joules_per_gigabyte();
+  row["retx_rate"] = r.run.retransmit_rate;
+  row["path0_mbytes"] = b0 / 1e6;
+  row["path1_mbytes"] = b1 / 1e6;
+  row["path0_share"] = (b0 + b1) > 0 ? b0 / (b0 + b1) : 0;
+  return row;
+}
+
+ResultRow dumbbell_point(SimContext& ctx, const ParamMap& p) {
+  DumbbellOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.n_users = static_cast<std::size_t>(
+      param_int(p, "n_users", static_cast<std::int64_t>(o.n_users)));
+  o.flow_bytes = static_cast<Bytes>(
+      param_double(p, "flow_mb", double(o.flow_bytes) / 1e6) * 1e6);
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.max_time = seconds(param_double(p, "max_time_s", to_seconds(o.max_time)));
+  o.topo.bottleneck_rate =
+      mbps(param_double(p, "rate_mbps", to_mbps(o.topo.bottleneck_rate)));
+  o.topo.bottleneck_delay =
+      ms(param_double(p, "delay_ms", to_ms(o.topo.bottleneck_delay)));
+
+  const DumbbellResult r = run_dumbbell(ctx, o);
+  double mean_energy = 0;
+  double mean_completion = 0;
+  double max_completion = 0;
+  for (const double e : r.per_flow_energy_j) mean_energy += e;
+  if (!r.per_flow_energy_j.empty()) mean_energy /= double(r.per_flow_energy_j.size());
+  for (const double c : r.completion_s) {
+    mean_completion += c;
+    max_completion = std::max(max_completion, c);
+  }
+  if (!r.completion_s.empty()) mean_completion /= double(r.completion_s.size());
+  ResultRow row;
+  row["total_energy_j"] = r.total_energy_j;
+  row["mean_flow_energy_j"] = mean_energy;
+  row["mean_completion_s"] = mean_completion;
+  row["max_completion_s"] = max_completion;
+  row["incomplete"] = double(r.incomplete);
+  return row;
+}
+
+ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
+  DatacenterOptions o;
+  const std::string topo = param_string(p, "topo", "fattree");
+  if (topo == "fattree") {
+    o.topo = DcTopo::kFatTree;
+  } else if (topo == "vl2") {
+    o.topo = DcTopo::kVl2;
+  } else if (topo == "bcube") {
+    o.topo = DcTopo::kBCube;
+  } else if (topo == "cloud") {
+    o.topo = DcTopo::kVirtualCloud;
+  } else {
+    throw std::invalid_argument("unknown datacenter topo \"" + topo +
+                                "\" (fattree|vl2|bcube|cloud)");
+  }
+  o.cc = param_string(p, "cc", o.cc);
+  o.subflows = static_cast<int>(param_int(p, "subflows", o.subflows));
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.pattern = param_string(p, "pattern", o.pattern);
+  o.max_flows = static_cast<std::size_t>(
+      param_int(p, "max_flows", static_cast<std::int64_t>(o.max_flows)));
+  o.min_rto = ms(param_double(p, "min_rto_ms", to_ms(o.min_rto)));
+  o.fat_tree.k = static_cast<int>(param_int(p, "fattree_k", o.fat_tree.k));
+  o.bcube.n = static_cast<int>(param_int(p, "bcube_n", o.bcube.n));
+  o.bcube.k = static_cast<int>(param_int(p, "bcube_k", o.bcube.k));
+  o.cloud.num_hosts = static_cast<std::size_t>(param_int(
+      p, "cloud_hosts", static_cast<std::int64_t>(o.cloud.num_hosts)));
+  o.vl2.num_tor = static_cast<std::size_t>(
+      param_int(p, "vl2_tor", static_cast<std::int64_t>(o.vl2.num_tor)));
+  o.vl2.hosts_per_tor = static_cast<std::size_t>(param_int(
+      p, "vl2_hosts_per_tor", static_cast<std::int64_t>(o.vl2.hosts_per_tor)));
+  o.vl2.num_agg = static_cast<std::size_t>(
+      param_int(p, "vl2_agg", static_cast<std::int64_t>(o.vl2.num_agg)));
+  o.vl2.num_int = static_cast<std::size_t>(
+      param_int(p, "vl2_int", static_cast<std::int64_t>(o.vl2.num_int)));
+  o.vl2.host_rate =
+      mbps(param_double(p, "vl2_host_rate_mbps", to_mbps(o.vl2.host_rate)));
+  o.vl2.switch_rate =
+      mbps(param_double(p, "vl2_switch_rate_mbps", to_mbps(o.vl2.switch_rate)));
+  apply_price_params(p, o.price);
+
+  const DatacenterResult r = run_datacenter(ctx, o);
+  ResultRow row;
+  row["total_energy_j"] = r.total_energy_j;
+  row["gbytes_delivered"] = double(r.bytes_delivered) / 1e9;
+  row["joules_per_gb"] = r.joules_per_gigabyte;
+  row["goodput_mbps"] = to_mbps(r.aggregate_goodput);
+  row["flows"] = double(r.flows);
+  row["fabric_drops"] = double(r.fabric_drops);
+  return row;
+}
+
+ResultRow wireless_point(SimContext& ctx, const ParamMap& p) {
+  WirelessOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.topo.wifi.rate =
+      mbps(param_double(p, "wifi_rate_mbps", to_mbps(o.topo.wifi.rate)));
+  o.topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(o.topo.wifi.delay)));
+  o.topo.wifi.loss_rate = param_double(p, "wifi_loss", o.topo.wifi.loss_rate);
+  o.topo.cellular.rate =
+      mbps(param_double(p, "cell_rate_mbps", to_mbps(o.topo.cellular.rate)));
+  o.topo.cellular.delay =
+      ms(param_double(p, "cell_delay_ms", to_ms(o.topo.cellular.delay)));
+  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  apply_price_params(p, o.price);
+
+  const WirelessResult r = run_wireless(ctx, o);
+  const double total = double(r.wifi_bytes + r.cell_bytes);
+  ResultRow row;
+  row["wifi_energy_j"] = r.wifi_energy_j;
+  row["cell_energy_j"] = r.cell_energy_j;
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["joules_per_gb"] = r.joules_per_gigabyte;
+  row["marginal_joules_per_gb"] = r.marginal_joules_per_gigabyte;
+  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
+  return row;
+}
+
+// Shared wireless-topology parameters for the dyn scenarios.
+void apply_wireless_topo_params(const ParamMap& p, WirelessHeteroConfig& topo) {
+  topo.wifi.rate = mbps(param_double(p, "wifi_rate_mbps", to_mbps(topo.wifi.rate)));
+  topo.wifi.delay = ms(param_double(p, "wifi_delay_ms", to_ms(topo.wifi.delay)));
+  topo.wifi.loss_rate = param_double(p, "wifi_loss", topo.wifi.loss_rate);
+  topo.cellular.rate =
+      mbps(param_double(p, "cell_rate_mbps", to_mbps(topo.cellular.rate)));
+  topo.cellular.delay =
+      ms(param_double(p, "cell_delay_ms", to_ms(topo.cellular.delay)));
+  topo.cross_traffic = param_bool(p, "cross_traffic", topo.cross_traffic);
+}
+
+ResultRow handover_point(SimContext& ctx, const ParamMap& p) {
+  HandoverOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.dyn = param_string(p, "dyn", o.dyn);
+  o.dead_after_timeouts = static_cast<int>(
+      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
+  apply_wireless_topo_params(p, o.topo);
+  apply_price_params(p, o.price);
+
+  const HandoverResult r = run_handover(ctx, o);
+  const double total = double(r.wifi_bytes + r.cell_bytes);
+  ResultRow row;
+  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
+  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
+  row["wifi_share"] = total > 0 ? double(r.wifi_bytes) / total : 0;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["wifi_energy_j"] = r.wifi_energy_j;
+  row["cell_energy_j"] = r.cell_energy_j;
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["handover_s"] = r.handover_time >= 0 ? to_seconds(r.handover_time) : -1;
+  row["wifi_tail_power_w"] = r.wifi_tail_power_w;
+  row["wifi_idle_power_w"] = r.wifi_idle_power_w;
+  row["handovers"] = double(r.handovers);
+  row["subflow_closes"] = double(r.subflow_closes);
+  row["subflow_reopens"] = double(r.subflow_reopens);
+  row["dyn_actions"] = double(r.dyn_actions);
+  return row;
+}
+
+ResultRow flaky_wifi_point(SimContext& ctx, const ParamMap& p) {
+  FlakyWifiOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+  o.dyn = param_string(p, "dyn", o.dyn);
+  o.degrade_at = seconds(param_double(p, "degrade_at_s", to_seconds(o.degrade_at)));
+  o.dead_after_timeouts = static_cast<int>(
+      param_int(p, "dead_after_timeouts", o.dead_after_timeouts));
+  apply_wireless_topo_params(p, o.topo);
+  apply_price_params(p, o.price);
+
+  const FlakyWifiResult r = run_flaky_wifi(ctx, o);
+  ResultRow row;
+  row["wifi_mbytes"] = double(r.wifi_bytes) / 1e6;
+  row["cell_mbytes"] = double(r.cell_bytes) / 1e6;
+  row["wifi_share"] = r.wifi_share;
+  row["wifi_share_before"] = r.wifi_share_before;
+  row["wifi_share_after"] = r.wifi_share_after;
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["radio_energy_j"] = r.radio_energy_j;
+  row["wifi_losses"] = double(r.wifi_losses);
+  row["dyn_actions"] = double(r.dyn_actions);
+  return row;
+}
+
+// Harness self-test: a millisecond ticker whose mode makes the run finish,
+// throw, trip an invariant, or schedule forever. Exists so the failure
+// containment machinery (RunGuard, watchdog, checkpoint/resume) can be
+// exercised end-to-end through the real sweep path, in tests and in CI.
+class SelftestTicker : public EventSource {
+ public:
+  SelftestTicker(SimContext& ctx, std::string mode, SimTime fail_at, SimTime stop_at)
+      : EventSource("selftest_ticker"),
+        ctx_(ctx),
+        mode_(std::move(mode)),
+        fail_at_(fail_at),
+        stop_at_(stop_at) {}
+
+  void do_next_event() override {
+    ++ticks_;
+    const SimTime now = ctx_.now();
+    if (now >= fail_at_) {
+      if (mode_ == "throw") {
+        throw std::runtime_error("selftest: injected scenario failure");
+      }
+      if (mode_ == "invariant") {
+        MPCC_CHECK_INVARIANT(false, "selftest", "injected invariant violation");
+      }
+    }
+    // mode=hang reschedules forever; only the watchdog can end the run.
+    if (mode_ == "hang" || now + kMillisecond <= stop_at_) {
+      ctx_.events().schedule_in(this, kMillisecond);
+    }
+  }
+
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  SimContext& ctx_;
+  std::string mode_;
+  SimTime fail_at_;
+  SimTime stop_at_;
+  std::uint64_t ticks_ = 0;
+};
+
+ResultRow selftest_point(SimContext& ctx, const ParamMap& p) {
+  const std::string mode = param_string(p, "mode", "ok");
+  if (mode != "ok" && mode != "throw" && mode != "invariant" && mode != "hang") {
+    throw std::invalid_argument("selftest mode \"" + mode +
+                                "\" (valid: ok|throw|invariant|hang)");
+  }
+  const SimTime duration = seconds(param_double(p, "duration_s", 1.0));
+  const SimTime fail_at = seconds(param_double(p, "fail_at_s", 0.5));
+  SelftestTicker ticker(ctx, mode, fail_at, duration);
+  ctx.events().schedule_in(&ticker, kMillisecond);
+  ctx.events().run_all();
+  ResultRow row;
+  row["ticks"] = double(ticker.ticks());
+  row["sim_s"] = to_seconds(ctx.now());
+  // Seed-keyed irrational signature: resume tests assert restored values
+  // are bit-identical to freshly computed ones.
+  row["signature"] = std::sin(double(param_int(p, "seed", 1)) * 12.9898) * 43758.5453;
+  return row;
+}
+
+// ----------------------------------------------------------- family table
+
+// Shared wireless topo keys for wireless / handover / flaky_wifi.
+const std::vector<DslKey> kWirelessTopoKeys = {
+    {"wifi.rate", "wifi_rate_mbps", UnitKind::kRate},
+    {"wifi.delay", "wifi_delay_ms", UnitKind::kTimeMs},
+    {"wifi.loss", "wifi_loss", UnitKind::kNumber},
+    {"cell.rate", "cell_rate_mbps", UnitKind::kRate},
+    {"cell.delay", "cell_delay_ms", UnitKind::kTimeMs},
+    {"cross_traffic", "cross_traffic", UnitKind::kBool},
+};
+
+const std::vector<ParamSpec> kWirelessTopoParams = {
+    {"wifi_rate_mbps", "10", "WiFi link rate"},
+    {"wifi_delay_ms", "40", "WiFi one-way delay"},
+    {"wifi_loss", "0", "WiFi random loss rate"},
+    {"cell_rate_mbps", "20", "cellular link rate"},
+    {"cell_delay_ms", "100", "cellular one-way delay"},
+    {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+};
+
+void append_wireless_topo_params(std::vector<ParamSpec>& params) {
+  params.insert(params.end(), kWirelessTopoParams.begin(),
+                kWirelessTopoParams.end());
+}
+
+std::vector<FamilySpec> build_families() {
+  std::vector<FamilySpec> families;
+
+  {
+    FamilySpec f;
+    f.name = "two_path";
+    f.help = "bursty two-path traffic shifting (paper Figs 7-9)";
+    f.params = {
+        {"cc", "lia", "multipath CC algorithm (lia|olia|balia|dts|dts-ep|...)"},
+        {"duration_s", "60", "simulated seconds"},
+        {"rate0_mbps", "100", "path-0 bottleneck rate"},
+        {"rate1_mbps", "100", "path-1 bottleneck rate"},
+        {"delay0_ms", "10", "path-0 one-way delay"},
+        {"delay1_ms", "10", "path-1 one-way delay"},
+        {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+    };
+    append_price_params(f.params);
+    f.run = two_path_point;
+    f.topo_keys = {
+        {"path0.rate", "rate0_mbps", UnitKind::kRate},
+        {"path1.rate", "rate1_mbps", UnitKind::kRate},
+        {"path0.delay", "delay0_ms", UnitKind::kTimeMs},
+        {"path1.delay", "delay1_ms", UnitKind::kTimeMs},
+        {"cross_traffic", "cross_traffic", UnitKind::kBool},
+    };
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+    };
+    append_price_keys(f.flow_keys);
+    f.columns = {"avg_power_w",  "energy_j",      "goodput_mbps",
+                 "joules_per_gb", "path0_mbytes", "path0_share",
+                 "path1_mbytes", "retx_rate"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "dumbbell";
+    f.help = "N MPTCP + 2N TCP over two bottlenecks (paper Fig 6)";
+    f.params = {
+        {"cc", "lia", "multipath CC algorithm"},
+        {"n_users", "10", "MPTCP user count N (TCP users = 2N)"},
+        {"flow_mb", "16", "per-user flow size, megabytes"},
+        {"max_time_s", "600", "give-up horizon, simulated seconds"},
+        {"rate_mbps", "100", "bottleneck rate"},
+        {"delay_ms", "5", "bottleneck one-way delay"},
+    };
+    f.run = dumbbell_point;
+    f.topo_keys = {
+        {"bottleneck.rate", "rate_mbps", UnitKind::kRate},
+        {"bottleneck.delay", "delay_ms", UnitKind::kTimeMs},
+    };
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"n_users", "n_users", UnitKind::kNumber},
+        {"flow_size", "flow_mb", UnitKind::kSizeMb},
+        {"max_time", "max_time_s", UnitKind::kTimeS},
+    };
+    f.columns = {"incomplete", "max_completion_s", "mean_completion_s",
+                 "mean_flow_energy_j", "total_energy_j"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "datacenter";
+    f.help = "permutation traffic over a DC fabric (paper Figs 10, 12-16)";
+    f.params = {
+        {"topo", "fattree", "fabric: fattree|vl2|bcube|cloud"},
+        {"cc", "lia", "multipath CC, or single-path \"tcp\" / \"dctcp\""},
+        {"subflows", "8", "subflows per MPTCP connection"},
+        {"duration_s", "2", "simulated seconds"},
+        {"pattern", "permutation", "traffic matrix: permutation|incast (all to host 0)"},
+        {"max_flows", "0", "cap on concurrent flows (0 = one per host)"},
+        {"min_rto_ms", "10", "datacenter-tuned minimum RTO"},
+        {"fattree_k", "8", "FatTree arity (even)"},
+        {"bcube_n", "5", "BCube switch port count"},
+        {"bcube_k", "2", "BCube levels minus one"},
+        {"cloud_hosts", "40", "virtual-cloud host count"},
+        {"vl2_tor", "32", "VL2 top-of-rack switch count"},
+        {"vl2_hosts_per_tor", "4", "VL2 hosts per ToR"},
+        {"vl2_agg", "32", "VL2 aggregation switch count"},
+        {"vl2_int", "16", "VL2 intermediate switch count"},
+        {"vl2_host_rate_mbps", "100", "VL2 host link rate"},
+        {"vl2_switch_rate_mbps", "1000", "VL2 switch link rate"},
+    };
+    append_price_params(f.params);
+    f.run = datacenter_point;
+    f.topo_keys = {
+        {"fabric", "topo", UnitKind::kString},
+        {"fattree.k", "fattree_k", UnitKind::kNumber},
+        {"bcube.n", "bcube_n", UnitKind::kNumber},
+        {"bcube.k", "bcube_k", UnitKind::kNumber},
+        {"cloud.hosts", "cloud_hosts", UnitKind::kNumber},
+        {"vl2.tor", "vl2_tor", UnitKind::kNumber},
+        {"vl2.hosts_per_tor", "vl2_hosts_per_tor", UnitKind::kNumber},
+        {"vl2.agg", "vl2_agg", UnitKind::kNumber},
+        {"vl2.int", "vl2_int", UnitKind::kNumber},
+        {"vl2.host_rate", "vl2_host_rate_mbps", UnitKind::kRate},
+        {"vl2.switch_rate", "vl2_switch_rate_mbps", UnitKind::kRate},
+    };
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"subflows", "subflows", UnitKind::kNumber},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"pattern", "pattern", UnitKind::kString},
+        {"max_flows", "max_flows", UnitKind::kNumber},
+        {"min_rto", "min_rto_ms", UnitKind::kTimeMs},
+    };
+    append_price_keys(f.flow_keys);
+    f.columns = {"fabric_drops", "flows", "gbytes_delivered",
+                 "goodput_mbps", "joules_per_gb", "total_energy_j"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "wireless";
+    f.help = "WiFi + 4G heterogeneous wireless (paper Figs 2, 17)";
+    f.params = {
+        {"cc", "lia", "multipath CC, or \"tcp-wifi\" / \"tcp-cell\""},
+        {"duration_s", "200", "simulated seconds"},
+        {"recv_buffer", "65536", "receive buffer, bytes"},
+    };
+    append_wireless_topo_params(f.params);
+    append_price_params(f.params);
+    f.run = wireless_point;
+    f.topo_keys = kWirelessTopoKeys;
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"recv_buffer", "recv_buffer", UnitKind::kSizeB},
+    };
+    append_price_keys(f.flow_keys);
+    f.columns = {"cell_energy_j", "goodput_mbps", "joules_per_gb",
+                 "marginal_joules_per_gb", "radio_energy_j", "wifi_energy_j",
+                 "wifi_share"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "handover";
+    f.help = "wireless hetero under scripted dynamics + WiFi<->LTE handover";
+    f.params = {
+        {"cc", "lia", "multipath CC algorithm"},
+        {"duration_s", "30", "simulated seconds"},
+        {"recv_buffer", "65536", "receive buffer, bytes"},
+        {"dyn", "10s handover wifi cell",
+         "dynamics script (dyn/script.h syntax, or @file)"},
+        {"dead_after_timeouts", "6",
+         "consecutive RTOs before a subflow is dead (0 = never)"},
+    };
+    append_wireless_topo_params(f.params);
+    append_price_params(f.params);
+    f.run = handover_point;
+    f.topo_keys = kWirelessTopoKeys;
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"recv_buffer", "recv_buffer", UnitKind::kSizeB},
+        {"dead_after_timeouts", "dead_after_timeouts", UnitKind::kNumber},
+    };
+    append_price_keys(f.flow_keys);
+    f.dyn_param = "dyn";
+    f.columns = {"cell_energy_j", "cell_mbytes", "dyn_actions", "goodput_mbps",
+                 "handover_s", "handovers", "radio_energy_j", "subflow_closes",
+                 "subflow_reopens", "wifi_energy_j", "wifi_idle_power_w",
+                 "wifi_mbytes", "wifi_share", "wifi_tail_power_w"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "flaky_wifi";
+    f.help = "WiFi path degrades mid-run; the CC alone shifts traffic";
+    f.params = {
+        {"cc", "dts", "multipath CC algorithm"},
+        {"duration_s", "40", "simulated seconds"},
+        {"recv_buffer", "65536", "receive buffer, bytes"},
+        {"dyn", "10s rate wifi 10mbps 2mbps over 8s; 10s loss wifi 0 0.03 over 8s",
+         "degradation script (dyn/script.h syntax, or @file)"},
+        {"degrade_at_s", "10", "share-split instant for before/after stats"},
+        {"dead_after_timeouts", "6",
+         "consecutive RTOs before a subflow is dead (0 = never)"},
+    };
+    append_wireless_topo_params(f.params);
+    append_price_params(f.params);
+    f.run = flaky_wifi_point;
+    f.topo_keys = kWirelessTopoKeys;
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"recv_buffer", "recv_buffer", UnitKind::kSizeB},
+        {"degrade_at", "degrade_at_s", UnitKind::kTimeS},
+        {"dead_after_timeouts", "dead_after_timeouts", UnitKind::kNumber},
+    };
+    append_price_keys(f.flow_keys);
+    f.dyn_param = "dyn";
+    f.columns = {"cell_mbytes", "dyn_actions", "goodput_mbps",
+                 "radio_energy_j", "wifi_losses", "wifi_mbytes", "wifi_share",
+                 "wifi_share_after", "wifi_share_before"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "selftest";
+    f.help = "harness self-test ticker (not a paper scenario)";
+    f.params = {
+        {"mode", "ok",
+         "ok: run to duration | throw/invariant: fail at fail_at_s | "
+         "hang: schedule forever (needs a watchdog)"},
+        {"duration_s", "1", "simulated seconds (mode=ok)"},
+        {"fail_at_s", "0.5", "sim-time of the injected failure"},
+    };
+    f.run = selftest_point;
+    f.flow_keys = {
+        {"mode", "mode", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"fail_at", "fail_at_s", UnitKind::kTimeS},
+    };
+    f.columns = {"sim_s", "signature", "ticks"};
+    families.push_back(std::move(f));
+  }
+
+  return families;
+}
+
+const std::vector<FamilySpec>& families() {
+  static const std::vector<FamilySpec> table = build_families();
+  return table;
+}
+
+const DslKey* find_key(const std::vector<DslKey>& keys, const std::string& key) {
+  for (const DslKey& k : keys) {
+    if (k.key == key) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const DslKey* FamilySpec::find_topo_key(const std::string& key) const {
+  return find_key(topo_keys, key);
+}
+
+const DslKey* FamilySpec::find_flow_key(const std::string& key) const {
+  return find_key(flow_keys, key);
+}
+
+bool FamilySpec::has_param(const std::string& param) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == param) return true;
+  }
+  return false;
+}
+
+bool FamilySpec::has_column(const std::string& column) const {
+  for (const std::string& c : columns) {
+    if (c == column) return true;
+  }
+  return false;
+}
+
+const FamilySpec* find_family(const std::string& name) {
+  for (const FamilySpec& f : families()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const FamilySpec*> all_families() {
+  std::vector<const FamilySpec*> out;
+  out.reserve(families().size());
+  for (const FamilySpec& f : families()) out.push_back(&f);
+  return out;
+}
+
+std::string family_names() {
+  std::string out;
+  for (const FamilySpec& f : families()) {
+    if (!out.empty()) out += ", ";
+    out += f.name;
+  }
+  return out;
+}
+
+}  // namespace mpcc::scenario

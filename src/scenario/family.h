@@ -1,0 +1,80 @@
+// Scenario families: the typed C++ runner behind every experiment, plus the
+// metadata the declarative layer needs to target it.
+//
+// A *family* is one of the paper's experiment shapes (two_path, dumbbell,
+// datacenter, wireless, handover, flaky_wifi, plus the synthetic selftest).
+// Each family bundles:
+//   - the point function that maps a flat ParamMap onto the runner's typed
+//     options and returns one ResultRow (moved here from harness/sweep.cc),
+//   - its full parameter schema (names, defaults, help),
+//   - the DSL key tables the .mpcc parser (scenario/parser.h) maps onto the
+//     schema ("wifi.rate 10mbps" -> wifi_rate_mbps=10),
+//   - the result columns the point function emits (golden metrics must name
+//     one of these).
+//
+// Built-in scenarios and file-loaded experiments both compile down to a
+// family + a set of parameter overrides (scenario/builder.h), so every
+// workload — C++ or text — runs through the same code path and gets
+// RunGuard, invariants, and the perf ledger for free.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace mpcc::scenario {
+
+using harness::ParamMap;
+using harness::ParamSpec;
+using harness::ResultRow;
+
+/// How the .mpcc parser converts a DSL value into the canonical parameter
+/// string the point function reads.
+enum class UnitKind {
+  kString,  ///< verbatim token
+  kNumber,  ///< bare number, stored as written
+  kBool,    ///< on/off/true/false/yes/no/1/0 -> "1"/"0"
+  kRate,    ///< <n>(bps|kbps|mbps|gbps) -> megabits/s
+  kTimeS,   ///< <n>(s|ms|us|ns) -> seconds
+  kTimeMs,  ///< <n>(s|ms|us|ns) -> milliseconds
+  kSizeB,   ///< <n>[b|kb|mb] (1024 multiples) -> bytes
+  kSizeMb,  ///< <n>[b|kb|mb|gb] (decimal) -> megabytes
+};
+
+/// Maps one DSL key ("wifi.rate") onto a family parameter ("wifi_rate_mbps").
+struct DslKey {
+  std::string key;    ///< spelling inside a topo{}/flow{} block
+  std::string param;  ///< target entry in the family's ParamSpec table
+  UnitKind unit = UnitKind::kString;
+};
+
+/// One experiment family: runner, schema, DSL surface, emitted columns.
+struct FamilySpec {
+  std::string name;
+  std::string help;
+  std::vector<ParamSpec> params;
+  std::function<ResultRow(SimContext&, const ParamMap&)> run;
+  std::vector<DslKey> topo_keys;
+  std::vector<DslKey> flow_keys;
+  /// Parameter receiving the dynamics script; empty = family takes no dyn
+  /// block ("handover"/"flaky_wifi" use "dyn").
+  std::string dyn_param;
+  /// Result columns the point function emits, in row (alphabetical) order.
+  std::vector<std::string> columns;
+
+  const DslKey* find_topo_key(const std::string& key) const;
+  const DslKey* find_flow_key(const std::string& key) const;
+  bool has_param(const std::string& param) const;
+  bool has_column(const std::string& column) const;
+};
+
+/// Looks a family up by name; nullptr when unknown. The registry is built
+/// once, on first use, and is immutable afterwards.
+const FamilySpec* find_family(const std::string& name);
+std::vector<const FamilySpec*> all_families();
+/// Comma-joined family names, for error messages.
+std::string family_names();
+
+}  // namespace mpcc::scenario

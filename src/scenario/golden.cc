@@ -1,0 +1,417 @@
+#include "scenario/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpcc::scenario {
+
+namespace {
+
+using harness::MetricSpec;
+using harness::ParamMap;
+using harness::ResultRow;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips an IEEE double exactly, so rel_tol=0 columns replay
+// bit-identically (same contract as harness/checkpoint.cc).
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Minimal cursor for the subset of JSON write_golden emits. Unlike the
+// checkpoint's line-oriented parser this one scans the whole file, so it
+// also skips newlines.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("golden file offset " + std::to_string(pos_) +
+                                ": " + why);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+ParamMap parse_string_object(Cursor& cur) {
+  ParamMap out;
+  cur.expect('{');
+  if (cur.consume('}')) return out;
+  do {
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    out[key] = cur.parse_string();
+  } while (cur.consume(','));
+  cur.expect('}');
+  return out;
+}
+
+ResultRow parse_number_object(Cursor& cur) {
+  ResultRow out;
+  cur.expect('{');
+  if (cur.consume('}')) return out;
+  do {
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    out[key] = cur.parse_number();
+  } while (cur.consume(','));
+  cur.expect('}');
+  return out;
+}
+
+std::string describe_params(const ParamMap& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out += ' ';
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+GoldenFile make_golden(const harness::ScenarioSpec& spec, int jobs) {
+  if (spec.metrics.empty()) {
+    throw std::runtime_error("scenario \"" + spec.name +
+                             "\" declares no golden metrics");
+  }
+  // Snapshot the plan before running: `spec` commonly points into the
+  // ScenarioRegistry, whose contents a concurrent-looking add() (e.g. the
+  // lazy builtin registration inside run_sweep) may replace.
+  GoldenFile golden;
+  golden.scenario = spec.name;
+  golden.seeds = spec.golden_seeds;
+  golden.seed_base = spec.golden_seed_base;
+  golden.columns = spec.metrics;
+
+  harness::SweepPlan plan;
+  plan.scenario = golden.scenario;
+  plan.seeds = golden.seeds;
+  plan.seed_base = golden.seed_base;
+  harness::SweepOptions options;
+  options.jobs = jobs;
+  options.progress = false;
+  const harness::SweepReport report = harness::run_sweep(plan, options);
+  if (report.failed() > 0) {
+    throw std::runtime_error("golden run for \"" + golden.scenario +
+                             "\" failed:\n" + report.failure_summary());
+  }
+
+  golden.rows.reserve(report.points.size());
+  for (const harness::SweepPointResult& p : report.points) {
+    GoldenRow row;
+    row.params = p.params;
+    for (const MetricSpec& m : golden.columns) {
+      const auto it = p.values.find(m.column);
+      if (it == p.values.end()) {
+        throw std::runtime_error("scenario \"" + golden.scenario +
+                                 "\" emitted no column \"" + m.column + "\"");
+      }
+      row.values[m.column] = it->second;
+    }
+    golden.rows.push_back(std::move(row));
+  }
+  return golden;
+}
+
+bool write_golden(const GoldenFile& golden, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"mpcc_golden\": 1,\n"
+     << "  \"scenario\": \"" << json_escape(golden.scenario) << "\",\n"
+     << "  \"seeds\": " << golden.seeds << ",\n"
+     << "  \"seed_base\": " << golden.seed_base << ",\n"
+     << "  \"columns\": [";
+  for (std::size_t i = 0; i < golden.columns.size(); ++i) {
+    const MetricSpec& m = golden.columns[i];
+    os << (i ? ", " : "") << "{\"name\": \"" << json_escape(m.column)
+       << "\", \"rel_tol\": " << json_double(m.rel_tol) << "}";
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+    const GoldenRow& row = golden.rows[i];
+    os << "    {\"params\": {";
+    bool first = true;
+    for (const auto& [key, value] : row.params) {
+      os << (first ? "" : ", ") << '"' << json_escape(key) << "\": \""
+         << json_escape(value) << '"';
+      first = false;
+    }
+    os << "}, \"values\": {";
+    first = true;
+    for (const auto& [key, value] : row.values) {
+      os << (first ? "" : ", ") << '"' << json_escape(key)
+         << "\": " << json_double(value);
+      first = false;
+    }
+    os << "}}" << (i + 1 < golden.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return bool(os);
+}
+
+GoldenFile load_golden(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("cannot read golden file \"" + path + "\"");
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+
+  GoldenFile golden;
+  bool versioned = false;
+  Cursor cur(text);
+  cur.expect('{');
+  bool first = true;
+  while (!cur.consume('}')) {
+    if (!first) cur.expect(',');
+    first = false;
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "mpcc_golden") {
+      versioned = static_cast<int>(cur.parse_number()) == 1;
+    } else if (key == "scenario") {
+      golden.scenario = cur.parse_string();
+    } else if (key == "seeds") {
+      golden.seeds = static_cast<int>(cur.parse_number());
+    } else if (key == "seed_base") {
+      golden.seed_base = static_cast<std::uint64_t>(cur.parse_number());
+    } else if (key == "columns") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('{');
+          MetricSpec m;
+          bool cfirst = true;
+          while (!cur.consume('}')) {
+            if (!cfirst) cur.expect(',');
+            cfirst = false;
+            const std::string ckey = cur.parse_string();
+            cur.expect(':');
+            if (ckey == "name") {
+              m.column = cur.parse_string();
+            } else if (ckey == "rel_tol") {
+              m.rel_tol = cur.parse_number();
+            } else if (cur.peek() == '"') {
+              cur.parse_string();
+            } else {
+              cur.parse_number();
+            }
+          }
+          golden.columns.push_back(std::move(m));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else if (key == "rows") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('{');
+          GoldenRow row;
+          bool rfirst = true;
+          while (!cur.consume('}')) {
+            if (!rfirst) cur.expect(',');
+            rfirst = false;
+            const std::string rkey = cur.parse_string();
+            cur.expect(':');
+            if (rkey == "params") {
+              row.params = parse_string_object(cur);
+            } else if (rkey == "values") {
+              row.values = parse_number_object(cur);
+            } else if (cur.peek() == '{') {
+              parse_string_object(cur);
+            } else if (cur.peek() == '"') {
+              cur.parse_string();
+            } else {
+              cur.parse_number();
+            }
+          }
+          golden.rows.push_back(std::move(row));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else if (cur.peek() == '"') {
+      cur.parse_string();
+    } else {
+      cur.parse_number();
+    }
+  }
+  if (!versioned) {
+    throw std::invalid_argument("\"" + path +
+                                "\" is not an mpcc golden file (bad header)");
+  }
+  return golden;
+}
+
+std::vector<std::string> diff_golden(const GoldenFile& want,
+                                     const GoldenFile& got) {
+  std::vector<std::string> out;
+  if (want.scenario != got.scenario) {
+    out.push_back("scenario name mismatch: stored \"" + want.scenario +
+                  "\" vs fresh \"" + got.scenario + "\"");
+    return out;
+  }
+  if (want.seeds != got.seeds || want.seed_base != got.seed_base) {
+    out.push_back("golden plan changed: stored seeds=" +
+                  std::to_string(want.seeds) + " base=" +
+                  std::to_string(want.seed_base) + " vs fresh seeds=" +
+                  std::to_string(got.seeds) + " base=" +
+                  std::to_string(got.seed_base) +
+                  " (re-run --update-golden)");
+    return out;
+  }
+  if (want.columns.size() != got.columns.size()) {
+    out.push_back("column set changed: stored " +
+                  std::to_string(want.columns.size()) + " columns vs fresh " +
+                  std::to_string(got.columns.size()) +
+                  " (re-run --update-golden)");
+    return out;
+  }
+  for (std::size_t i = 0; i < want.columns.size(); ++i) {
+    if (want.columns[i].column != got.columns[i].column ||
+        want.columns[i].rel_tol != got.columns[i].rel_tol) {
+      out.push_back("column " + std::to_string(i) + " changed: stored \"" +
+                    want.columns[i].column + "\" tol " +
+                    json_double(want.columns[i].rel_tol) + " vs fresh \"" +
+                    got.columns[i].column + "\" tol " +
+                    json_double(got.columns[i].rel_tol));
+    }
+  }
+  if (!out.empty()) return out;
+  if (want.rows.size() != got.rows.size()) {
+    out.push_back("row count mismatch: stored " +
+                  std::to_string(want.rows.size()) + " vs fresh " +
+                  std::to_string(got.rows.size()));
+    return out;
+  }
+
+  for (std::size_t i = 0; i < want.rows.size(); ++i) {
+    const GoldenRow& w = want.rows[i];
+    const GoldenRow& g = got.rows[i];
+    if (w.params != g.params) {
+      out.push_back("row " + std::to_string(i) + " params mismatch: stored {" +
+                    describe_params(w.params) + "} vs fresh {" +
+                    describe_params(g.params) + "}");
+      continue;
+    }
+    for (const MetricSpec& m : want.columns) {
+      const auto wit = w.values.find(m.column);
+      const auto git = g.values.find(m.column);
+      if (wit == w.values.end() || git == g.values.end()) {
+        out.push_back("row " + std::to_string(i) + " column \"" + m.column +
+                      "\" missing from " +
+                      (wit == w.values.end() ? "stored" : "fresh") + " values");
+        continue;
+      }
+      const double a = wit->second;
+      const double b = git->second;
+      bool ok;
+      if (m.rel_tol == 0) {
+        ok = a == b || (std::isnan(a) && std::isnan(b));
+      } else {
+        ok = std::abs(a - b) <=
+             m.rel_tol * std::max({1.0, std::abs(a), std::abs(b)});
+      }
+      if (!ok) {
+        out.push_back("row " + std::to_string(i) + " {" +
+                      describe_params(w.params) + "} column \"" + m.column +
+                      "\": stored " + json_double(a) + " vs fresh " +
+                      json_double(b) +
+                      (m.rel_tol == 0 ? " (exact)"
+                                      : " (rel_tol " + json_double(m.rel_tol) +
+                                            ")"));
+      }
+    }
+  }
+  return out;
+}
+
+std::string golden_path(const std::string& dir, const std::string& scenario) {
+  return dir + "/" + scenario + ".json";
+}
+
+}  // namespace mpcc::scenario

@@ -1,0 +1,63 @@
+// Golden-result regression bank: checked-in expected metrics for the
+// scenario corpus (scenarios/golden/<name>.json).
+//
+// A scenario with declared `metric` columns has a golden plan — its
+// golden_seeds replicates at the file's defaults, no axes. make_golden runs
+// that plan through the real sweep engine (RunGuard, isolation, perf) and
+// keeps only the declared columns; write/load round-trip values bit-exactly
+// through %.17g, so a rel_tol of 0 means exact double equality on replay.
+// diff_golden compares a fresh run against the stored bank and returns
+// human-readable mismatch lines (empty = pass).
+//
+// Workflow (docs/SCENARIOS.md): `mpcc_sweep --scenario-dir=scenarios
+// --update-golden` regenerates the bank; `--check-golden` (and the ctest
+// golden_corpus target) verifies it. Results are bit-identical across
+// --jobs, so the bank is stable under parallelism; cross-machine replays
+// should rely on the per-column tolerances, not exactness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace mpcc::scenario {
+
+struct GoldenRow {
+  harness::ParamMap params;    ///< the full point (includes "seed")
+  harness::ResultRow values;   ///< filtered to the declared columns
+};
+
+struct GoldenFile {
+  std::string scenario;
+  int seeds = 1;
+  std::uint64_t seed_base = 1;
+  std::vector<harness::MetricSpec> columns;
+  std::vector<GoldenRow> rows;  ///< in plan order
+};
+
+/// Runs the scenario's golden plan and collects the declared columns.
+/// Throws std::runtime_error when the scenario declares no metrics, any
+/// point fails, or a declared column is missing from a result row.
+GoldenFile make_golden(const harness::ScenarioSpec& spec, int jobs = 1);
+
+/// Writes the bank as JSON. Returns false when the file cannot be opened.
+bool write_golden(const GoldenFile& golden, const std::string& path);
+
+/// Loads a bank written by write_golden. Throws std::invalid_argument on
+/// unreadable or malformed files.
+GoldenFile load_golden(const std::string& path);
+
+/// Compares `got` (fresh) against `want` (stored): scenario name, plan,
+/// column set and tolerances, row count, per-row params, and per-column
+/// values — rel_tol 0 requires exact equality, otherwise
+/// |got - want| <= rel_tol * max(1, |got|, |want|). Returns one line per
+/// mismatch; empty = pass.
+std::vector<std::string> diff_golden(const GoldenFile& want,
+                                     const GoldenFile& got);
+
+/// Path convention: <dir>/<scenario>.json
+std::string golden_path(const std::string& dir, const std::string& scenario);
+
+}  // namespace mpcc::scenario

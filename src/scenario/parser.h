@@ -1,0 +1,66 @@
+// Parser for .mpcc experiment descriptions — the declarative layer over the
+// scenario families. Statements are line-oriented; '#' starts a comment.
+//
+//   experiment fig17_wireless_energy        # required, first statement
+//   family wireless                         # required; see family.h
+//   help "WiFi+LTE energy per CC"           # optional one-liner
+//
+//   topo {                                  # family topo keys, unit-aware
+//     wifi.rate 10mbps
+//     wifi.delay 40ms
+//     cell.rate 20mbps
+//     cross_traffic on
+//   }
+//   flow {                                  # family flow keys
+//     cc dts
+//     duration 20s
+//     recv_buffer 64kb
+//   }
+//   dyn {                                   # only for dyn families; lines
+//     10s rate wifi 10mbps 2mbps over 8s    # are dyn/script.h events
+//     10s loss wifi 0 0.03 over 8s
+//   }
+//   # alternatively:  dyn @scripts/degrade.dyn
+//
+//   set wifi_loss 0.01                      # raw escape hatch: assign a
+//                                           # family parameter verbatim
+//   param cc dts "CC under test"            # advertised sweep axis +
+//                                           # this experiment's default
+//   seeds 3 base 1                          # golden replicates
+//   metric radio_energy_j tol 1e-9          # golden column, rel tolerance
+//   metric wifi_share exact                 # golden column, bit-exact
+//
+// Every topo/flow key maps onto a canonical family parameter with unit
+// conversion (rates to mbps, times to s/ms, sizes to bytes/MB), so a file
+// experiment runs through exactly the same point function as the built-in
+// scenario. Errors throw std::invalid_argument carrying source, line and
+// column, the offending text, and the reason — same contract as DynScript.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace mpcc::scenario {
+
+/// Parses one experiment description. `source` names the input in error
+/// messages and becomes ExperimentSpec::source.
+ExperimentSpec parse_experiment(const std::string& text,
+                                const std::string& source = "<string>");
+
+/// Reads and parses one .mpcc file (throws std::invalid_argument when
+/// unreadable).
+ExperimentSpec load_experiment_file(const std::string& path);
+
+/// Loads every *.mpcc in the directory, sorted by filename so registration
+/// order (and any duplicate-name last-wins behavior) is deterministic.
+/// Throws on an unreadable directory or any malformed file.
+std::vector<ExperimentSpec> load_experiment_dir(const std::string& dir);
+
+/// Renders a spec back to canonical .mpcc text. Overrides serialize as raw
+/// `set` statements (units already canonical), so parse(to_text(parse(x)))
+/// equals parse(x) on every field.
+std::string to_text(const ExperimentSpec& spec);
+
+}  // namespace mpcc::scenario

@@ -1,0 +1,45 @@
+// ExperimentSpec: one parsed .mpcc experiment description, as pure data.
+//
+// An experiment is a family (scenario/family.h) plus a set of parameter
+// overrides (from topo{}/flow{}/set/param statements, already mapped to
+// canonical family parameter names and units by the parser), an optional
+// dynamics timeline, the sweepable parameters it advertises, and the metric
+// columns its golden file tracks. The builder (scenario/builder.h) compiles
+// this into a registrable harness::ScenarioSpec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace mpcc::scenario {
+
+struct ExperimentSpec {
+  std::string name;
+  std::string family;
+  /// One-line description; empty = inherit the family's help line.
+  std::string help;
+  /// Parameter overrides in file order, mapped to family parameter names
+  /// with values in canonical units ("wifi.rate 10mbps" -> wifi_rate_mbps,
+  /// "10"). Duplicated parameters are a parse error.
+  std::vector<std::pair<std::string, std::string>> overrides;
+  /// Dynamics timeline in dyn/script.h text syntax, or "@file"; empty =
+  /// none. Only families with a dyn_param accept one.
+  std::string dyn;
+  /// Parameters this experiment advertises as sweep axes, with the
+  /// experiment's own defaults and help. Each must name a family parameter;
+  /// the default is applied to the run like an override.
+  std::vector<harness::ParamSpec> params;
+  /// Golden-tracked metric columns; empty = no golden file.
+  std::vector<harness::MetricSpec> metrics;
+  /// Golden plan: `seeds` replicates starting at `seed_base`, no axes.
+  int seeds = 1;
+  std::uint64_t seed_base = 1;
+  /// Provenance: the .mpcc path this spec was parsed from.
+  std::string source;
+};
+
+}  // namespace mpcc::scenario

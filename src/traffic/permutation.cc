@@ -18,4 +18,20 @@ std::vector<FlowAssignment> permutation_traffic(std::size_t hosts, Rng& rng,
   return flows;
 }
 
+std::vector<FlowAssignment> incast_traffic(std::size_t hosts, Rng& rng,
+                                           SimTime start_jitter) {
+  std::vector<FlowAssignment> flows;
+  if (hosts < 2) return flows;
+  flows.reserve(hosts - 1);
+  for (std::size_t i = 1; i < hosts; ++i) {
+    FlowAssignment f;
+    f.src_host = i;
+    f.dst_host = 0;
+    f.start_time =
+        start_jitter > 0 ? rng.uniform_int(0, static_cast<std::int64_t>(start_jitter)) : 0;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
 }  // namespace mpcc

@@ -21,4 +21,10 @@ struct FlowAssignment {
 std::vector<FlowAssignment> permutation_traffic(std::size_t hosts, Rng& rng,
                                                 SimTime start_jitter = 0);
 
+/// Incast: every other host sends one flow to host 0 (the aggregator),
+/// start times jittered uniformly in [0, start_jitter]. Empty when
+/// hosts < 2. Cap the fan-in with DatacenterOptions::max_flows.
+std::vector<FlowAssignment> incast_traffic(std::size_t hosts, Rng& rng,
+                                           SimTime start_jitter = 0);
+
 }  // namespace mpcc

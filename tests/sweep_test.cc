@@ -50,6 +50,59 @@ TEST(SweepAxis, NonNumericColonsFallBackToSingleValue) {
   EXPECT_EQ(v[0], "a:b:c");
 }
 
+// Whitespace handling and empty-expression rejection, table-driven: every
+// accepted expression lists its expected values; every rejected one names a
+// substring the std::invalid_argument message must carry.
+TEST(SweepAxis, TrimsWhitespaceAroundItemsAndRangeParts) {
+  struct Case {
+    const char* expr;
+    std::vector<std::string> expect;
+  };
+  const Case cases[] = {
+      {" lia , olia ", {"lia", "olia"}},
+      {"lia,  dts-ep  ,balia", {"lia", "dts-ep", "balia"}},
+      {"lia,,olia", {"lia", "olia"}},      // empty items are dropped
+      {" lia ,", {"lia"}},                 // trailing comma
+      {"\tlia\t", {"lia"}},                // lone padded value
+      {" 1:5:2 ", {"1", "3", "5"}},        // padded numeric range
+      {"1 : 5 : 2", {"1", "3", "5"}},      // padded range parts
+      {" a:b:c ", {"a:b:c"}},              // non-numeric fallback, trimmed
+  };
+  for (const Case& c : cases) {
+    const auto v = parse_axis_values(c.expr);
+    ASSERT_EQ(v.size(), c.expect.size()) << "expr: \"" << c.expr << "\"";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(v[i], c.expect[i]) << "expr: \"" << c.expr << "\" item " << i;
+    }
+  }
+}
+
+TEST(SweepAxis, RejectsExpressionsWithNoValues) {
+  struct Case {
+    const char* expr;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      {"", "has no values"},
+      {"   ", "has no values"},
+      {",", "has no values"},
+      {",,", "has no values"},
+      {" , , ", "has no values"},
+      {"5:1:1", "is empty (lo > hi?)"},   // descending range, positive step
+      {"5:1:0.5", "is empty (lo > hi?)"},
+  };
+  for (const Case& c : cases) {
+    try {
+      parse_axis_values(c.expr);
+      FAIL() << "expected std::invalid_argument for: \"" << c.expr << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << "expr: \"" << c.expr << "\"\nmessage: " << e.what();
+    }
+  }
+}
+
 TEST(SweepPlan, CartesianProductWithSeedReplicates) {
   SweepPlan plan;
   plan.scenario = "two_path";
