@@ -5,6 +5,8 @@ Usage: check_bench_json.py FILE [--no-ab] [--baseline PREV.json]
 
 The document flavor is auto-detected:
   core      mpcc_bench=1 schema from tools/mpcc_bench (BENCH_core.json)
+  fleet     mpcc_fleet=1 schema from tools/mpcc_fleet_bench
+            (BENCH_fleet.json)
   sweep     flat scaling doc with points_per_sec (BENCH_sweep.json)
   results   env provenance + nested "results" dict of numeric leaves
             (BENCH_guard.json, BENCH_handover.json)
@@ -27,6 +29,12 @@ and a perf_overhead block with overhead_pct below target_pct.
 --baseline compares per-benchmark perf.events_per_sec (must not drop
 >10%) and perf.allocs_per_event (must not rise >10%, with a small
 absolute grace so 0-vs-0.001 jitter does not gate).
+
+fleet shape: scenario, flows > 0, flows_completed > 0, wall_s > 0,
+flows_per_sec > 0, an fct_ms percentile block, and env provenance.
+--baseline gates flows_per_sec (must not drop >10%); the FCT
+percentiles measure the simulated workload, not the simulator, and are
+reported only.
 
 sweep shape: scenario, points > 0, jobs >= 1, wall_s > 0,
 points_per_sec > 0. --baseline gates points_per_sec (must not drop
@@ -75,11 +83,14 @@ def detect_flavor(doc, path):
         malformed("%s is not a JSON object" % path)
     if doc.get("mpcc_bench") == 1:
         return "core"
+    # Before the sweep probe: fleet docs also carry per-second rate keys.
+    if doc.get("mpcc_fleet") == 1:
+        return "fleet"
     if "points_per_sec" in doc:
         return "sweep"
     if isinstance(doc.get("results"), dict):
         return "results"
-    malformed("%s matches no known flavor (core/sweep/results)" % path)
+    malformed("%s matches no known flavor (core/fleet/sweep/results)" % path)
 
 
 def is_number(v):
@@ -171,6 +182,58 @@ def check_core(doc, baseline, check_ab):
         if pct >= target:
             failed = True
     return failed
+
+
+# ----------------------------------------------------------------- fleet
+
+def check_fleet(doc, baseline):
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        malformed("missing env provenance object")
+    for k in ENV_KEYS:
+        if k not in env:
+            malformed("env lacks %r" % k)
+    for k in ("scenario", "flows", "flows_completed", "flows_per_sec",
+              "wall_s", "fct_ms", "perf"):
+        if k not in doc:
+            malformed("fleet doc lacks %r" % k)
+    if not is_number(doc["flows"]) or doc["flows"] <= 0:
+        malformed("fleet doc started no flows")
+    if not is_number(doc["flows_completed"]) or doc["flows_completed"] <= 0:
+        malformed("fleet doc completed no flows")
+    if not is_number(doc["wall_s"]) or doc["wall_s"] <= 0:
+        malformed("fleet doc measured no wall time")
+    if not is_number(doc["flows_per_sec"]) or doc["flows_per_sec"] <= 0:
+        malformed("fleet doc has flows_per_sec <= 0")
+    fct = doc["fct_ms"]
+    if not isinstance(fct, dict):
+        malformed("fleet doc fct_ms is not an object")
+    for k in ("p50", "p99", "p999"):
+        if not is_number(fct.get(k)) or fct[k] <= 0:
+            malformed("fleet doc fct_ms lacks a positive %r" % k)
+    if doc["perf"].get("events_dispatched", 0) <= 0:
+        malformed("fleet doc dispatched no events")
+    print("check_bench_json: fleet doc ok (%s, %d/%d flows, %.0f flows/s, "
+          "fct p99 %.2f ms)"
+          % (doc["scenario"], doc["flows_completed"], doc["flows"],
+             doc["flows_per_sec"], fct["p99"]))
+
+    if baseline is None:
+        return False
+    # Only the wall-clock throughput gates; FCT percentiles and goodput are
+    # workload properties already pinned exactly by the golden bank.
+    old = baseline.get("flows_per_sec", 0.0)
+    new = doc["flows_per_sec"]
+    if is_number(old) and old > 0 and new < old * (1.0 - REGRESSION_TOLERANCE):
+        print("check_bench_json: REGRESSION flows_per_sec %.0f -> %.0f "
+              "(%.1f%%)" % (old, new, (new / old - 1.0) * 100.0),
+              file=sys.stderr)
+        print("check_bench_json: baseline gate compared 1 metric, "
+              "1 regression(s)")
+        return True
+    print("check_bench_json: baseline gate compared 1 metric, "
+          "0 regression(s)")
+    return False
 
 
 # ----------------------------------------------------------------- sweep
@@ -296,6 +359,8 @@ def main():
 
     if flavor == "core":
         failed = check_core(doc, baseline, check_ab)
+    elif flavor == "fleet":
+        failed = check_fleet(doc, baseline)
     elif flavor == "sweep":
         failed = check_sweep(doc, baseline)
     else:

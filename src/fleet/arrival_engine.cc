@@ -1,0 +1,59 @@
+#include "fleet/arrival_engine.h"
+
+namespace mpcc::fleet {
+
+namespace {
+// Fixed substream tags partitioning the engine root seed's id space:
+// workload components must never share a stream.
+constexpr std::uint64_t kProcessStream = 0x41525256;  // "ARRV"
+constexpr std::uint64_t kMatrixStream = 0x4d545258;   // "MTRX"
+}  // namespace
+
+FlowArrivalEngine::FlowArrivalEngine(Network& net, Topology& topo,
+                                     const PowerModel& power,
+                                     FlowFactoryConfig factory_config,
+                                     ArrivalEngineConfig config, FctRecorder& fct,
+                                     Rng root)
+    : net_(net),
+      config_(config),
+      fct_(fct),
+      root_(root),
+      process_(config.arrivals, root.substream(kProcessStream)),
+      sizes_(config.sizes),
+      matrix_(config.matrix, topo.num_hosts(), root.substream(kMatrixStream)),
+      factory_(net, topo, power, factory_config,
+               [this](Rig& rig) { on_flow_complete(rig); }),
+      timer_(net.events(), "fleet:arrivals", [this] { on_arrival(); }) {}
+
+void FlowArrivalEngine::start(SimTime at) {
+  next_arrival_s_ = process_.next_arrival(to_seconds(at));
+  timer_.arm_at(seconds(next_arrival_s_));
+}
+
+void FlowArrivalEngine::schedule_next() {
+  if (config_.max_flows != 0 && flows_started_ >= config_.max_flows) return;
+  next_arrival_s_ = process_.next_arrival(next_arrival_s_);
+  timer_.arm_at(seconds(next_arrival_s_));
+}
+
+void FlowArrivalEngine::on_arrival() {
+  const std::uint64_t k = flows_started_++;
+  // Substream 2k: the flow's size. Substream 2k+1: endpoints and path
+  // sampling. Both are pure functions of (root seed, k).
+  Rng size_rng = root_.substream(2 * k);
+  Rng flow_rng = root_.substream(2 * k + 1);
+  const Bytes size = sizes_.sample(size_rng);
+  const auto [src, dst] = matrix_.pick(k, flow_rng);
+  factory_.acquire(src, dst, k, size, flow_rng);
+  schedule_next();
+}
+
+void FlowArrivalEngine::on_flow_complete(Rig& rig) {
+  const MptcpConnection& conn = *rig.conn;
+  fct_.record(rig.flow_size, conn.completion_time() - conn.start_time(),
+              rig.flow_energy_j());
+  // Park only — the rig (and anything packets still reference) stays alive.
+  factory_.release(rig);
+}
+
+}  // namespace mpcc::fleet

@@ -1,0 +1,72 @@
+// FlowArrivalEngine: drives a fleet workload on the per-run EventList.
+//
+// The engine composes the workload primitives (fleet/workload.h): an
+// arrival process decides *when* the next flow starts, a size distribution
+// decides *how big* it is, a traffic matrix decides *between whom* it runs,
+// and the FlowFactory provides a recycled MPTCP rig to carry it. Completed
+// flows land in the FctRecorder with their completion time and sender-side
+// energy delta.
+//
+// Determinism: flow k's size comes from substream 2k of the engine root
+// Rng, its endpoints/path selection from substream 2k+1, and arrival gaps
+// from the arrival process's own substream sequence — all pure functions of
+// the root seed, so a fleet run is bit-identical across --jobs and
+// --resume no matter how runs interleave.
+#pragma once
+
+#include <cstdint>
+
+#include "fleet/fct_recorder.h"
+#include "fleet/flow_factory.h"
+#include "fleet/workload.h"
+#include "sim/timer.h"
+#include "topo/topology.h"
+
+namespace mpcc::fleet {
+
+struct ArrivalEngineConfig {
+  ArrivalConfig arrivals;
+  SizeConfig sizes;
+  MatrixConfig matrix;
+  /// Stop spawning after this many flows (0 = unlimited; the run duration
+  /// bounds the workload instead).
+  std::uint64_t max_flows = 0;
+};
+
+class FlowArrivalEngine {
+ public:
+  /// `root` seeds the whole workload; hand in a context-derived Rng (e.g.
+  /// net.rng().substream(...)) so scenario seeds flow through.
+  FlowArrivalEngine(Network& net, Topology& topo, const PowerModel& power,
+                    FlowFactoryConfig factory_config, ArrivalEngineConfig config,
+                    FctRecorder& fct, Rng root);
+
+  /// Schedules the first arrival at-or-after `at`.
+  void start(SimTime at);
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return fct_.completed(); }
+  FlowFactory& factory() { return factory_; }
+  const FlowFactory& factory() const { return factory_; }
+
+ private:
+  void on_arrival();
+  void on_flow_complete(Rig& rig);
+  void schedule_next();
+
+  Network& net_;
+  ArrivalEngineConfig config_;
+  FctRecorder& fct_;
+
+  Rng root_;
+  ArrivalProcess process_;
+  SizeDistribution sizes_;
+  TrafficMatrix matrix_;
+  FlowFactory factory_;
+
+  Timer timer_;
+  double next_arrival_s_ = 0.0;
+  std::uint64_t flows_started_ = 0;
+};
+
+}  // namespace mpcc::fleet

@@ -1,0 +1,16 @@
+#include "fleet/fct_recorder.h"
+
+namespace mpcc::fleet {
+
+void FctRecorder::record(Bytes size, SimTime fct, double energy_j) {
+  if (fct < 0) fct = 0;
+  const std::uint64_t fct_micro = static_cast<std::uint64_t>(fct / kMicrosecond);
+  fct_us_.record(fct_micro);
+  by_class_[static_cast<std::size_t>(classify_size(size))].record(fct_micro);
+  MPCC_PERF_RECORD(fct_us, fct_micro);
+  ++completed_;
+  bytes_ += size;
+  energy_j_ += energy_j;
+}
+
+}  // namespace mpcc::fleet

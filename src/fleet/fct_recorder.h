@@ -1,0 +1,57 @@
+// FctRecorder: fleet-level flow-completion-time and efficiency accounting.
+//
+// The per-interval throughput view lives in stats/flow_recorder.h; this is
+// its per-flow complement for finite fleet workloads: every completed flow
+// contributes its completion time to HDR histograms (overall and sliced by
+// SizeClass), and its bytes/energy to the fleet goodput and energy-per-byte
+// rollups. FCTs are also mirrored into the run's obs::PerfCounters fct_us
+// histogram, so sweep-level percentiles merge exactly across --jobs (the
+// HdrHistogram layout is fixed and merge is associative).
+#pragma once
+
+#include <cstdint>
+
+#include "fleet/workload.h"
+#include "obs/perf.h"
+#include "util/units.h"
+
+namespace mpcc::fleet {
+
+class FctRecorder {
+ public:
+  /// Records one completed flow: its size, completion time (SimTime delta),
+  /// and the sender-side energy attributed to it (joules).
+  void record(Bytes size, SimTime fct, double energy_j);
+
+  std::uint64_t completed() const { return completed_; }
+  Bytes bytes() const { return bytes_; }
+  double energy_j() const { return energy_j_; }
+
+  const obs::HdrHistogram& fct_us() const { return fct_us_; }
+  const obs::HdrHistogram& fct_us(SizeClass c) const {
+    return by_class_[static_cast<std::size_t>(c)];
+  }
+
+  /// FCT percentile (p in [0,1]) in milliseconds, overall.
+  double percentile_ms(double p) const { return fct_us_.percentile(p) / 1e3; }
+  double percentile_ms(SizeClass c, double p) const {
+    return fct_us(c).percentile(p) / 1e3;
+  }
+
+  /// Fleet goodput: completed-flow bytes over `duration`.
+  Rate goodput(SimTime duration) const { return throughput(bytes_, duration); }
+
+  /// Energy per byte rollup, reported in the repo's usual J/GB unit.
+  double joules_per_gigabyte() const {
+    return bytes_ > 0 ? energy_j_ / (static_cast<double>(bytes_) / 1e9) : 0.0;
+  }
+
+ private:
+  obs::HdrHistogram fct_us_;
+  obs::HdrHistogram by_class_[3];
+  std::uint64_t completed_ = 0;
+  Bytes bytes_ = 0;
+  double energy_j_ = 0.0;
+};
+
+}  // namespace mpcc::fleet

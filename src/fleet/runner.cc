@@ -1,0 +1,112 @@
+#include "fleet/runner.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "energy/cpu_power.h"
+#include "fleet/arrival_engine.h"
+#include "fleet/fct_recorder.h"
+#include "fleet/flow_factory.h"
+#include "topo/bcube.h"
+#include "topo/fat_tree.h"
+#include "topo/virtual_cloud.h"
+#include "topo/vl2.h"
+
+namespace mpcc::fleet {
+
+FleetResult run_fleet(const FleetOptions& options) {
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_fleet(ctx, options);
+}
+
+FleetResult run_fleet(SimContext& ctx, const FleetOptions& options) {
+  Network net(ctx);
+
+  std::unique_ptr<Topology> owned;
+  std::vector<Queue*> fabric;
+  switch (options.topo) {
+    case harness::DcTopo::kFatTree: {
+      auto t = std::make_unique<FatTree>(net, options.fat_tree);
+      fabric = t->fabric_queues();
+      owned = std::move(t);
+      break;
+    }
+    case harness::DcTopo::kVl2: {
+      auto t = std::make_unique<Vl2>(net, options.vl2);
+      fabric = t->fabric_queues();
+      owned = std::move(t);
+      break;
+    }
+    case harness::DcTopo::kBCube:
+      owned = std::make_unique<BCube>(net, options.bcube);
+      break;
+    case harness::DcTopo::kVirtualCloud:
+      owned = std::make_unique<VirtualCloud>(net, options.cloud);
+      break;
+  }
+  Topology& topo = *owned;
+
+  const bool hybrid = options.fidelity == "hybrid";
+  if (!hybrid && options.fidelity != "packet") {
+    throw std::invalid_argument("unknown fleet fidelity \"" + options.fidelity +
+                                "\" (packet|hybrid)");
+  }
+  if (hybrid && fabric.empty()) {
+    throw std::invalid_argument(
+        "fleet: hybrid fidelity needs a fabric topology (fattree|vl2)");
+  }
+
+  WiredCpuPower power_model;
+  FctRecorder fct;
+
+  FlowFactoryConfig factory_config;
+  factory_config.subflows = options.subflows;
+  factory_config.cc = options.cc;
+  factory_config.price = options.price;
+  factory_config.min_rto = options.min_rto;
+  factory_config.recv_buffer = options.recv_buffer;
+
+  ArrivalEngineConfig engine_config;
+  engine_config.arrivals = options.arrivals;
+  engine_config.sizes = options.sizes;
+  engine_config.matrix = options.matrix;
+  engine_config.max_flows = options.max_flows;
+
+  // Declared after Network so in-fabric wiring outlives nothing it uses;
+  // destroyed before it (reverse order) once the loop has stopped.
+  FlowArrivalEngine engine(net, topo, power_model, factory_config, engine_config,
+                           fct, net.rng().substream(0x464c4554 /* "FLET" */));
+
+  std::unique_ptr<FluidBackgroundDriver> background;
+  if (hybrid) {
+    background =
+        std::make_unique<FluidBackgroundDriver>(net, fabric, options.background);
+    background->start();
+  }
+
+  engine.start(0);
+  net.events().run_until(options.duration);
+
+  FleetResult result;
+  result.flows_started = engine.flows_started();
+  result.flows_completed = fct.completed();
+  result.bytes_delivered = fct.bytes();
+  result.fct_p50_ms = fct.percentile_ms(0.50);
+  result.fct_p99_ms = fct.percentile_ms(0.99);
+  result.fct_p999_ms = fct.percentile_ms(0.999);
+  result.fct_small_p99_ms = fct.percentile_ms(SizeClass::kSmall, 0.99);
+  result.fct_medium_p99_ms = fct.percentile_ms(SizeClass::kMedium, 0.99);
+  result.fct_large_p99_ms = fct.percentile_ms(SizeClass::kLarge, 0.99);
+  result.aggregate_goodput = fct.goodput(options.duration);
+  result.total_energy_j = fct.energy_j();
+  result.joules_per_gigabyte = fct.joules_per_gigabyte();
+  for (const Queue* q : net.queues()) result.fabric_drops += q->drops();
+  result.rigs_created = engine.factory().rigs_created();
+  result.rigs_reused = engine.factory().rigs_reused();
+  result.rigs_rebound = engine.factory().rigs_rebound();
+  if (background != nullptr) result.background_ticks = background->ticks();
+  return result;
+}
+
+}  // namespace mpcc::fleet

@@ -1,0 +1,79 @@
+// run_fleet: the fleet-scale workload scenario runner.
+//
+// Combines the fleet subsystem's pieces into one experiment: a datacenter
+// fabric (FatTree / VL2 / BCube / virtual cloud), a FlowArrivalEngine
+// spawning finite MPTCP flows per the configured arrival process x size
+// distribution x traffic matrix, a recycling FlowFactory underneath, an
+// FctRecorder collecting completion times and energy, and — in hybrid
+// fidelity — a FluidBackgroundDriver imposing fluid background load on the
+// fabric queues. Follows the same two-form contract as the runners in
+// harness/scenarios.h: results are a pure function of the options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/energy_price.h"
+#include "fleet/fluid_background.h"
+#include "fleet/workload.h"
+#include "harness/scenarios.h"
+#include "sim/context.h"
+
+namespace mpcc::fleet {
+
+struct FleetOptions {
+  harness::DcTopo topo = harness::DcTopo::kFatTree;
+  FatTreeConfig fat_tree;
+  Vl2Config vl2;
+  BCubeConfig bcube;
+  VirtualCloudConfig cloud;
+
+  std::string cc = "lia";
+  int subflows = 2;
+  SimTime duration = seconds(2);
+  std::uint64_t seed = 1;
+  SimTime min_rto = 10 * kMillisecond;
+  Bytes recv_buffer = 0;
+  core::EnergyPriceConfig price;
+
+  ArrivalConfig arrivals;
+  SizeConfig sizes;
+  MatrixConfig matrix;
+  std::uint64_t max_flows = 0;  ///< 0 = bounded by duration only
+
+  /// "packet" runs everything packet-level; "hybrid" adds the fluid
+  /// background driver (requires a fabric topology: fattree or vl2).
+  std::string fidelity = "packet";
+  FluidBackgroundConfig background;
+};
+
+struct FleetResult {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  Bytes bytes_delivered = 0;  ///< completed-flow bytes
+
+  double fct_p50_ms = 0;
+  double fct_p99_ms = 0;
+  double fct_p999_ms = 0;
+  /// p99 by size class (small < 100 KB <= medium < 1 MB <= large).
+  double fct_small_p99_ms = 0;
+  double fct_medium_p99_ms = 0;
+  double fct_large_p99_ms = 0;
+
+  Rate aggregate_goodput = 0;
+  double total_energy_j = 0;
+  double joules_per_gigabyte = 0;
+  std::uint64_t fabric_drops = 0;
+
+  // Rig recycling effectiveness.
+  std::uint64_t rigs_created = 0;
+  std::uint64_t rigs_reused = 0;
+  std::uint64_t rigs_rebound = 0;
+
+  std::uint64_t background_ticks = 0;  ///< hybrid mode: fluid driver ticks
+};
+
+FleetResult run_fleet(SimContext& ctx, const FleetOptions& options);
+FleetResult run_fleet(const FleetOptions& options);
+
+}  // namespace mpcc::fleet

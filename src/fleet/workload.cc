@@ -1,0 +1,189 @@
+#include "fleet/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mpcc::fleet {
+
+// ---------------------------------------------------------------- arrivals
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  assert(config_.rate_fps > 0.0);
+  assert(config_.kind != ArrivalConfig::Kind::kOnOff ||
+         (config_.on_s > 0.0 && config_.off_s >= 0.0));
+  assert(config_.kind != ArrivalConfig::Kind::kDiurnal ||
+         (config_.period_s > 0.0 && config_.depth >= 0.0 && config_.depth < 1.0));
+}
+
+double ArrivalProcess::draw(double mean) {
+  // A fresh substream per draw: the value depends only on (seed, draws_),
+  // never on how previous draws advanced an engine.
+  Rng sub = rng_.substream(draws_++);
+  return sub.exponential(mean);
+}
+
+double ArrivalProcess::next_arrival(double now_s) {
+  switch (config_.kind) {
+    case ArrivalConfig::Kind::kPoisson:
+      return now_s + draw(1.0 / config_.rate_fps);
+
+    case ArrivalConfig::Kind::kOnOff: {
+      // Arrivals are Poisson *within ON windows* at a rate boosted so the
+      // long-run mean stays rate_fps; OFF windows pass no traffic. Work in
+      // the "ON-time" coordinate (total ON seconds elapsed), where the
+      // process is plain Poisson, then map back to absolute time.
+      const double cycle = config_.on_s + config_.off_s;
+      const double rate_on = config_.rate_fps * cycle / config_.on_s;
+      // Absolute time -> ON-time coordinate.
+      const double cycles = std::floor(now_s / cycle);
+      const double phase = now_s - cycles * cycle;
+      const double t_on = cycles * config_.on_s + std::min(phase, config_.on_s);
+      const double t_on_next = t_on + draw(1.0 / rate_on);
+      // ON-time coordinate -> absolute time.
+      const double full = std::floor(t_on_next / config_.on_s);
+      const double rem = t_on_next - full * config_.on_s;
+      return full * cycle + rem;
+    }
+
+    case ArrivalConfig::Kind::kDiurnal: {
+      // Thinning (Lewis-Shedler) against the peak rate: candidate gaps at
+      // rate_peak, each accepted with probability rate(t)/rate_peak. Both
+      // the gap and the accept coin for a candidate come from that
+      // candidate's substream, so the accepted sequence is deterministic.
+      const double peak = config_.rate_fps * (1.0 + config_.depth);
+      double t = now_s;
+      for (;;) {
+        Rng sub = rng_.substream(draws_++);
+        t += sub.exponential(1.0 / peak);
+        const double rate_t =
+            config_.rate_fps *
+            (1.0 + config_.depth * std::sin(2.0 * M_PI * t / config_.period_s));
+        if (sub.uniform() * peak <= rate_t) return t;
+      }
+    }
+  }
+  return now_s;  // unreachable
+}
+
+// ------------------------------------------------------------------- sizes
+
+SizeClass classify_size(Bytes size) {
+  if (size < kSmallFlowMax) return SizeClass::kSmall;
+  if (size < kMediumFlowMax) return SizeClass::kMedium;
+  return SizeClass::kLarge;
+}
+
+const char* size_class_name(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall: return "small";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CdfPoint {
+  double cdf;
+  double bytes;
+};
+
+// Heavy-tailed empirical flow-size mixes, after the web-search (DCTCP) and
+// data-mining (VL2) datacenter measurement studies. Coordinates are the
+// published CDF knee points (tails capped at 30 MB / 100 MB so a fleet run
+// terminates); sampling interpolates log-linearly between knees.
+constexpr CdfPoint kWebSearch[] = {
+    {0.00, 6e3},    {0.15, 13e3},   {0.20, 19e3},  {0.30, 33e3},
+    {0.40, 53e3},   {0.53, 133e3},  {0.60, 667e3}, {0.70, 1467e3},
+    {0.80, 2107e3}, {0.90, 2933e3}, {1.00, 30e6},
+};
+
+constexpr CdfPoint kDataMining[] = {
+    {0.00, 100},   {0.50, 1e3},  {0.60, 2e3},   {0.70, 4e3},
+    {0.80, 10e3},  {0.90, 100e3}, {0.95, 1e6},  {0.99, 10e6},
+    {1.00, 100e6},
+};
+
+template <std::size_t N>
+Bytes sample_cdf(const CdfPoint (&table)[N], double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  for (std::size_t i = 1; i < N; ++i) {
+    if (u <= table[i].cdf) {
+      const CdfPoint& lo = table[i - 1];
+      const CdfPoint& hi = table[i];
+      const double f = (u - lo.cdf) / (hi.cdf - lo.cdf);
+      // Log-linear interpolation: flow sizes span five decades, so linear
+      // interpolation would oversample the big end of every knee interval.
+      const double ln = std::log(lo.bytes) + f * (std::log(hi.bytes) - std::log(lo.bytes));
+      return std::max<Bytes>(1, static_cast<Bytes>(std::exp(ln)));
+    }
+  }
+  return static_cast<Bytes>(table[N - 1].bytes);
+}
+
+}  // namespace
+
+Bytes SizeDistribution::sample(Rng& rng) const {
+  switch (config_.kind) {
+    case SizeConfig::Kind::kFixed:
+      return std::max<Bytes>(1, config_.fixed_bytes);
+    case SizeConfig::Kind::kLognormal:
+      return std::max<Bytes>(
+          1, static_cast<Bytes>(std::exp(rng.normal(config_.mu, config_.sigma))));
+    case SizeConfig::Kind::kWebSearch:
+      return sample_cdf(kWebSearch, rng.uniform());
+    case SizeConfig::Kind::kDataMining:
+      return sample_cdf(kDataMining, rng.uniform());
+  }
+  return 1;  // unreachable
+}
+
+// ---------------------------------------------------------------- matrices
+
+TrafficMatrix::TrafficMatrix(MatrixConfig config, std::size_t hosts, Rng setup_rng)
+    : config_(config), hosts_(hosts) {
+  assert(hosts_ >= 2 && "a traffic matrix needs at least two hosts");
+  if (config_.kind == MatrixConfig::Kind::kPermutation) {
+    perm_ = setup_rng.permutation_no_fixed_point(hosts_);
+  }
+}
+
+std::pair<std::size_t, std::size_t> TrafficMatrix::pick(std::uint64_t k,
+                                                        Rng& flow_rng) const {
+  switch (config_.kind) {
+    case MatrixConfig::Kind::kPermutation: {
+      const std::size_t src = static_cast<std::size_t>(k % hosts_);
+      return {src, perm_[src]};
+    }
+    case MatrixConfig::Kind::kIncast: {
+      // Senders rotate through the fan-in set; everyone targets host 0.
+      const std::size_t fanin = std::min<std::size_t>(
+          hosts_ - 1, static_cast<std::size_t>(std::max(1, config_.incast_fanin)));
+      return {1 + static_cast<std::size_t>(k % fanin), 0};
+    }
+    case MatrixConfig::Kind::kAllToAll: {
+      // Round-robin over ordered pairs: k-th flow is pair k of the
+      // hosts*(hosts-1) grid, cycling forever.
+      const std::uint64_t pairs = static_cast<std::uint64_t>(hosts_) * (hosts_ - 1);
+      const std::uint64_t p = k % pairs;
+      const std::size_t src = static_cast<std::size_t>(p / (hosts_ - 1));
+      std::size_t dst = static_cast<std::size_t>(p % (hosts_ - 1));
+      if (dst >= src) ++dst;  // skip the diagonal
+      return {src, dst};
+    }
+    case MatrixConfig::Kind::kUniform: {
+      const std::size_t src = static_cast<std::size_t>(
+          flow_rng.uniform_int(0, static_cast<std::int64_t>(hosts_) - 1));
+      std::size_t dst = static_cast<std::size_t>(
+          flow_rng.uniform_int(0, static_cast<std::int64_t>(hosts_) - 2));
+      if (dst >= src) ++dst;
+      return {src, dst};
+    }
+  }
+  return {0, 1};  // unreachable
+}
+
+}  // namespace mpcc::fleet

@@ -1,0 +1,135 @@
+// Fleet workload primitives: flow arrival processes, flow size
+// distributions, and traffic matrices.
+//
+// These are the composable pieces the FlowArrivalEngine multiplies
+// together: *when* flows arrive (Poisson, on/off bursty, diurnal-modulated
+// Poisson), *how big* they are (fixed, lognormal, and the heavy-tailed
+// web-search / data-mining mixes from the DCTCP and VL2 measurement
+// studies), and *between whom* they run (permutation, incast fan-in,
+// all-to-all, uniform-random).
+//
+// Determinism contract: every random decision is drawn from a substream
+// derived purely from a root seed and a stable stream id (Rng::substream),
+// never from shared engine state. Flow k therefore sees the same arrival
+// gap, size, and endpoints no matter how many sweep workers run
+// concurrently or in what order runs are dispatched — the property the
+// fleet determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace mpcc::fleet {
+
+// ---------------------------------------------------------------- arrivals
+
+struct ArrivalConfig {
+  enum class Kind {
+    kPoisson,  ///< memoryless arrivals at `rate_fps`
+    kOnOff,    ///< Poisson bursts: ON for on_s (at a boosted rate), OFF for off_s
+    kDiurnal,  ///< Poisson with a sinusoidal rate, period_s / depth modulation
+  };
+  Kind kind = Kind::kPoisson;
+  /// Long-run mean arrival rate, flows per second (all kinds preserve it:
+  /// on/off boosts the ON-phase rate, diurnal oscillates around it).
+  double rate_fps = 1000.0;
+  /// On/off burst phase durations, seconds.
+  double on_s = 0.1;
+  double off_s = 0.4;
+  /// Diurnal modulation: rate(t) = rate_fps * (1 + depth * sin(2*pi*t/period)).
+  double period_s = 1.0;
+  double depth = 0.5;  ///< in [0, 1)
+};
+
+/// Generates a deterministic arrival point process. Each call to
+/// next_arrival consumes exactly one substream of the process Rng (indexed
+/// by an internal draw counter), so the sequence of arrival times is a pure
+/// function of (config, rng seed).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, Rng rng);
+
+  /// Absolute time of the next arrival at-or-after `now_s` given the last
+  /// arrival happened at `now_s` (seconds). Strictly increasing.
+  double next_arrival(double now_s);
+
+ private:
+  double draw(double mean);  ///< one exponential gap from the next substream
+
+  ArrivalConfig config_;
+  Rng rng_;
+  std::uint64_t draws_ = 0;
+};
+
+// ------------------------------------------------------------------- sizes
+
+/// Coarse flow-size classes for FCT reporting: the buckets the datacenter
+/// FCT literature slices percentiles by.
+enum class SizeClass { kSmall, kMedium, kLarge };
+inline constexpr Bytes kSmallFlowMax = 100 * 1000;    ///< < 100 KB -> small
+inline constexpr Bytes kMediumFlowMax = 1000 * 1000;  ///< < 1 MB -> medium
+SizeClass classify_size(Bytes size);
+const char* size_class_name(SizeClass c);
+
+struct SizeConfig {
+  enum class Kind {
+    kFixed,       ///< every flow is fixed_bytes
+    kLognormal,   ///< ln(bytes) ~ Normal(mu, sigma)
+    kWebSearch,   ///< heavy-tailed web-search mix (DCTCP-style empirical CDF)
+    kDataMining,  ///< very heavy-tailed data-mining mix (VL2-style CDF)
+  };
+  Kind kind = Kind::kFixed;
+  Bytes fixed_bytes = 100 * 1000;
+  double mu = 10.0;    ///< lognormal: mean of ln(bytes)
+  double sigma = 1.0;  ///< lognormal: stddev of ln(bytes)
+};
+
+/// Samples flow sizes. Stateless between calls: the caller hands each flow
+/// its own substream Rng, so sizes are per-flow deterministic.
+class SizeDistribution {
+ public:
+  explicit SizeDistribution(SizeConfig config) : config_(config) {}
+
+  /// One flow size in bytes (>= 1), drawn from `rng`.
+  Bytes sample(Rng& rng) const;
+
+ private:
+  SizeConfig config_;
+};
+
+// ---------------------------------------------------------------- matrices
+
+struct MatrixConfig {
+  enum class Kind {
+    kPermutation,  ///< fixed-point-free permutation, one partner per host
+    kIncast,       ///< fan-in: `incast_fanin` senders target host 0
+    kAllToAll,     ///< round-robin over all ordered pairs
+    kUniform,      ///< src and dst drawn uniformly at random per flow
+  };
+  Kind kind = Kind::kPermutation;
+  int incast_fanin = 16;
+};
+
+/// Maps the k-th flow to a (src, dst) host pair. The permutation itself is
+/// drawn once at construction from the setup Rng; per-flow randomness
+/// (uniform matrix) comes from the flow's own substream.
+class TrafficMatrix {
+ public:
+  TrafficMatrix(MatrixConfig config, std::size_t hosts, Rng setup_rng);
+
+  /// Endpoints for flow number `k`; `flow_rng` is flow k's substream.
+  std::pair<std::size_t, std::size_t> pick(std::uint64_t k, Rng& flow_rng) const;
+
+  std::size_t hosts() const { return hosts_; }
+
+ private:
+  MatrixConfig config_;
+  std::size_t hosts_;
+  std::vector<std::size_t> perm_;  // permutation matrix only
+};
+
+}  // namespace mpcc::fleet

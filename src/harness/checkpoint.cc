@@ -210,6 +210,9 @@ bool parse_entry_line(const std::string& line, std::size_t line_no,
         entry.perf.packets_dropped = u64("packets_dropped");
         entry.perf.allocs = u64("allocs");
         entry.perf.alloc_bytes = u64("alloc_bytes");
+        entry.perf.pool_hits = u64("pool_hits");
+        entry.perf.pool_misses = u64("pool_misses");
+        entry.perf.pool_outstanding = u64("pool_outstanding");
         entry.perf.wall_s = f64("wall_s");
         entry.perf.cpu_s = f64("cpu_s");
         entry.perf.peak_rss = u64("peak_rss");
@@ -273,6 +276,9 @@ void CheckpointWriter::append(const CheckpointEntry& entry) {
        << ",\"packets_forwarded\":" << pf.packets_forwarded
        << ",\"packets_dropped\":" << pf.packets_dropped
        << ",\"allocs\":" << pf.allocs << ",\"alloc_bytes\":" << pf.alloc_bytes
+       << ",\"pool_hits\":" << pf.pool_hits
+       << ",\"pool_misses\":" << pf.pool_misses
+       << ",\"pool_outstanding\":" << pf.pool_outstanding
        << ",\"wall_s\":" << json_double(pf.wall_s)
        << ",\"cpu_s\":" << json_double(pf.cpu_s)
        << ",\"peak_rss\":" << pf.peak_rss << "}}\n";

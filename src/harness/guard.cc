@@ -62,6 +62,12 @@ RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
   RunReport report;
   const auto t0 = std::chrono::steady_clock::now();
   const obs::PerfStatsCollector collector(ctx.perf());
+  // The pool ledger lives on the run's arena, not the TLS perf counters;
+  // snapshot it around the body so reports carry per-run deltas even when
+  // a context is reused across guarded runs.
+  const std::uint64_t pool_allocs0 = ctx.pool().allocs();
+  const std::uint64_t pool_hits0 = ctx.pool().reused();
+  const std::uint64_t pool_out0 = ctx.pool().outstanding();
   {
     WatchdogScope watchdog(ctx.events(), options);
     try {
@@ -94,6 +100,11 @@ RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
           .count();
   report.perf = collector.finish();
+  const std::uint64_t pool_allocs = ctx.pool().allocs() - pool_allocs0;
+  report.perf.pool_hits = ctx.pool().reused() - pool_hits0;
+  report.perf.pool_misses = pool_allocs - report.perf.pool_hits;
+  const std::uint64_t pool_out = ctx.pool().outstanding();
+  report.perf.pool_outstanding = pool_out > pool_out0 ? pool_out - pool_out0 : 0;
   return report;
 }
 

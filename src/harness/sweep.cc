@@ -604,6 +604,15 @@ std::string SweepReport::summary() const {
                 double(perf.allocs), perf.allocs_per_event(), perf.cpu_s,
                 double(perf.peak_rss) / (1024.0 * 1024.0));
   os << buf;
+  const std::uint64_t pool_total = perf.pool_hits + perf.pool_misses;
+  if (pool_total > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  pool       %.3g allocs (%.1f%% hit), %.3g outstanding\n",
+                  double(pool_total),
+                  100.0 * double(perf.pool_hits) / double(pool_total),
+                  double(perf.pool_outstanding));
+    os << buf;
+  }
   return os.str();
 }
 

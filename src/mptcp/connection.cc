@@ -56,9 +56,64 @@ Subflow& MptcpConnection::add_subflow(const PathSpec& path) {
   Subflow& ref = *sf;
   subflow_ptrs_.push_back(sf.get());
   sinks_.push_back(sink);
+  forward_routes_.push_back(forward);
+  reverse_routes_.push_back(reverse);
   subflows_.push_back(std::move(sf));
   cc_->on_subflow_added(*this, ref);
   return ref;
+}
+
+void MptcpConnection::begin_flow(Bytes flow_size) {
+  assert(started_ && "begin_flow re-arms a started connection");
+  assert(completed_ && "begin_flow requires the previous flow to be complete");
+  assert(flow_size > 0);
+  // At completion allocated_ == delivered(): allocation stops exactly at
+  // flow_size and every allocated chunk has been delivered. The new flow's
+  // cumulative target therefore extends the data-sequence space cleanly.
+  flow_base_ = recv_buffer_.delivered();
+  config_.flow_size = allocated_ + flow_size;
+  completed_ = false;
+  start_time_ = net_.now();
+  completion_time_ = 0;
+  last_in_order_ = recv_buffer_.in_order_point();
+  stall_since_ = net_.now();
+  // Restart all congestion state before waking any sender: a coupled CC
+  // reading sibling cwnds mid-wake must not mix old and new epochs.
+  for (auto& sf : subflows_) sf->restart_flow_state(/*reset_rtt=*/false);
+  for (auto& sf : subflows_) sf->notify_data_available();
+  if (reinject_timer_ != nullptr) reinject_timer_->start();
+}
+
+void MptcpConnection::rebind_paths(const std::vector<PathSpec>& paths) {
+  assert(paths.size() == subflows_.size() && "one PathSpec per subflow");
+  assert(drained() && "rebind_paths requires a quiescent rig");
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    Subflow& sf = *subflows_[i];
+    const PathSpec& path = paths[i];
+    sf.set_inter_switch_hops(path.inter_switch_hops);
+    sf.set_path_energy_cost(path.energy_cost);
+    sf.set_path_queues(path.queues);
+
+    Route* reverse = reverse_routes_[i];
+    reverse->clear();
+    for (PacketHandler* hop : path.reverse) reverse->push_back(hop);
+    reverse->push_back(&sf);
+
+    Route* forward = forward_routes_[i];
+    forward->clear();
+    for (PacketHandler* hop : path.forward) forward->push_back(hop);
+    forward->push_back(sinks_[i]);
+
+    // The new path has a different RTT; forget the old estimate.
+    sf.restart_flow_state(/*reset_rtt=*/true);
+  }
+}
+
+bool MptcpConnection::drained() const {
+  for (const auto& sf : subflows_) {
+    if (sf->inflight() > 0) return false;
+  }
+  return true;
 }
 
 void MptcpConnection::start(SimTime at) {

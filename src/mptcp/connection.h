@@ -78,6 +78,24 @@ class MptcpConnection final : public DataConsumer {
   /// Starts every subflow at absolute time `at`.
   void start(SimTime at);
 
+  /// Re-arms a completed connection for a fresh `flow_size`-byte transfer
+  /// over the existing subflow rig (fleet flow recycling). The data-sequence
+  /// space continues monotonically from the previous flow, so stragglers
+  /// from it stay ordinary duplicates to the reassembly and Reno machinery;
+  /// subflow congestion state restarts at the initial window. The new flow
+  /// begins transmitting immediately (call from the arrival event).
+  void begin_flow(Bytes flow_size);
+
+  /// Points the established subflows at a new set of paths, one PathSpec
+  /// per subflow, rewriting the existing endpoint routes in place. Only
+  /// legal on a drained() connection that has additionally been idle long
+  /// enough for the fabric to hold no packets referencing the old routes —
+  /// the fleet FlowFactory's rebind cooldown enforces that.
+  void rebind_paths(const std::vector<PathSpec>& paths);
+
+  /// True when no subflow has unacked bytes in flight (quiescent rig).
+  bool drained() const;
+
   // --- data allocation (called by subflow providers) ---
   bool allocate_chunk(Subflow& sf, Bytes mss, Bytes& len, std::int64_t& data_seq);
 
@@ -97,6 +115,8 @@ class MptcpConnection final : public DataConsumer {
   TcpSink& sink(std::size_t i) { return *sinks_[i]; }
 
   Bytes bytes_delivered() const { return recv_buffer_.delivered(); }
+  /// Bytes delivered for the current flow (since the last begin_flow).
+  Bytes flow_bytes_delivered() const { return recv_buffer_.delivered() - flow_base_; }
   const ReceiveBuffer& receive_buffer() const { return recv_buffer_; }
   std::int64_t bytes_allocated() const { return allocated_; }
 
@@ -128,9 +148,14 @@ class MptcpConnection final : public DataConsumer {
   std::vector<std::unique_ptr<Subflow>> subflows_;
   std::vector<Subflow*> subflow_ptrs_;
   std::vector<TcpSink*> sinks_;  // owned by net_
+  // Endpoint routes per subflow (owned by net_), kept so rebind_paths can
+  // rewrite them in place when a recycled rig moves to a new host pair.
+  std::vector<Route*> forward_routes_;
+  std::vector<Route*> reverse_routes_;
 
   ReceiveBuffer recv_buffer_;
   std::int64_t allocated_ = 0;
+  std::int64_t flow_base_ = 0;  // delivered() at the last begin_flow
 
   // Reinjection state (only maintained when enabled). The outstanding-chunk
   // map sees one insert per allocated chunk, so its nodes recycle through

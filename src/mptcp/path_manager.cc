@@ -23,12 +23,22 @@ void PathManager::random_k(MptcpConnection& conn, const std::vector<PathSpec>& p
 void PathManager::random_k_with_reuse(MptcpConnection& conn,
                                       const std::vector<PathSpec>& paths, int k,
                                       Rng& rng) {
+  for (const PathSpec& path : sample_k_with_reuse(paths, k, rng)) {
+    conn.add_subflow(path);
+  }
+}
+
+std::vector<PathSpec> PathManager::sample_k_with_reuse(
+    const std::vector<PathSpec>& paths, int k, Rng& rng) {
   std::vector<std::size_t> order(paths.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   rng.shuffle(order);
+  std::vector<PathSpec> picked;
+  picked.reserve(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
-    conn.add_subflow(paths[order[static_cast<std::size_t>(i) % order.size()]]);
+    picked.push_back(paths[order[static_cast<std::size_t>(i) % order.size()]]);
   }
+  return picked;
 }
 
 }  // namespace mpcc

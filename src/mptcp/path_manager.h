@@ -30,6 +30,12 @@ class PathManager {
   /// kernel's num_subflows semantics used by the datacenter sweeps.
   static void random_k_with_reuse(MptcpConnection& conn,
                                   const std::vector<PathSpec>& paths, int k, Rng& rng);
+
+  /// The path selection behind random_k_with_reuse, exposed as a value so
+  /// callers can route it to either add_subflow (fresh connection) or
+  /// MptcpConnection::rebind_paths (fleet rig recycling).
+  static std::vector<PathSpec> sample_k_with_reuse(const std::vector<PathSpec>& paths,
+                                                   int k, Rng& rng);
 };
 
 }  // namespace mpcc

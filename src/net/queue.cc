@@ -60,6 +60,16 @@ void Queue::receive(Packet pkt) {
     ++down_drops_;
     return;
   }
+  if (bg_drop_every_ > 0 && ++bg_drop_counter_ >= bg_drop_every_) {
+    // Fluid background pressure: the buffer space this packet would have
+    // used is (statistically) occupied by background traffic.
+    bg_drop_counter_ = 0;
+    ++drops_;
+    MPCC_TRACE(obs::TraceCategory::kQueue, obs::TraceEvent::kDrop, trace_src_,
+               events_.now(), static_cast<double>(queued_bytes_), 0,
+               static_cast<std::int64_t>(pkt.flow_id), pkt.seq);
+    return;
+  }
   const bool over_bytes = queued_bytes_ + pkt.wire_size() > capacity_bytes_;
   const bool over_packets =
       capacity_packets_ != 0 && queued_packets() + 1 > capacity_packets_;

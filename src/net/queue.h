@@ -49,6 +49,15 @@ class Queue : public PacketHandler, public EventSource, public PerfFlushable {
   void set_down(bool down);
   bool down() const { return down_; }
 
+  /// Background loss pressure for hybrid fluid/packet fidelity
+  /// (fleet/fluid_background.h): when `every_n` > 0, every n-th arriving
+  /// packet is dropped at the door, modelling buffer occupancy by fluid
+  /// background traffic this queue never sees packet-by-packet. Counter-
+  /// based rather than probabilistic, so runs stay bit-identical. 0 (the
+  /// default) disables the pressure.
+  void set_background_drop_every(std::uint32_t every_n) { bg_drop_every_ = every_n; }
+  std::uint32_t background_drop_every() const { return bg_drop_every_; }
+
   std::uint64_t drops() const { return drops_; }
   std::uint64_t forwarded() const { return forwarded_; }
   Bytes bytes_forwarded() const { return bytes_forwarded_; }
@@ -105,6 +114,9 @@ class Queue : public PacketHandler, public EventSource, public PerfFlushable {
   bool busy_ = false;
   bool down_ = false;
   Packet in_service_;
+
+  std::uint32_t bg_drop_every_ = 0;    // 0 = no background loss pressure
+  std::uint32_t bg_drop_counter_ = 0;  // arrivals since the last forced drop
 
   std::uint64_t down_drops_ = 0;
   std::uint64_t drops_ = 0;

@@ -3,7 +3,11 @@
 // A Route is an ordered list of PacketHandlers (queues, pipes, and finally
 // an endpoint). Senders stamp the route on the packet; each hop calls
 // Route::forward to move the packet along. Routes are owned by the Network
-// and immutable once built, so raw non-owning pointers on packets are safe.
+// and stable while any packet references them, so raw non-owning pointers
+// on packets are safe. The one sanctioned mutation after wiring is
+// MptcpConnection::rebind_paths, which rewrites a drained rig's routes in
+// place (fleet flow recycling) — legal precisely because a drained and
+// cooled-down rig has no packets in flight holding the route pointer.
 #pragma once
 
 #include <vector>
@@ -26,6 +30,10 @@ class Route {
   explicit Route(std::vector<PacketHandler*> hops) : hops_(std::move(hops)) {}
 
   void push_back(PacketHandler* hop) { hops_.push_back(hop); }
+
+  /// Drops all hops so the route can be rebuilt for a new path (capacity is
+  /// retained). Only legal when no packet in flight references this route.
+  void clear() { hops_.clear(); }
 
   /// Appends all hops of `tail` (used to splice access + core segments).
   void append(const Route& tail) {

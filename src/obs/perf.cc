@@ -261,6 +261,7 @@ void PerfCounters::reset() {
   dispatch_ns.reset();
   queue_depth_pkts.reset();
   rtt_us.reset();
+  fct_us.reset();
 }
 
 namespace {
@@ -282,7 +283,8 @@ void PerfCounters::flush_to_metrics(MetricsRegistry& registry) const {
   const bool any = events_dispatched != 0 || timers_fired != 0 ||
                    packets_enqueued != 0 || packets_forwarded != 0 ||
                    packets_dropped != 0 || dispatch_ns.count() != 0 ||
-                   queue_depth_pkts.count() != 0 || rtt_us.count() != 0;
+                   queue_depth_pkts.count() != 0 || rtt_us.count() != 0 ||
+                   fct_us.count() != 0;
   if (!any) return;
   registry.counter("perf.events_dispatched").inc(events_dispatched);
   registry.counter("perf.timers_fired").inc(timers_fired);
@@ -292,6 +294,7 @@ void PerfCounters::flush_to_metrics(MetricsRegistry& registry) const {
   flush_hdr(registry, "perf.dispatch_ns", dispatch_ns);
   flush_hdr(registry, "perf.queue_depth_pkts", queue_depth_pkts);
   flush_hdr(registry, "perf.rtt_us", rtt_us);
+  flush_hdr(registry, "perf.fct_us", fct_us);
 }
 
 // -------------------------------------------------------------- PerfStats
@@ -304,6 +307,9 @@ void PerfStats::accumulate(const PerfStats& other) {
   packets_dropped += other.packets_dropped;
   allocs += other.allocs;
   alloc_bytes += other.alloc_bytes;
+  pool_hits += other.pool_hits;
+  pool_misses += other.pool_misses;
+  pool_outstanding += other.pool_outstanding;
   wall_s += other.wall_s;
   cpu_s += other.cpu_s;
   if (other.peak_rss > peak_rss) peak_rss = other.peak_rss;
@@ -316,6 +322,8 @@ std::string PerfStats::to_json() const {
       "{\"events_dispatched\": %llu, \"timers_fired\": %llu, "
       "\"packets_enqueued\": %llu, \"packets_forwarded\": %llu, "
       "\"packets_dropped\": %llu, \"allocs\": %llu, \"alloc_bytes\": %llu, "
+      "\"pool_hits\": %llu, \"pool_misses\": %llu, "
+      "\"pool_outstanding\": %llu, "
       "\"wall_s\": %.6f, \"cpu_s\": %.6f, \"peak_rss\": %llu, "
       "\"events_per_sec\": %.1f, \"packets_per_sec\": %.1f, "
       "\"allocs_per_event\": %.4f}",
@@ -325,7 +333,10 @@ std::string PerfStats::to_json() const {
       static_cast<unsigned long long>(packets_forwarded),
       static_cast<unsigned long long>(packets_dropped),
       static_cast<unsigned long long>(allocs),
-      static_cast<unsigned long long>(alloc_bytes), wall_s, cpu_s,
+      static_cast<unsigned long long>(alloc_bytes),
+      static_cast<unsigned long long>(pool_hits),
+      static_cast<unsigned long long>(pool_misses),
+      static_cast<unsigned long long>(pool_outstanding), wall_s, cpu_s,
       static_cast<unsigned long long>(peak_rss), events_per_sec(),
       packets_per_sec(), allocs_per_event());
   return buf;

@@ -157,6 +157,7 @@ struct PerfCounters {
   HdrHistogram dispatch_ns;       ///< sampled per-event dispatch wall ns
   HdrHistogram queue_depth_pkts;  ///< post-enqueue depth, sampled 1-in-8
   HdrHistogram rtt_us;            ///< per-ACK RTT samples, microseconds
+  HdrHistogram fct_us;            ///< fleet flow completion times, microseconds
 
   void reset();
 
@@ -241,6 +242,13 @@ struct PerfStats {
   // Host-dependent:
   std::uint64_t allocs = 0;        ///< operator new calls during the run
   std::uint64_t alloc_bytes = 0;   ///< bytes requested from operator new
+  // PoolArena ledger (sim/pool.h), stamped by the RunGuard from the run's
+  // arena: hits are free-list reuses, misses fresh carves, outstanding the
+  // pooled nodes still live at run end. Sim-deterministic like the event
+  // counters (the pool only sees simulation-driven traffic).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_outstanding = 0;
   double wall_s = 0;               ///< wall-clock spent in the run body
   double cpu_s = 0;                ///< thread CPU time spent in the run body
   std::uint64_t peak_rss = 0;      ///< process peak RSS at run end, bytes

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/runner.h"
 #include "harness/scenarios.h"
 #include "sim/invariants.h"
 
@@ -113,6 +114,29 @@ ResultRow dumbbell_point(SimContext& ctx, const ParamMap& p) {
   return row;
 }
 
+// Shared by datacenter_point and fleet_point: topology sizing knobs use the
+// same parameter spellings in both families.
+template <typename Options>
+void apply_dc_topo_params(const ParamMap& p, Options& o) {
+  o.fat_tree.k = static_cast<int>(param_int(p, "fattree_k", o.fat_tree.k));
+  o.bcube.n = static_cast<int>(param_int(p, "bcube_n", o.bcube.n));
+  o.bcube.k = static_cast<int>(param_int(p, "bcube_k", o.bcube.k));
+  o.cloud.num_hosts = static_cast<std::size_t>(param_int(
+      p, "cloud_hosts", static_cast<std::int64_t>(o.cloud.num_hosts)));
+  o.vl2.num_tor = static_cast<std::size_t>(
+      param_int(p, "vl2_tor", static_cast<std::int64_t>(o.vl2.num_tor)));
+  o.vl2.hosts_per_tor = static_cast<std::size_t>(param_int(
+      p, "vl2_hosts_per_tor", static_cast<std::int64_t>(o.vl2.hosts_per_tor)));
+  o.vl2.num_agg = static_cast<std::size_t>(
+      param_int(p, "vl2_agg", static_cast<std::int64_t>(o.vl2.num_agg)));
+  o.vl2.num_int = static_cast<std::size_t>(
+      param_int(p, "vl2_int", static_cast<std::int64_t>(o.vl2.num_int)));
+  o.vl2.host_rate =
+      mbps(param_double(p, "vl2_host_rate_mbps", to_mbps(o.vl2.host_rate)));
+  o.vl2.switch_rate =
+      mbps(param_double(p, "vl2_switch_rate_mbps", to_mbps(o.vl2.switch_rate)));
+}
+
 ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
   DatacenterOptions o;
   const std::string topo = param_string(p, "topo", "fattree");
@@ -136,23 +160,7 @@ ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
   o.max_flows = static_cast<std::size_t>(
       param_int(p, "max_flows", static_cast<std::int64_t>(o.max_flows)));
   o.min_rto = ms(param_double(p, "min_rto_ms", to_ms(o.min_rto)));
-  o.fat_tree.k = static_cast<int>(param_int(p, "fattree_k", o.fat_tree.k));
-  o.bcube.n = static_cast<int>(param_int(p, "bcube_n", o.bcube.n));
-  o.bcube.k = static_cast<int>(param_int(p, "bcube_k", o.bcube.k));
-  o.cloud.num_hosts = static_cast<std::size_t>(param_int(
-      p, "cloud_hosts", static_cast<std::int64_t>(o.cloud.num_hosts)));
-  o.vl2.num_tor = static_cast<std::size_t>(
-      param_int(p, "vl2_tor", static_cast<std::int64_t>(o.vl2.num_tor)));
-  o.vl2.hosts_per_tor = static_cast<std::size_t>(param_int(
-      p, "vl2_hosts_per_tor", static_cast<std::int64_t>(o.vl2.hosts_per_tor)));
-  o.vl2.num_agg = static_cast<std::size_t>(
-      param_int(p, "vl2_agg", static_cast<std::int64_t>(o.vl2.num_agg)));
-  o.vl2.num_int = static_cast<std::size_t>(
-      param_int(p, "vl2_int", static_cast<std::int64_t>(o.vl2.num_int)));
-  o.vl2.host_rate =
-      mbps(param_double(p, "vl2_host_rate_mbps", to_mbps(o.vl2.host_rate)));
-  o.vl2.switch_rate =
-      mbps(param_double(p, "vl2_switch_rate_mbps", to_mbps(o.vl2.switch_rate)));
+  apply_dc_topo_params(p, o);
   apply_price_params(p, o.price);
 
   const DatacenterResult r = run_datacenter(ctx, o);
@@ -163,6 +171,113 @@ ResultRow datacenter_point(SimContext& ctx, const ParamMap& p) {
   row["goodput_mbps"] = to_mbps(r.aggregate_goodput);
   row["flows"] = double(r.flows);
   row["fabric_drops"] = double(r.fabric_drops);
+  return row;
+}
+
+ResultRow fleet_point(SimContext& ctx, const ParamMap& p) {
+  fleet::FleetOptions o;
+  const std::string topo = param_string(p, "topo", "fattree");
+  if (topo == "fattree") {
+    o.topo = DcTopo::kFatTree;
+  } else if (topo == "vl2") {
+    o.topo = DcTopo::kVl2;
+  } else if (topo == "bcube") {
+    o.topo = DcTopo::kBCube;
+  } else if (topo == "cloud") {
+    o.topo = DcTopo::kVirtualCloud;
+  } else {
+    throw std::invalid_argument("unknown fleet topo \"" + topo +
+                                "\" (fattree|vl2|bcube|cloud)");
+  }
+  apply_dc_topo_params(p, o);
+  o.cc = param_string(p, "cc", o.cc);
+  o.subflows = static_cast<int>(param_int(p, "subflows", o.subflows));
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.min_rto = ms(param_double(p, "min_rto_ms", to_ms(o.min_rto)));
+  o.recv_buffer = static_cast<Bytes>(
+      param_int(p, "recv_buffer", static_cast<std::int64_t>(o.recv_buffer)));
+
+  const std::string process = param_string(p, "process", "poisson");
+  if (process == "poisson") {
+    o.arrivals.kind = fleet::ArrivalConfig::Kind::kPoisson;
+  } else if (process == "onoff") {
+    o.arrivals.kind = fleet::ArrivalConfig::Kind::kOnOff;
+  } else if (process == "diurnal") {
+    o.arrivals.kind = fleet::ArrivalConfig::Kind::kDiurnal;
+  } else {
+    throw std::invalid_argument("unknown fleet arrival process \"" + process +
+                                "\" (poisson|onoff|diurnal)");
+  }
+  o.arrivals.rate_fps = param_double(p, "rate_fps", o.arrivals.rate_fps);
+  o.arrivals.on_s = param_double(p, "on_s", o.arrivals.on_s);
+  o.arrivals.off_s = param_double(p, "off_s", o.arrivals.off_s);
+  o.arrivals.period_s = param_double(p, "diurnal_period_s", o.arrivals.period_s);
+  o.arrivals.depth = param_double(p, "diurnal_depth", o.arrivals.depth);
+
+  const std::string size_dist = param_string(p, "size_dist", "fixed");
+  if (size_dist == "fixed") {
+    o.sizes.kind = fleet::SizeConfig::Kind::kFixed;
+  } else if (size_dist == "lognormal") {
+    o.sizes.kind = fleet::SizeConfig::Kind::kLognormal;
+  } else if (size_dist == "websearch") {
+    o.sizes.kind = fleet::SizeConfig::Kind::kWebSearch;
+  } else if (size_dist == "datamining") {
+    o.sizes.kind = fleet::SizeConfig::Kind::kDataMining;
+  } else {
+    throw std::invalid_argument("unknown fleet size distribution \"" +
+                                size_dist +
+                                "\" (fixed|lognormal|websearch|datamining)");
+  }
+  o.sizes.fixed_bytes = static_cast<Bytes>(
+      param_int(p, "size_b", static_cast<std::int64_t>(o.sizes.fixed_bytes)));
+  o.sizes.mu = param_double(p, "size_mu", o.sizes.mu);
+  o.sizes.sigma = param_double(p, "size_sigma", o.sizes.sigma);
+
+  const std::string pattern = param_string(p, "pattern", "permutation");
+  if (pattern == "permutation") {
+    o.matrix.kind = fleet::MatrixConfig::Kind::kPermutation;
+  } else if (pattern == "incast") {
+    o.matrix.kind = fleet::MatrixConfig::Kind::kIncast;
+  } else if (pattern == "all_to_all") {
+    o.matrix.kind = fleet::MatrixConfig::Kind::kAllToAll;
+  } else if (pattern == "uniform") {
+    o.matrix.kind = fleet::MatrixConfig::Kind::kUniform;
+  } else {
+    throw std::invalid_argument("unknown fleet traffic pattern \"" + pattern +
+                                "\" (permutation|incast|all_to_all|uniform)");
+  }
+  o.matrix.incast_fanin =
+      static_cast<int>(param_int(p, "incast_fanin", o.matrix.incast_fanin));
+  o.max_flows = static_cast<std::uint64_t>(
+      param_int(p, "max_flows", static_cast<std::int64_t>(o.max_flows)));
+
+  // Fidelity: run_fleet itself validates the mode string and the
+  // mode/topology combination (hybrid needs a fabric).
+  o.fidelity = param_string(p, "fidelity", o.fidelity);
+  o.background.share = param_double(p, "bg_share", o.background.share);
+  o.background.cadence =
+      ms(param_double(p, "bg_cadence_ms", to_ms(o.background.cadence)));
+  o.background.rtt_s =
+      param_double(p, "bg_rtt_ms", o.background.rtt_s * 1e3) / 1e3;
+  o.background.users_per_link = static_cast<int>(
+      param_int(p, "bg_users_per_link", o.background.users_per_link));
+  o.background.loss_to_drop_scale =
+      param_double(p, "bg_loss_scale", o.background.loss_to_drop_scale);
+  apply_price_params(p, o.price);
+
+  const fleet::FleetResult r = fleet::run_fleet(ctx, o);
+  ResultRow row;
+  row["completed"] = double(r.flows_completed);
+  row["fabric_drops"] = double(r.fabric_drops);
+  row["fct_p50_ms"] = r.fct_p50_ms;
+  row["fct_p99_ms"] = r.fct_p99_ms;
+  row["fct_p999_ms"] = r.fct_p999_ms;
+  row["flows"] = double(r.flows_started);
+  row["goodput_mbps"] = to_mbps(r.aggregate_goodput);
+  row["joules_per_gb"] = r.joules_per_gigabyte;
+  row["rigs"] = double(r.rigs_created);
+  row["total_energy_j"] = r.total_energy_j;
   return row;
 }
 
@@ -471,6 +586,105 @@ std::vector<FamilySpec> build_families() {
   }
   {
     FamilySpec f;
+    f.name = "fleet";
+    f.help = "fleet-scale workload: arrival process x size mix x traffic matrix";
+    f.params = {
+        {"topo", "fattree", "fabric: fattree|vl2|bcube|cloud"},
+        {"cc", "lia", "multipath CC algorithm"},
+        {"subflows", "2", "subflows per MPTCP connection"},
+        {"duration_s", "2", "simulated seconds"},
+        {"min_rto_ms", "10", "datacenter-tuned minimum RTO"},
+        {"recv_buffer", "0", "receive buffer, bytes (0 = unlimited)"},
+        {"fattree_k", "8", "FatTree arity (even)"},
+        {"bcube_n", "5", "BCube switch port count"},
+        {"bcube_k", "2", "BCube levels minus one"},
+        {"cloud_hosts", "40", "virtual-cloud host count"},
+        {"vl2_tor", "32", "VL2 top-of-rack switch count"},
+        {"vl2_hosts_per_tor", "4", "VL2 hosts per ToR"},
+        {"vl2_agg", "32", "VL2 aggregation switch count"},
+        {"vl2_int", "16", "VL2 intermediate switch count"},
+        {"vl2_host_rate_mbps", "100", "VL2 host link rate"},
+        {"vl2_switch_rate_mbps", "1000", "VL2 switch link rate"},
+        {"process", "poisson", "flow arrivals: poisson|onoff|diurnal"},
+        {"rate_fps", "1000", "mean flow arrival rate, flows/s"},
+        {"on_s", "0.1", "on/off: ON-phase duration, seconds"},
+        {"off_s", "0.4", "on/off: OFF-phase duration, seconds"},
+        {"diurnal_period_s", "1", "diurnal: modulation period, seconds"},
+        {"diurnal_depth", "0.5", "diurnal: modulation depth in [0,1)"},
+        {"size_dist", "fixed",
+         "flow sizes: fixed|lognormal|websearch|datamining"},
+        {"size_b", "100000", "fixed: flow size, bytes"},
+        {"size_mu", "10", "lognormal: mean of ln(bytes)"},
+        {"size_sigma", "1", "lognormal: stddev of ln(bytes)"},
+        {"max_flows", "0", "stop spawning after N flows (0 = duration-bound)"},
+        {"pattern", "permutation",
+         "traffic matrix: permutation|incast|all_to_all|uniform"},
+        {"incast_fanin", "16", "incast: sender fan-in targeting host 0"},
+        {"fidelity", "packet",
+         "packet | hybrid (fluid background load on the fabric)"},
+        {"bg_share", "0.5", "hybrid: link-capacity share of the background"},
+        {"bg_cadence_ms", "50", "hybrid: fluid integration cadence"},
+        {"bg_rtt_ms", "20", "hybrid: background-user propagation RTT"},
+        {"bg_users_per_link", "1", "hybrid: fluid users per fabric link"},
+        {"bg_loss_scale", "1", "hybrid: fluid loss price -> drop-period scale"},
+    };
+    append_price_params(f.params);
+    f.run = fleet_point;
+    f.topo_keys = {
+        {"fabric", "topo", UnitKind::kString},
+        {"fattree.k", "fattree_k", UnitKind::kNumber},
+        {"bcube.n", "bcube_n", UnitKind::kNumber},
+        {"bcube.k", "bcube_k", UnitKind::kNumber},
+        {"cloud.hosts", "cloud_hosts", UnitKind::kNumber},
+        {"vl2.tor", "vl2_tor", UnitKind::kNumber},
+        {"vl2.hosts_per_tor", "vl2_hosts_per_tor", UnitKind::kNumber},
+        {"vl2.agg", "vl2_agg", UnitKind::kNumber},
+        {"vl2.int", "vl2_int", UnitKind::kNumber},
+        {"vl2.host_rate", "vl2_host_rate_mbps", UnitKind::kRate},
+        {"vl2.switch_rate", "vl2_switch_rate_mbps", UnitKind::kRate},
+    };
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"subflows", "subflows", UnitKind::kNumber},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"min_rto", "min_rto_ms", UnitKind::kTimeMs},
+        {"recv_buffer", "recv_buffer", UnitKind::kSizeB},
+        {"max_flows", "max_flows", UnitKind::kNumber},
+    };
+    append_price_keys(f.flow_keys);
+    f.arrivals_keys = {
+        {"process", "process", UnitKind::kString},
+        {"rate", "rate_fps", UnitKind::kNumber},
+        {"on", "on_s", UnitKind::kTimeS},
+        {"off", "off_s", UnitKind::kTimeS},
+        {"diurnal.period", "diurnal_period_s", UnitKind::kTimeS},
+        {"diurnal.depth", "diurnal_depth", UnitKind::kNumber},
+        {"size.dist", "size_dist", UnitKind::kString},
+        {"size", "size_b", UnitKind::kSizeB},
+        {"size.mu", "size_mu", UnitKind::kNumber},
+        {"size.sigma", "size_sigma", UnitKind::kNumber},
+    };
+    f.matrix_keys = {
+        {"pattern", "pattern", UnitKind::kString},
+        {"incast.fanin", "incast_fanin", UnitKind::kNumber},
+    };
+    f.fidelity_keys = {
+        {"mode", "fidelity", UnitKind::kString},
+        {"bg.share", "bg_share", UnitKind::kNumber},
+        {"bg.cadence", "bg_cadence_ms", UnitKind::kTimeMs},
+        {"bg.rtt", "bg_rtt_ms", UnitKind::kTimeMs},
+        {"bg.users_per_link", "bg_users_per_link", UnitKind::kNumber},
+        {"bg.loss_scale", "bg_loss_scale", UnitKind::kNumber},
+    };
+    // NB: "fct_p999_ms" sorts before "fct_p99_ms" ('9' < '_').
+    f.columns = {"completed",    "fabric_drops",  "fct_p50_ms",
+                 "fct_p999_ms",  "fct_p99_ms",    "flows",
+                 "goodput_mbps", "joules_per_gb", "rigs",
+                 "total_energy_j"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
     f.name = "wireless";
     f.help = "WiFi + 4G heterogeneous wireless (paper Figs 2, 17)";
     f.params = {
@@ -600,6 +814,18 @@ const DslKey* FamilySpec::find_topo_key(const std::string& key) const {
 
 const DslKey* FamilySpec::find_flow_key(const std::string& key) const {
   return find_key(flow_keys, key);
+}
+
+const DslKey* FamilySpec::find_arrivals_key(const std::string& key) const {
+  return find_key(arrivals_keys, key);
+}
+
+const DslKey* FamilySpec::find_matrix_key(const std::string& key) const {
+  return find_key(matrix_keys, key);
+}
+
+const DslKey* FamilySpec::find_fidelity_key(const std::string& key) const {
+  return find_key(fidelity_keys, key);
 }
 
 bool FamilySpec::has_param(const std::string& param) const {

@@ -58,6 +58,12 @@ struct FamilySpec {
   std::function<ResultRow(SimContext&, const ParamMap&)> run;
   std::vector<DslKey> topo_keys;
   std::vector<DslKey> flow_keys;
+  /// Workload blocks (fleet family): arrival process, traffic matrix, and
+  /// simulation-fidelity keys. Empty tables mean the family rejects the
+  /// corresponding block ("family X takes no `arrivals` block").
+  std::vector<DslKey> arrivals_keys;
+  std::vector<DslKey> matrix_keys;
+  std::vector<DslKey> fidelity_keys;
   /// Parameter receiving the dynamics script; empty = family takes no dyn
   /// block ("handover"/"flaky_wifi" use "dyn").
   std::string dyn_param;
@@ -66,6 +72,9 @@ struct FamilySpec {
 
   const DslKey* find_topo_key(const std::string& key) const;
   const DslKey* find_flow_key(const std::string& key) const;
+  const DslKey* find_arrivals_key(const std::string& key) const;
+  const DslKey* find_matrix_key(const std::string& key) const;
+  const DslKey* find_fidelity_key(const std::string& key) const;
   bool has_param(const std::string& param) const;
   bool has_column(const std::string& column) const;
 };

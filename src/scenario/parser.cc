@@ -266,9 +266,28 @@ ExperimentSpec parse_experiment(const std::string& text,
         fail(source, line_no, head.col, "expected `help <text>`");
       }
       spec.help = strip_quotes(rest_of_line(raw, toks[1]));
-    } else if (head.text == "topo" || head.text == "flow") {
+    } else if (head.text == "topo" || head.text == "flow" ||
+               head.text == "arrivals" || head.text == "matrix" ||
+               head.text == "fidelity") {
       const FamilySpec& fam = require_family(line_no, head);
-      const bool topo = head.text == "topo";
+      const std::vector<DslKey>* keys = nullptr;
+      if (head.text == "topo") {
+        keys = &fam.topo_keys;
+      } else if (head.text == "flow") {
+        keys = &fam.flow_keys;
+      } else if (head.text == "arrivals") {
+        keys = &fam.arrivals_keys;
+      } else if (head.text == "matrix") {
+        keys = &fam.matrix_keys;
+      } else {
+        keys = &fam.fidelity_keys;
+      }
+      // The workload blocks only exist for families that declare key tables
+      // for them (the fleet family); topo/flow stay universally accepted.
+      if (keys->empty() && head.text != "topo" && head.text != "flow") {
+        fail(source, line_no, head.col,
+             "family \"" + fam.name + "\" takes no `" + head.text + "` block");
+      }
       if (toks.size() != 2 || toks[1].text != "{") {
         fail(source, line_no, head.col, "expected `" + head.text + " {`");
       }
@@ -287,8 +306,13 @@ ExperimentSpec parse_experiment(const std::string& text,
           fail(source, inner_no, ts[0].col,
                "expected `<key> <value>` inside the " + head.text + " block");
         }
-        const DslKey* key = topo ? fam.find_topo_key(ts[0].text)
-                                 : fam.find_flow_key(ts[0].text);
+        const DslKey* key = nullptr;
+        for (const DslKey& k : *keys) {
+          if (k.key == ts[0].text) {
+            key = &k;
+            break;
+          }
+        }
         if (key == nullptr) {
           fail(source, inner_no, ts[0].col,
                "unknown " + head.text + " key \"" + ts[0].text +
@@ -435,8 +459,8 @@ ExperimentSpec parse_experiment(const std::string& text,
     } else {
       fail(source, line_no, head.col,
            "unknown statement \"" + head.text +
-               "\" (experiment|family|help|topo|flow|dyn|set|param|seeds|"
-               "metric)");
+               "\" (experiment|family|help|topo|flow|arrivals|matrix|fidelity|"
+               "dyn|set|param|seeds|metric)");
     }
   }
 

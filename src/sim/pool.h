@@ -52,6 +52,7 @@ class PoolArena {
       ::operator delete(p);
       return;
     }
+    ++frees_;
     FreeNode* node = static_cast<FreeNode*>(p);
     node->next = free_[cls];
     free_[cls] = node;
@@ -59,8 +60,15 @@ class PoolArena {
 
   /// Pooled allocations served (excludes the >kMaxPooled fallback).
   std::uint64_t allocs() const { return allocs_; }
-  /// Of those, how many were free-list reuses (no fresh carve).
+  /// Of those, how many were free-list reuses (no fresh carve) — the pool
+  /// hit count; allocs() - reused() is the miss (fresh carve) count.
   std::uint64_t reused() const { return reused_; }
+  /// Pooled nodes returned to the free lists.
+  std::uint64_t frees() const { return frees_; }
+  /// Pooled nodes currently live (allocated and not yet freed).
+  std::uint64_t outstanding() const {
+    return allocs_ > frees_ ? allocs_ - frees_ : 0;
+  }
   /// Bytes of backing blocks acquired from the global heap.
   std::size_t block_bytes() const { return block_bytes_; }
 
@@ -102,6 +110,7 @@ class PoolArena {
   std::size_t bump_left_ = 0;
   std::uint64_t allocs_ = 0;
   std::uint64_t reused_ = 0;
+  std::uint64_t frees_ = 0;
   std::size_t block_bytes_ = 0;
 };
 

@@ -101,6 +101,26 @@ void TcpSrc::set_cwnd(double cwnd) {
 
 Bytes TcpSrc::effective_cwnd() const { return static_cast<Bytes>(cwnd_); }
 
+void TcpSrc::restart_flow_state(bool reset_rtt) {
+  in_recovery_ = false;
+  rto_rearmed_in_recovery_ = false;
+  dup_acks_ = 0;
+  rto_backoff_ = 1;
+  consecutive_timeouts_ = 0;
+  dead_ = false;
+  // Stale dupacks for pre-restart data must not trigger a window reduction
+  // (same guard an RTO installs).
+  recover_ = highest_sent_;
+  ssthresh_ = config_.max_cwnd > 0 ? config_.max_cwnd : mega_bytes(1024);
+  set_cwnd(static_cast<double>(config_.initial_window_segments) *
+           static_cast<double>(config_.mss));
+  if (reset_rtt) rtt_ = RttEstimator(config_.min_rto, config_.max_rto);
+  if (inflight() == 0) rto_timer_.cancel();
+  // The cwnd was just set to the initial window; don't let the idle-restart
+  // clamp fire again on the first send of the new transfer.
+  last_send_time_ = 0;
+}
+
 void TcpSrc::set_admin_down(bool down) {
   if (admin_down_ == down) return;
   admin_down_ = down;

@@ -137,6 +137,18 @@ class TcpSrc : public PacketHandler, public EventSource {
   /// The provider gained data (MPTCP window opened): try to send.
   void notify_data_available() { send_available(); }
 
+  /// Re-arms this source for a fresh transfer over the same endpoints
+  /// (fleet flow recycling, fleet/flow_factory.h). Sequence numbers are NOT
+  /// reset: the (sub)flow sequence space keeps growing monotonically across
+  /// reuses, so stragglers from the previous transfer — late ACKs, duplicate
+  /// data copies still in the fabric — arrive as ordinary old ACKs and
+  /// below-window duplicates and fall into the standard Reno paths instead
+  /// of corrupting state. Congestion control restarts like a fresh
+  /// connection: initial window, default ssthresh, clean recovery/RTO
+  /// state. `reset_rtt` additionally forgets the RTT estimate (use when the
+  /// flow is being rebound to a different path).
+  void restart_flow_state(bool reset_rtt);
+
   /// Administrative quiesce (dyn handover / reactive path management).
   /// While down, the flow neither transmits nor processes ACKs and its RTO
   /// timer is parked. Bringing it back up restarts from a one-segment

@@ -119,4 +119,13 @@ std::vector<const Queue*> FatTree::inter_switch_queues() const {
   return queues;
 }
 
+std::vector<Queue*> FatTree::fabric_queues() {
+  std::vector<Queue*> queues;
+  for (const Link& l : up_ea_) queues.push_back(l.queue);
+  for (const Link& l : down_ae_) queues.push_back(l.queue);
+  for (const Link& l : up_ac_) queues.push_back(l.queue);
+  for (const Link& l : down_ca_) queues.push_back(l.queue);
+  return queues;
+}
+
 }  // namespace mpcc

@@ -40,6 +40,10 @@ class FatTree final : public Topology {
   /// the L' set for fabric-wide energy accounting.
   std::vector<const Queue*> inter_switch_queues() const;
 
+  /// Mutable fabric (inter-switch) queues, for drivers that impose state on
+  /// them — e.g. the fleet FluidBackgroundDriver's hybrid-fidelity pressure.
+  std::vector<Queue*> fabric_queues();
+
  private:
   Link make(const std::string& name) {
     return net_.make_link(name, config_.link_rate, config_.link_delay, config_.buffer);

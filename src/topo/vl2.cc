@@ -80,4 +80,13 @@ std::vector<const Queue*> Vl2::inter_switch_queues() const {
   return queues;
 }
 
+std::vector<Queue*> Vl2::fabric_queues() {
+  std::vector<Queue*> queues;
+  for (const Link& l : up_ta_) queues.push_back(l.queue);
+  for (const Link& l : down_at_) queues.push_back(l.queue);
+  for (const Link& l : up_ai_) queues.push_back(l.queue);
+  for (const Link& l : down_ia_) queues.push_back(l.queue);
+  return queues;
+}
+
 }  // namespace mpcc

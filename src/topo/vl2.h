@@ -42,6 +42,10 @@ class Vl2 final : public Topology {
 
   std::vector<const Queue*> inter_switch_queues() const;
 
+  /// Mutable fabric (inter-switch) queues, for drivers that impose state on
+  /// them — e.g. the fleet FluidBackgroundDriver's hybrid-fidelity pressure.
+  std::vector<Queue*> fabric_queues();
+
  private:
   Link make_host(const std::string& name) {
     return net_.make_link(name, config_.host_rate, config_.link_delay,

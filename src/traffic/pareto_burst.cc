@@ -56,8 +56,8 @@ ParetoBurstSource::ParetoBurstSource(Network& net, std::string name,
       rng_(seed) {}
 
 void ParetoBurstSource::start(SimTime at) {
-  const SimTime gap =
-      static_cast<SimTime>(rng_.exponential(static_cast<double>(config_.mean_gap)));
+  const SimTime gap = static_cast<SimTime>(
+      next_stream().exponential(static_cast<double>(config_.mean_gap)));
   transition_.arm_at(std::max(at + gap, net_.now()));
 }
 
@@ -65,16 +65,16 @@ void ParetoBurstSource::enter_burst() {
   ++bursts_;
   burst_started_ = net_.now();
   cbr_.start(net_.now());
-  const SimTime duration = static_cast<SimTime>(
-      rng_.pareto(config_.pareto_shape, static_cast<double>(config_.mean_burst)));
+  const SimTime duration = static_cast<SimTime>(next_stream().pareto(
+      config_.pareto_shape, static_cast<double>(config_.mean_burst)));
   transition_.arm(duration);
 }
 
 void ParetoBurstSource::leave_burst() {
   cbr_.stop();
   total_on_ += net_.now() - burst_started_;
-  const SimTime gap =
-      static_cast<SimTime>(rng_.exponential(static_cast<double>(config_.mean_gap)));
+  const SimTime gap = static_cast<SimTime>(
+      next_stream().exponential(static_cast<double>(config_.mean_gap)));
   transition_.arm(gap);
 }
 

@@ -64,12 +64,18 @@ class ParetoBurstSource {
  private:
   void enter_burst();
   void leave_burst();
+  /// The k-th ON/OFF transition draws from substream k of the source's
+  /// seed, so the transition timeline is a pure function of (seed, k) —
+  /// independent of any other consumer of the root RNG and of dispatch
+  /// interleaving.
+  Rng next_stream() { return rng_.substream(draws_++); }
 
   Network& net_;
   ParetoBurstConfig config_;
   CbrSource cbr_;
   Timer transition_;
   Rng rng_;
+  std::uint64_t draws_ = 0;
   SimTime burst_started_ = 0;
   SimTime total_on_ = 0;
   std::uint64_t bursts_ = 0;

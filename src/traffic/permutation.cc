@@ -11,8 +11,13 @@ std::vector<FlowAssignment> permutation_traffic(std::size_t hosts, Rng& rng,
     FlowAssignment f;
     f.src_host = i;
     f.dst_host = perm[i];
+    // Per-flow substream: flow i's jitter is a pure function of (seed, i),
+    // independent of how many draws other flows made before it.
+    Rng flow_rng = rng.substream(i);
     f.start_time =
-        start_jitter > 0 ? rng.uniform_int(0, static_cast<std::int64_t>(start_jitter)) : 0;
+        start_jitter > 0
+            ? flow_rng.uniform_int(0, static_cast<std::int64_t>(start_jitter))
+            : 0;
     flows.push_back(f);
   }
   return flows;
@@ -27,8 +32,11 @@ std::vector<FlowAssignment> incast_traffic(std::size_t hosts, Rng& rng,
     FlowAssignment f;
     f.src_host = i;
     f.dst_host = 0;
+    Rng flow_rng = rng.substream(i);
     f.start_time =
-        start_jitter > 0 ? rng.uniform_int(0, static_cast<std::int64_t>(start_jitter)) : 0;
+        start_jitter > 0
+            ? flow_rng.uniform_int(0, static_cast<std::int64_t>(start_jitter))
+            : 0;
     flows.push_back(f);
   }
   return flows;

@@ -15,14 +15,31 @@ namespace mpcc {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Derives an independent child generator; children with distinct tags are
-  /// decorrelated even though they come from the same root seed.
+  /// decorrelated even though they come from the same root seed. Consumes
+  /// one engine draw, so the child depends on how much of this generator's
+  /// sequence has already been used — prefer substream() when the caller
+  /// needs order independence.
   Rng fork(std::uint64_t tag) {
     std::uint64_t mixed = split_mix(engine_() ^ (tag * 0x9E3779B97F4A7C15ull));
     return Rng(mixed);
   }
+
+  /// Derives the per-stream child generator purely from this generator's
+  /// construction seed: the (stream_id+1)-th output of a splitmix64 stream
+  /// seeded with it. const — the engine state is untouched, so the result
+  /// is independent of any draws made before the call. This is what makes
+  /// per-flow randomness bit-identical across dispatch interleavings
+  /// (--jobs) and arrival orders: flow k always sees substream(k).
+  Rng substream(std::uint64_t stream_id) const {
+    return Rng(split_mix(seed_ + stream_id * 0x9E3779B97F4A7C15ull));
+  }
+
+  /// The seed this generator was constructed with (substream derivations
+  /// are pure functions of it).
+  std::uint64_t seed() const { return seed_; }
 
   double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
 
@@ -68,6 +85,7 @@ class Rng {
  private:
   static std::uint64_t split_mix(std::uint64_t x);
 
+  std::uint64_t seed_ = 0;
   std::mt19937_64 engine_;
 };
 

@@ -434,6 +434,9 @@ TEST(ScenarioInvariants, EveryRegisteredScenarioRunsClean) {
       {"two_path", {{"duration_s", "2"}}},
       {"dumbbell", {{"n_users", "2"}, {"flow_mb", "1"}, {"max_time_s", "60"}}},
       {"datacenter", {{"duration_s", "0.1"}, {"fattree_k", "4"}, {"subflows", "2"}}},
+      {"fleet",
+       {{"duration_s", "0.5"}, {"fattree_k", "4"}, {"rate_fps", "200"},
+        {"size_b", "20000"}}},
       {"wireless", {{"duration_s", "3"}}},
       {"handover", {{"duration_s", "12"}}},
       {"flaky_wifi", {{"duration_s", "4"}}},

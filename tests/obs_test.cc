@@ -543,6 +543,43 @@ TEST_F(ObsTest, SweepPerfCountersIdenticalAcrossJobs) {
   }
 }
 
+// PoolArena hit/miss deltas are stamped per point by guarded_run from the
+// point's own SimContext arena, so they describe that run alone and must
+// merge bit-identically across worker counts — the fleet flow-rig recycler
+// depends on this to make its reuse counters golden-checkable.
+TEST_F(ObsTest, SweepPoolCountersIdenticalAcrossJobs) {
+  harness::SweepPlan plan;
+  plan.scenario = "two_path";
+  plan.axes.push_back({"cc", {"lia", "dts"}});
+  plan.axes.push_back({"duration_s", {"1"}});
+  plan.axes.push_back({"cross_traffic", {"0"}});
+  plan.seeds = 2;
+
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  const harness::SweepReport r1 = harness::run_sweep(plan, serial);
+  harness::SweepOptions parallel;
+  parallel.jobs = 4;
+  const harness::SweepReport r4 = harness::run_sweep(plan, parallel);
+
+  ASSERT_EQ(r1.points.size(), 4u);
+  ASSERT_EQ(r4.points.size(), r1.points.size());
+  std::uint64_t total_hits = 0;
+  for (std::size_t i = 0; i < r1.points.size(); ++i) {
+    ASSERT_TRUE(r1.points[i].ok) << r1.points[i].error;
+    ASSERT_TRUE(r4.points[i].ok) << r4.points[i].error;
+    const obs::PerfStats& a = r1.points[i].perf;
+    const obs::PerfStats& b = r4.points[i].perf;
+    EXPECT_EQ(a.pool_hits, b.pool_hits) << "point " << i;
+    EXPECT_EQ(a.pool_misses, b.pool_misses) << "point " << i;
+    EXPECT_EQ(a.pool_outstanding, b.pool_outstanding) << "point " << i;
+    total_hits += a.pool_hits;
+    // Every point allocates events, so the arena must have seen traffic.
+    EXPECT_GT(a.pool_hits + a.pool_misses, 0u) << "point " << i;
+  }
+  EXPECT_GT(total_hits, 0u);
+}
+
 TEST_F(ObsTest, PerfStatsJsonRoundTripsThroughCheckpoint) {
   harness::CheckpointEntry entry;
   entry.index = 3;

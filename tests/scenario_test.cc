@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -149,6 +150,23 @@ TEST(ScenarioParser, RejectsMalformedInputWithPreciseReasons) {
        "has unknown unit (b|kb|mb)"},
       {"experiment a\nfamily datacenter\nflow {\n  subflows four\n}\n",
        "is not a number"},
+      // workload blocks are fleet-only: families without key tables for
+      // them reject the whole block with a locked message
+      {"experiment a\nfamily two_path\narrivals {\n  process poisson\n}\n",
+       "family \"two_path\" takes no `arrivals` block"},
+      {"experiment a\nfamily datacenter\narrivals {\n  rate 100\n}\n",
+       "family \"datacenter\" takes no `arrivals` block"},
+      {"experiment a\nfamily datacenter\nmatrix {\n  pattern incast\n}\n",
+       "family \"datacenter\" takes no `matrix` block"},
+      {"experiment a\nfamily wireless\nfidelity {\n  mode hybrid\n}\n",
+       "family \"wireless\" takes no `fidelity` block"},
+      {"experiment a\nfamily fleet\narrivals {\n  warp 3\n}\n",
+       "unknown arrivals key \"warp\""},
+      {"experiment a\nfamily fleet\nmatrix {\n  warp 3\n}\n",
+       "unknown matrix key \"warp\""},
+      {"experiment a\nfamily fleet\nfidelity {\n  warp 3\n}\n",
+       "unknown fidelity key \"warp\""},
+      {"experiment a\nfamily fleet\narrivals {\n", "unterminated `arrivals {` block"},
       // dyn errors
       {"experiment a\nfamily two_path\ndyn {\n  10s down wifi\n}\n",
        "takes no dyn timeline"},
@@ -258,6 +276,83 @@ TEST(ScenarioParser, RoundTripsThroughToText) {
   EXPECT_EQ(a.seed_base, b.seed_base);
   // And the canonical text itself is a fixed point.
   EXPECT_EQ(to_text(a), to_text(b));
+}
+
+// The fleet family's workload blocks map DSL keys and units to canonical
+// parameter names exactly like topo/flow do, and survive the canonical
+// to_text() round-trip.
+TEST(ScenarioParser, FleetWorkloadBlocksParseWithUnitConversions) {
+  const std::string text =
+      "experiment fleet_demo\n"
+      "family fleet\n"
+      "topo {\n"
+      "  fabric fattree\n"
+      "  fattree.k 16\n"
+      "}\n"
+      "flow {\n"
+      "  cc lia\n"
+      "  duration 2s\n"
+      "}\n"
+      "arrivals {\n"
+      "  process poisson\n"
+      "  rate 60000\n"
+      "  size.dist fixed\n"
+      "  size 50kb\n"
+      "}\n"
+      "matrix {\n"
+      "  pattern incast\n"
+      "  incast.fanin 16\n"
+      "}\n"
+      "fidelity {\n"
+      "  mode hybrid\n"
+      "  bg.share 0.5\n"
+      "  bg.cadence 50ms\n"
+      "}\n";
+  const ExperimentSpec spec = parse_experiment(text, "fleet_demo.mpcc");
+  ASSERT_EQ(spec.overrides.size(), 13u);
+  const std::map<std::string, std::string> got(spec.overrides.begin(),
+                                               spec.overrides.end());
+  EXPECT_EQ(got.at("fattree_k"), "16");
+  EXPECT_EQ(got.at("duration_s"), "2");
+  EXPECT_EQ(got.at("process"), "poisson");
+  EXPECT_EQ(got.at("rate_fps"), "60000");
+  EXPECT_EQ(got.at("size_dist"), "fixed");
+  EXPECT_EQ(got.at("size_b"), "51200");  // 50 kb
+  EXPECT_EQ(got.at("pattern"), "incast");
+  EXPECT_EQ(got.at("incast_fanin"), "16");
+  EXPECT_EQ(got.at("fidelity"), "hybrid");
+  EXPECT_EQ(got.at("bg_share"), "0.5");
+  EXPECT_EQ(got.at("bg_cadence_ms"), "50");
+
+  // Round trip: the canonical text re-parses to identical overrides.
+  const ExperimentSpec again = parse_experiment(to_text(spec), "again.mpcc");
+  EXPECT_EQ(spec.overrides, again.overrides);
+  EXPECT_EQ(to_text(spec), to_text(again));
+}
+
+// Back-compat: pre-fleet corpus files that configure datacenter workloads
+// through flow { pattern ... } alone must keep parsing — the workload
+// blocks are additive, not a migration requirement.
+TEST(ScenarioParser, DatacenterFlowOnlyFormStillParses) {
+  const ExperimentSpec spec = parse_experiment(
+      "experiment legacy_incast\n"
+      "family datacenter\n"
+      "topo {\n"
+      "  fabric fattree\n"
+      "  fattree.k 4\n"
+      "}\n"
+      "flow {\n"
+      "  cc lia\n"
+      "  duration 1s\n"
+      "  pattern incast\n"
+      "  max_flows 8\n"
+      "}\n",
+      "legacy.mpcc");
+  const std::map<std::string, std::string> got(spec.overrides.begin(),
+                                               spec.overrides.end());
+  EXPECT_EQ(got.at("pattern"), "incast");
+  EXPECT_EQ(got.at("max_flows"), "8");
+  EXPECT_EQ(got.at("fattree_k"), "4");
 }
 
 // --------------------------------------------------------------- builder

@@ -1,0 +1,163 @@
+// mpcc_fleet_bench: fleet-scale throughput baseline.
+//
+// Runs one fleet workload (fleet/runner.h) under the RunGuard watchdog and
+// emits machine-readable BENCH_fleet.json: flows started/completed, the
+// flows-per-wall-second rate the CI gate tracks, FCT percentiles, goodput,
+// energy per byte, rig-recycling effectiveness, and the full perf ledger,
+// stamped with the same env block as BENCH_core.json. scripts/
+// check_bench_json.py gates flows_per_sec against the committed baseline;
+// the FCT percentiles are reported (trajectory), not gated — they measure
+// the simulated workload, not the simulator.
+//
+//   mpcc_fleet_bench                 # flagship scale (FatTree k=16, hybrid)
+//   mpcc_fleet_bench --smoke        # reduced scale for CI (FatTree k=4)
+//   mpcc_fleet_bench --json=FILE    # output path (default BENCH_fleet.json)
+//   mpcc_fleet_bench --timeout=S    # watchdog wall budget (default 600)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fleet/runner.h"
+#include "harness/experiment.h"
+#include "harness/guard.h"
+#include "obs/perf.h"
+#include "sim/context.h"
+
+namespace {
+
+using namespace mpcc;
+
+fleet::FleetOptions bench_options(bool smoke) {
+  fleet::FleetOptions o;
+  o.topo = harness::DcTopo::kFatTree;
+  o.cc = "lia";
+  o.subflows = 2;
+  o.seed = 1;
+  o.sizes.kind = fleet::SizeConfig::Kind::kFixed;
+  o.sizes.fixed_bytes = 20'000;
+  o.matrix.kind = fleet::MatrixConfig::Kind::kPermutation;
+  o.fidelity = "hybrid";
+  if (smoke) {
+    // CI scale: ~2k flows over a k=4 fabric, a couple seconds of wall time.
+    o.fat_tree.k = 4;
+    o.duration = seconds(1);
+    o.arrivals.rate_fps = 2000;
+  } else {
+    // Flagship scale: 1024 hosts, >100k completed flows (the
+    // fleet_hybrid_fattree16 scenario at the same operating point).
+    o.fat_tree.k = 16;
+    o.duration = seconds(2);
+    o.arrivals.rate_fps = 60000;
+  }
+  return o;
+}
+
+int usage(const char* argv0) {
+  std::printf("usage: %s [--smoke] [--json=FILE] [--timeout=S]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using harness::arg_int;
+  using harness::arg_string;
+  using harness::has_flag;
+
+  if (has_flag(argc, argv, "--help")) return usage(argv[0]);
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  const std::string json_path =
+      arg_string(argc, argv, "--json", "BENCH_fleet.json");
+  const double timeout_s = double(arg_int(argc, argv, "--timeout", 600));
+  const char* scenario = smoke ? "fleet_smoke_fattree4" : "fleet_hybrid_fattree16";
+
+  if (!obs::perf_enabled()) {
+    std::fprintf(stderr,
+                 "mpcc_fleet_bench: MPCC_NO_PERF is set; counters would read "
+                 "zero. Unset it.\n");
+    return 2;
+  }
+
+  const fleet::FleetOptions options = bench_options(smoke);
+
+  SimContext::Options copt;
+  copt.seed = options.seed;
+  copt.isolate_obs = true;
+  SimContext ctx(copt);
+  SimContext::Scope scope(ctx);
+
+  fleet::FleetResult r;
+  harness::GuardOptions guard;
+  guard.run_timeout_s = timeout_s;
+  // The guard's report carries the run's full perf ledger, including the
+  // PoolArena hit/miss deltas stamped in harness/guard.cc.
+  const harness::RunReport report = harness::guarded_run(
+      ctx, guard, [&] { r = fleet::run_fleet(ctx, options); });
+  const obs::PerfStats& perf = report.perf;
+
+  if (!report.ok) {
+    std::fprintf(stderr, "mpcc_fleet_bench: run failed [%s]: %s\n",
+                 harness::run_error_kind_name(report.kind),
+                 report.message.c_str());
+    return 1;
+  }
+
+  const double wall_s = perf.wall_s;
+  const double flows_per_sec =
+      wall_s > 0 ? double(r.flows_completed) / wall_s : 0.0;
+
+  std::printf(
+      "%s: %llu/%llu flows completed in %.2fs wall (%.0f flows/s)\n"
+      "  fct p50/p99/p999: %.2f / %.2f / %.2f ms\n"
+      "  goodput %.1f mbps, %.1f J/GB, rigs %llu created / %llu reused / "
+      "%llu rebound, %llu bg ticks\n",
+      scenario, static_cast<unsigned long long>(r.flows_completed),
+      static_cast<unsigned long long>(r.flows_started), wall_s, flows_per_sec,
+      r.fct_p50_ms, r.fct_p99_ms, r.fct_p999_ms, to_mbps(r.aggregate_goodput),
+      r.joules_per_gigabyte, static_cast<unsigned long long>(r.rigs_created),
+      static_cast<unsigned long long>(r.rigs_reused),
+      static_cast<unsigned long long>(r.rigs_rebound),
+      static_cast<unsigned long long>(r.background_ticks));
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "mpcc_fleet_bench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"flows\": %llu,\n"
+      "  \"flows_completed\": %llu,\n"
+      "  \"flows_per_sec\": %.2f,\n"
+      "  \"wall_s\": %.6f,\n"
+      "  \"fct_ms\": {\"p50\": %.6f, \"p99\": %.6f, \"p999\": %.6f},\n"
+      "  \"goodput_mbps\": %.6f,\n"
+      "  \"joules_per_gb\": %.6f,\n"
+      "  \"fabric_drops\": %llu,\n"
+      "  \"rigs\": {\"created\": %llu, \"reused\": %llu, \"rebound\": %llu},\n"
+      "  \"background_ticks\": %llu,\n",
+      static_cast<unsigned long long>(r.flows_started),
+      static_cast<unsigned long long>(r.flows_completed), flows_per_sec,
+      wall_s, r.fct_p50_ms, r.fct_p99_ms, r.fct_p999_ms,
+      to_mbps(r.aggregate_goodput), r.joules_per_gigabyte,
+      static_cast<unsigned long long>(r.fabric_drops),
+      static_cast<unsigned long long>(r.rigs_created),
+      static_cast<unsigned long long>(r.rigs_reused),
+      static_cast<unsigned long long>(r.rigs_rebound),
+      static_cast<unsigned long long>(r.background_ticks));
+  os << "{\n  \"mpcc_fleet\": 1,\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"scenario\": \"" << scenario << "\",\n"
+     << "  \"env\": " << obs::bench_env_json() << ",\n"
+     << buf << "  \"perf\": " << perf.to_json() << "\n}\n";
+  if (!os) {
+    std::fprintf(stderr, "mpcc_fleet_bench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
