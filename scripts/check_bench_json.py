@@ -7,6 +7,8 @@ The document flavor is auto-detected:
   core      mpcc_bench=1 schema from tools/mpcc_bench (BENCH_core.json)
   fleet     mpcc_fleet=1 schema from tools/mpcc_fleet_bench
             (BENCH_fleet.json)
+  chaos     mpcc_chaos=1 schema from tools/mpcc_chaos_bench
+            (BENCH_chaos.json)
   sweep     flat scaling doc with points_per_sec (BENCH_sweep.json)
   results   env provenance + nested "results" dict of numeric leaves
             (BENCH_guard.json, BENCH_handover.json)
@@ -36,6 +38,15 @@ flows_per_sec > 0, an fct_ms percentile block, and env provenance.
 percentiles measure the simulated workload, not the simulator, and are
 reported only.
 
+chaos shape: profile, seeds > 0, faults > 0, injected > 0,
+oracle_checks > 0, oracle_violations (MUST be 0 — a nonzero count is a
+gate failure even without --baseline), recovery_s, mtbf_s, and env
+provenance. --baseline gates recovery_s: the new worst recovery time
+must not exceed max(old * 1.10, old + RECOVERY_ABS_GRACE_S). The
+absolute grace matters because a fully-healed campaign reports
+recovery_s = 0 and a bare 10% gate on zero would reject any nonzero
+recovery, however small.
+
 sweep shape: scenario, points > 0, jobs >= 1, wall_s > 0,
 points_per_sec > 0. --baseline gates points_per_sec (must not drop
 >10%).
@@ -54,6 +65,7 @@ import sys
 REGRESSION_TOLERANCE = 0.10   # fractional change allowed before gating
 ALLOC_ABS_GRACE = 0.01        # allocs/event floor: below this, never gate
 LEAF_ABS_GRACE = 0.01         # results-leaf floor: drift below this never gates
+RECOVERY_ABS_GRACE_S = 0.5    # chaos recovery_s slack on top of the 10%
 
 # Benchmarks that only exercise non-sim code paths (no event loop).
 NO_EVENTS_OK = {"psi_eval", "pool_churn"}
@@ -86,11 +98,14 @@ def detect_flavor(doc, path):
     # Before the sweep probe: fleet docs also carry per-second rate keys.
     if doc.get("mpcc_fleet") == 1:
         return "fleet"
+    if doc.get("mpcc_chaos") == 1:
+        return "chaos"
     if "points_per_sec" in doc:
         return "sweep"
     if isinstance(doc.get("results"), dict):
         return "results"
-    malformed("%s matches no known flavor (core/fleet/sweep/results)" % path)
+    malformed("%s matches no known flavor (core/fleet/chaos/sweep/results)"
+              % path)
 
 
 def is_number(v):
@@ -236,6 +251,67 @@ def check_fleet(doc, baseline):
     return False
 
 
+# ----------------------------------------------------------------- chaos
+
+def check_chaos(doc, baseline):
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        malformed("missing env provenance object")
+    for k in ENV_KEYS:
+        if k not in env:
+            malformed("env lacks %r" % k)
+    for k in ("profile", "seeds", "recovery_s", "mtbf_s", "faults",
+              "injected", "oracle_checks", "oracle_violations", "wall_s",
+              "perf"):
+        if k not in doc:
+            malformed("chaos doc lacks %r" % k)
+    if not is_number(doc["seeds"]) or doc["seeds"] <= 0:
+        malformed("chaos doc ran no seeds")
+    if not is_number(doc["faults"]) or doc["faults"] <= 0:
+        malformed("chaos doc injected no faults (vacuous campaign)")
+    if not is_number(doc["injected"]) or doc["injected"] <= 0:
+        malformed("chaos doc perturbed no packets")
+    if not is_number(doc["oracle_checks"]) or doc["oracle_checks"] <= 0:
+        malformed("chaos doc ran no oracle audits")
+    if not is_number(doc["recovery_s"]) or not is_number(doc["mtbf_s"]):
+        malformed("chaos doc recovery_s/mtbf_s are not numbers")
+    if doc["perf"].get("events_dispatched", 0) <= 0:
+        malformed("chaos doc dispatched no events")
+    violations = doc["oracle_violations"]
+    if not is_number(violations):
+        malformed("chaos doc oracle_violations is not a number")
+    print("check_bench_json: chaos doc ok (%s profile, %d seeds, %d faults, "
+          "%d oracle checks, worst recovery %.3fs, mtbf %.3fs)"
+          % (doc["profile"], doc["seeds"], doc["faults"],
+             doc["oracle_checks"], doc["recovery_s"], doc["mtbf_s"]))
+
+    failed = False
+    if violations > 0:
+        # A violation is a protocol-contract breach, not measurement noise,
+        # but exit 1 (retryable) so a flaky host-timing interaction gets one
+        # more attempt before humans are paged.
+        print("check_bench_json: ORACLE VIOLATIONS: %d" % violations,
+              file=sys.stderr)
+        failed = True
+
+    if baseline is None:
+        return failed
+    old = baseline.get("recovery_s", -1.0)
+    new = doc["recovery_s"]
+    if is_number(old) and old >= 0:
+        allowed = max(old * (1.0 + REGRESSION_TOLERANCE),
+                      old + RECOVERY_ABS_GRACE_S)
+        if new > allowed:
+            print("check_bench_json: REGRESSION recovery_s %.3f -> %.3f "
+                  "(allowed <= %.3f)" % (old, new, allowed), file=sys.stderr)
+            print("check_bench_json: baseline gate compared 1 metric, "
+                  "1 regression(s)")
+            return True
+    print("check_bench_json: baseline gate compared 1 metric, "
+          "0 regression(s)")
+    return failed
+
+
 # ----------------------------------------------------------------- sweep
 
 def check_sweep(doc, baseline):
@@ -361,6 +437,8 @@ def main():
         failed = check_core(doc, baseline, check_ab)
     elif flavor == "fleet":
         failed = check_fleet(doc, baseline)
+    elif flavor == "chaos":
+        failed = check_chaos(doc, baseline)
     elif flavor == "sweep":
         failed = check_sweep(doc, baseline)
     else:

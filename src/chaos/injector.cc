@@ -1,0 +1,46 @@
+#include "chaos/injector.h"
+
+namespace mpcc::chaos {
+
+void FaultInjector::activate(Primitive primitive, double intensity,
+                             std::uint64_t seed, std::uint32_t event_id) {
+  active_ = true;
+  primitive_ = primitive;
+  intensity_ = intensity;
+  event_id_ = event_id;
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::deactivate(std::uint32_t event_id) {
+  if (active_ && event_id_ == event_id) active_ = false;
+}
+
+FaultVerdict FaultInjector::on_packet(Packet& pkt) {
+  if (!active_) return FaultVerdict::kPass;
+  // The ACK blackhole only sees ACKs; drawing for data packets too would
+  // shift the perturbation stream without perturbing anything.
+  if (primitive_ == Primitive::kBlackhole && pkt.type != PacketType::kAck) {
+    return FaultVerdict::kPass;
+  }
+  if (!rng_.bernoulli(intensity_)) return FaultVerdict::kPass;
+  ++injected_;
+  switch (primitive_) {
+    case Primitive::kCorrupt:
+      pkt.corrupted = true;
+      MPCC_PERF_COUNT_AT(perf_ctrs_, chaos_corrupted);
+      return FaultVerdict::kPass;  // delivered; the endpoint discards it
+    case Primitive::kReorder:
+      MPCC_PERF_COUNT_AT(perf_ctrs_, chaos_reordered);
+      return FaultVerdict::kReorder;
+    case Primitive::kDuplicate:
+      MPCC_PERF_COUNT_AT(perf_ctrs_, chaos_duplicated);
+      return FaultVerdict::kDuplicate;
+    case Primitive::kBlackhole:
+    case Primitive::kBurstDrop:
+      MPCC_PERF_COUNT_AT(perf_ctrs_, chaos_blackholed);
+      return FaultVerdict::kDrop;
+  }
+  return FaultVerdict::kPass;
+}
+
+}  // namespace mpcc::chaos

@@ -1,0 +1,51 @@
+// FaultInjector: the per-pipe fault hook a chaos campaign drives.
+//
+// One injector is installed on each registered pipe for the whole run (a
+// null-state injector costs one branch per packet). The ChaosDriver
+// activates it when a fault window opens on that pipe and deactivates it
+// when the window closes; while active, each arriving packet is perturbed
+// with the fault's intensity using an Rng derived purely from the fault
+// event's seed, so the perturbation stream is bit-identical across
+// `--jobs` parallelism and `--resume`.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/spec.h"
+#include "net/pipe.h"
+#include "obs/perf.h"
+#include "util/rng.h"
+
+namespace mpcc::chaos {
+
+class FaultInjector final : public FaultHook {
+ public:
+  /// Opens a fault window: `event_id` ties the matching deactivate() to
+  /// this activation (a newer overlapping fault on the same pipe replaces
+  /// the current one, and the old fault's scheduled clear must not cancel
+  /// it). `seed` derives the per-window perturbation stream.
+  void activate(Primitive primitive, double intensity, std::uint64_t seed,
+                std::uint32_t event_id);
+
+  /// Closes the window opened by `event_id`; a stale id is ignored.
+  void deactivate(std::uint32_t event_id);
+
+  bool active() const { return active_; }
+  Primitive primitive() const { return primitive_; }
+
+  /// Packets actually perturbed (any primitive) since construction.
+  std::uint64_t injected() const { return injected_; }
+
+  FaultVerdict on_packet(Packet& pkt) override;
+
+ private:
+  bool active_ = false;
+  Primitive primitive_ = Primitive::kCorrupt;
+  double intensity_ = 0;
+  std::uint32_t event_id_ = 0;
+  Rng rng_{1};
+  std::uint64_t injected_ = 0;
+  obs::PerfCounters* perf_ctrs_ = nullptr;  // cached ledger (obs::bound_perf)
+};
+
+}  // namespace mpcc::chaos

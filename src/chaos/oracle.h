@@ -1,0 +1,134 @@
+// End-to-end protocol oracles for chaos campaigns.
+//
+// An oracle is an always-on auditor that must hold no matter what faults a
+// campaign injects: chaos may slow a connection down, but it must never make
+// the receiver deliver a wrong byte stream or let a flow hang in limbo.
+//
+// StreamOracle audits the receiver byte stream (loss-free, duplicate-free,
+// in-order) against the subflow-reassembly contract. It taps two seams:
+//
+//   - wire-side (TcpSink rx tap): every uncorrupted data segment that
+//     reached a sink, keyed by MPTCP data-sequence, and
+//   - hand-up side: it interposes on each sink's DataConsumer, recording
+//     what the sink actually passed to the connection-level receive buffer.
+//
+// Auditing the seam *between* sink and reassembly is what lets the oracle
+// catch a buggy sink (the CI mutation check arms exactly such a bug): a
+// sink that advances its cumulative ACK without handing the bytes up
+// breaks per-sink conservation immediately, with no quiescence needed.
+//
+// LivenessOracle checks that every flow either completes, makes forward
+// progress, or is honestly declared dead (all subflows in the PR-3
+// consecutive-RTO dead state) — a silent hang is a violation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mptcp/connection.h"
+#include "sim/event_list.h"
+#include "tcp/tcp_sink.h"
+
+namespace mpcc::chaos {
+
+/// Thrown by an oracle when its invariant fails. Carries the oracle's name
+/// so run reports can attribute the failure (harness/guard.h maps it to the
+/// kOracleViolation run-error kind).
+class OracleViolation : public std::runtime_error {
+ public:
+  OracleViolation(std::string oracle, const std::string& what)
+      : std::runtime_error(oracle + " oracle: " + what), oracle_(std::move(oracle)) {}
+  const std::string& oracle() const { return oracle_; }
+
+ private:
+  std::string oracle_;
+};
+
+/// Merged half-open byte intervals, for data-sequence coverage bookkeeping.
+class IntervalSet {
+ public:
+  void add(std::int64_t begin, std::int64_t end);
+  /// Length of the contiguous run starting at 0 (0 if [0,...) is uncovered).
+  std::int64_t contiguous_prefix() const;
+  std::size_t size() const { return runs_.size(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> runs_;  // begin -> end, disjoint
+};
+
+class StreamOracle {
+ public:
+  /// Attaches to every subflow sink of `conn`. Must happen before data
+  /// flows (the oracle assumes it saw everything). The connection must
+  /// outlive the oracle's taps — destroy the oracle first, or with the
+  /// same Network teardown.
+  explicit StreamOracle(MptcpConnection& conn);
+  ~StreamOracle();
+
+  StreamOracle(const StreamOracle&) = delete;
+  StreamOracle& operator=(const StreamOracle&) = delete;
+
+  /// Audits all three invariants; throws OracleViolation on the first
+  /// failure. Sound at *any* simulated time — no quiescence required.
+  void verify() const;
+
+  std::uint64_t checks() const { return checks_; }
+  /// Wire-level data segments observed across all sinks.
+  std::uint64_t segments_seen() const { return segments_seen_; }
+
+ private:
+  /// Interposes between one sink and its real consumer, recording what the
+  /// sink hands up before forwarding it.
+  struct SinkTap final : public DataConsumer, public SinkRxTap {
+    void on_in_order_data(std::int64_t data_seq, Bytes len) override;
+    void on_sink_rx(const Packet& pkt) override;
+
+    StreamOracle* oracle = nullptr;
+    TcpSink* sink = nullptr;
+    DataConsumer* next = nullptr;   // the connection
+    Bytes handed_bytes = 0;         // per-sink conservation ledger
+  };
+
+  MptcpConnection& conn_;
+  std::vector<std::unique_ptr<SinkTap>> taps_;
+  IntervalSet wire_;    // data_seq coverage seen at wire level
+  IntervalSet handed_;  // data_seq coverage handed to the receive buffer
+  std::uint64_t segments_seen_ = 0;
+  mutable std::uint64_t checks_ = 0;
+};
+
+class LivenessOracle final : public EventSource {
+ public:
+  /// A flow violates liveness when it is incomplete, not declared dead
+  /// (some subflow still alive), and has delivered no new byte for
+  /// `stall_window`. The window must exceed the longest plausible honest
+  /// stall: max fault duration plus RTO backoff.
+  LivenessOracle(EventList& events, MptcpConnection& conn,
+                 SimTime stall_window = 5 * kSecond);
+
+  /// Begins periodic checking (stall_window / 4 cadence).
+  void start();
+
+  void do_next_event() override;
+
+  /// True once the flow was declared dead (all subflows dead) — an
+  /// accepted terminal state, not a violation.
+  bool declared_dead() const { return declared_dead_; }
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  EventList& events_;
+  MptcpConnection& conn_;
+  SimTime stall_window_;
+  SimTime last_progress_at_ = 0;
+  Bytes last_delivered_ = 0;
+  bool declared_dead_ = false;
+  bool stopped_ = false;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace mpcc::chaos

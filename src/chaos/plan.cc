@@ -1,0 +1,173 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "dyn/driver.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+
+namespace mpcc::chaos {
+
+namespace {
+
+constexpr ChaosProfile kProfiles[] = {
+    // name       events/s  min dur            max dur            intensity
+    {"calm",    0.2,  200 * kMillisecond,  500 * kMillisecond, 0.05},
+    {"flaky",   0.5,  300 * kMillisecond, 1000 * kMillisecond, 0.30},
+    {"hostile", 2.0,  500 * kMillisecond, 2000 * kMillisecond, 0.90},
+};
+
+/// Hard cap on expanded fault windows, a backstop against a huge horizon
+/// crossed with the hostile rate (events are cheap, but plans should stay
+/// human-inspectable).
+constexpr std::size_t kMaxEvents = 10000;
+
+}  // namespace
+
+const ChaosProfile& profile_by_name(const std::string& name) {
+  for (const ChaosProfile& p : kProfiles) {
+    if (name == p.name) return p;
+  }
+  throw std::invalid_argument("chaos: unknown profile \"" + name + "\"");
+}
+
+std::vector<FaultEvent> sample_plan(const ChaosSpec& spec, std::uint64_t run_seed,
+                                    SimTime from, SimTime until,
+                                    std::size_t num_targets) {
+  std::vector<FaultEvent> plan;
+  if (num_targets == 0 || until <= from) return plan;
+  const ChaosProfile& prof = profile_by_name(spec.profile);
+
+  const double window_s = to_seconds(until - from);
+  std::size_t n = static_cast<std::size_t>(std::llround(prof.events_per_s * window_s));
+  if (n == 0) n = 1;  // a campaign with a window always gets at least one fault
+  if (spec.budget > 0) n = std::min<std::size_t>(n, spec.budget);
+  n = std::min(n, kMaxEvents);
+
+  double total_weight = 0;
+  for (const double w : spec.weights) total_weight += w;
+
+  // The campaign seed: the spec's own, or a pure derivation of the run seed
+  // (constant tag keeps it decorrelated from every other substream consumer).
+  const Rng root(spec.seed != 0 ? spec.seed : run_seed ^ 0xC0A5C0DE5EEDull);
+
+  plan.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Everything about event k comes from substream(k): the schedule is
+    // independent of sampling order and of any other Rng consumer.
+    Rng sub = root.substream(k);
+    FaultEvent ev;
+    ev.id = static_cast<std::uint32_t>(k);
+    ev.at = from + static_cast<SimTime>(sub.uniform() * static_cast<double>(until - from));
+    ev.duration = static_cast<SimTime>(
+        sub.uniform(static_cast<double>(prof.min_duration),
+                    static_cast<double>(prof.max_duration)));
+    double pick = sub.uniform() * total_weight;
+    std::size_t prim = 0;
+    for (; prim + 1 < kNumPrimitives; ++prim) {
+      pick -= spec.weights[prim];
+      if (pick < 0) break;
+    }
+    ev.primitive = static_cast<Primitive>(prim);
+    ev.target = static_cast<std::size_t>(
+        sub.uniform_int(0, static_cast<std::int64_t>(num_targets) - 1));
+    ev.intensity = prof.intensity;
+    ev.seed = sub.engine()();
+    plan.push_back(ev);
+  }
+
+  std::sort(plan.begin(), plan.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    return a.at != b.at ? a.at < b.at : a.id < b.id;
+  });
+  return plan;
+}
+
+ChaosDriver::ChaosDriver(EventList& events)
+    : EventSource("chaos"), events_(events) {}
+
+ChaosDriver::~ChaosDriver() {
+  // The injectors die with the driver; unhook them from pipes that may
+  // outlive it.
+  for (std::size_t i = 0; i < pipes_.size(); ++i) {
+    if (pipes_[i]->fault_hook() == injectors_[i].get()) {
+      pipes_[i]->set_fault_hook(nullptr);
+    }
+  }
+}
+
+void ChaosDriver::add_pipe(std::string name, Pipe* pipe) {
+  assert(!armed_ && "add_pipe before arm()");
+  assert(pipe != nullptr);
+  names_.push_back(std::move(name));
+  pipes_.push_back(pipe);
+  injectors_.push_back(std::make_unique<FaultInjector>());
+  pipe->set_fault_hook(injectors_.back().get());
+}
+
+void ChaosDriver::add_link(const std::string& name, const dyn::LinkHandle& handle) {
+  if (handle.fwd_pipe != nullptr) add_pipe(name + ".fwd", handle.fwd_pipe);
+  if (handle.rev_pipe != nullptr) add_pipe(name + ".rev", handle.rev_pipe);
+}
+
+void ChaosDriver::add_network(Network& net) {
+  for (Pipe* pipe : net.pipes()) add_pipe("pipe" + std::to_string(pipes_.size()), pipe);
+}
+
+void ChaosDriver::arm(const ChaosSpec& spec, std::uint64_t run_seed,
+                      SimTime default_from, SimTime default_until) {
+  assert(!armed_ && "ChaosDriver::arm may be called once");
+  armed_ = true;
+  if (pipes_.empty()) {
+    throw std::invalid_argument("chaos: no pipes registered before arm()");
+  }
+  const SimTime from = spec.until != 0 ? spec.from : default_from;
+  const SimTime until = spec.until != 0 ? spec.until : default_until;
+  if (until <= from) {
+    throw std::invalid_argument("chaos: campaign window is empty");
+  }
+
+  plan_ = sample_plan(spec, run_seed, from, until, pipes_.size());
+  if (plan_.empty()) return;
+  mtbf_s_ = to_seconds(until - from) / static_cast<double>(plan_.size());
+
+  steps_.reserve(plan_.size() * 2);
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    steps_.push_back(Step{plan_[i].at, i, true});
+    steps_.push_back(Step{plan_[i].at + plan_[i].duration, i, false});
+    last_fault_clear_ = std::max(last_fault_clear_, plan_[i].at + plan_[i].duration);
+  }
+  std::stable_sort(steps_.begin(), steps_.end(),
+                   [](const Step& a, const Step& b) { return a.at < b.at; });
+
+  events_.schedule_at(this, std::max(steps_[0].at, events_.now()));
+}
+
+void ChaosDriver::do_next_event() {
+  const SimTime now = events_.now();
+  while (next_ < steps_.size() && steps_[next_].at <= now) {
+    const Step& step = steps_[next_];
+    const FaultEvent& ev = plan_[step.event];
+    FaultInjector& inj = *injectors_[ev.target];
+    if (step.open) {
+      inj.activate(ev.primitive, ev.intensity, ev.seed, ev.id);
+      ++faults_applied_;
+      MPCC_PERF_COUNT_AT(perf_ctrs_, chaos_faults);
+      obs::metrics().counter("chaos.faults").inc();
+    } else {
+      inj.deactivate(ev.id);
+    }
+    ++next_;
+  }
+  if (next_ < steps_.size()) events_.schedule_at(this, steps_[next_].at);
+}
+
+std::uint64_t ChaosDriver::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& inj : injectors_) total += inj->injected();
+  return total;
+}
+
+}  // namespace mpcc::chaos

@@ -1,0 +1,125 @@
+// ChaosPlan: expands a ChaosSpec into a deterministic fault schedule, and
+// ChaosDriver executes that schedule against live pipes.
+//
+// Determinism contract: fault event k is sampled entirely from
+// `root.substream(k)` where `root` is an Rng built from the campaign seed
+// (spec.seed, or a pure derivation of the run seed when 0). substream() is
+// order-independent, so the schedule is a pure function of
+// (spec, run seed, window, target count) — identical across `--jobs`
+// parallelism, `--resume`, and any sampling order. Execution schedules only
+// against the run's own EventList, and the per-window perturbation draws
+// come from the event's own seed (chaos/injector.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/injector.h"
+#include "chaos/spec.h"
+#include "sim/event_list.h"
+
+namespace mpcc {
+class Network;
+}  // namespace mpcc
+
+namespace mpcc::dyn {
+struct LinkHandle;
+}  // namespace mpcc::dyn
+
+namespace mpcc::chaos {
+
+/// Intensity profile: how often faults open, how long they last, and how
+/// aggressively packets are perturbed while one is active.
+struct ChaosProfile {
+  const char* name;
+  double events_per_s;   ///< mean fault-window arrivals per sim second
+  SimTime min_duration;
+  SimTime max_duration;
+  double intensity;      ///< per-packet perturbation probability
+};
+
+/// Returns the named profile; throws std::invalid_argument on unknown names
+/// (ChaosSpec::parse already validates, so this only throws on programmatic
+/// misuse).
+const ChaosProfile& profile_by_name(const std::string& name);
+
+/// One scheduled fault window.
+struct FaultEvent {
+  SimTime at = 0;
+  SimTime duration = 0;
+  Primitive primitive = Primitive::kCorrupt;
+  std::size_t target = 0;      ///< index into the driver's registered pipes
+  double intensity = 0;
+  std::uint64_t seed = 0;      ///< per-window perturbation stream seed
+  std::uint32_t id = 0;        ///< activation/clear pairing token
+};
+
+/// Samples the fault schedule for a spec over [from, until) across
+/// `num_targets` pipes. Pure function of its arguments; sorted by (at, id).
+std::vector<FaultEvent> sample_plan(const ChaosSpec& spec, std::uint64_t run_seed,
+                                    SimTime from, SimTime until,
+                                    std::size_t num_targets);
+
+class ChaosDriver final : public EventSource {
+ public:
+  explicit ChaosDriver(EventList& events);
+  ~ChaosDriver() override;
+
+  /// Registers one pipe as a fault target and installs its injector (the
+  /// injector stays installed, idle, for the pipe's lifetime). Must happen
+  /// before arm(). Registration order defines target indices, so register
+  /// in a deterministic order.
+  void add_pipe(std::string name, Pipe* pipe);
+
+  /// Convenience: registers the forward and reverse pipes of a dyn link.
+  void add_link(const std::string& name, const dyn::LinkHandle& handle);
+
+  /// Convenience: registers every pipe the network created, in creation
+  /// order (fleet fabrics).
+  void add_network(Network& net);
+
+  /// Expands the spec over [from, until) — used verbatim when the spec
+  /// carries its own window, with `default_from`/`default_until` filling in
+  /// when spec.until == 0 — and schedules execution. May be called once;
+  /// throws std::invalid_argument if no pipes are registered or the window
+  /// is empty.
+  void arm(const ChaosSpec& spec, std::uint64_t run_seed, SimTime default_from,
+           SimTime default_until);
+
+  void do_next_event() override;
+
+  // --- introspection -------------------------------------------------------
+  std::size_t events_total() const { return plan_.size(); }
+  std::uint64_t faults_applied() const { return faults_applied_; }
+  /// Sum of packets perturbed across all registered injectors.
+  std::uint64_t injected_total() const;
+  /// Time the last scheduled fault window closes (0 before arm()).
+  SimTime last_fault_clear() const { return last_fault_clear_; }
+  /// Campaign horizon / fault count (0 when the plan is empty).
+  double mtbf_s() const { return mtbf_s_; }
+  const std::vector<FaultEvent>& plan() const { return plan_; }
+
+ private:
+  struct Step {
+    SimTime at = 0;
+    std::size_t event = 0;  ///< index into plan_
+    bool open = true;       ///< open or clear the window
+  };
+
+  EventList& events_;
+  std::vector<std::string> names_;
+  std::vector<Pipe*> pipes_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  std::vector<FaultEvent> plan_;
+  std::vector<Step> steps_;  ///< time-sorted open/clear actions
+  std::size_t next_ = 0;
+  std::uint64_t faults_applied_ = 0;
+  SimTime last_fault_clear_ = 0;
+  double mtbf_s_ = 0;
+  bool armed_ = false;
+  obs::PerfCounters* perf_ctrs_ = nullptr;
+};
+
+}  // namespace mpcc::chaos

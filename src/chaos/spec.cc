@@ -1,0 +1,268 @@
+#include "chaos/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcc::chaos {
+
+const char* primitive_name(Primitive p) {
+  switch (p) {
+    case Primitive::kCorrupt:
+      return "corrupt";
+    case Primitive::kReorder:
+      return "reorder";
+    case Primitive::kDuplicate:
+      return "duplicate";
+    case Primitive::kBlackhole:
+      return "blackhole";
+    case Primitive::kBurstDrop:
+      return "burstdrop";
+  }
+  return "?";
+}
+
+bool primitive_from_name(const std::string& name, Primitive& out) {
+  for (std::size_t i = 0; i < kNumPrimitives; ++i) {
+    const auto p = static_cast<Primitive>(i);
+    if (name == primitive_name(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Same tokenizer/diagnostic machinery as dyn/script.cc: comment stripping is
+// length-preserving so token offsets into the cleaned text are offsets into
+// the source, and every error carries an exact line:col.
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+struct StmtCtx {
+  const std::string& source;
+  std::string stmt_text;
+  std::size_t offset = 0;
+};
+
+[[noreturn]] void fail(const StmtCtx& ctx, const std::string& why) {
+  std::size_t line = 1, col = 1;
+  for (std::size_t i = 0; i < ctx.offset && i < ctx.source.size(); ++i) {
+    if (ctx.source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  throw std::invalid_argument("chaos spec line " + std::to_string(line) +
+                              ", col " + std::to_string(col) +
+                              ": bad statement \"" + ctx.stmt_text + "\": " + why);
+}
+
+bool split_number(const std::string& token, double& number, std::string& suffix) {
+  std::size_t consumed = 0;
+  try {
+    number = std::stod(token, &consumed);
+  } catch (...) {
+    return false;
+  }
+  if (consumed == 0 || !std::isfinite(number)) return false;
+  suffix = token.substr(consumed);
+  return true;
+}
+
+bool parse_time(const std::string& token, SimTime& out) {
+  double v = 0;
+  std::string unit;
+  if (!split_number(token, v, unit)) return false;
+  if (unit == "s") {
+    out = seconds(v);
+  } else if (unit == "ms") {
+    out = ms(v);
+  } else if (unit == "us") {
+    out = us(v);
+  } else if (unit == "ns") {
+    out = ns(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_number(const std::string& token, double& out) {
+  std::string rest;
+  return split_number(token, out, rest) && rest.empty();
+}
+
+std::vector<Token> tokenize(const std::string& clean, std::size_t begin,
+                            std::size_t end) {
+  std::vector<Token> tokens;
+  std::size_t i = begin;
+  while (i < end) {
+    while (i < end && std::isspace(static_cast<unsigned char>(clean[i]))) ++i;
+    if (i >= end) break;
+    const std::size_t token_start = i;
+    while (i < end && !std::isspace(static_cast<unsigned char>(clean[i]))) ++i;
+    tokens.push_back(Token{clean.substr(token_start, i - token_start), token_start});
+  }
+  return tokens;
+}
+
+std::string render_time(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%gms", to_ms(t));
+  return buf;
+}
+
+std::string render_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+ChaosSpec ChaosSpec::parse(const std::string& text) {
+  ChaosSpec spec;
+  bool saw_profile = false, saw_seed = false, saw_budget = false;
+  bool saw_from = false, saw_until = false;
+  std::array<bool, kNumPrimitives> saw_weight{};
+
+  std::string clean;
+  clean.reserve(text.size());
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    clean.push_back(in_comment || c == '\n' ? ' ' : c);
+  }
+
+  std::size_t start = 0;
+  while (start <= clean.size()) {
+    const std::size_t semi = std::min(clean.find(';', start), clean.size());
+    const std::vector<Token> tokens = tokenize(clean, start, semi);
+    const bool last_segment = semi == clean.size();
+    start = semi + 1;
+
+    if (tokens.empty()) {
+      if (last_segment) break;
+      continue;  // empty segment (trailing ';')
+    }
+
+    StmtCtx ctx{text, std::string(), tokens[0].offset};
+    for (const Token& t : tokens) {
+      if (!ctx.stmt_text.empty()) ctx.stmt_text += ' ';
+      ctx.stmt_text += t.text;
+    }
+
+    const std::string& verb = tokens[0].text;
+    if (verb == "profile") {
+      if (tokens.size() != 2) fail(ctx, "profile takes one name");
+      if (saw_profile) fail(ctx, "duplicate profile statement");
+      const std::string& name = tokens[1].text;
+      if (name != "calm" && name != "flaky" && name != "hostile") {
+        fail(ctx, "unknown profile \"" + name + "\" (calm|flaky|hostile)");
+      }
+      spec.profile = name;
+      saw_profile = true;
+    } else if (verb == "seed") {
+      if (tokens.size() != 2) fail(ctx, "seed takes one integer");
+      if (saw_seed) fail(ctx, "duplicate seed statement");
+      double v = 0;
+      if (!parse_number(tokens[1].text, v) || v < 0 || v != std::floor(v)) {
+        fail(ctx, "\"" + tokens[1].text + "\" is not a non-negative integer");
+      }
+      spec.seed = static_cast<std::uint64_t>(v);
+      saw_seed = true;
+    } else if (verb == "budget") {
+      if (tokens.size() != 2) fail(ctx, "budget takes one integer");
+      if (saw_budget) fail(ctx, "duplicate budget statement");
+      double v = 0;
+      if (!parse_number(tokens[1].text, v) || v < 0 || v != std::floor(v)) {
+        fail(ctx, "\"" + tokens[1].text + "\" is not a non-negative integer");
+      }
+      spec.budget = static_cast<std::uint32_t>(v);
+      saw_budget = true;
+    } else if (verb == "weight") {
+      if (tokens.size() != 3) fail(ctx, "weight form is: weight <primitive> <w>");
+      Primitive p;
+      if (!primitive_from_name(tokens[1].text, p)) {
+        fail(ctx, "unknown primitive \"" + tokens[1].text +
+                      "\" (corrupt|reorder|duplicate|blackhole|burstdrop)");
+      }
+      if (saw_weight[static_cast<std::size_t>(p)]) {
+        fail(ctx, "duplicate weight for \"" + tokens[1].text + "\"");
+      }
+      double w = 0;
+      if (!parse_number(tokens[2].text, w) || w < 0) {
+        fail(ctx, "weight must be a number >= 0, got \"" + tokens[2].text + "\"");
+      }
+      spec.weights[static_cast<std::size_t>(p)] = w;
+      saw_weight[static_cast<std::size_t>(p)] = true;
+    } else if (verb == "from" || verb == "until") {
+      const bool is_from = verb == "from";
+      if (tokens.size() != 2) fail(ctx, verb + " takes one time");
+      if (is_from ? saw_from : saw_until) {
+        fail(ctx, "duplicate " + verb + " statement");
+      }
+      SimTime t = 0;
+      if (!parse_time(tokens[1].text, t) || t < 0) {
+        fail(ctx, "\"" + tokens[1].text + "\" is not a time >= 0 (e.g. 2s, 500ms)");
+      }
+      (is_from ? spec.from : spec.until) = t;
+      (is_from ? saw_from : saw_until) = true;
+    } else {
+      fail(ctx, "unknown statement \"" + verb +
+                    "\" (profile|seed|budget|weight|from|until)");
+    }
+  }
+
+  if (saw_from && saw_until && spec.until != 0 && spec.until <= spec.from) {
+    throw std::invalid_argument(
+        "chaos spec: campaign window is empty (until <= from)");
+  }
+  double total = 0;
+  for (const double w : spec.weights) total += w;
+  if (total <= 0) {
+    throw std::invalid_argument("chaos spec: all primitive weights are zero");
+  }
+  return spec;
+}
+
+ChaosSpec ChaosSpec::parse_or_load(const std::string& spec) {
+  if (spec.empty() || spec[0] != '@') return parse(spec);
+  const std::string path = spec.substr(1);
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("chaos spec: cannot read file \"" + path + "\"");
+  }
+  std::ostringstream text;
+  text << is.rdbuf();
+  return parse(text.str());
+}
+
+std::string ChaosSpec::to_string() const {
+  std::string out = "profile " + profile;
+  if (seed != 0) out += "; seed " + std::to_string(seed);
+  if (budget != 0) out += "; budget " + std::to_string(budget);
+  for (std::size_t i = 0; i < kNumPrimitives; ++i) {
+    if (weights[i] != 1) {
+      out += "; weight " + std::string(primitive_name(static_cast<Primitive>(i))) +
+             " " + render_value(weights[i]);
+    }
+  }
+  if (from != 0) out += "; from " + render_time(from);
+  if (until != 0) out += "; until " + render_time(until);
+  return out;
+}
+
+}  // namespace mpcc::chaos

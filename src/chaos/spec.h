@@ -1,0 +1,67 @@
+// ChaosSpec: the declarative configuration of one chaos campaign.
+//
+// A chaos campaign is a deterministic schedule of transient fault events
+// (what primitive / where / when / for how long) sampled from a named
+// intensity profile. The spec is pure data: the same spec + the same run
+// seed always expands to the same schedule (chaos/plan.h), so campaigns are
+// bit-identical across `--jobs` parallelism and `--checkpoint`/`--resume`.
+//
+// Text syntax (';'-separated statements, '#' comments, order-free):
+//
+//   profile flaky                intensity profile: calm | flaky | hostile
+//   seed 7                       campaign seed (0 = derive from the run seed)
+//   budget 12                    cap on the number of fault events (0 = none)
+//   weight corrupt 2             relative sampling weight of one primitive
+//   from 2s                      campaign window start
+//   until 20s                    campaign window end (0 = runner default)
+//
+// Primitives: corrupt | reorder | duplicate | blackhole | burstdrop.
+// A spec of the form "@path/file.chaos" is read from that file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace mpcc::chaos {
+
+/// The five seeded packet perturbations chaos can drive through a Pipe's
+/// fault hook (net/pipe.h).
+enum class Primitive : std::uint8_t {
+  kCorrupt = 0,   ///< set Packet::corrupted; endpoints discard (checksum model)
+  kReorder,       ///< swap adjacent in-flight packets inside the pipe
+  kDuplicate,     ///< deliver a twin copy of the packet
+  kBlackhole,     ///< silently drop ACKs only (data passes)
+  kBurstDrop,     ///< silently drop any packet
+};
+
+inline constexpr std::size_t kNumPrimitives = 5;
+
+const char* primitive_name(Primitive p);
+/// Returns false if `name` is not a primitive name.
+bool primitive_from_name(const std::string& name, Primitive& out);
+
+struct ChaosSpec {
+  std::string profile = "flaky";  ///< calm | flaky | hostile
+  std::uint64_t seed = 0;         ///< 0 = derive from the run seed
+  std::uint32_t budget = 0;       ///< max fault events; 0 = profile decides
+  /// Relative sampling weights, indexed by Primitive. All-equal by default;
+  /// a weight of 0 disables that primitive.
+  std::array<double, kNumPrimitives> weights{1, 1, 1, 1, 1};
+  SimTime from = 0;   ///< campaign window start
+  SimTime until = 0;  ///< campaign window end; 0 = runner supplies a default
+
+  /// Parses the text syntax above. Throws std::invalid_argument with the
+  /// source line:col, the offending statement, and a precise reason.
+  static ChaosSpec parse(const std::string& text);
+
+  /// Like parse(), but "@path" loads the file first.
+  static ChaosSpec parse_or_load(const std::string& spec);
+
+  /// Renders back to the text syntax; parse(to_string()) round-trips.
+  std::string to_string() const;
+};
+
+}  // namespace mpcc::chaos

@@ -13,4 +13,9 @@ void FctRecorder::record(Bytes size, SimTime fct, double energy_j) {
   energy_j_ += energy_j;
 }
 
+void FctRecorder::record_dead(Bytes size) {
+  ++dead_;
+  dead_bytes_ += size;
+}
+
 }  // namespace mpcc::fleet

@@ -23,7 +23,14 @@ class FctRecorder {
   /// and the sender-side energy attributed to it (joules).
   void record(Bytes size, SimTime fct, double energy_j);
 
+  /// Records one flow declared dead (every subflow in the consecutive-RTO
+  /// dead state, PR-3): a terminal outcome, counted in its own class so
+  /// dead flows never skew the completion-time percentiles.
+  void record_dead(Bytes size);
+
   std::uint64_t completed() const { return completed_; }
+  std::uint64_t dead() const { return dead_; }
+  Bytes dead_bytes() const { return dead_bytes_; }
   Bytes bytes() const { return bytes_; }
   double energy_j() const { return energy_j_; }
 
@@ -52,6 +59,8 @@ class FctRecorder {
   std::uint64_t completed_ = 0;
   Bytes bytes_ = 0;
   double energy_j_ = 0.0;
+  std::uint64_t dead_ = 0;      // flows declared dead, not completed
+  Bytes dead_bytes_ = 0;        // their (undelivered) flow sizes
 };
 
 }  // namespace mpcc::fleet

@@ -105,6 +105,7 @@ Rig& FlowFactory::acquire(std::size_t src, std::size_t dst,
   const std::string name = "fleet:r" + std::to_string(rigs_.size());
   MptcpConfig mc;
   mc.subflow.min_rto = config_.min_rto;
+  mc.subflow.dead_after_timeouts = config_.dead_after_timeouts;
   mc.recv_buffer = config_.recv_buffer;
   mc.flow_size = size;
   r->conn = std::make_unique<MptcpConnection>(

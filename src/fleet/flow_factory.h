@@ -43,6 +43,9 @@ struct FlowFactoryConfig {
   /// Subflow TcpConfig overrides (datacenter flows want a short min RTO).
   SimTime min_rto = 10 * kMillisecond;
   Bytes recv_buffer = 0;  ///< connection receive buffer, 0 = unlimited
+  /// Consecutive RTOs before a subflow is declared dead (0 = never).
+  /// Chaos campaigns set this so a blackholed flow terminates honestly.
+  int dead_after_timeouts = 0;
   /// Idle time before a drained rig may be rebound to a new host pair: must
   /// exceed the worst-case residual life of a packet on the old routes
   /// (path RTT plus queueing).
@@ -97,6 +100,12 @@ class FlowFactory {
   std::uint64_t rigs_reused() const { return rigs_reused_; }
   std::uint64_t rigs_rebound() const { return rigs_rebound_; }
   std::size_t rig_count() const { return rigs_.size(); }
+
+  /// Visits every rig (active and parked), for end-of-run audits such as
+  /// the fleet dead-flow scan.
+  void for_each_rig(const std::function<void(const Rig&)>& fn) const {
+    for (const auto& rig : rigs_) fn(*rig);
+  }
 
  private:
   Rig* take_same_pair(std::size_t src, std::size_t dst);

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "chaos/plan.h"
 #include "energy/cpu_power.h"
 #include "fleet/arrival_engine.h"
 #include "fleet/fct_recorder.h"
@@ -66,6 +67,7 @@ FleetResult run_fleet(SimContext& ctx, const FleetOptions& options) {
   factory_config.price = options.price;
   factory_config.min_rto = options.min_rto;
   factory_config.recv_buffer = options.recv_buffer;
+  if (!options.chaos.empty()) factory_config.dead_after_timeouts = 6;
 
   ArrivalEngineConfig engine_config;
   engine_config.arrivals = options.arrivals;
@@ -83,6 +85,16 @@ FleetResult run_fleet(SimContext& ctx, const FleetOptions& options) {
     background =
         std::make_unique<FluidBackgroundDriver>(net, fabric, options.background);
     background->start();
+  }
+
+  // Chaos campaign over the fabric pipes created so far (rig endpoint
+  // routes reuse fabric hops, so this covers every path a flow can take).
+  std::unique_ptr<chaos::ChaosDriver> chaos_driver;
+  if (!options.chaos.empty()) {
+    chaos_driver = std::make_unique<chaos::ChaosDriver>(net.events());
+    chaos_driver->add_network(net);
+    chaos_driver->arm(chaos::ChaosSpec::parse_or_load(options.chaos), options.seed,
+                      options.duration / 10, options.duration / 2);
   }
 
   engine.start(0);
@@ -106,6 +118,21 @@ FleetResult run_fleet(SimContext& ctx, const FleetOptions& options) {
   result.rigs_reused = engine.factory().rigs_reused();
   result.rigs_rebound = engine.factory().rigs_rebound();
   if (background != nullptr) result.background_ticks = background->ticks();
+  if (chaos_driver != nullptr) {
+    result.chaos_faults = chaos_driver->faults_applied();
+    result.chaos_injected = chaos_driver->injected_total();
+    // Dead-flow scan: an active rig whose flow is incomplete with every
+    // subflow RTO-dead is a terminal outcome, classed separately from
+    // completions (liveness contract).
+    engine.factory().for_each_rig([&](const Rig& rig) {
+      if (rig.parked || rig.conn->complete()) return;
+      for (const Subflow* sf : rig.conn->subflows()) {
+        if (!sf->dead()) return;
+      }
+      fct.record_dead(rig.flow_size);
+      ++result.flows_dead;
+    });
+  }
   return result;
 }
 

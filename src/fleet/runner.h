@@ -45,6 +45,11 @@ struct FleetOptions {
   /// background driver (requires a fabric topology: fattree or vl2).
   std::string fidelity = "packet";
   FluidBackgroundConfig background;
+
+  /// Chaos campaign over every fabric pipe (chaos/spec.h syntax, or
+  /// "@file"); empty = no faults. Also enables the consecutive-RTO dead
+  /// declaration on every subflow and the end-of-run dead-flow scan.
+  std::string chaos;
 };
 
 struct FleetResult {
@@ -71,6 +76,11 @@ struct FleetResult {
   std::uint64_t rigs_rebound = 0;
 
   std::uint64_t background_ticks = 0;  ///< hybrid mode: fluid driver ticks
+
+  // Chaos campaign evidence (zero when options.chaos is empty):
+  std::uint64_t flows_dead = 0;      ///< flows declared dead (all subflows RTO-dead)
+  std::uint64_t chaos_faults = 0;    ///< fault windows opened
+  std::uint64_t chaos_injected = 0;  ///< packets perturbed
 };
 
 FleetResult run_fleet(SimContext& ctx, const FleetOptions& options);

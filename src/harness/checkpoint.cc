@@ -208,6 +208,19 @@ bool parse_entry_line(const std::string& line, std::size_t line_no,
         entry.perf.packets_enqueued = u64("packets_enqueued");
         entry.perf.packets_forwarded = u64("packets_forwarded");
         entry.perf.packets_dropped = u64("packets_dropped");
+        entry.perf.down_drops = u64("down_drops");
+        entry.perf.flight_drops = u64("flight_drops");
+        entry.perf.flows_dead = u64("flows_dead");
+        entry.perf.chaos_corrupted = u64("chaos_corrupted");
+        entry.perf.chaos_reordered = u64("chaos_reordered");
+        entry.perf.chaos_duplicated = u64("chaos_duplicated");
+        entry.perf.chaos_blackholed = u64("chaos_blackholed");
+        entry.perf.chaos_faults = u64("chaos_faults");
+        {
+          const auto it = pf.find("recovery_s");
+          entry.perf.recovery_s = it != pf.end() ? it->second : -1.0;
+        }
+        entry.perf.mtbf_s = f64("mtbf_s");
         entry.perf.allocs = u64("allocs");
         entry.perf.alloc_bytes = u64("alloc_bytes");
         entry.perf.pool_hits = u64("pool_hits");
@@ -275,6 +288,16 @@ void CheckpointWriter::append(const CheckpointEntry& entry) {
        << ",\"packets_enqueued\":" << pf.packets_enqueued
        << ",\"packets_forwarded\":" << pf.packets_forwarded
        << ",\"packets_dropped\":" << pf.packets_dropped
+       << ",\"down_drops\":" << pf.down_drops
+       << ",\"flight_drops\":" << pf.flight_drops
+       << ",\"flows_dead\":" << pf.flows_dead
+       << ",\"chaos_corrupted\":" << pf.chaos_corrupted
+       << ",\"chaos_reordered\":" << pf.chaos_reordered
+       << ",\"chaos_duplicated\":" << pf.chaos_duplicated
+       << ",\"chaos_blackholed\":" << pf.chaos_blackholed
+       << ",\"chaos_faults\":" << pf.chaos_faults
+       << ",\"recovery_s\":" << json_double(pf.recovery_s)
+       << ",\"mtbf_s\":" << json_double(pf.mtbf_s)
        << ",\"allocs\":" << pf.allocs << ",\"alloc_bytes\":" << pf.alloc_bytes
        << ",\"pool_hits\":" << pf.pool_hits
        << ",\"pool_misses\":" << pf.pool_misses

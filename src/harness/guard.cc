@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "chaos/oracle.h"
 #include "sim/invariants.h"
 
 namespace mpcc::harness {
@@ -12,6 +13,7 @@ const char* run_error_kind_name(RunErrorKind kind) {
     case RunErrorKind::kNone: return "none";
     case RunErrorKind::kInvariantViolation: return "invariant";
     case RunErrorKind::kTimedOut: return "timeout";
+    case RunErrorKind::kOracleViolation: return "oracle";
     case RunErrorKind::kInvalidArgument: return "invalid_argument";
     case RunErrorKind::kRuntimeError: return "runtime_error";
     case RunErrorKind::kUnknownException: return "unknown";
@@ -23,6 +25,7 @@ RunErrorKind run_error_kind_from_name(const std::string& name) {
   if (name == "none") return RunErrorKind::kNone;
   if (name == "invariant") return RunErrorKind::kInvariantViolation;
   if (name == "timeout") return RunErrorKind::kTimedOut;
+  if (name == "oracle") return RunErrorKind::kOracleViolation;
   if (name == "invalid_argument") return RunErrorKind::kInvalidArgument;
   if (name == "unknown") return RunErrorKind::kUnknownException;
   return RunErrorKind::kRuntimeError;
@@ -82,6 +85,11 @@ RunReport guarded_run(SimContext& ctx, const GuardOptions& options,
       report.kind = RunErrorKind::kTimedOut;
       report.message = e.what();
       report.sim_time = e.sim_time();
+    } catch (const chaos::OracleViolation& e) {
+      report.kind = RunErrorKind::kOracleViolation;
+      report.message = e.what();
+      report.domain = e.oracle();
+      report.sim_time = ctx.now();
     } catch (const std::invalid_argument& e) {
       report.kind = RunErrorKind::kInvalidArgument;
       report.message = e.what();

@@ -25,6 +25,7 @@ enum class RunErrorKind {
   kNone = 0,
   kInvariantViolation,  ///< MPCC_CHECK* tripped (sim/invariants.h)
   kTimedOut,            ///< watchdog: wall deadline or event budget
+  kOracleViolation,     ///< chaos protocol oracle failed (chaos/oracle.h)
   kInvalidArgument,     ///< bad parameters (std::invalid_argument)
   kRuntimeError,        ///< any other std::exception
   kUnknownException,    ///< non-std::exception object thrown

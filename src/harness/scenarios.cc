@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 #include "cc/registry.h"
+#include "chaos/oracle.h"
+#include "chaos/plan.h"
 #include "dyn/driver.h"
 #include "dyn/reactive.h"
 #include "energy/path_selector.h"
@@ -42,10 +46,26 @@ TwoPathResult run_two_path(SimContext& ctx, const TwoPathOptions& options) {
   Network net(ctx);
   TwoPath topo(net, options.topo);
 
-  auto* conn = net.emplace<MptcpConnection>(
-      net, "mptcp", make_mptcp_config(-1, 200 * kMillisecond),
-      make_multipath_cc(options.cc, options.price));
+  MptcpConfig mcfg = make_mptcp_config(-1, 200 * kMillisecond);
+  // Under chaos a subflow can be starved indefinitely (ack blackhole);
+  // consecutive-RTO dead declaration keeps the liveness oracle honest.
+  if (!options.chaos.empty()) mcfg.subflow.dead_after_timeouts = 6;
+  auto* conn = net.emplace<MptcpConnection>(net, "mptcp", mcfg,
+                                            make_multipath_cc(options.cc, options.price));
   for (const PathSpec& path : topo.paths()) conn->add_subflow(path);
+
+  std::unique_ptr<chaos::ChaosDriver> chaos_driver;
+  std::unique_ptr<chaos::StreamOracle> stream_oracle;
+  std::unique_ptr<chaos::LivenessOracle> liveness;
+  if (!options.chaos.empty()) {
+    chaos_driver = std::make_unique<chaos::ChaosDriver>(net.events());
+    chaos_driver->add_network(net);
+    chaos_driver->arm(chaos::ChaosSpec::parse_or_load(options.chaos), options.seed,
+                      options.duration / 10, options.duration / 2);
+    stream_oracle = std::make_unique<chaos::StreamOracle>(*conn);
+    liveness = std::make_unique<chaos::LivenessOracle>(net.events(), *conn);
+    liveness->start();
+  }
 
   WiredCpuPower power_model;
   HostMeter meter(net, "host", power_model);
@@ -77,6 +97,12 @@ TwoPathResult run_two_path(SimContext& ctx, const TwoPathOptions& options) {
   }
   result.run.retransmit_rate =
       sent > 0 ? static_cast<double>(retx) / static_cast<double>(sent) : 0.0;
+  if (stream_oracle != nullptr) {
+    stream_oracle->verify();
+    result.chaos_faults = chaos_driver->faults_applied();
+    result.chaos_injected = chaos_driver->injected_total();
+    result.oracle_checks = stream_oracle->checks() + liveness->checks();
+  }
   if (options.record_trace) {
     for (const auto& [t, w] : meter.meter().trace()) result.power_trace.add(t, w);
     if (const TimeSeries* s = recorder.series("goodput")) result.tput_trace = *s;
@@ -140,12 +166,32 @@ DumbbellResult run_dumbbell(SimContext& ctx, const DumbbellOptions& options) {
     conns.push_back(conn);
   }
 
+  std::unique_ptr<chaos::ChaosDriver> chaos_driver;
+  std::vector<std::unique_ptr<chaos::StreamOracle>> oracles;
+  if (!options.chaos.empty()) {
+    chaos_driver = std::make_unique<chaos::ChaosDriver>(net.events());
+    chaos_driver->add_network(net);
+    chaos_driver->arm(chaos::ChaosSpec::parse_or_load(options.chaos), options.seed,
+                      options.max_time / 20, options.max_time / 4);
+    for (MptcpConnection* conn : conns) {
+      oracles.push_back(std::make_unique<chaos::StreamOracle>(*conn));
+    }
+  }
+
   // Run until all MPTCP transfers finish (or the safety cap).
   while (remaining > 0 && net.now() < options.max_time) {
     net.events().run_until(net.now() + kSecond);
   }
   result.incomplete = remaining;
   for (const auto& m : meters) result.total_energy_j += m->energy_j();
+  for (const auto& oracle : oracles) {
+    oracle->verify();
+    result.oracle_checks += oracle->checks();
+  }
+  if (chaos_driver != nullptr) {
+    result.chaos_faults = chaos_driver->faults_applied();
+    result.chaos_injected = chaos_driver->injected_total();
+  }
   return result;
 }
 
@@ -539,6 +585,222 @@ FlakyWifiResult run_flaky_wifi(SimContext& ctx, const FlakyWifiOptions& options)
   result.wifi_share_before = share(wifi_at, cell_at);
   result.wifi_share_after =
       share(result.wifi_bytes - wifi_at, result.cell_bytes - cell_at);
+  return result;
+}
+
+// ------------------------------------------------------ chaos self-healing
+
+namespace {
+
+/// One complete two-path rig for the differential check. Members are
+/// declared in dependency order (the meter references the power model, the
+/// topology and connection live in the network).
+struct HealRig {
+  WiredCpuPower power;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<TwoPath> topo;
+  MptcpConnection* conn = nullptr;
+  std::unique_ptr<HostMeter> meter;
+
+  // Previous-window snapshots for rate-split / energy-per-byte deltas.
+  Bytes prev_sf0 = 0, prev_sf1 = 0, prev_delivered = 0;
+  double prev_energy = 0;
+
+  /// Raw per-window deltas; ratios are formed over suffix aggregates.
+  struct WindowSample {
+    Bytes d0 = 0, d1 = 0, dd = 0;
+    double de = 0;
+  };
+
+  void build(SimContext& c, const ChaosHealOptions& options, bool faulted) {
+    net = std::make_unique<Network>(c);
+    topo = std::make_unique<TwoPath>(*net, options.topo);
+    MptcpConfig cfg = make_mptcp_config(-1, 200 * kMillisecond);
+    // Both rigs get identical configs — the only difference between them
+    // may be the fault injection itself.
+    cfg.subflow.dead_after_timeouts = 6;
+    conn = net->emplace<MptcpConnection>(*net, "mptcp", cfg,
+                                         make_multipath_cc(options.cc, options.price));
+    for (const PathSpec& path : topo->paths()) conn->add_subflow(path);
+    meter = std::make_unique<HostMeter>(*net, "host", power);
+    meter->probe().add_connection(conn);
+    meter->start();
+    topo->start_cross_traffic(0);
+    conn->start(100 * kMillisecond);
+    (void)faulted;
+  }
+
+  /// Advances the previous-window snapshot and returns this window's raw
+  /// per-path byte, delivered-byte, and energy deltas.
+  WindowSample window_sample() {
+    const Bytes sf0 = conn->subflow(0).bytes_acked_total();
+    const Bytes sf1 = conn->subflow(1).bytes_acked_total();
+    const Bytes delivered = conn->bytes_delivered();
+    const double energy = meter->energy_j();
+    WindowSample s;
+    s.d0 = sf0 - prev_sf0;
+    s.d1 = sf1 - prev_sf1;
+    s.dd = delivered - prev_delivered;
+    s.de = energy - prev_energy;
+    prev_sf0 = sf0;
+    prev_sf1 = sf1;
+    prev_delivered = delivered;
+    prev_energy = energy;
+    return s;
+  }
+};
+
+/// Path-0 traffic share of an aggregated sample (0.5 when no traffic).
+double sample_split(const HealRig::WindowSample& s) {
+  const double total = static_cast<double>(s.d0) + static_cast<double>(s.d1);
+  return total > 0 ? static_cast<double>(s.d0) / total : 0.5;
+}
+
+/// Energy per delivered byte of an aggregated sample (0 when no delivery).
+double sample_epb(const HealRig::WindowSample& s) {
+  return s.dd > 0 ? s.de / static_cast<double>(s.dd) : 0.0;
+}
+
+}  // namespace
+
+ChaosHealResult run_chaos_heal(const ChaosHealOptions& options) {
+  SimContext ctx(options.seed);
+  SimContext::Scope scope(ctx);
+  return run_chaos_heal(ctx, options);
+}
+
+ChaosHealResult run_chaos_heal(SimContext& ctx, const ChaosHealOptions& options) {
+  const chaos::ChaosSpec spec = chaos::ChaosSpec::parse_or_load(options.chaos);
+  if (options.window <= 0 || options.duration < 2 * options.window) {
+    throw std::invalid_argument("chaos_heal: duration must cover >= 2 windows");
+  }
+
+  // Baseline rig: its own context from the same seed, nested scope-by-scope
+  // so its components bind their lazily-resolved observability handles to
+  // the baseline context, not the faulted run's.
+  SimContext base_ctx(options.seed);
+  HealRig base;
+  {
+    SimContext::Scope base_scope(base_ctx);
+    base.build(base_ctx, options, /*faulted=*/false);
+  }
+
+  // Faulted rig in the caller's context (the guard's watchdog and perf
+  // ledger are armed there).
+  HealRig faulted;
+  faulted.build(ctx, options, /*faulted=*/true);
+
+  chaos::ChaosDriver driver(faulted.net->events());
+  driver.add_network(*faulted.net);
+  driver.arm(spec, options.seed, options.duration / 10, options.duration / 2);
+
+  chaos::StreamOracle stream_oracle(*faulted.conn);
+  chaos::LivenessOracle liveness(faulted.net->events(), *faulted.conn,
+                                 options.stall_window);
+  liveness.start();
+  if (options.mutation) faulted.conn->sink(0).arm_mutation_skip_retransmit();
+
+  // Lockstep windows: advance both sims by `window`, record each rig's raw
+  // per-window deltas, and audit the faulted run's reassembly contract.
+  struct Window {
+    SimTime end;
+    HealRig::WindowSample base;
+    HealRig::WindowSample faulted;
+  };
+  std::vector<Window> windows;
+  ChaosHealResult result;
+  for (SimTime t = options.window; t <= options.duration; t += options.window) {
+    Window w;
+    w.end = t;
+    {
+      SimContext::Scope base_scope(base_ctx);
+      base.net->events().run_until(t);
+      w.base = base.window_sample();
+    }
+    faulted.net->events().run_until(t);
+    w.faulted = faulted.window_sample();
+    stream_oracle.verify();
+    windows.push_back(w);
+  }
+
+  // Self-healing is judged on suffix aggregates, not single windows: once
+  // the two runs desynchronize, per-window AIMD dynamics differ chaotically
+  // even after a full heal, so re-convergence means the *time-averaged*
+  // rate split and energy-per-byte from some post-clear boundary onward
+  // match the baseline. The earliest such boundary dates the recovery.
+  const SimTime clear = driver.last_fault_clear();
+  std::size_t i0 = windows.size();
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].end >= clear) {
+      i0 = i;
+      break;
+    }
+  }
+  if (i0 == windows.size() || windows.size() - i0 < 2) {
+    throw chaos::OracleViolation(
+        "differential",
+        "campaign leaves no post-fault healing phase (last fault clears at " +
+            std::to_string(to_seconds(clear)) + "s of a " +
+            std::to_string(to_seconds(options.duration)) + "s run)");
+  }
+  // Aggregates windows [b, last] of each rig and returns the differential
+  // split / energy-per-byte errors for that suffix.
+  const auto suffix_err = [&](std::size_t b) {
+    HealRig::WindowSample bs, fs;
+    for (std::size_t i = b; i < windows.size(); ++i) {
+      bs.d0 += windows[i].base.d0;
+      bs.d1 += windows[i].base.d1;
+      bs.dd += windows[i].base.dd;
+      bs.de += windows[i].base.de;
+      fs.d0 += windows[i].faulted.d0;
+      fs.d1 += windows[i].faulted.d1;
+      fs.dd += windows[i].faulted.dd;
+      fs.de += windows[i].faulted.de;
+    }
+    const double split_err = std::abs(sample_split(fs) - sample_split(bs));
+    const double base_epb = sample_epb(bs);
+    const double epb = sample_epb(fs);
+    const double epb_err =
+        base_epb > 0 ? std::abs(epb - base_epb) / base_epb : (epb > 0 ? 1.0 : 0.0);
+    return std::pair<double, double>{split_err, epb_err};
+  };
+  // Suffixes shorter than two windows are too noisy to certify a heal.
+  std::size_t first_good = windows.size();
+  double split_err = 0, epb_err = 0;
+  for (std::size_t b = i0; b + 2 <= windows.size(); ++b) {
+    std::tie(split_err, epb_err) = suffix_err(b);
+    if (split_err <= options.split_tol && epb_err <= options.epb_tol) {
+      first_good = b;
+      break;
+    }
+  }
+  if (first_good == windows.size()) {
+    std::tie(split_err, epb_err) = suffix_err(i0);
+    throw chaos::OracleViolation(
+        "differential",
+        "faulted run never re-converged to baseline after the campaign "
+        "cleared at " +
+            std::to_string(to_seconds(clear)) + "s (post-clear split_err=" +
+            std::to_string(split_err) + " epb_err=" + std::to_string(epb_err) +
+            ")");
+  }
+
+  // The healed suffix starts at the *beginning* of window first_good.
+  result.recovery_s = std::max(
+      0.0, to_seconds(windows[first_good].end - options.window) - to_seconds(clear));
+  result.mtbf_s = driver.mtbf_s();
+  result.faults = driver.faults_applied();
+  result.chaos_injected = driver.injected_total();
+  result.oracle_checks = stream_oracle.checks() + liveness.checks();
+  result.split_err_final = split_err;
+  result.epb_err_final = epb_err;
+  result.bytes_delivered = faulted.conn->bytes_delivered();
+  result.goodput = throughput(result.bytes_delivered, options.duration);
+
+  // Land the self-healing metrics in the faulted run's perf ledger so sweep
+  // checkpoints and BENCH_chaos.json carry them.
+  ctx.perf().recovery_s = result.recovery_s;
+  ctx.perf().mtbf_s = result.mtbf_s;
   return result;
 }
 

@@ -42,6 +42,10 @@ struct TwoPathOptions {
   core::EnergyPriceConfig price;  // used by dts-ep
   bool record_trace = false;      // power + throughput traces (Fig 8)
   SimTime trace_period = 200 * kMillisecond;
+  /// Chaos campaign (chaos/spec.h syntax, or "@file"); empty = no faults.
+  /// A non-empty campaign also arms the stream/liveness oracles and the
+  /// consecutive-RTO dead declaration on every subflow.
+  std::string chaos;
 };
 
 struct TwoPathResult {
@@ -49,6 +53,10 @@ struct TwoPathResult {
   std::vector<Bytes> subflow_bytes;  // per-path traffic split
   TimeSeries power_trace;            // watts over time (if record_trace)
   TimeSeries tput_trace;             // bits/s over time (if record_trace)
+  // Chaos campaign evidence (zero when options.chaos is empty):
+  std::uint64_t chaos_faults = 0;    // fault windows opened
+  std::uint64_t chaos_injected = 0;  // packets perturbed
+  std::uint64_t oracle_checks = 0;   // stream-oracle audits that passed
 };
 
 TwoPathResult run_two_path(SimContext& ctx, const TwoPathOptions& options);
@@ -63,6 +71,10 @@ struct DumbbellOptions {
   std::uint64_t seed = 1;
   SimTime max_time = seconds(600);
   DumbbellConfig topo;                   // user counts overwritten from n_users
+  /// Chaos campaign over the whole fabric (chaos/spec.h syntax, or "@file");
+  /// empty = no faults. Arms a StreamOracle per MPTCP connection, audited
+  /// at end of run.
+  std::string chaos;
 };
 
 struct DumbbellResult {
@@ -70,6 +82,10 @@ struct DumbbellResult {
   std::vector<double> completion_s;
   double total_energy_j = 0;
   std::size_t incomplete = 0;  // flows that missed max_time (should be 0)
+  // Chaos campaign evidence (zero when options.chaos is empty):
+  std::uint64_t chaos_faults = 0;
+  std::uint64_t chaos_injected = 0;
+  std::uint64_t oracle_checks = 0;
 };
 
 DumbbellResult run_dumbbell(SimContext& ctx, const DumbbellOptions& options);
@@ -232,5 +248,56 @@ struct FlakyWifiResult {
 
 FlakyWifiResult run_flaky_wifi(SimContext& ctx, const FlakyWifiOptions& options);
 FlakyWifiResult run_flaky_wifi(const FlakyWifiOptions& options);
+
+// ----------------------------------------------------- chaos self-healing
+//
+// Differential check: the two-path rig is built twice from the same seed —
+// once untouched (baseline) and once under a chaos campaign — and both are
+// stepped in lockstep measurement windows. While faults are active the
+// faulted run may diverge arbitrarily; after the last fault clears, its
+// per-path rate split and energy-per-byte must re-converge to the
+// baseline's within tolerance. Failure to re-converge is an
+// OracleViolation (run-error kind "oracle"), and the stream/liveness
+// oracles audit the faulted run throughout. Recovery time and campaign
+// MTBF land in the run's perf ledger (obs::PerfStats recovery_s/mtbf_s).
+
+struct ChaosHealOptions {
+  /// Default is the uncoupled CC: healing is a *network* recovery contract
+  /// (cwnd regrows onto the cleared path within seconds). Coupled CCs
+  /// (LIA/OLIA) rebalance a post-fault path over minutes by design, which
+  /// needs far longer horizons than a regression run affords.
+  std::string cc = "uncoupled";
+  SimTime duration = seconds(30);
+  std::uint64_t seed = 1;
+  TwoPathConfig topo;
+  core::EnergyPriceConfig price;
+  /// Campaign spec (chaos/spec.h syntax, or "@file"). When the spec carries
+  /// no window, the campaign covers [duration/10, duration/2] so the run
+  /// always has a post-fault healing phase.
+  std::string chaos = "profile flaky";
+  SimTime window = 500 * kMillisecond;  ///< lockstep measurement window
+  double split_tol = 0.12;   ///< abs tolerance on path-0 traffic share
+  double epb_tol = 0.25;     ///< rel tolerance on energy-per-byte
+  SimTime stall_window = 5 * kSecond;  ///< liveness oracle stall horizon
+  /// CI mutation check: deliberately arms the receiver bug on subflow 0's
+  /// sink (TcpSink::arm_mutation_skip_retransmit). The StreamOracle must
+  /// turn this into an "oracle" run failure.
+  bool mutation = false;
+};
+
+struct ChaosHealResult {
+  double recovery_s = -1;  ///< last fault clear -> re-convergence (sim s)
+  double mtbf_s = 0;       ///< campaign horizon / fault count
+  std::uint64_t faults = 0;          ///< fault windows opened
+  std::uint64_t chaos_injected = 0;  ///< packets perturbed
+  std::uint64_t oracle_checks = 0;   ///< stream-oracle audits that passed
+  double split_err_final = 0;  ///< |split err| over the healed suffix
+  double epb_err_final = 0;    ///< relative energy-per-byte error, healed suffix
+  Bytes bytes_delivered = 0;   ///< faulted run
+  Rate goodput = 0;            ///< faulted run
+};
+
+ChaosHealResult run_chaos_heal(SimContext& ctx, const ChaosHealOptions& options);
+ChaosHealResult run_chaos_heal(const ChaosHealOptions& options);
 
 }  // namespace mpcc::harness

@@ -613,6 +613,31 @@ std::string SweepReport::summary() const {
                   double(perf.pool_outstanding));
     os << buf;
   }
+  // Fault-injection evidence: printed only when a campaign (or a downed
+  // link / in-flight drop) actually touched the sweep, so chaos-free runs
+  // keep their summary byte-identical.
+  if (perf.chaos_total() > 0 || perf.down_drops > 0 || perf.flight_drops > 0 ||
+      perf.flows_dead > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  chaos      %.3g faults (%.3g corrupt, %.3g reorder, %.3g dup, "
+                  "%.3g blackhole)\n",
+                  double(perf.chaos_faults), double(perf.chaos_corrupted),
+                  double(perf.chaos_reordered), double(perf.chaos_duplicated),
+                  double(perf.chaos_blackholed));
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  faults     %.3g down drops, %.3g in-flight drops, "
+                  "%.3g dead flows\n",
+                  double(perf.down_drops), double(perf.flight_drops),
+                  double(perf.flows_dead));
+    os << buf;
+    if (perf.recovery_s >= 0 || perf.mtbf_s > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "  healing    worst recovery %.3gs, mtbf %.3gs\n",
+                    perf.recovery_s, perf.mtbf_s);
+      os << buf;
+    }
+  }
   return os.str();
 }
 

@@ -83,13 +83,18 @@ class Network {
   }
 
   Pipe* make_pipe(std::string name, SimTime delay) {
-    return emplace<Pipe>(events(), std::move(name), delay);
+    Pipe* pipe = emplace<Pipe>(events(), std::move(name), delay);
+    pipes_.push_back(pipe);
+    return pipe;
   }
 
   LossyPipe* make_lossy_pipe(std::string name, SimTime delay, double loss_rate,
                              SimTime max_jitter = 0) {
-    return emplace<LossyPipe>(events(), std::move(name), delay, loss_rate, max_jitter,
-                              rng().fork(owned_.size()).engine()());
+    LossyPipe* pipe =
+        emplace<LossyPipe>(events(), std::move(name), delay, loss_rate, max_jitter,
+                           rng().fork(owned_.size()).engine()());
+    pipes_.push_back(pipe);
+    return pipe;
   }
 
   /// Builds queue+pipe for one direction of a link.
@@ -110,12 +115,17 @@ class Network {
   /// All queues created through make_queue/make_link, for fabric-wide stats.
   const std::vector<Queue*>& queues() const { return queues_; }
 
+  /// All pipes created through make_pipe/make_lossy_pipe/make_link, for
+  /// network-wide fault injection (chaos/plan.h).
+  const std::vector<Pipe*>& pipes() const { return pipes_; }
+
  private:
   std::unique_ptr<SimContext> owned_ctx_;  // null when borrowing
   SimContext* ctx_;
   LogClock log_clock_;
   std::vector<std::shared_ptr<void>> owned_;
   std::vector<Queue*> queues_;
+  std::vector<Pipe*> pipes_;
   std::uint64_t next_flow_id_ = 1;
 };
 

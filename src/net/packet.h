@@ -47,6 +47,12 @@ struct Packet {
   bool ecn_ce = false;
   bool ecn_echo = false;
 
+  /// Payload/header corruption (chaos fault injection). Models a checksum
+  /// failure: endpoints discard corrupted segments without acknowledging
+  /// them, so recovery rides the normal loss machinery. There is no payload
+  /// content to flip — the flag IS the corruption.
+  bool corrupted = false;
+
   /// Source route and the index of the hop that should receive the packet
   /// next.
   const Route* route = nullptr;

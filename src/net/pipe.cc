@@ -1,5 +1,7 @@
 #include "net/pipe.h"
 
+#include <utility>
+
 #include "obs/perf.h"
 #include "sim/invariants.h"
 
@@ -16,9 +18,14 @@ Pipe::~Pipe() { events_.unregister_perf_flush(this); }
 
 void Pipe::flush_perf() {
   if (obs::perf_enabled()) {
-    obs::bound_perf(perf_ctrs_).packets_dropped += perf_drops_ - perf_drops_flushed_;
+    obs::PerfCounters& pc = obs::bound_perf(perf_ctrs_);
+    pc.packets_dropped += perf_drops_ - perf_drops_flushed_;
+    pc.down_drops += down_drops_ - perf_down_flushed_;
+    pc.flight_drops += flight_drops_ - perf_flight_flushed_;
   }
   perf_drops_flushed_ = perf_drops_;
+  perf_down_flushed_ = down_drops_;
+  perf_flight_flushed_ = flight_drops_;
 }
 
 bool Pipe::on_ingress(Packet&, SimTime&) { return true; }
@@ -40,12 +47,31 @@ void Pipe::receive(Packet pkt) {
     ++perf_drops_;
     return;
   }
+  FaultVerdict verdict = FaultVerdict::kPass;
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    verdict = fault_hook_->on_packet(pkt);
+    if (verdict == FaultVerdict::kDrop) {
+      ++perf_drops_;
+      return;
+    }
+  }
   // Keep deliveries monotone even with jitter so the deque stays sorted.
   SimTime deliver_at = events_.now() + delay_ + extra;
   if (deliver_at < last_delivery_) deliver_at = last_delivery_;
   last_delivery_ = deliver_at;
+  if (verdict == FaultVerdict::kDuplicate) {
+    ++accepted_;
+    in_flight_.push_back(InFlight{deliver_at, pkt});  // the twin rides first
+  }
   ++accepted_;
   in_flight_.push_back(InFlight{deliver_at, std::move(pkt)});
+  if (verdict == FaultVerdict::kReorder && in_flight_.size() >= 2) {
+    // Swap packet contents with the predecessor: the delivery schedule (and
+    // with it the monotone clamp and the conservation ledger) is untouched,
+    // but the bytes leave the pipe out of send order.
+    std::swap(in_flight_[in_flight_.size() - 1].pkt,
+              in_flight_[in_flight_.size() - 2].pkt);
+  }
   if (!event_pending_) {
     event_pending_ = true;
     events_.schedule_at(this, deliver_at);

@@ -18,6 +18,24 @@
 
 namespace mpcc {
 
+/// What a fault hook decided for one packet at pipe ingress. The hook may
+/// additionally mutate the packet in place (e.g. set Packet::corrupted).
+enum class FaultVerdict : std::uint8_t {
+  kPass,       // forward normally
+  kDrop,       // discard at ingress (blackhole / burst-drop)
+  kDuplicate,  // deliver the packet twice
+  kReorder,    // swap with the packet admitted just before it
+};
+
+/// Ingress seam for the chaos subsystem (src/chaos/): a pipe with a hook
+/// installed consults it for every packet that survived the down check and
+/// the lossy-subclass ingress. Null hook (the default) costs one branch.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual FaultVerdict on_packet(Packet& pkt) = 0;
+};
+
 class Pipe : public PacketHandler, public EventSource, public PerfFlushable {
  public:
   Pipe(EventList& events, std::string name, SimTime delay);
@@ -53,6 +71,11 @@ class Pipe : public PacketHandler, public EventSource, public PerfFlushable {
   /// Packets dropped because the pipe was administratively down.
   std::uint64_t down_drops() const { return down_drops_; }
 
+  /// Installs (or clears, with nullptr) the chaos fault hook consulted at
+  /// ingress. The hook must outlive the pipe or be cleared first.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
   /// Packet-conservation ledger: every packet admitted into flight is
   /// eventually forwarded, flushed by drop_in_flight(), or still airborne.
   /// Checked as an invariant at each delivery (sim/invariants.h).
@@ -83,6 +106,10 @@ class Pipe : public PacketHandler, public EventSource, public PerfFlushable {
   std::uint64_t flight_drops_ = 0;  // admitted packets flushed mid-flight
   std::uint64_t perf_drops_ = 0;    // all drop kinds, for flush_perf()
   std::uint64_t perf_drops_flushed_ = 0;
+  // flush_perf() bookmarks for the dedicated fault-activity ledger fields.
+  std::uint64_t perf_down_flushed_ = 0;
+  std::uint64_t perf_flight_flushed_ = 0;
+  FaultHook* fault_hook_ = nullptr;
   // Cached perf ledger (obs::bound_perf), lazy per-instance binding.
   obs::PerfCounters* perf_ctrs_ = nullptr;
 };

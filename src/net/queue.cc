@@ -26,10 +26,12 @@ void Queue::flush_perf() {
     pc.packets_enqueued += accepted_packets_ - perf_enq_flushed_;
     pc.packets_forwarded += forwarded_ - perf_fwd_flushed_;
     pc.packets_dropped += (drops_ + down_drops_) - perf_drop_flushed_;
+    pc.down_drops += down_drops_ - perf_down_flushed_;
   }
   perf_enq_flushed_ = accepted_packets_;
   perf_fwd_flushed_ = forwarded_;
   perf_drop_flushed_ = drops_ + down_drops_;
+  perf_down_flushed_ = down_drops_;
 }
 
 bool Queue::on_enqueue(Packet&) { return true; }

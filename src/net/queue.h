@@ -126,6 +126,7 @@ class Queue : public PacketHandler, public EventSource, public PerfFlushable {
   std::uint64_t perf_enq_flushed_ = 0;
   std::uint64_t perf_fwd_flushed_ = 0;
   std::uint64_t perf_drop_flushed_ = 0;
+  std::uint64_t perf_down_flushed_ = 0;
   Bytes bytes_forwarded_ = 0;
   Bytes bytes_accepted_ = 0;      // bytes that entered the buffer
   Bytes bytes_down_dropped_ = 0;  // accepted bytes lost to link-down

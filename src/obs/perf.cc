@@ -258,6 +258,16 @@ void PerfCounters::reset() {
   packets_enqueued = 0;
   packets_forwarded = 0;
   packets_dropped = 0;
+  down_drops = 0;
+  flight_drops = 0;
+  flows_dead = 0;
+  chaos_corrupted = 0;
+  chaos_reordered = 0;
+  chaos_duplicated = 0;
+  chaos_blackholed = 0;
+  chaos_faults = 0;
+  recovery_s = -1.0;
+  mtbf_s = 0.0;
   dispatch_ns.reset();
   queue_depth_pkts.reset();
   rtt_us.reset();
@@ -282,7 +292,12 @@ void flush_hdr(MetricsRegistry& registry, const char* prefix,
 void PerfCounters::flush_to_metrics(MetricsRegistry& registry) const {
   const bool any = events_dispatched != 0 || timers_fired != 0 ||
                    packets_enqueued != 0 || packets_forwarded != 0 ||
-                   packets_dropped != 0 || dispatch_ns.count() != 0 ||
+                   packets_dropped != 0 || down_drops != 0 ||
+                   flight_drops != 0 || flows_dead != 0 ||
+                   chaos_corrupted != 0 || chaos_reordered != 0 ||
+                   chaos_duplicated != 0 || chaos_blackholed != 0 ||
+                   chaos_faults != 0 || recovery_s >= 0 ||
+                   dispatch_ns.count() != 0 ||
                    queue_depth_pkts.count() != 0 || rtt_us.count() != 0 ||
                    fct_us.count() != 0;
   if (!any) return;
@@ -291,6 +306,18 @@ void PerfCounters::flush_to_metrics(MetricsRegistry& registry) const {
   registry.counter("perf.packets_enqueued").inc(packets_enqueued);
   registry.counter("perf.packets_forwarded").inc(packets_forwarded);
   registry.counter("perf.packets_dropped").inc(packets_dropped);
+  registry.counter("perf.down_drops").inc(down_drops);
+  registry.counter("perf.flight_drops").inc(flight_drops);
+  registry.counter("perf.flows_dead").inc(flows_dead);
+  registry.counter("perf.chaos_corrupted").inc(chaos_corrupted);
+  registry.counter("perf.chaos_reordered").inc(chaos_reordered);
+  registry.counter("perf.chaos_duplicated").inc(chaos_duplicated);
+  registry.counter("perf.chaos_blackholed").inc(chaos_blackholed);
+  registry.counter("perf.chaos_faults").inc(chaos_faults);
+  if (recovery_s >= 0) {
+    registry.gauge("perf.recovery_s").set(recovery_s);
+    registry.gauge("perf.mtbf_s").set(mtbf_s);
+  }
   flush_hdr(registry, "perf.dispatch_ns", dispatch_ns);
   flush_hdr(registry, "perf.queue_depth_pkts", queue_depth_pkts);
   flush_hdr(registry, "perf.rtt_us", rtt_us);
@@ -305,6 +332,19 @@ void PerfStats::accumulate(const PerfStats& other) {
   packets_enqueued += other.packets_enqueued;
   packets_forwarded += other.packets_forwarded;
   packets_dropped += other.packets_dropped;
+  down_drops += other.down_drops;
+  flight_drops += other.flight_drops;
+  flows_dead += other.flows_dead;
+  chaos_corrupted += other.chaos_corrupted;
+  chaos_reordered += other.chaos_reordered;
+  chaos_duplicated += other.chaos_duplicated;
+  chaos_blackholed += other.chaos_blackholed;
+  chaos_faults += other.chaos_faults;
+  // Worst case across points: slowest reconvergence, shortest fault spacing.
+  if (other.recovery_s > recovery_s) recovery_s = other.recovery_s;
+  if (other.mtbf_s > 0 && (mtbf_s == 0 || other.mtbf_s < mtbf_s)) {
+    mtbf_s = other.mtbf_s;
+  }
   allocs += other.allocs;
   alloc_bytes += other.alloc_bytes;
   pool_hits += other.pool_hits;
@@ -316,12 +356,17 @@ void PerfStats::accumulate(const PerfStats& other) {
 }
 
 std::string PerfStats::to_json() const {
-  char buf[768];
+  char buf[1536];
   std::snprintf(
       buf, sizeof buf,
       "{\"events_dispatched\": %llu, \"timers_fired\": %llu, "
       "\"packets_enqueued\": %llu, \"packets_forwarded\": %llu, "
-      "\"packets_dropped\": %llu, \"allocs\": %llu, \"alloc_bytes\": %llu, "
+      "\"packets_dropped\": %llu, \"down_drops\": %llu, "
+      "\"flight_drops\": %llu, \"flows_dead\": %llu, "
+      "\"chaos_corrupted\": %llu, \"chaos_reordered\": %llu, "
+      "\"chaos_duplicated\": %llu, \"chaos_blackholed\": %llu, "
+      "\"chaos_faults\": %llu, \"recovery_s\": %.9g, \"mtbf_s\": %.9g, "
+      "\"allocs\": %llu, \"alloc_bytes\": %llu, "
       "\"pool_hits\": %llu, \"pool_misses\": %llu, "
       "\"pool_outstanding\": %llu, "
       "\"wall_s\": %.6f, \"cpu_s\": %.6f, \"peak_rss\": %llu, "
@@ -332,6 +377,14 @@ std::string PerfStats::to_json() const {
       static_cast<unsigned long long>(packets_enqueued),
       static_cast<unsigned long long>(packets_forwarded),
       static_cast<unsigned long long>(packets_dropped),
+      static_cast<unsigned long long>(down_drops),
+      static_cast<unsigned long long>(flight_drops),
+      static_cast<unsigned long long>(flows_dead),
+      static_cast<unsigned long long>(chaos_corrupted),
+      static_cast<unsigned long long>(chaos_reordered),
+      static_cast<unsigned long long>(chaos_duplicated),
+      static_cast<unsigned long long>(chaos_blackholed),
+      static_cast<unsigned long long>(chaos_faults), recovery_s, mtbf_s,
       static_cast<unsigned long long>(allocs),
       static_cast<unsigned long long>(alloc_bytes),
       static_cast<unsigned long long>(pool_hits),
@@ -349,6 +402,14 @@ PerfStatsCollector::PerfStatsCollector(const PerfCounters& counters)
       base_enq_(counters.packets_enqueued),
       base_fwd_(counters.packets_forwarded),
       base_drop_(counters.packets_dropped),
+      base_down_(counters.down_drops),
+      base_flight_(counters.flight_drops),
+      base_dead_(counters.flows_dead),
+      base_corrupt_(counters.chaos_corrupted),
+      base_reorder_(counters.chaos_reordered),
+      base_dup_(counters.chaos_duplicated),
+      base_blackhole_(counters.chaos_blackholed),
+      base_faults_(counters.chaos_faults),
       base_allocs_(thread_alloc_count()),
       base_alloc_bytes_(thread_alloc_bytes()),
       base_cpu_(thread_cpu_seconds()),
@@ -361,6 +422,17 @@ PerfStats PerfStatsCollector::finish() const {
   s.packets_enqueued = counters_->packets_enqueued - base_enq_;
   s.packets_forwarded = counters_->packets_forwarded - base_fwd_;
   s.packets_dropped = counters_->packets_dropped - base_drop_;
+  s.down_drops = counters_->down_drops - base_down_;
+  s.flight_drops = counters_->flight_drops - base_flight_;
+  s.flows_dead = counters_->flows_dead - base_dead_;
+  s.chaos_corrupted = counters_->chaos_corrupted - base_corrupt_;
+  s.chaos_reordered = counters_->chaos_reordered - base_reorder_;
+  s.chaos_duplicated = counters_->chaos_duplicated - base_dup_;
+  s.chaos_blackholed = counters_->chaos_blackholed - base_blackhole_;
+  s.chaos_faults = counters_->chaos_faults - base_faults_;
+  // Set-once values, not deltas: carried through as the run left them.
+  s.recovery_s = counters_->recovery_s;
+  s.mtbf_s = counters_->mtbf_s;
   s.allocs = thread_alloc_count() - base_allocs_;
   s.alloc_bytes = thread_alloc_bytes() - base_alloc_bytes_;
   s.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -

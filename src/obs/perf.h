@@ -154,6 +154,21 @@ struct PerfCounters {
   std::uint64_t packets_forwarded = 0;  ///< Queue service completions delivered
   std::uint64_t packets_dropped = 0;    ///< queue tail/AQM/down + pipe loss drops
 
+  // Fault activity (dyn link state + chaos campaigns), sim-deterministic:
+  std::uint64_t down_drops = 0;        ///< Pipe/Queue drops while admin-down
+  std::uint64_t flight_drops = 0;      ///< Pipe::drop_in_flight flushes
+  std::uint64_t flows_dead = 0;        ///< consecutive-RTO dead declarations
+  std::uint64_t chaos_corrupted = 0;   ///< packets corrupted by fault injection
+  std::uint64_t chaos_reordered = 0;   ///< packets swapped out of send order
+  std::uint64_t chaos_duplicated = 0;  ///< packets delivered twice
+  std::uint64_t chaos_blackholed = 0;  ///< ack-blackhole + burst-drop discards
+  std::uint64_t chaos_faults = 0;      ///< fault windows activated
+
+  // Self-healing differential metrics (chaos::run_differential): set once
+  // per run rather than incremented. recovery_s < 0 means no check ran.
+  double recovery_s = -1.0;  ///< sim seconds from last fault clear to reconverge
+  double mtbf_s = 0.0;       ///< campaign horizon / fault count (0 = no faults)
+
   HdrHistogram dispatch_ns;       ///< sampled per-event dispatch wall ns
   HdrHistogram queue_depth_pkts;  ///< post-enqueue depth, sampled 1-in-8
   HdrHistogram rtt_us;            ///< per-ACK RTT samples, microseconds
@@ -239,6 +254,17 @@ struct PerfStats {
   std::uint64_t packets_enqueued = 0;
   std::uint64_t packets_forwarded = 0;
   std::uint64_t packets_dropped = 0;
+  // Fault activity (sim-deterministic, see PerfCounters):
+  std::uint64_t down_drops = 0;
+  std::uint64_t flight_drops = 0;
+  std::uint64_t flows_dead = 0;
+  std::uint64_t chaos_corrupted = 0;
+  std::uint64_t chaos_reordered = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_blackholed = 0;
+  std::uint64_t chaos_faults = 0;
+  double recovery_s = -1.0;  ///< worst time-to-reconverge (<0 = no check ran)
+  double mtbf_s = 0.0;       ///< smallest non-zero mean time between faults
   // Host-dependent:
   std::uint64_t allocs = 0;        ///< operator new calls during the run
   std::uint64_t alloc_bytes = 0;   ///< bytes requested from operator new
@@ -265,8 +291,13 @@ struct PerfStats {
                : 0.0;
   }
 
-  /// Accumulates `other` (sums counters/costs, max for peak_rss) — used to
-  /// aggregate a sweep's per-point stats.
+  /// Total chaos-primitive activity, for "was anything injected" summaries.
+  std::uint64_t chaos_total() const {
+    return chaos_corrupted + chaos_reordered + chaos_duplicated + chaos_blackholed;
+  }
+
+  /// Accumulates `other` (sums counters/costs, max for peak_rss, worst-case
+  /// for recovery_s/mtbf_s) — used to aggregate a sweep's per-point stats.
   void accumulate(const PerfStats& other);
 
   /// Flat JSON object ({"events_dispatched":N,...}), for BENCH_core.json
@@ -286,6 +317,9 @@ class PerfStatsCollector {
  private:
   const PerfCounters* counters_;
   std::uint64_t base_events_, base_timers_, base_enq_, base_fwd_, base_drop_;
+  std::uint64_t base_down_, base_flight_, base_dead_;
+  std::uint64_t base_corrupt_, base_reorder_, base_dup_, base_blackhole_,
+      base_faults_;
   std::uint64_t base_allocs_, base_alloc_bytes_;
   double base_cpu_;
   std::chrono::steady_clock::time_point base_wall_;

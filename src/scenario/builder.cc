@@ -32,6 +32,7 @@ harness::ScenarioSpec build_scenario(const ExperimentSpec& spec) {
   for (const auto& [param, value] : spec.overrides) base[param] = value;
   for (const harness::ParamSpec& p : spec.params) base[p.name] = p.default_value;
   if (!spec.dyn.empty()) base[family->dyn_param] = spec.dyn;
+  if (!spec.chaos.empty()) base[family->chaos_param] = spec.chaos;
 
   // Visible schema: declared params first (the experiment's own defaults +
   // help), then the rest of the family schema — with file overrides shown

@@ -63,6 +63,7 @@ ResultRow two_path_point(SimContext& ctx, const ParamMap& p) {
   o.topo.delay[0] = ms(param_double(p, "delay0_ms", to_ms(o.topo.delay[0])));
   o.topo.delay[1] = ms(param_double(p, "delay1_ms", to_ms(o.topo.delay[1])));
   o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  o.chaos = param_string(p, "chaos", o.chaos);
   apply_price_params(p, o.price);
 
   const TwoPathResult r = run_two_path(ctx, o);
@@ -93,6 +94,7 @@ ResultRow dumbbell_point(SimContext& ctx, const ParamMap& p) {
       mbps(param_double(p, "rate_mbps", to_mbps(o.topo.bottleneck_rate)));
   o.topo.bottleneck_delay =
       ms(param_double(p, "delay_ms", to_ms(o.topo.bottleneck_delay)));
+  o.chaos = param_string(p, "chaos", o.chaos);
 
   const DumbbellResult r = run_dumbbell(ctx, o);
   double mean_energy = 0;
@@ -264,6 +266,7 @@ ResultRow fleet_point(SimContext& ctx, const ParamMap& p) {
       param_int(p, "bg_users_per_link", o.background.users_per_link));
   o.background.loss_to_drop_scale =
       param_double(p, "bg_loss_scale", o.background.loss_to_drop_scale);
+  o.chaos = param_string(p, "chaos", o.chaos);
   apply_price_params(p, o.price);
 
   const fleet::FleetResult r = fleet::run_fleet(ctx, o);
@@ -385,6 +388,38 @@ ResultRow flaky_wifi_point(SimContext& ctx, const ParamMap& p) {
   return row;
 }
 
+ResultRow chaos_heal_point(SimContext& ctx, const ParamMap& p) {
+  ChaosHealOptions o;
+  o.cc = param_string(p, "cc", o.cc);
+  o.duration = seconds(param_double(p, "duration_s", to_seconds(o.duration)));
+  o.seed = static_cast<std::uint64_t>(param_int(p, "seed", 1));
+  o.topo.rate[0] = mbps(param_double(p, "rate0_mbps", to_mbps(o.topo.rate[0])));
+  o.topo.rate[1] = mbps(param_double(p, "rate1_mbps", to_mbps(o.topo.rate[1])));
+  o.topo.delay[0] = ms(param_double(p, "delay0_ms", to_ms(o.topo.delay[0])));
+  o.topo.delay[1] = ms(param_double(p, "delay1_ms", to_ms(o.topo.delay[1])));
+  o.topo.cross_traffic = param_bool(p, "cross_traffic", o.topo.cross_traffic);
+  o.chaos = param_string(p, "chaos", o.chaos);
+  o.window = ms(param_double(p, "window_ms", to_ms(o.window)));
+  o.split_tol = param_double(p, "split_tol", o.split_tol);
+  o.epb_tol = param_double(p, "epb_tol", o.epb_tol);
+  o.stall_window = seconds(param_double(p, "stall_s", to_seconds(o.stall_window)));
+  o.mutation = param_bool(p, "mutation", o.mutation);
+  apply_price_params(p, o.price);
+
+  const ChaosHealResult r = run_chaos_heal(ctx, o);
+  ResultRow row;
+  row["bytes_mb"] = double(r.bytes_delivered) / 1e6;
+  row["epb_err"] = r.epb_err_final;
+  row["faults"] = double(r.faults);
+  row["goodput_mbps"] = to_mbps(r.goodput);
+  row["injected"] = double(r.chaos_injected);
+  row["mtbf_s"] = r.mtbf_s;
+  row["oracle_checks"] = double(r.oracle_checks);
+  row["recovery_s"] = r.recovery_s;
+  row["split_err"] = r.split_err_final;
+  return row;
+}
+
 // Harness self-test: a millisecond ticker whose mode makes the run finish,
 // throw, trip an invariant, or schedule forever. Exists so the failure
 // containment machinery (RunGuard, watchdog, checkpoint/resume) can be
@@ -486,6 +521,7 @@ std::vector<FamilySpec> build_families() {
         {"delay0_ms", "10", "path-0 one-way delay"},
         {"delay1_ms", "10", "path-1 one-way delay"},
         {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+        {"chaos", "", "chaos campaign (chaos/spec.h syntax, or @file); empty = none"},
     };
     append_price_params(f.params);
     f.run = two_path_point;
@@ -501,6 +537,7 @@ std::vector<FamilySpec> build_families() {
         {"duration", "duration_s", UnitKind::kTimeS},
     };
     append_price_keys(f.flow_keys);
+    f.chaos_param = "chaos";
     f.columns = {"avg_power_w",  "energy_j",      "goodput_mbps",
                  "joules_per_gb", "path0_mbytes", "path0_share",
                  "path1_mbytes", "retx_rate"};
@@ -517,6 +554,7 @@ std::vector<FamilySpec> build_families() {
         {"max_time_s", "600", "give-up horizon, simulated seconds"},
         {"rate_mbps", "100", "bottleneck rate"},
         {"delay_ms", "5", "bottleneck one-way delay"},
+        {"chaos", "", "chaos campaign (chaos/spec.h syntax, or @file); empty = none"},
     };
     f.run = dumbbell_point;
     f.topo_keys = {
@@ -529,6 +567,7 @@ std::vector<FamilySpec> build_families() {
         {"flow_size", "flow_mb", UnitKind::kSizeMb},
         {"max_time", "max_time_s", UnitKind::kTimeS},
     };
+    f.chaos_param = "chaos";
     f.columns = {"incomplete", "max_completion_s", "mean_completion_s",
                  "mean_flow_energy_j", "total_energy_j"};
     families.push_back(std::move(f));
@@ -627,6 +666,7 @@ std::vector<FamilySpec> build_families() {
         {"bg_rtt_ms", "20", "hybrid: background-user propagation RTT"},
         {"bg_users_per_link", "1", "hybrid: fluid users per fabric link"},
         {"bg_loss_scale", "1", "hybrid: fluid loss price -> drop-period scale"},
+        {"chaos", "", "chaos campaign (chaos/spec.h syntax, or @file); empty = none"},
     };
     append_price_params(f.params);
     f.run = fleet_point;
@@ -676,11 +716,56 @@ std::vector<FamilySpec> build_families() {
         {"bg.users_per_link", "bg_users_per_link", UnitKind::kNumber},
         {"bg.loss_scale", "bg_loss_scale", UnitKind::kNumber},
     };
+    f.chaos_param = "chaos";
     // NB: "fct_p999_ms" sorts before "fct_p99_ms" ('9' < '_').
     f.columns = {"completed",    "fabric_drops",  "fct_p50_ms",
                  "fct_p999_ms",  "fct_p99_ms",    "flows",
                  "goodput_mbps", "joules_per_gb", "rigs",
                  "total_energy_j"};
+    families.push_back(std::move(f));
+  }
+  {
+    FamilySpec f;
+    f.name = "chaos_heal";
+    f.help = "self-healing differential check: faulted vs baseline two-path run";
+    f.params = {
+        {"cc", "uncoupled",
+         "multipath CC (uncoupled heals in seconds; LIA/OLIA rebalance slowly)"},
+        {"duration_s", "30", "simulated seconds"},
+        {"rate0_mbps", "100", "path-0 bottleneck rate"},
+        {"rate1_mbps", "100", "path-1 bottleneck rate"},
+        {"delay0_ms", "10", "path-0 one-way delay"},
+        {"delay1_ms", "10", "path-1 one-way delay"},
+        {"cross_traffic", "1", "enable Pareto cross-traffic bursts"},
+        {"chaos", "profile flaky", "campaign (chaos/spec.h syntax, or @file)"},
+        {"window_ms", "500", "lockstep measurement window"},
+        {"split_tol", "0.12", "abs tolerance on path-0 traffic share"},
+        {"epb_tol", "0.25", "rel tolerance on energy-per-byte"},
+        {"stall_s", "5", "liveness-oracle stall horizon, seconds"},
+        {"mutation", "0", "arm the receiver mutation bug (CI oracle check)"},
+    };
+    append_price_params(f.params);
+    f.run = chaos_heal_point;
+    f.topo_keys = {
+        {"path0.rate", "rate0_mbps", UnitKind::kRate},
+        {"path1.rate", "rate1_mbps", UnitKind::kRate},
+        {"path0.delay", "delay0_ms", UnitKind::kTimeMs},
+        {"path1.delay", "delay1_ms", UnitKind::kTimeMs},
+        {"cross_traffic", "cross_traffic", UnitKind::kBool},
+    };
+    f.flow_keys = {
+        {"cc", "cc", UnitKind::kString},
+        {"duration", "duration_s", UnitKind::kTimeS},
+        {"window", "window_ms", UnitKind::kTimeMs},
+        {"split_tol", "split_tol", UnitKind::kNumber},
+        {"epb_tol", "epb_tol", UnitKind::kNumber},
+        {"stall", "stall_s", UnitKind::kTimeS},
+        {"mutation", "mutation", UnitKind::kBool},
+    };
+    append_price_keys(f.flow_keys);
+    f.chaos_param = "chaos";
+    f.columns = {"bytes_mb", "epb_err", "faults", "goodput_mbps", "injected",
+                 "mtbf_s", "oracle_checks", "recovery_s", "split_err"};
     families.push_back(std::move(f));
   }
   {

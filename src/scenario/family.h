@@ -67,6 +67,9 @@ struct FamilySpec {
   /// Parameter receiving the dynamics script; empty = family takes no dyn
   /// block ("handover"/"flaky_wifi" use "dyn").
   std::string dyn_param;
+  /// Parameter receiving the chaos campaign spec; empty = family takes no
+  /// chaos block (two_path/dumbbell/fleet/chaos_heal use "chaos").
+  std::string chaos_param;
   /// Result columns the point function emits, in row (alphabetical) order.
   std::vector<std::string> columns;
 

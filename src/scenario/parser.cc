@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chaos/spec.h"
 #include "dyn/script.h"
 #include "scenario/family.h"
 
@@ -198,6 +199,7 @@ ExperimentSpec parse_experiment(const std::string& text,
   std::set<std::string> metric_cols;
   bool saw_seeds = false;
   int dyn_line = 0;
+  int chaos_line = 0;
 
   std::vector<std::string> lines;
   {
@@ -370,6 +372,51 @@ ExperimentSpec parse_experiment(const std::string& text,
       } else {
         fail(source, line_no, head.col, "expected `dyn {` or `dyn @file`");
       }
+    } else if (head.text == "chaos") {
+      const FamilySpec& fam = require_family(line_no, head);
+      if (fam.chaos_param.empty()) {
+        fail(source, line_no, head.col,
+             "family \"" + fam.name + "\" takes no chaos campaign");
+      }
+      if (!spec.chaos.empty()) {
+        fail(source, line_no, head.col, "duplicate `chaos` statement");
+      }
+      if (toks.size() == 2 && toks[1].text[0] == '@') {
+        spec.chaos = toks[1].text;  // resolved by the runner at run time
+      } else if (toks.size() == 2 && toks[1].text == "{") {
+        chaos_line = line_no;
+        std::string joined;
+        bool closed = false;
+        while (n < lines.size()) {
+          const std::string& inner = lines[n];
+          ++n;
+          std::vector<Tok> ts = tokenize(inner);
+          if (ts.empty()) continue;
+          if (ts[0].text == "}") {
+            closed = true;
+            break;
+          }
+          // ChaosSpec separates statements with ';' — newlines become "; ".
+          if (!joined.empty()) joined += "; ";
+          joined += rest_of_line(inner, ts[0]);
+        }
+        if (!closed) {
+          fail(source, line_no, head.col,
+               "unterminated `chaos {` block (missing `}`)");
+        }
+        if (joined.empty()) {
+          fail(source, line_no, head.col, "empty `chaos {}` block");
+        }
+        try {
+          chaos::ChaosSpec::parse(joined);  // validate now, with file context
+        } catch (const std::invalid_argument& e) {
+          fail(source, chaos_line, head.col,
+               std::string("invalid chaos campaign: ") + e.what());
+        }
+        spec.chaos = joined;
+      } else {
+        fail(source, line_no, head.col, "expected `chaos {` or `chaos @file`");
+      }
     } else if (head.text == "set") {
       const FamilySpec& fam = require_family(line_no, head);
       if (toks.size() < 3) {
@@ -460,7 +507,7 @@ ExperimentSpec parse_experiment(const std::string& text,
       fail(source, line_no, head.col,
            "unknown statement \"" + head.text +
                "\" (experiment|family|help|topo|flow|arrivals|matrix|fidelity|"
-               "dyn|set|param|seeds|metric)");
+               "dyn|chaos|set|param|seeds|metric)");
     }
   }
 
@@ -529,6 +576,29 @@ std::string to_text(const ExperimentSpec& spec) {
           ++begin;
         }
         if (begin < semi) os << "  " << spec.dyn.substr(begin, semi - begin) << "\n";
+        start = semi + 1;
+      }
+      os << "}\n";
+    }
+  }
+  if (!spec.chaos.empty()) {
+    if (spec.chaos[0] == '@') {
+      os << "chaos " << spec.chaos << "\n";
+    } else {
+      os << "chaos {\n";
+      // Statements joined with "; " at parse time split back one per line.
+      std::size_t start = 0;
+      while (start < spec.chaos.size()) {
+        std::size_t semi = spec.chaos.find(';', start);
+        if (semi == std::string::npos) semi = spec.chaos.size();
+        std::size_t begin = start;
+        while (begin < semi &&
+               std::isspace(static_cast<unsigned char>(spec.chaos[begin]))) {
+          ++begin;
+        }
+        if (begin < semi) {
+          os << "  " << spec.chaos.substr(begin, semi - begin) << "\n";
+        }
         start = semi + 1;
       }
       os << "}\n";

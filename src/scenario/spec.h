@@ -29,6 +29,9 @@ struct ExperimentSpec {
   /// Dynamics timeline in dyn/script.h text syntax, or "@file"; empty =
   /// none. Only families with a dyn_param accept one.
   std::string dyn;
+  /// Chaos campaign in chaos/spec.h text syntax, or "@file"; empty = none.
+  /// Only families with a chaos_param accept one.
+  std::string chaos;
   /// Parameters this experiment advertises as sweep axes, with the
   /// experiment's own defaults and help. Each must name a family parameter;
   /// the default is applied to the run like an override.

@@ -34,6 +34,14 @@ void TcpSink::send_ack(SimTime ts_echo, bool ecn_ce, bool ecn_capable) {
 
 void TcpSink::receive(Packet pkt) {
   assert(pkt.type == PacketType::kData);
+  if (pkt.corrupted) {
+    // Checksum failure: discard without acknowledging, so recovery rides
+    // the sender's normal loss machinery (dupacks from later segments, or
+    // the RTO). Not counted as received — the segment never validly arrived.
+    ++corrupt_discards_;
+    return;
+  }
+  if (rx_tap_ != nullptr) rx_tap_->on_sink_rx(pkt);
   ++packets_received_;
   bytes_received_ += pkt.payload;
   last_flow_id_ = pkt.flow_id;
@@ -42,7 +50,14 @@ void TcpSink::receive(Packet pkt) {
   if (pkt.seq == cum_ack_) {
     // In-order: advance past this segment and any contiguous buffered ones.
     cum_ack_ += pkt.payload;
-    if (consumer_ != nullptr) consumer_->on_in_order_data(pkt.data_seq, pkt.payload);
+    const bool mutation_fires = mutation_armed_ && !pending_.empty();
+    if (mutation_fires) {
+      // Deliberate one-shot bug (arm_mutation_skip_retransmit): swallow the
+      // hole-filling retransmission instead of handing it up.
+      mutation_armed_ = false;
+    } else if (consumer_ != nullptr) {
+      consumer_->on_in_order_data(pkt.data_seq, pkt.payload);
+    }
     auto it = pending_.begin();
     while (it != pending_.end() && it->first == cum_ack_) {
       cum_ack_ += it->second.len;

@@ -28,6 +28,16 @@ class DataConsumer {
   virtual void on_in_order_data(std::int64_t data_seq, Bytes len) = 0;
 };
 
+/// Wire-side observation seam: sees every data segment that survives the
+/// checksum (corruption) check, *before* any sink processing. The chaos
+/// StreamOracle taps here so it can audit the sink itself — a consumer-side
+/// tap would inherit whatever bug the sink has.
+class SinkRxTap {
+ public:
+  virtual ~SinkRxTap() = default;
+  virtual void on_sink_rx(const Packet& pkt) = 0;
+};
+
 class TcpSink final : public PacketHandler {
  public:
   /// `reverse_route` carries the ACKs back to the source.
@@ -36,6 +46,17 @@ class TcpSink final : public PacketHandler {
   void receive(Packet pkt) override;
 
   void set_consumer(DataConsumer* consumer) { consumer_ = consumer; }
+  DataConsumer* consumer() const { return consumer_; }
+
+  /// Installs (or clears) the wire-side observation tap (chaos oracles).
+  void set_rx_tap(SinkRxTap* tap) { rx_tap_ = tap; }
+
+  /// Arms a deliberate, one-shot receiver bug for the CI mutation check:
+  /// the next in-order segment that fills a reassembly hole (i.e. a
+  /// retransmission whose loss left later segments buffered) advances the
+  /// cumulative ACK but is *not* handed to the consumer. The chaos
+  /// StreamOracle must catch the resulting ack/delivery divergence.
+  void arm_mutation_skip_retransmit() { mutation_armed_ = true; }
 
   /// Enables RFC 1122 delayed ACKs: every second in-order segment is ACKed
   /// immediately, a lone segment after `timeout`. Out-of-order arrivals are
@@ -50,6 +71,8 @@ class TcpSink final : public PacketHandler {
   Bytes bytes_received() const { return bytes_received_; }
   std::uint64_t packets_received() const { return packets_received_; }
   std::uint64_t out_of_order() const { return out_of_order_; }
+  /// Segments discarded for failing the checksum model (Packet::corrupted).
+  std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
   const std::string& name() const { return name_; }
 
@@ -65,6 +88,8 @@ class TcpSink final : public PacketHandler {
   std::string name_;
   const Route* reverse_route_;
   DataConsumer* consumer_ = nullptr;
+  SinkRxTap* rx_tap_ = nullptr;
+  bool mutation_armed_ = false;  // see arm_mutation_skip_retransmit()
 
   // Delayed-ACK state.
   bool delayed_ack_enabled_ = false;
@@ -87,6 +112,7 @@ class TcpSink final : public PacketHandler {
   Bytes bytes_received_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t out_of_order_ = 0;
+  std::uint64_t corrupt_discards_ = 0;
 };
 
 }  // namespace mpcc

@@ -218,6 +218,9 @@ const TcpSrc::SentSegment* TcpSrc::find_segment(std::int64_t seq) const {
 void TcpSrc::receive(Packet pkt) {
   MPCC_CHECK_INVARIANT(pkt.type == PacketType::kAck, "tcp.ack",
                        name() << ": non-ACK packet delivered to source");
+  // Checksum failure (chaos corruption): discard silently — a corrupted ACK
+  // carries no trustworthy cumulative point.
+  if (pkt.corrupted) return;
   if (completed_ || admin_down_) return;  // stale ACKs while quiesced
   if (pkt.seq > last_acked_) {
     handle_new_ack(pkt);
@@ -355,6 +358,7 @@ void TcpSrc::on_rto() {
     MPCC_DEBUG << name() << " dead after " << consecutive_timeouts_
                << " consecutive RTOs at " << to_ms(net_.now()) << "ms";
     obs::metrics().counter("tcp.subflow_dead").inc();
+    MPCC_PERF_COUNT_AT(perf_ctrs_, flows_dead);
   }
   MPCC_DEBUG << name() << " RTO at " << to_ms(net_.now()) << "ms, cwnd=" << cwnd_;
   MPCC_TRACE(obs::TraceCategory::kSubflow, obs::TraceEvent::kTimeout, trace_src_,

@@ -440,6 +440,7 @@ TEST(ScenarioInvariants, EveryRegisteredScenarioRunsClean) {
       {"wireless", {{"duration_s", "3"}}},
       {"handover", {{"duration_s", "12"}}},
       {"flaky_wifi", {{"duration_s", "4"}}},
+      {"chaos_heal", {{"duration_s", "6"}, {"window_ms", "500"}}},
       {"selftest", {}},
   };
   for (const harness::ScenarioSpec* spec : harness::ScenarioRegistry::instance().all()) {

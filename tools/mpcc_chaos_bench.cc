@@ -1,0 +1,172 @@
+// mpcc_chaos_bench: self-healing baseline for the chaos campaign engine.
+//
+// Runs the chaos_heal differential scenario (harness/scenarios.h) over a
+// small seed set under the RunGuard watchdog and emits machine-readable
+// BENCH_chaos.json: worst recovery time, campaign MTBF, fault/injection
+// counts, oracle audit totals, and the full perf ledger, stamped with the
+// same env block as BENCH_core.json. scripts/check_bench_json.py gates the
+// worst recovery time against the committed baseline (>10% regression is a
+// retryable failure) and requires zero oracle violations.
+//
+//   mpcc_chaos_bench                 # 3 seeds x 30s flaky campaign
+//   mpcc_chaos_bench --smoke         # 1 seed x 10s for CI
+//   mpcc_chaos_bench --profile=NAME  # calm|flaky|hostile (default flaky)
+//   mpcc_chaos_bench --mutation      # arm the receiver mutation bug; exits 0
+//                                    # only if the StreamOracle catches it
+//   mpcc_chaos_bench --json=FILE     # output path (default BENCH_chaos.json)
+//   mpcc_chaos_bench --timeout=S     # per-run watchdog budget (default 120)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/guard.h"
+#include "harness/scenarios.h"
+#include "obs/perf.h"
+#include "sim/context.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--smoke] [--profile=NAME] [--mutation] [--json=FILE] "
+      "[--timeout=S]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpcc;
+  using harness::arg_int;
+  using harness::arg_string;
+  using harness::has_flag;
+
+  if (has_flag(argc, argv, "--help")) return usage(argv[0]);
+  const bool smoke = has_flag(argc, argv, "--smoke");
+  const bool mutation = has_flag(argc, argv, "--mutation");
+  const std::string profile = arg_string(argc, argv, "--profile", "flaky");
+  const std::string json_path =
+      arg_string(argc, argv, "--json", "BENCH_chaos.json");
+  const double timeout_s = double(arg_int(argc, argv, "--timeout", 120));
+
+  if (!obs::perf_enabled()) {
+    std::fprintf(stderr,
+                 "mpcc_chaos_bench: MPCC_NO_PERF is set; counters would read "
+                 "zero. Unset it.\n");
+    return 2;
+  }
+
+  harness::ChaosHealOptions options;
+  options.chaos = "profile " + profile;
+  options.duration = smoke ? seconds(10) : seconds(30);
+  options.mutation = mutation;
+  const int n_seeds = smoke || mutation ? 1 : 3;
+
+  // The mutation mode inverts the contract: the deliberately armed receiver
+  // bug (skip one retransmitted segment) MUST surface as an "oracle" run
+  // failure. Catching it is the pass condition.
+  double worst_recovery = -1;
+  double mtbf_s = 0;
+  std::uint64_t faults = 0, injected = 0, checks = 0, violations = 0;
+  obs::PerfStats perf_total;
+  double wall_s = 0;
+
+  for (int i = 0; i < n_seeds; ++i) {
+    options.seed = std::uint64_t(i) + 1;
+
+    SimContext::Options copt;
+    copt.seed = options.seed;
+    copt.isolate_obs = true;
+    SimContext ctx(copt);
+    SimContext::Scope scope(ctx);
+
+    harness::ChaosHealResult r;
+    harness::GuardOptions guard;
+    guard.run_timeout_s = timeout_s;
+    const harness::RunReport report = harness::guarded_run(
+        ctx, guard, [&] { r = harness::run_chaos_heal(ctx, options); });
+    perf_total.accumulate(report.perf);
+    wall_s += report.perf.wall_s;
+
+    if (!report.ok) {
+      if (report.kind == harness::RunErrorKind::kOracleViolation) {
+        ++violations;
+        std::printf("seed %llu: oracle violation: %s\n",
+                    static_cast<unsigned long long>(options.seed),
+                    report.message.c_str());
+        continue;
+      }
+      std::fprintf(stderr, "mpcc_chaos_bench: run failed [%s]: %s\n",
+                   harness::run_error_kind_name(report.kind),
+                   report.message.c_str());
+      return 1;
+    }
+    worst_recovery = std::max(worst_recovery, r.recovery_s);
+    mtbf_s = r.mtbf_s;
+    faults += r.faults;
+    injected += r.chaos_injected;
+    checks += r.oracle_checks;
+    std::printf(
+        "seed %llu: recovery %.3fs, mtbf %.3fs, %llu faults, %llu injected, "
+        "%llu oracle checks, split_err %.4f, epb_err %.4f\n",
+        static_cast<unsigned long long>(options.seed), r.recovery_s, r.mtbf_s,
+        static_cast<unsigned long long>(r.faults),
+        static_cast<unsigned long long>(r.chaos_injected),
+        static_cast<unsigned long long>(r.oracle_checks), r.split_err_final,
+        r.epb_err_final);
+  }
+
+  if (mutation) {
+    if (violations > 0) {
+      std::printf("mutation check: receiver bug caught by the oracle (pass)\n");
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "mpcc_chaos_bench: MUTATION ESCAPED — the armed receiver bug "
+                 "was not caught by any oracle\n");
+    return 1;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "mpcc_chaos_bench: %llu oracle violation(s)\n",
+                 static_cast<unsigned long long>(violations));
+    // Fall through: the JSON still records them so the gate can report.
+  }
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "mpcc_chaos_bench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  \"seeds\": %d,\n"
+                "  \"recovery_s\": %.6f,\n"
+                "  \"mtbf_s\": %.6f,\n"
+                "  \"faults\": %llu,\n"
+                "  \"injected\": %llu,\n"
+                "  \"oracle_checks\": %llu,\n"
+                "  \"oracle_violations\": %llu,\n"
+                "  \"wall_s\": %.6f,\n",
+                n_seeds, worst_recovery, mtbf_s,
+                static_cast<unsigned long long>(faults),
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(violations), wall_s);
+  os << "{\n  \"mpcc_chaos\": 1,\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"profile\": \"" << profile << "\",\n"
+     << "  \"env\": " << obs::bench_env_json() << ",\n"
+     << buf << "  \"perf\": " << perf_total.to_json() << "\n}\n";
+  if (!os) {
+    std::fprintf(stderr, "mpcc_chaos_bench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return violations == 0 ? 0 : 1;
+}

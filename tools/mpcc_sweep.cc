@@ -40,6 +40,9 @@
 //   --fail-fast            stop scheduling new runs after the first failure
 //   --checkpoint=FILE      append each completed run to a JSONL checkpoint
 //   --resume               restore ok runs from --checkpoint, re-run the rest
+//   --chaos-profile=NAME   shorthand for --chaos="profile NAME" (calm|flaky|
+//                          hostile, docs/CHAOS.md); scenario must accept a
+//                          chaos campaign
 //
 // Declarative scenarios (docs/SCENARIOS.md): .mpcc files register next to
 // the built-ins and sweep identically.
@@ -99,7 +102,7 @@ const char* const kEngineFlags[] = {
     "--bench",    "--quiet",          "--help",           "--run-timeout",
     "--event-budget", "--fail-fast",  "--checkpoint",     "--resume",
     "--scenario-dir", "--validate",   "--update-golden",  "--check-golden",
-    "--golden-dir",
+    "--golden-dir", "--chaos-profile",
 };
 
 bool is_engine_flag(const std::string& name) {
@@ -398,6 +401,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", arg, e.what());
       return 2;
     }
+  }
+
+  // --chaos-profile=NAME: shorthand for --chaos="profile NAME" on any
+  // scenario that accepts a chaos campaign parameter.
+  const std::string chaos_profile =
+      arg_string(argc, argv, "--chaos-profile", "");
+  if (!chaos_profile.empty()) {
+    if (!spec->has_param("chaos")) {
+      std::fprintf(stderr,
+                   "scenario \"%s\" takes no chaos campaign (no \"chaos\" "
+                   "parameter)\n",
+                   plan.scenario.c_str());
+      return 2;
+    }
+    plan.axes.push_back(
+        SweepAxis{"chaos", {"profile " + chaos_profile}});
   }
 
   try {
